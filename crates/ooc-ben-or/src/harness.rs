@@ -1,0 +1,405 @@
+//! Seeded experiment runners for Ben-Or — shared by the integration tests,
+//! the property tests and the `ooc-bench` tables (T3, T4, T5, T7).
+
+use crate::monolithic::MonolithicBenOr;
+use crate::reconciliator::CoinFlip;
+use crate::vac::BenOrVac;
+use crate::{BenOrProcess, BenOrWire};
+use ooc_core::checker::{check_consensus, check_termination, RoundOutcomes, Violation};
+use ooc_core::compose::{TwoAcVac, VacAsAc};
+use ooc_core::confidence::Confidence;
+use ooc_core::template::{RoundRecord, Template, TemplateConfig};
+use ooc_simnet::{
+    Adversary, Decision, FaultPlan, FnAdversary, NetworkConfig, ProcessId, RunLimit, RunOutcome,
+    Sim, SimDuration,
+};
+
+/// Parameters of a Ben-Or experiment.
+#[derive(Debug, Clone)]
+pub struct BenOrConfig {
+    /// Network size.
+    pub n: usize,
+    /// Crash-fault tolerance (`t < n/2`).
+    pub t: usize,
+    /// Network behaviour.
+    pub network: NetworkConfig,
+    /// Crash schedule.
+    pub faults: FaultPlan,
+    /// Safety valve on template rounds.
+    pub max_rounds: u64,
+}
+
+impl BenOrConfig {
+    /// A default configuration for `n` processors tolerating `t` crashes.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(2 * t < n, "Ben-Or requires t < n/2 (got n={n}, t={t})");
+        BenOrConfig {
+            n,
+            t,
+            network: NetworkConfig::default(),
+            faults: FaultPlan::default(),
+            max_rounds: 10_000,
+        }
+    }
+
+    /// Replaces the network configuration.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Processes that are never crashed by the fault plan (and therefore
+    /// must terminate).
+    pub fn must_decide(&self) -> Vec<ProcessId> {
+        (0..self.n)
+            .map(ProcessId)
+            .filter(|p| !self.faults.crashes().iter().any(|&(q, _)| q == *p))
+            .collect()
+    }
+}
+
+/// Everything measured from one decomposed Ben-Or execution.
+#[derive(Debug)]
+pub struct BenOrRun {
+    /// The engine-level outcome (decisions, stats, trace).
+    pub outcome: RunOutcome<bool>,
+    /// Per-process template histories.
+    pub histories: Vec<Vec<RoundRecord<bool>>>,
+    /// Property violations found by the checkers (must be empty).
+    pub violations: Vec<Violation>,
+    /// Highest round any processor completed.
+    pub max_round: u64,
+    /// Tally of `[vacillate, adopt, commit]` outcomes over all
+    /// (processor, round) pairs — experiment T4's distribution.
+    pub confidence_counts: [u64; 3],
+    /// Number of (processor, round) adopt outcomes whose value differs
+    /// from the final decision — exactly the states the paper's §5
+    /// argument says an AC-based decomposition would wrongly commit (T5).
+    pub adopt_divergences: u64,
+}
+
+impl BenOrRun {
+    /// Rounds needed until the *last* processor decided (the usual
+    /// latency metric for randomized consensus).
+    pub fn rounds_to_decide(&self) -> Option<u64> {
+        self.histories
+            .iter()
+            .zip(&self.outcome.decisions)
+            .filter(|(_, d)| d.is_some())
+            .map(|(h, _)| {
+                h.iter()
+                    .find(|r| r.outcome.confidence == Confidence::Commit)
+                    .map(|r| r.round)
+                    .unwrap_or(u64::MAX)
+            })
+            .max()
+    }
+}
+
+fn analyze(
+    cfg: &BenOrConfig,
+    inputs: &[bool],
+    outcome: RunOutcome<bool>,
+    histories: Vec<Vec<RoundRecord<bool>>>,
+    open_rounds: Vec<(u64, bool)>,
+) -> BenOrRun {
+    let mut violations = Vec::new();
+    let max_round = histories
+        .iter()
+        .flat_map(|h| h.iter().map(|r| r.round))
+        .max()
+        .unwrap_or(0);
+    let handles: Vec<(ProcessId, &[RoundRecord<bool>])> = histories
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (ProcessId(i), h.as_slice()))
+        .collect();
+    let mut confidence_counts = [0u64; 3];
+    let mut adopt_divergences = 0u64;
+    let final_value = outcome.decided_value();
+    for round in 1..=max_round {
+        // Processors that invoked `round` but never completed it (crashed
+        // or still waiting) still count as invokers for validity and
+        // convergence.
+        let extra = open_rounds
+            .iter()
+            .zip(&histories)
+            .filter(|((r, _), h)| *r == round && h.iter().all(|rec| rec.round != round))
+            .map(|((_, v), _)| *v);
+        let ro = RoundOutcomes::from_histories(round, &handles).with_extra_inputs(extra);
+        violations.extend(ro.check_vac());
+        for e in &ro.entries {
+            confidence_counts[e.outcome.confidence as usize] += 1;
+            if e.outcome.confidence == Confidence::Adopt {
+                if let Some(f) = final_value {
+                    if e.outcome.value != f {
+                        adopt_divergences += 1;
+                    }
+                }
+            }
+        }
+    }
+    violations.extend(check_consensus(inputs, &outcome.decisions));
+    violations.extend(check_termination(&cfg.must_decide(), &outcome.decisions));
+    BenOrRun {
+        outcome,
+        histories,
+        violations,
+        max_round,
+        confidence_counts,
+        adopt_divergences,
+    }
+}
+
+fn template_config(cfg: &BenOrConfig) -> TemplateConfig {
+    TemplateConfig {
+        halt_after_decide: false,
+        max_rounds: Some(cfg.max_rounds),
+    }
+}
+
+/// Runs the decomposed protocol (template + [`BenOrVac`] + [`CoinFlip`],
+/// paper Algorithms 1, 5, 6) and checks every paper property on the way
+/// out.
+///
+/// # Panics
+/// Panics if `inputs.len() != cfg.n`.
+pub fn run_decomposed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
+    run_decomposed_with(cfg, inputs, seed, None)
+}
+
+/// Like [`run_decomposed`] but with a custom message-scheduling adversary.
+pub fn run_decomposed_with(
+    cfg: &BenOrConfig,
+    inputs: &[bool],
+    seed: u64,
+    adversary: Option<Box<dyn Adversary<BenOrWire>>>,
+) -> BenOrRun {
+    assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    let (n, t) = (cfg.n, cfg.t);
+    let mut builder = Sim::builder(cfg.network.clone())
+        .seed(seed)
+        .faults(cfg.faults.clone())
+        .processes(inputs.iter().map(|&v| -> BenOrProcess {
+            Template::vac(
+                v,
+                move |_m| BenOrVac::new(n, t),
+                |_m| CoinFlip::new(),
+                template_config(cfg),
+            )
+        }));
+    if let Some(adv) = adversary {
+        builder = builder.adversary(adv);
+    }
+    let mut sim = builder.build();
+    let outcome = sim.run(RunLimit::default());
+    let histories: Vec<_> = (0..cfg.n)
+        .map(|i| sim.process(ProcessId(i)).history().to_vec())
+        .collect();
+    let open_rounds: Vec<(u64, bool)> = (0..cfg.n)
+        .map(|i| {
+            let p = sim.process(ProcessId(i));
+            (p.round(), *p.preference())
+        })
+        .collect();
+    analyze(cfg, inputs, outcome, histories, open_rounds)
+}
+
+/// The §5 composition: the same consensus but with the VAC built from two
+/// adopt-commit objects ([`TwoAcVac`] over [`VacAsAc`]`<`[`BenOrVac`]`>`),
+/// i.e. four message exchanges per round instead of two. Used by T7 to
+/// price the composition.
+pub fn run_composed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
+    assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    let (n, t) = (cfg.n, cfg.t);
+    type ComposedVac = TwoAcVac<VacAsAc<BenOrVac>>;
+    let mut sim = Sim::builder(cfg.network.clone())
+        .seed(seed)
+        .faults(cfg.faults.clone())
+        .processes(inputs.iter().map(|&v| -> Template<ComposedVac, CoinFlip> {
+            Template::vac(
+                v,
+                move |_m| {
+                    TwoAcVac::new(
+                        VacAsAc(BenOrVac::new(n, t)),
+                        VacAsAc(BenOrVac::new(n, t)),
+                    )
+                },
+                |_m| CoinFlip::new(),
+                template_config(cfg),
+            )
+        }))
+        .build();
+    let outcome = sim.run(RunLimit::default());
+    let histories: Vec<_> = (0..cfg.n)
+        .map(|i| sim.process(ProcessId(i)).history().to_vec())
+        .collect();
+    let open_rounds: Vec<(u64, bool)> = (0..cfg.n)
+        .map(|i| {
+            let p = sim.process(ProcessId(i));
+            (p.round(), *p.preference())
+        })
+        .collect();
+    analyze(cfg, inputs, outcome, histories, open_rounds)
+}
+
+/// Runs the monolithic baseline; returns the engine outcome plus the
+/// highest round any processor reached.
+pub fn run_monolithic(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> (RunOutcome<bool>, u64) {
+    assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    let mut sim = Sim::builder(cfg.network.clone())
+        .seed(seed)
+        .faults(cfg.faults.clone())
+        .processes(
+            inputs
+                .iter()
+                .map(|&v| MonolithicBenOr::new(v, cfg.n, cfg.t)),
+        )
+        .build();
+    let outcome = sim.run(RunLimit::default());
+    let max_round = (0..cfg.n)
+        .map(|i| sim.process(ProcessId(i)).round())
+        .max()
+        .unwrap_or(0);
+    (outcome, max_round)
+}
+
+/// A split-vote adversary: messages within each half of the network are
+/// fast, messages across halves are slow. With a half-and-half input split
+/// this is the classic attempt to keep Ben-Or's votes balanced; the
+/// coin-flip reconciliator must still break through (Lemma 4 / T3).
+pub fn split_adversary<M: 'static>(
+    n: usize,
+    fast: (u64, u64),
+    slow: (u64, u64),
+) -> Box<dyn Adversary<M>> {
+    Box::new(FnAdversary::new(move |_at, from, to, _msg: &M, rng| {
+        let same_half = (from.index() < n / 2) == (to.index() < n / 2);
+        let (lo, hi) = if same_half { fast } else { slow };
+        Decision::DeliverAfter(SimDuration::from_ticks(rng.range_inclusive(lo.max(1), hi.max(1))))
+    }))
+}
+
+/// Alternating `true/false` inputs — the adversarially balanced workload.
+pub fn balanced_inputs(n: usize) -> Vec<bool> {
+    (0..n).map(|i| i % 2 == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_simnet::SimTime;
+
+    #[test]
+    fn decomposed_ben_or_is_correct_across_seeds() {
+        let cfg = BenOrConfig::new(5, 2);
+        for seed in 0..25 {
+            let run = run_decomposed(&cfg, &balanced_inputs(5), seed);
+            assert!(run.outcome.all_decided(), "seed {seed}");
+            assert!(
+                run.violations.is_empty(),
+                "seed {seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_commit_in_round_one() {
+        let cfg = BenOrConfig::new(5, 2);
+        for seed in 0..10 {
+            let run = run_decomposed(&cfg, &[true; 5], seed);
+            assert_eq!(run.outcome.decided_value(), Some(true));
+            assert_eq!(run.rounds_to_decide(), Some(1), "convergence ⇒ round 1");
+        }
+    }
+
+    #[test]
+    fn tolerates_t_crashes() {
+        let n = 7;
+        let t = 3;
+        let cfg = BenOrConfig::new(n, t)
+            .with_faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(20)));
+        for seed in 0..10 {
+            let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+            assert!(
+                run.violations.is_empty(),
+                "seed {seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+
+    #[test]
+    fn split_adversary_cannot_block_termination() {
+        let n = 6;
+        let cfg = BenOrConfig::new(n, 2);
+        for seed in 0..5 {
+            let run = run_decomposed_with(
+                &cfg,
+                &balanced_inputs(n),
+                seed,
+                Some(split_adversary(n, (1, 3), (30, 60))),
+            );
+            assert!(run.outcome.all_decided(), "seed {seed}");
+            assert!(run.violations.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn composed_vac_is_correct_and_heavier() {
+        let cfg = BenOrConfig::new(5, 2);
+        let mut composed_msgs = 0;
+        let mut native_msgs = 0;
+        for seed in 0..10 {
+            let c = run_composed(&cfg, &balanced_inputs(5), seed);
+            assert!(c.violations.is_empty(), "seed {seed}: {:?}", c.violations);
+            let nrun = run_decomposed(&cfg, &balanced_inputs(5), seed);
+            composed_msgs += c.outcome.stats.messages_sent;
+            native_msgs += nrun.outcome.stats.messages_sent;
+        }
+        assert!(
+            composed_msgs > native_msgs,
+            "two ACs must cost more messages than one native VAC"
+        );
+    }
+
+    #[test]
+    fn monolithic_and_decomposed_agree_on_guarantees() {
+        let cfg = BenOrConfig::new(5, 2);
+        for seed in 0..10 {
+            let (out, _) = run_monolithic(&cfg, &balanced_inputs(5), seed);
+            assert!(out.all_decided(), "seed {seed}");
+            assert!(out.agreement(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn confidence_distribution_is_tracked() {
+        let cfg = BenOrConfig::new(5, 2);
+        let mut totals = [0u64; 3];
+        for seed in 0..20 {
+            let run = run_decomposed(&cfg, &balanced_inputs(5), seed);
+            for (i, c) in run.confidence_counts.iter().enumerate() {
+                totals[i] += c;
+            }
+        }
+        // Every run ends with commits, and balanced inputs force some
+        // vacillation along the way.
+        assert!(totals[Confidence::Commit as usize] > 0);
+        assert!(totals[Confidence::Vacillate as usize] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per processor")]
+    fn input_arity_is_checked() {
+        let cfg = BenOrConfig::new(5, 2);
+        let _ = run_decomposed(&cfg, &[true], 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ooc-ben-or
+//!
+//! Ben-Or's randomized asynchronous consensus (1983), decomposed per
+//! paper §4.2 into:
+//!
+//! * [`BenOrVac`] — the vacillate-adopt-commit object of Algorithm 5:
+//!   two message exchanges (*report*, then *ratify*) over an asynchronous
+//!   network with `t < n/2` crash faults. A processor that sees more than
+//!   `t` ratify messages **commits**; at least one, **adopts**; none,
+//!   **vacillates**.
+//! * [`CoinFlip`] — the reconciliator of Algorithm 6: `return CoinFlip()`.
+//!   The paper's headline simplification: once the detector is a VAC, the
+//!   shaker needs no validity machinery at all.
+//! * [`BenOrProcess`] — the two composed through the generic template
+//!   (`ooc_core::Template`, paper Algorithm 1).
+//! * [`MonolithicBenOr`] — the classic hand-rolled protocol, used as the
+//!   baseline when measuring what the decomposition costs.
+//! * [`harness`] — seeded experiment runners used by the test-suite and
+//!   the `ooc-bench` tables (T3, T4, T5, T7).
+//!
+//! Consensus here is **binary** (`bool`), as in Ben-Or's original paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ooc_ben_or::harness::{run_decomposed, BenOrConfig};
+//!
+//! let cfg = BenOrConfig::new(5, 2); // n = 5, t = 2
+//! let run = run_decomposed(&cfg, &[true, false, true, false, true], 42);
+//! assert!(run.outcome.all_decided());
+//! assert!(run.violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod monolithic;
+pub mod msg;
+pub mod reconciliator;
+pub mod vac;
+
+pub use harness::{run_decomposed, BenOrConfig, BenOrRun};
+pub use monolithic::{MonolithicBenOr, MonolithicMsg};
+pub use msg::BenOrMsg;
+pub use reconciliator::CoinFlip;
+pub use vac::BenOrVac;
+
+/// The decomposed Ben-Or consensus process: Algorithm 1 instantiated with
+/// [`BenOrVac`] and [`CoinFlip`].
+pub type BenOrProcess = ooc_core::template::Template<BenOrVac, CoinFlip>;
+
+/// The wire message type of [`BenOrProcess`].
+pub type BenOrWire = ooc_core::template::TemplateMsg<BenOrMsg, ooc_core::objects::NoMsg>;

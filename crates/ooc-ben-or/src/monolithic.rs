@@ -1,0 +1,267 @@
+//! The classic, hand-rolled Ben-Or protocol — the *baseline* the
+//! decomposition is measured against (experiment T7).
+//!
+//! Functionally identical to [`crate::BenOrProcess`] (same exchanges, same
+//! thresholds, same coin) but written as one flat state machine with its
+//! own round-tagged wire format, the way the protocol is usually
+//! presented. Differences in rounds/messages/latency against the
+//! template-composed version quantify the cost of the object abstraction.
+
+use crate::msg::BenOrMsg;
+use ooc_simnet::{Context, Process, ProcessId, TimerId};
+use std::collections::BTreeMap;
+
+/// Wire format: a Ben-Or message tagged with its round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonolithicMsg {
+    /// The protocol round this message belongs to.
+    pub round: u64,
+    /// The report/ratify payload.
+    pub payload: BenOrMsg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Reports,
+    Ratifies,
+}
+
+/// Classic Ben-Or consensus over binary values, tolerating `t < n/2`
+/// crash faults in an asynchronous network.
+#[derive(Debug)]
+pub struct MonolithicBenOr {
+    n: usize,
+    t: usize,
+    v: bool,
+    round: u64,
+    stage: Stage,
+    reports: [usize; 2],
+    reports_seen: usize,
+    ratifies: [usize; 2],
+    ratifies_seen: usize,
+    buffer: BTreeMap<u64, Vec<BenOrMsg>>,
+    decided: Option<bool>,
+    rounds_executed: u64,
+    max_rounds: u64,
+}
+
+impl MonolithicBenOr {
+    /// Creates a processor with the given input.
+    ///
+    /// # Panics
+    /// Panics unless `t < n/2`.
+    pub fn new(input: bool, n: usize, t: usize) -> Self {
+        assert!(2 * t < n, "Ben-Or requires t < n/2 (got n={n}, t={t})");
+        MonolithicBenOr {
+            n,
+            t,
+            v: input,
+            round: 0,
+            stage: Stage::Reports,
+            reports: [0, 0],
+            reports_seen: 0,
+            ratifies: [0, 0],
+            ratifies_seen: 0,
+            buffer: BTreeMap::new(),
+            decided: None,
+            rounds_executed: 0,
+            max_rounds: 10_000,
+        }
+    }
+
+    /// The round this processor is currently executing.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    fn start_round(&mut self, ctx: &mut Context<'_, MonolithicMsg, bool>) {
+        self.round += 1;
+        self.rounds_executed += 1;
+        if self.rounds_executed > self.max_rounds {
+            ctx.halt();
+            return;
+        }
+        self.stage = Stage::Reports;
+        self.reports = [0, 0];
+        self.reports_seen = 0;
+        self.ratifies = [0, 0];
+        self.ratifies_seen = 0;
+        let stale: Vec<u64> = self.buffer.range(..self.round).map(|(&r, _)| r).collect();
+        for r in stale {
+            self.buffer.remove(&r);
+        }
+        ctx.broadcast(MonolithicMsg {
+            round: self.round,
+            payload: BenOrMsg::Report { value: self.v },
+        });
+        // Replay any messages of this round that arrived early.
+        let r = self.round;
+        if let Some(msgs) = self.buffer.remove(&r) {
+            for payload in msgs {
+                if self.round != r {
+                    break; // a replay completed the round
+                }
+                self.handle_current(payload, ctx);
+            }
+        }
+    }
+
+    fn handle_current(&mut self, payload: BenOrMsg, ctx: &mut Context<'_, MonolithicMsg, bool>) {
+        match (payload, self.stage) {
+            (BenOrMsg::Report { value }, Stage::Reports) => {
+                self.reports[value as usize] += 1;
+                self.reports_seen += 1;
+                if self.reports_seen == self.quorum() {
+                    self.stage = Stage::Ratifies;
+                    let majority = (0..=1).find(|&b| self.reports[b] * 2 > self.n);
+                    ctx.broadcast(MonolithicMsg {
+                        round: self.round,
+                        payload: BenOrMsg::Ratify {
+                            value: majority.map(|b| b == 1),
+                        },
+                    });
+                    // Replay ratify messages that overtook our report
+                    // quorum (parked under the current round below).
+                    let r = self.round;
+                    if let Some(parked) = self.buffer.remove(&r) {
+                        for payload in parked {
+                            if self.round != r {
+                                break; // a replay completed the round
+                            }
+                            self.handle_current(payload, ctx);
+                        }
+                    }
+                }
+            }
+            (BenOrMsg::Ratify { value }, Stage::Reports) => {
+                // A ratify overtook our report quorum; park it for replay.
+                self.buffer
+                    .entry(self.round)
+                    .or_default()
+                    .push(BenOrMsg::Ratify { value });
+            }
+            (BenOrMsg::Ratify { value }, Stage::Ratifies) => {
+                self.ratifies_seen += 1;
+                if let Some(v) = value {
+                    self.ratifies[v as usize] += 1;
+                }
+                if self.ratifies_seen == self.quorum() {
+                    self.end_round(ctx);
+                }
+            }
+            (BenOrMsg::Report { .. }, Stage::Ratifies) => {} // late report
+        }
+    }
+
+    fn end_round(&mut self, ctx: &mut Context<'_, MonolithicMsg, bool>) {
+        let (value, count) = if self.ratifies[1] >= self.ratifies[0] {
+            (true, self.ratifies[1])
+        } else {
+            (false, self.ratifies[0])
+        };
+        if count > self.t {
+            self.v = value;
+            if self.decided.is_none() {
+                self.decided = Some(value);
+                ctx.decide(value);
+            }
+        } else if count >= 1 {
+            self.v = value;
+        } else {
+            self.v = ctx.rng().coin() == 1;
+        }
+        self.start_round(ctx);
+    }
+}
+
+impl Process for MonolithicBenOr {
+    type Msg = MonolithicMsg;
+    type Output = bool;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, MonolithicMsg, bool>) {
+        self.start_round(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, MonolithicMsg, bool>,
+        _from: ProcessId,
+        msg: MonolithicMsg,
+    ) {
+        if msg.round > self.round {
+            self.buffer.entry(msg.round).or_default().push(msg.payload);
+        } else if msg.round == self.round {
+            self.handle_current(msg.payload, ctx);
+        }
+        // Past rounds: already served their quorum; drop.
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, MonolithicMsg, bool>, _timer: TimerId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_simnet::{FaultPlan, NetworkConfig, RunLimit, Sim, SimTime};
+
+    fn run(inputs: &[bool], t: usize, seed: u64) -> ooc_simnet::RunOutcome<bool> {
+        let n = inputs.len();
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| MonolithicBenOr::new(v, n, t)))
+            .build();
+        sim.run(RunLimit::default())
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_fast() {
+        for seed in 0..20 {
+            let out = run(&[true; 5], 2, seed);
+            assert!(out.all_decided());
+            assert_eq!(out.decided_value(), Some(true), "validity on unanimity");
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        for seed in 0..20 {
+            let out = run(&[true, false, true, false, true], 2, seed);
+            assert!(out.all_decided(), "seed {seed}");
+            assert!(out.agreement(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn survives_t_crashes() {
+        let n = 7;
+        let t = 3;
+        for seed in 0..10 {
+            let inputs = [true, false, true, false, true, false, true];
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(seed)
+                .processes(inputs.iter().map(|&v| MonolithicBenOr::new(v, n, t)))
+                .faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(15)))
+                .build();
+            let out = sim.run(RunLimit::default());
+            for i in 0..(n - t) {
+                assert!(out.decisions[i].is_some(), "seed {seed}: p{i} undecided");
+            }
+            assert!(out.agreement(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n/2")]
+    fn resilience_bound_enforced() {
+        let _ = MonolithicBenOr::new(true, 4, 2);
+    }
+}

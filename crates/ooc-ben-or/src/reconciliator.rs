@@ -1,0 +1,86 @@
+//! Ben-Or's reconciliator (paper Algorithm 6): `return CoinFlip()`.
+//!
+//! This is the paper's punchline for §4.2: under the VAC decomposition the
+//! shaker carries **no machinery at all** — no validity enforcement, no
+//! communication — because only vacillating processors consult it and the
+//! VAC's coherence laws protect any value already adopted elsewhere.
+//! (Lemma 4: any value has non-zero probability, so eventually enough
+//! processors flip the same side and the VAC observes agreement.)
+
+use ooc_core::confidence::Confidence;
+use ooc_core::objects::{NoMsg, ObjectNet, ReconciliatorObject};
+use ooc_simnet::ProcessId;
+
+/// The coin-flip reconciliator. Stateless; one instance per round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoinFlip;
+
+impl CoinFlip {
+    /// Creates the reconciliator.
+    pub fn new() -> Self {
+        CoinFlip
+    }
+}
+
+impl ReconciliatorObject for CoinFlip {
+    type Value = bool;
+    type Msg = NoMsg;
+
+    fn begin(
+        &mut self,
+        _confidence: Confidence,
+        _sigma: bool,
+        net: &mut dyn ObjectNet<NoMsg>,
+    ) -> Option<bool> {
+        Some(net.rng().coin() == 1)
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: NoMsg,
+        _net: &mut dyn ObjectNet<NoMsg>,
+    ) -> Option<bool> {
+        match msg {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_core::testkit::LoopbackNet;
+
+    #[test]
+    fn completes_immediately_without_sending() {
+        let mut rec = CoinFlip::new();
+        let mut net = LoopbackNet::<NoMsg>::new(0, 5, 7);
+        let out = rec.begin(Confidence::Vacillate, true, &mut net);
+        assert!(out.is_some());
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn both_sides_occur() {
+        let mut rec = CoinFlip::new();
+        let mut net = LoopbackNet::<NoMsg>::new(0, 5, 7);
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            let v = rec.begin(Confidence::Vacillate, true, &mut net).unwrap();
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn deterministic_given_rng_stream() {
+        let flips = |seed: u64| -> Vec<bool> {
+            let mut rec = CoinFlip::new();
+            let mut net = LoopbackNet::<NoMsg>::new(0, 5, seed);
+            (0..32)
+                .map(|_| rec.begin(Confidence::Vacillate, false, &mut net).unwrap())
+                .collect()
+        };
+        assert_eq!(flips(3), flips(3));
+        assert_ne!(flips(3), flips(4));
+    }
+}

@@ -1,0 +1,330 @@
+//! Ben-Or's vacillate-adopt-commit object (paper Algorithm 5).
+//!
+//! ```text
+//! VAC(v, m):
+//!   send ⟨1, v⟩ to all
+//!   wait for n − t ⟨1, ∗⟩ messages
+//!   if received more than n/2 ⟨1, v⟩ messages for some v:
+//!       send ⟨2, v, ratify⟩ to all
+//!   else:
+//!       send ⟨2, ?⟩ to all
+//!   wait for n − t ⟨2, ∗⟩ messages
+//!   if received more than t ⟨2, v, ratify⟩:  return (commit, v)
+//!   else if received a ⟨2, v, ratify⟩:       return (adopt, v)
+//!   else:                                    return (vacillate, v)
+//! ```
+//!
+//! Correctness (paper Lemma 5): two ratify messages can never carry
+//! different values (each needs a `> n/2` majority of reports), which gives
+//! both coherence laws; `t < n/2` gives termination; unanimity gives
+//! convergence.
+
+use crate::msg::BenOrMsg;
+use ooc_core::confidence::VacOutcome;
+use ooc_core::objects::{ObjectNet, VacObject};
+use ooc_simnet::ProcessId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for `n − t` reports.
+    Reports,
+    /// Waiting for `n − t` ratify messages.
+    Ratifies,
+    /// Outcome produced.
+    Done,
+}
+
+/// One round's VAC object for Ben-Or. Construct a fresh instance per round
+/// via [`BenOrVac::new`].
+#[derive(Debug, Clone)]
+pub struct BenOrVac {
+    n: usize,
+    t: usize,
+    input: bool,
+    stage: Stage,
+    /// Report tallies: `[count of false, count of true]`.
+    reports: [usize; 2],
+    reports_seen: usize,
+    /// Ratify tallies: `[count of false, count of true]`, `?` not counted.
+    ratifies: [usize; 2],
+    ratifies_seen: usize,
+    /// Ratify messages that overtook this processor's report quorum.
+    early_ratifies: Vec<Option<bool>>,
+}
+
+impl BenOrVac {
+    /// Creates the object for a network of `n` processors tolerating `t`
+    /// crash faults.
+    ///
+    /// # Panics
+    /// Panics unless `t < n/2` (the protocol's resilience bound: with
+    /// `t ≥ n/2` two disjoint quorums of `n − t` need not intersect in a
+    /// majority and the wait conditions may deadlock or contradict).
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(2 * t < n, "Ben-Or requires t < n/2 (got n={n}, t={t})");
+        BenOrVac {
+            n,
+            t,
+            input: false,
+            stage: Stage::Reports,
+            reports: [0, 0],
+            reports_seen: 0,
+            ratifies: [0, 0],
+            ratifies_seen: 0,
+            early_ratifies: Vec::new(),
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    fn note_ratify(&mut self, value: Option<bool>) -> Option<VacOutcome<bool>> {
+        self.ratifies_seen += 1;
+        if let Some(v) = value {
+            self.ratifies[v as usize] += 1;
+        }
+        if self.ratifies_seen < self.quorum() {
+            return None;
+        }
+        self.stage = Stage::Done;
+        // All real ratifies carry the same value when the protocol's
+        // senders are honest; tally both slots and take the larger so a
+        // malformed execution still yields a deterministic outcome.
+        let (value, count) = if self.ratifies[1] >= self.ratifies[0] {
+            (true, self.ratifies[1])
+        } else {
+            (false, self.ratifies[0])
+        };
+        Some(if count > self.t {
+            VacOutcome::commit(value)
+        } else if count >= 1 {
+            VacOutcome::adopt(value)
+        } else {
+            VacOutcome::vacillate(self.input)
+        })
+    }
+
+    fn finish_reports(&mut self, net: &mut dyn ObjectNet<BenOrMsg>) -> Option<VacOutcome<bool>> {
+        self.stage = Stage::Ratifies;
+        let majority = (0..=1).find(|&b| self.reports[b] * 2 > self.n);
+        let ratify = BenOrMsg::Ratify {
+            value: majority.map(|b| b == 1),
+        };
+        net.broadcast(ratify);
+        // Replay ratify messages that arrived before our report quorum.
+        let early = std::mem::take(&mut self.early_ratifies);
+        for value in early {
+            if self.stage != Stage::Ratifies {
+                break;
+            }
+            if let Some(out) = self.note_ratify(value) {
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+impl VacObject for BenOrVac {
+    type Value = bool;
+    type Msg = BenOrMsg;
+
+    fn begin(
+        &mut self,
+        input: bool,
+        net: &mut dyn ObjectNet<BenOrMsg>,
+    ) -> Option<VacOutcome<bool>> {
+        self.input = input;
+        net.broadcast(BenOrMsg::Report { value: input });
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: BenOrMsg,
+        net: &mut dyn ObjectNet<BenOrMsg>,
+    ) -> Option<VacOutcome<bool>> {
+        match (msg, self.stage) {
+            (BenOrMsg::Report { value }, Stage::Reports) => {
+                self.reports[value as usize] += 1;
+                self.reports_seen += 1;
+                if self.reports_seen == self.quorum() {
+                    return self.finish_reports(net);
+                }
+                None
+            }
+            (BenOrMsg::Ratify { value }, Stage::Reports) => {
+                // A faster processor finished its report quorum already.
+                self.early_ratifies.push(value);
+                None
+            }
+            (BenOrMsg::Ratify { value }, Stage::Ratifies) => self.note_ratify(value),
+            // Late reports after our quorum, or anything after completion,
+            // carry no further obligation.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_core::confidence::Confidence;
+    use ooc_core::testkit::LoopbackNet;
+
+    fn net() -> LoopbackNet<BenOrMsg> {
+        LoopbackNet::new(0, 5, 1)
+    }
+
+    fn feed_reports(vac: &mut BenOrVac, net: &mut LoopbackNet<BenOrMsg>, values: &[bool]) {
+        for (i, &v) in values.iter().enumerate() {
+            let out = vac.on_message(ProcessId(i), BenOrMsg::Report { value: v }, net);
+            assert!(out.is_none(), "reports alone cannot complete the object");
+        }
+    }
+
+    fn feed_ratifies(
+        vac: &mut BenOrVac,
+        net: &mut LoopbackNet<BenOrMsg>,
+        values: &[Option<bool>],
+    ) -> Option<VacOutcome<bool>> {
+        let mut out = None;
+        for (i, &v) in values.iter().enumerate() {
+            out = vac.on_message(ProcessId(i), BenOrMsg::Ratify { value: v }, net);
+        }
+        out
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n/2")]
+    fn resilience_bound_enforced() {
+        let _ = BenOrVac::new(4, 2);
+    }
+
+    #[test]
+    fn begin_broadcasts_report() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        assert!(vac.begin(true, &mut n).is_none());
+        assert_eq!(n.sent.len(), 5);
+        assert!(n
+            .sent
+            .iter()
+            .all(|(_, m)| *m == BenOrMsg::Report { value: true }));
+    }
+
+    #[test]
+    fn majority_reports_trigger_real_ratify() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        n.sent.clear();
+        feed_reports(&mut vac, &mut n, &[true, true, true]); // 3 > 5/2
+        assert_eq!(n.sent.len(), 5);
+        assert!(n
+            .sent
+            .iter()
+            .all(|(_, m)| *m == BenOrMsg::Ratify { value: Some(true) }));
+    }
+
+    #[test]
+    fn split_reports_trigger_question_mark() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        n.sent.clear();
+        feed_reports(&mut vac, &mut n, &[true, false, true]); // 2 ≤ 5/2
+        assert!(n
+            .sent
+            .iter()
+            .all(|(_, m)| *m == BenOrMsg::Ratify { value: None }));
+    }
+
+    #[test]
+    fn more_than_t_ratifies_commit() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, true, true]);
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true), Some(true)]);
+        assert_eq!(out, Some(VacOutcome::commit(true)));
+    }
+
+    #[test]
+    fn some_but_few_ratifies_adopt() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(false, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, false, false]);
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), None, None]);
+        assert_eq!(out, Some(VacOutcome::adopt(true)));
+    }
+
+    #[test]
+    fn no_ratifies_vacillate_with_own_value() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(false, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, false, true]);
+        let out = feed_ratifies(&mut vac, &mut n, &[None, None, None]);
+        assert_eq!(out, Some(VacOutcome::vacillate(false)));
+    }
+
+    #[test]
+    fn early_ratifies_are_replayed() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        // Two ratifies overtake the report quorum.
+        assert!(vac
+            .on_message(ProcessId(3), BenOrMsg::Ratify { value: Some(true) }, &mut n)
+            .is_none());
+        assert!(vac
+            .on_message(ProcessId(4), BenOrMsg::Ratify { value: Some(true) }, &mut n)
+            .is_none());
+        feed_reports(&mut vac, &mut n, &[true, true, true]);
+        // One more ratify completes the quorum of 3: 3 > t = 2 ⇒ commit.
+        let out = vac.on_message(ProcessId(0), BenOrMsg::Ratify { value: Some(true) }, &mut n);
+        assert_eq!(out, Some(VacOutcome::commit(true)));
+    }
+
+    #[test]
+    fn late_reports_are_ignored() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, true, true]);
+        // A 4th report after the quorum must not disturb the ratify stage.
+        assert!(vac
+            .on_message(ProcessId(4), BenOrMsg::Report { value: false }, &mut n)
+            .is_none());
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true), Some(true)]);
+        assert_eq!(out.map(|o| o.confidence), Some(Confidence::Commit));
+    }
+
+    #[test]
+    fn exactly_t_ratifies_only_adopt() {
+        let mut vac = BenOrVac::new(5, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, true, true]);
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true), None]);
+        // 2 ratifies = t ⇒ not enough to commit.
+        assert_eq!(out, Some(VacOutcome::adopt(true)));
+    }
+
+    #[test]
+    fn messages_after_done_are_ignored() {
+        let mut vac = BenOrVac::new(3, 1);
+        let mut n = LoopbackNet::new(0, 3, 1);
+        vac.begin(true, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, true]);
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true)]);
+        assert!(out.unwrap().is_commit());
+        assert!(vac
+            .on_message(ProcessId(2), BenOrMsg::Ratify { value: Some(false) }, &mut n)
+            .is_none());
+    }
+}

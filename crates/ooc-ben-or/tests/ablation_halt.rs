@@ -1,0 +1,108 @@
+//! Ablation for a design choice called out in DESIGN.md: why the
+//! template defaults to `halt_after_decide = false`.
+//!
+//! Algorithm 1 literally says `decide σ` then halt. In a quorum-based
+//! protocol a halted processor is indistinguishable from a crashed one,
+//! so early deciders eat into the crash budget `t`: if deciders + real
+//! crashes exceed `t`, the laggards' `n − t` waits can starve. This test
+//! demonstrates the starvation with the literal rule and shows the
+//! keep-participating default is immune, on identical seeds.
+
+use ooc_ben_or::vac::BenOrVac;
+use ooc_ben_or::CoinFlip;
+use ooc_core::template::{Template, TemplateConfig};
+use ooc_simnet::{
+    FaultPlan, NetworkConfig, RunLimit, Sim, SimTime, StopReason,
+};
+
+fn run_with(halt_after_decide: bool, seed: u64) -> (bool, StopReason) {
+    let n = 5;
+    let t = 2;
+    // Two real crashes use up the whole budget; any early decider who
+    // halts then pushes the live-sender count below n − t = 3.
+    let inputs = [true, false, true, false, true];
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(seed)
+        .faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(35)))
+        .processes(inputs.iter().map(|&v| -> Template<BenOrVac, CoinFlip> {
+            Template::vac(
+                v,
+                move |_m| BenOrVac::new(n, t),
+                |_m| CoinFlip::new(),
+                TemplateConfig {
+                    halt_after_decide,
+                    max_rounds: Some(400),
+                },
+            )
+        }))
+        .build();
+    let limit = RunLimit {
+        max_time: SimTime::from_ticks(300_000),
+        ..RunLimit::default()
+    };
+    let out = sim.run(limit);
+    let live_all_decided = (0..3).all(|i| out.decisions[i].is_some());
+    (live_all_decided, out.reason)
+}
+
+#[test]
+fn literal_halt_rule_can_starve_laggards() {
+    // Find at least one seed where halting early deciders leaves some
+    // live processor waiting forever (run ends by time/quiescence with
+    // undecided live processors), while the keep-participating rule
+    // finishes every live processor on the very same seed.
+    let mut starved = 0;
+    let mut checked = 0;
+    for seed in 0..60 {
+        let (halt_ok, halt_reason) = run_with(true, seed);
+        let (keep_ok, _) = run_with(false, seed);
+        assert!(keep_ok, "seed {seed}: keep-participating must always finish");
+        checked += 1;
+        if !halt_ok {
+            assert_ne!(
+                halt_reason,
+                StopReason::AllDecided,
+                "seed {seed}: inconsistent outcome"
+            );
+            starved += 1;
+        }
+    }
+    assert!(
+        starved > 0,
+        "expected the literal halt rule to starve at least one of {checked} runs"
+    );
+    println!("literal halt rule starved {starved}/{checked} runs; keep-participating: 0");
+}
+
+#[test]
+fn halting_is_safe_when_crashes_stay_under_budget() {
+    // With zero real crashes the decider-as-crash effect stays within
+    // t = 2 only if at most 2 processors halt before the rest finish —
+    // NOT guaranteed in general. But whenever the run does finish, the
+    // decisions must still agree: halting can hurt liveness, never
+    // safety.
+    for seed in 0..40 {
+        let n = 5;
+        let inputs = [true, false, true, false, true];
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| -> Template<BenOrVac, CoinFlip> {
+                Template::vac(
+                    v,
+                    move |_m| BenOrVac::new(n, 2),
+                    |_m| CoinFlip::new(),
+                    TemplateConfig {
+                        halt_after_decide: true,
+                        max_rounds: Some(400),
+                    },
+                )
+            }))
+            .build();
+        let limit = RunLimit {
+            max_time: SimTime::from_ticks(300_000),
+            ..RunLimit::default()
+        };
+        let out = sim.run(limit);
+        assert!(out.agreement(), "seed {seed}: halting must never break safety");
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment T3: Ben-Or consensus time vs `n`,
+//! random scheduler vs split-vote adversary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_ben_or::harness::{
+    balanced_inputs, run_decomposed, run_decomposed_with, split_adversary, BenOrConfig,
+};
+use std::hint::black_box;
+
+fn bench_ben_or(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ben_or_rounds");
+    group.sample_size(10);
+    for n in [5usize, 9, 15] {
+        let t = (n - 1) / 2;
+        let cfg = BenOrConfig::new(n, t);
+        let inputs = balanced_inputs(n);
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_decomposed(&cfg, &inputs, seed))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("split_vote", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_decomposed_with(
+                    &cfg,
+                    &inputs,
+                    seed,
+                    Some(split_adversary(n, (1, 4), (25, 50))),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ben_or);
+criterion_main!(benches);

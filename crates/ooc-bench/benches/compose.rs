@@ -1,0 +1,41 @@
+//! Criterion benchmark for experiment T7: the price of building the VAC
+//! from two ACs (§5) vs the native VAC vs the monolithic baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_ben_or::harness::{
+    balanced_inputs, run_composed, run_decomposed, run_monolithic, BenOrConfig,
+};
+use std::hint::black_box;
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition_overhead");
+    group.sample_size(10);
+    let n = 7;
+    let cfg = BenOrConfig::new(n, 3);
+    let inputs = balanced_inputs(n);
+    group.bench_function("monolithic", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_monolithic(&cfg, &inputs, seed))
+        })
+    });
+    group.bench_function("native_vac", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_decomposed(&cfg, &inputs, seed))
+        })
+    });
+    group.bench_function("two_ac_vac", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_composed(&cfg, &inputs, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark for experiment T2: Phase-King cost vs (n, t) and
+//! attack, plus the classical monolithic baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_phase_king::{run_phase_king, run_phase_queen, Attack, MonolithicPhaseKing, PhaseKingConfig};
+use ooc_simnet::{ProcessId, SyncSim};
+use std::hint::black_box;
+
+fn bench_decomposed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_king");
+    group.sample_size(10);
+    for (n, t) in [(4usize, 1usize), (7, 2), (13, 4)] {
+        let inputs: Vec<u64> = (0..n - t).map(|i| (i % 2) as u64).collect();
+        for attack in [Attack::Equivocate, Attack::Random] {
+            let cfg = PhaseKingConfig::new(n, t).with_attack(attack);
+            group.bench_with_input(
+                BenchmarkId::new(format!("decomposed_{attack:?}"), n),
+                &n,
+                |b, _| {
+                    let mut seed = 0;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run_phase_king(&cfg, &inputs, seed))
+                    })
+                },
+            );
+        }
+        if 4 * t < n {
+            group.bench_with_input(BenchmarkId::new("queen_Equivocate", n), &n, |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_phase_queen(n, t, Attack::Equivocate, &inputs, seed))
+                })
+            });
+        }
+        // The classical fixed-(t+1)-phase baseline, no Byzantine traffic.
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = SyncSim::new(
+                    (0..n).map(|i| MonolithicPhaseKing::new((i % 2) as u64, n, t)),
+                    seed,
+                );
+                sim.track_only((0..n).map(ProcessId));
+                black_box(sim.run(3 * (t as u64 + 2) + 3))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposed);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark for experiment T6: Raft consensus latency vs the
+//! election-timeout / broadcast-delay ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_raft::harness::{run_raft, RaftClusterConfig};
+use ooc_raft::RaftConfig;
+use ooc_simnet::NetworkConfig;
+use std::hint::black_box;
+
+fn bench_raft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft_consensus");
+    group.sample_size(10);
+    let delay = 25u64;
+    for (lo, hi) in [(75u64, 150u64), (150, 300), (600, 1200)] {
+        let cfg = RaftClusterConfig::new(5)
+            .with_network(NetworkConfig::reliable(delay))
+            .with_raft(RaftConfig {
+                election_timeout: (lo, hi),
+                heartbeat_interval: (lo / 3).max(1),
+                max_batch: 16,
+            });
+        group.bench_with_input(
+            BenchmarkId::new("timeout", format!("{lo}-{hi}")),
+            &lo,
+            |b, _| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_raft(&cfg, &[1, 2, 3, 4, 5], seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raft);
+criterion_main!(benches);

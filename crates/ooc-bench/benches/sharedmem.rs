@@ -1,0 +1,43 @@
+//! Criterion benchmark for experiment T8: shared-memory adopt-commit and
+//! consensus throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_sharedmem::{RegisterAc, SharedConsensus};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sharedmem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharedmem");
+    group.sample_size(10);
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("register_ac", threads), &threads, |b, &th| {
+            b.iter(|| {
+                let ac = Arc::new(RegisterAc::new(th));
+                std::thread::scope(|s| {
+                    for i in 0..th {
+                        let ac = Arc::clone(&ac);
+                        s.spawn(move || black_box(ac.propose(i, (i % 2) as u64)));
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("consensus", threads), &threads, |b, &th| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let c = Arc::new(SharedConsensus::new(th));
+                std::thread::scope(|s| {
+                    for i in 0..th {
+                        let c = Arc::clone(&c);
+                        let seed = seed;
+                        s.spawn(move || black_box(c.propose(i, (i % 2) as u64, seed + i as u64)));
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharedmem);
+criterion_main!(benches);

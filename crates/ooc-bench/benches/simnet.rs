@@ -1,0 +1,66 @@
+//! Microbenchmarks of the simulator substrate itself: event throughput of
+//! the async engine and round throughput of the sync engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_simnet::{
+    Context, NetworkConfig, Process, ProcessId, RunLimit, Sim, SimTime, SyncContext, SyncProcess,
+    SyncSim, TimerId,
+};
+use std::hint::black_box;
+
+/// Gossip forever: every delivery triggers one send to a random peer.
+#[derive(Debug)]
+struct Gossip;
+impl Process for Gossip {
+    type Msg = u64;
+    type Output = ();
+    fn on_start(&mut self, ctx: &mut Context<'_, u64, ()>) {
+        ctx.broadcast(0);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, u64, ()>, _f: ProcessId, v: u64) {
+        let n = ctx.n() as u64;
+        let to = ProcessId((ctx.rng().below(n)) as usize);
+        ctx.send(to, v + 1);
+    }
+    fn on_timer(&mut self, _c: &mut Context<'_, u64, ()>, _t: TimerId) {}
+}
+
+#[derive(Debug)]
+struct SyncChatter;
+impl SyncProcess for SyncChatter {
+    type Msg = u64;
+    type Output = ();
+    fn on_round(&mut self, r: u64, _i: &[(ProcessId, u64)], ctx: &mut SyncContext<'_, u64, ()>) {
+        ctx.broadcast(r);
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("async_events", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Sim::builder(NetworkConfig::default())
+                    .seed(seed)
+                    .processes((0..n).map(|_| Gossip))
+                    .build();
+                black_box(sim.run(RunLimit::until_time(SimTime::from_ticks(2_000))))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sync_rounds", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = SyncSim::new((0..n).map(|_| SyncChatter), seed);
+                black_box(sim.run(100))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

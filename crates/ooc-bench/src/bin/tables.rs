@@ -1,0 +1,55 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run -p ooc-bench --bin tables --release -- all
+//! cargo run -p ooc-bench --bin tables --release -- t3 t5
+//! ```
+
+use ooc_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for w in wanted {
+        match w {
+            "t1" => {
+                tables::t1();
+            }
+            "t2" => {
+                tables::t2();
+            }
+            "t3" => {
+                tables::t3();
+            }
+            "t4" => {
+                tables::t4();
+            }
+            "t5" => {
+                tables::t5();
+            }
+            "t6" => {
+                tables::t6();
+            }
+            "t7" => {
+                tables::t7();
+            }
+            "t8" => {
+                tables::t8();
+            }
+            "t9" => {
+                tables::t9();
+            }
+            "t10" => {
+                tables::t10();
+            }
+            other => {
+                eprintln!("unknown table {other:?}; expected t1..t10 or all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

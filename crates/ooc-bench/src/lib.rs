@@ -1,0 +1,19 @@
+//! # ooc-bench
+//!
+//! The experiment harness behind `EXPERIMENTS.md`: workload generators,
+//! parameter sweeps and the code that regenerates every table (T1–T8).
+//! The `tables` binary prints them:
+//!
+//! ```sh
+//! cargo run -p ooc-bench --bin tables --release -- all   # or t1..t8
+//! ```
+//!
+//! Criterion benchmarks for the same experiments live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod tables;
+
+pub use stats::Summary;

@@ -1,0 +1,95 @@
+//! Tiny descriptive-statistics helpers for the experiment tables.
+
+/// Summary statistics over a sample of `u64` measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median (lower of the two middles for even sizes).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns a zeroed summary for empty input.
+    pub fn of(values: &[u64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0,
+                p50: 0,
+                p95: 0,
+                max: 0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            min: sorted[0],
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:>8.1}  p50 {:>6}  p95 {:>6}  max {:>6}",
+            self.mean, self.p50, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7]);
+        assert_eq!((s.min, s.p50, s.p95, s.max), (7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_sample() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[9, 1, 5]);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.max, 9);
+    }
+}

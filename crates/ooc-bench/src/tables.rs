@@ -1,0 +1,560 @@
+//! The T1–T8 experiment implementations.
+//!
+//! Each function runs one experiment sweep, prints the table, and returns
+//! the raw rows so tests can assert on the *shape* of the results (who
+//! wins, where crossovers fall) without parsing stdout.
+
+use crate::stats::Summary;
+use ooc_ben_or::harness::{
+    balanced_inputs, run_composed, run_decomposed, run_decomposed_with, run_monolithic,
+    split_adversary, BenOrConfig,
+};
+use ooc_core::Confidence;
+use ooc_phase_king::{run_phase_king, run_phase_queen, Attack, PhaseKingConfig};
+use ooc_raft::decentralized::{coin_flip_twin, decentralized_raft};
+use ooc_raft::harness::{run_raft, RaftClusterConfig};
+use ooc_raft::RaftConfig;
+use ooc_sharedmem::{RegisterAc, SharedConsensus};
+use ooc_simnet::{FaultPlan, NetworkConfig, RunLimit, Sim, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of seeds per configuration (kept moderate so `tables all`
+/// finishes in minutes even in debug builds).
+pub const SEEDS: u64 = 40;
+
+fn hr(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// T1 — template correctness matrix (Lemma 1): safety-violation counts
+/// across all algorithms × fault settings × seeds. Must be all zeros.
+///
+/// Returns `(label, runs, violations)` rows.
+pub fn t1() -> Vec<(String, u64, u64)> {
+    hr("T1  template correctness matrix (violations must be 0)");
+    let mut rows: Vec<(String, u64, u64)> = Vec::new();
+
+    for (n, t) in [(5usize, 2usize), (7, 3)] {
+        let mut v = 0u64;
+        let cfg = BenOrConfig::new(n, t);
+        for seed in 0..SEEDS {
+            v += run_decomposed(&cfg, &balanced_inputs(n), seed).violations.len() as u64;
+        }
+        rows.push((format!("ben-or n={n} t={t} fault-free"), SEEDS, v));
+
+        let mut v = 0u64;
+        let cfg = BenOrConfig::new(n, t)
+            .with_faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(25)));
+        for seed in 0..SEEDS {
+            v += run_decomposed(&cfg, &balanced_inputs(n), seed).violations.len() as u64;
+        }
+        rows.push((format!("ben-or n={n} t={t} +{t} crashes"), SEEDS, v));
+    }
+
+    for attack in [Attack::Equivocate, Attack::Random] {
+        let mut v = 0u64;
+        let cfg = PhaseKingConfig::new(7, 2).with_attack(attack);
+        for seed in 0..SEEDS {
+            v += run_phase_king(&cfg, &[0, 1, 0, 1, 0], seed).violations.len() as u64;
+        }
+        rows.push((format!("phase-king n=7 t=2 {attack:?}"), SEEDS, v));
+
+        let mut v = 0u64;
+        for seed in 0..SEEDS {
+            v += run_phase_queen(9, 2, attack, &[0, 1, 0, 1, 0, 1, 0], seed)
+                .violations
+                .len() as u64;
+        }
+        rows.push((format!("phase-queen n=9 t=2 {attack:?}"), SEEDS, v));
+    }
+
+    {
+        let mut v = 0u64;
+        let cfg = RaftClusterConfig::new(5);
+        for seed in 0..SEEDS {
+            v += run_raft(&cfg, &[1, 2, 3, 4, 5], seed).violations.len() as u64;
+        }
+        rows.push(("raft n=5 fault-free".into(), SEEDS, v));
+
+        let mut v = 0u64;
+        let cfg = RaftClusterConfig::new(5)
+            .with_faults(FaultPlan::new().crash_tail(5, 2, SimTime::from_ticks(300)));
+        for seed in 0..SEEDS {
+            v += run_raft(&cfg, &[1, 2, 3, 4, 5], seed).violations.len() as u64;
+        }
+        rows.push(("raft n=5 +2 crashes".into(), SEEDS, v));
+    }
+
+    println!("{:<34} {:>6} {:>12}", "configuration", "runs", "violations");
+    for (label, runs, v) in &rows {
+        println!("{label:<34} {runs:>6} {v:>12}");
+    }
+    rows
+}
+
+/// T2 — Phase-King sweep (Lemmas 2–3): phases/rounds/messages to decide
+/// vs `(n, t)` and attack; plus the classical baseline's fixed cost.
+///
+/// Returns `(n, t, attack, worst_phases, mean_messages)` rows.
+pub fn t2() -> Vec<(usize, usize, String, u64, u64)> {
+    hr("T2  Phase-King: cost vs (n, t) and attack");
+    let mut rows = Vec::new();
+    println!(
+        "{:>4} {:>3} {:<14} {:>12} {:>14} {:>12} {:>14}",
+        "n", "t", "attack", "decide phase", "1st commit ≤", "bound t+2", "mean messages"
+    );
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
+        for attack in [Attack::Silent, Attack::Equivocate, Attack::Random] {
+            let cfg = PhaseKingConfig::new(n, t).with_attack(attack);
+            let inputs: Vec<u64> = (0..n - t).map(|i| (i % 2) as u64).collect();
+            let mut worst = 0u64;
+            let mut worst_commit = 0u64;
+            let mut msgs = Vec::new();
+            for seed in 0..SEEDS {
+                let run = run_phase_king(&cfg, &inputs, seed);
+                assert!(run.violations.is_empty(), "t2 violation: {:?}", run.violations);
+                worst = worst.max(run.phases_to_decide().unwrap_or(0));
+                worst_commit = worst_commit.max(run.first_commit_phase().unwrap_or(0));
+                msgs.push(run.messages);
+            }
+            let mean_msgs = Summary::of(&msgs).mean as u64;
+            println!(
+                "{:>4} {:>3} {:<14} {:>12} {:>14} {:>12} {:>14}",
+                n,
+                t,
+                format!("{attack:?}"),
+                worst,
+                worst_commit,
+                t + 2,
+                mean_msgs
+            );
+            rows.push((n, t, format!("{attack:?}"), worst, mean_msgs));
+        }
+    }
+    rows
+}
+
+/// T3 — Ben-Or (Lemmas 4–5): empirical rounds to decide vs `n` under the
+/// random scheduler and the split-vote adversary.
+///
+/// Returns `(n, scheduler, Summary-of-rounds)` rows.
+pub fn t3() -> Vec<(usize, &'static str, Summary)> {
+    hr("T3  Ben-Or: rounds to decide vs n and scheduler");
+    let mut rows = Vec::new();
+    println!("{:>4} {:<12} rounds to decide", "n", "scheduler");
+    for n in [3usize, 5, 9, 15, 21] {
+        let t = (n - 1) / 2;
+        let cfg = BenOrConfig::new(n, t);
+        for sched in ["random", "split-vote"] {
+            let mut rounds = Vec::new();
+            for seed in 0..SEEDS {
+                let run = if sched == "random" {
+                    run_decomposed(&cfg, &balanced_inputs(n), seed)
+                } else {
+                    run_decomposed_with(
+                        &cfg,
+                        &balanced_inputs(n),
+                        seed,
+                        Some(split_adversary(n, (1, 4), (25, 50))),
+                    )
+                };
+                assert!(run.violations.is_empty(), "t3 violation: {:?}", run.violations);
+                rounds.push(run.rounds_to_decide().unwrap_or(0));
+            }
+            let s = Summary::of(&rounds);
+            println!("{n:>4} {sched:<12} {s}");
+            rows.push((n, sched, s));
+        }
+    }
+    rows
+}
+
+/// T4 — the three processor types (§5): per-round VAC outcome
+/// distribution in Ben-Or.
+///
+/// Returns `(n, vacillate, adopt, commit)` rows (counts over all
+/// processor-rounds).
+pub fn t4() -> Vec<(usize, u64, u64, u64)> {
+    hr("T4  Ben-Or: VAC outcome distribution (the paper's 3 processor types)");
+    let mut rows = Vec::new();
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>22}",
+        "n", "vacillate", "adopt", "commit", "adopt share of non-C"
+    );
+    for n in [5usize, 9, 15] {
+        let t = (n - 1) / 2;
+        let cfg = BenOrConfig::new(n, t);
+        let mut counts = [0u64; 3];
+        for seed in 0..SEEDS * 2 {
+            let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+            for (i, c) in run.confidence_counts.iter().enumerate() {
+                counts[i] += c;
+            }
+        }
+        let nc = counts[Confidence::Vacillate as usize] + counts[Confidence::Adopt as usize];
+        let share = if nc == 0 {
+            0.0
+        } else {
+            counts[Confidence::Adopt as usize] as f64 / nc as f64
+        };
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>21.1}%",
+            n,
+            counts[0],
+            counts[1],
+            counts[2],
+            share * 100.0
+        );
+        rows.push((n, counts[0], counts[1], counts[2]));
+    }
+    rows
+}
+
+/// T5 — AC-insufficiency (§5): frequency of adopt-states whose value
+/// differs from the final decision (the states an AC-framework commit
+/// would get wrong), vs commit-states (which must never diverge).
+///
+/// Returns `(n, runs, runs_with_divergence, total_divergences)`.
+pub fn t5() -> Vec<(usize, u64, u64, u64)> {
+    hr("T5  §5 AC-insufficiency: adopt-value vs final decision");
+    let mut rows = Vec::new();
+    println!(
+        "{:>4} {:>6} {:>22} {:>18}",
+        "n", "runs", "runs w/ divergence", "total divergences"
+    );
+    for n in [5usize, 9, 15] {
+        let t = (n - 1) / 2;
+        let cfg = BenOrConfig::new(n, t);
+        let mut with = 0u64;
+        let mut total = 0u64;
+        let runs = SEEDS * 4;
+        for seed in 0..runs {
+            let run = run_decomposed_with(
+                &cfg,
+                &balanced_inputs(n),
+                seed,
+                Some(split_adversary(n, (1, 4), (20, 40))),
+            );
+            total += run.adopt_divergences;
+            if run.adopt_divergences > 0 {
+                with += 1;
+            }
+            // Commit divergence would be a soundness bug: checked by the
+            // violations list being empty.
+            assert!(run.violations.is_empty(), "t5 violation: {:?}", run.violations);
+        }
+        println!("{n:>4} {runs:>6} {with:>22} {total:>18}");
+        rows.push((n, runs, with, total));
+    }
+    rows
+}
+
+/// T6 — Raft timing property (Lemmas 6–7): election latency and election
+/// counts vs the election-timeout / broadcast-delay ratio.
+///
+/// Returns `(timeout_lo, timeout_hi, delay, mean_elections,
+/// consensus_latency_summary)` rows.
+pub fn t6() -> Vec<(u64, u64, u64, f64, Summary)> {
+    hr("T6  Raft: the timing property (timeout vs broadcast delay)");
+    let mut rows = Vec::new();
+    println!(
+        "{:>14} {:>7} {:>10} {:>16} {:>9} consensus latency (ticks)",
+        "timeout", "delay", "ratio", "mean elections", "decided"
+    );
+    let delay = 25u64;
+    for (lo, hi) in [(30u64, 60u64), (75, 150), (150, 300), (300, 600), (900, 1800)] {
+        let cfg = RaftClusterConfig::new(5)
+            .with_network(NetworkConfig::reliable(delay))
+            .with_raft(RaftConfig {
+                election_timeout: (lo, hi),
+                heartbeat_interval: (lo / 3).max(1),
+                max_batch: 16,
+            });
+        let mut elections = 0usize;
+        let mut latency = Vec::new();
+        let mut elect_latency = Vec::new();
+        let mut decided = 0u64;
+        for seed in 0..SEEDS {
+            let run = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+            assert!(run.violations.is_empty(), "t6 violation: {:?}", run.violations);
+            elections += run.elections;
+            if let Some(t) = run.first_leader_at {
+                elect_latency.push(t.ticks());
+            }
+            if run.outcome.all_decided() {
+                decided += 1;
+                latency.push(run.consensus_latency().map(|t| t.ticks()).unwrap_or(0));
+            }
+        }
+        let mean_elections = elections as f64 / SEEDS as f64;
+        let s = Summary::of(&latency);
+        let es = Summary::of(&elect_latency);
+        println!(
+            "{:>14} {:>7} {:>10.1} {:>16.1} {:>9} {:>14.0} {}",
+            format!("{lo}-{hi}"),
+            delay,
+            (lo + hi) as f64 / 2.0 / delay as f64,
+            mean_elections,
+            format!("{decided}/{SEEDS}"),
+            es.mean,
+            s
+        );
+        rows.push((lo, hi, delay, mean_elections, s));
+    }
+    rows
+}
+
+/// T7 — the price of composition: native Ben-Or VAC vs the §5 two-AC
+/// composition vs the monolithic baseline, and the two reconciliators
+/// (coin vs timer-nudge).
+///
+/// Returns `(variant, Summary-of-messages, Summary-of-ticks)` rows.
+pub fn t7() -> Vec<(&'static str, Summary, Summary)> {
+    hr("T7  composition & decomposition overhead (n=7, t=3, balanced inputs)");
+    let n = 7usize;
+    let t = 3usize;
+    let cfg = BenOrConfig::new(n, t);
+    let inputs = balanced_inputs(n);
+    let mut rows = Vec::new();
+
+    let mut collect = |label: &'static str, f: &mut dyn FnMut(u64) -> (u64, u64)| {
+        let mut msgs = Vec::new();
+        let mut ticks = Vec::new();
+        for seed in 0..SEEDS {
+            let (m, d) = f(seed);
+            msgs.push(m);
+            ticks.push(d);
+        }
+        rows.push((label, Summary::of(&msgs), Summary::of(&ticks)));
+    };
+
+    collect("monolithic ben-or", &mut |seed| {
+        let (out, _) = run_monolithic(&cfg, &inputs, seed);
+        (
+            out.stats.messages_sent,
+            out.last_decision_time().map(|t| t.ticks()).unwrap_or(0),
+        )
+    });
+    collect("template + native VAC", &mut |seed| {
+        let run = run_decomposed(&cfg, &inputs, seed);
+        (
+            run.outcome.stats.messages_sent,
+            run.outcome.last_decision_time().map(|t| t.ticks()).unwrap_or(0),
+        )
+    });
+    collect("template + 2×AC VAC (§5)", &mut |seed| {
+        let run = run_composed(&cfg, &inputs, seed);
+        (
+            run.outcome.stats.messages_sent,
+            run.outcome.last_decision_time().map(|t| t.ticks()).unwrap_or(0),
+        )
+    });
+    collect("coin-flip reconciliator", &mut |seed| {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| coin_flip_twin(v, n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        (
+            out.stats.messages_sent,
+            out.last_decision_time().map(|t| t.ticks()).unwrap_or(0),
+        )
+    });
+    collect("timer-nudge reconciliator", &mut |seed| {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| decentralized_raft(v, n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        (
+            out.stats.messages_sent,
+            out.last_decision_time().map(|t| t.ticks()).unwrap_or(0),
+        )
+    });
+
+    println!("{:<26} {:>14} {:>16}", "variant", "mean messages", "mean ticks");
+    for (label, msgs, ticks) in &rows {
+        println!("{:<26} {:>14.0} {:>16.0}", label, msgs.mean, ticks.mean);
+    }
+    rows
+}
+
+/// T8 — shared-memory substrate: register-AC operation cost and rounds
+/// to consensus vs thread count.
+///
+/// Returns `(threads, ac_ops_per_sec, consensus_per_sec)` rows.
+pub fn t8() -> Vec<(usize, f64, f64)> {
+    hr("T8  shared memory: throughput vs threads");
+    let mut rows = Vec::new();
+    println!(
+        "{:>8} {:>16} {:>20}",
+        "threads", "AC invocations/s", "consensus runs/s"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        // Adopt-commit throughput: each iteration is a fresh object, all
+        // threads propose once.
+        let iters = 400u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let ac = Arc::new(RegisterAc::new(threads));
+            std::thread::scope(|s| {
+                for th in 0..threads {
+                    let ac = Arc::clone(&ac);
+                    s.spawn(move || ac.propose(th, (i + th as u64) % 2));
+                }
+            });
+        }
+        let ac_rate = (iters * threads as u64) as f64 / start.elapsed().as_secs_f64();
+
+        let runs = 150u64;
+        let start = Instant::now();
+        for seed in 0..runs {
+            let c = Arc::new(SharedConsensus::new(threads));
+            std::thread::scope(|s| {
+                for th in 0..threads {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || c.propose(th, th as u64 % 2, seed * 31 + th as u64));
+                }
+            });
+        }
+        let cons_rate = runs as f64 / start.elapsed().as_secs_f64();
+        println!("{threads:>8} {ac_rate:>16.0} {cons_rate:>20.0}");
+        rows.push((threads, ac_rate, cons_rate));
+    }
+    rows
+}
+
+
+/// T9 — Phase-King vs Phase-Queen (same Berman-Garay-Perry paper): the
+/// rounds-vs-resilience trade the framework expresses as "swap the AC".
+///
+/// Returns `(n, t, algorithm, mean_rounds, mean_messages)` rows.
+pub fn t9() -> Vec<(usize, usize, &'static str, f64, u64)> {
+    hr("T9  Phase-King vs Phase-Queen (Equivocate attack)");
+    let mut rows = Vec::new();
+    println!(
+        "{:>4} {:>3} {:<12} {:>12} {:>14} {:>12}",
+        "n", "t", "algorithm", "mean rounds", "mean messages", "violations"
+    );
+    for (n, t) in [(9usize, 2usize), (13, 3), (17, 4)] {
+        let inputs: Vec<u64> = (0..n - t).map(|i| (i % 2) as u64).collect();
+        // King (3t < n always holds here).
+        let kcfg = PhaseKingConfig::new(n, t).with_attack(Attack::Equivocate);
+        let mut k_rounds = Vec::new();
+        let mut k_msgs = Vec::new();
+        let mut k_viol = 0usize;
+        for seed in 0..SEEDS {
+            let run = run_phase_king(&kcfg, &inputs, seed);
+            k_viol += run.violations.len();
+            k_rounds.push(run.rounds);
+            k_msgs.push(run.messages);
+        }
+        println!(
+            "{:>4} {:>3} {:<12} {:>12.1} {:>14} {:>12}",
+            n,
+            t,
+            "king",
+            Summary::of(&k_rounds).mean,
+            Summary::of(&k_msgs).mean as u64,
+            k_viol
+        );
+        rows.push((n, t, "king", Summary::of(&k_rounds).mean, Summary::of(&k_msgs).mean as u64));
+        // Queen needs 4t < n.
+        if 4 * t < n {
+            let mut q_rounds = Vec::new();
+            let mut q_msgs = Vec::new();
+            let mut q_viol = 0usize;
+            for seed in 0..SEEDS {
+                let run = run_phase_queen(n, t, Attack::Equivocate, &inputs, seed);
+                q_viol += run.violations.len();
+                q_rounds.push(run.rounds);
+                q_msgs.push(run.messages);
+            }
+            println!(
+                "{:>4} {:>3} {:<12} {:>12.1} {:>14} {:>12}",
+                n,
+                t,
+                "queen",
+                Summary::of(&q_rounds).mean,
+                Summary::of(&q_msgs).mean as u64,
+                q_viol
+            );
+            rows.push((n, t, "queen", Summary::of(&q_rounds).mean, Summary::of(&q_msgs).mean as u64));
+        } else {
+            println!("{:>4} {:>3} {:<12} {:>12}", n, t, "queen", "n/a (4t ≥ n)");
+        }
+    }
+    rows
+}
+
+/// T10 — the multi-shot sequence composition: cost per decided slot as
+/// the log grows (Ben-Or slots, n = 5, t = 2).
+///
+/// Returns `(slots, mean_messages_per_slot, mean_ticks_per_slot)` rows.
+pub fn t10() -> Vec<(usize, f64, f64)> {
+    use ooc_ben_or::{BenOrVac, CoinFlip};
+    use ooc_core::sequence::SequenceConsensus;
+    use ooc_core::template::TemplateConfig;
+    hr("T10  sequence consensus: cost per slot as the log grows");
+    let n = 5usize;
+    let t = 2usize;
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>18} {:>16}",
+        "slots", "messages / slot", "ticks / slot"
+    );
+    for slots in [1usize, 2, 4, 8] {
+        let mut msgs = Vec::new();
+        let mut ticks = Vec::new();
+        for seed in 0..SEEDS / 2 {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(seed)
+                .processes((0..n).map(|i| {
+                    SequenceConsensus::new(
+                        (0..slots).map(|k| (i + k) % 2 == 0).collect(),
+                        move |_slot, _round| BenOrVac::new(n, t),
+                        |_slot, _round| CoinFlip::new(),
+                        TemplateConfig::default(),
+                    )
+                }))
+                .build();
+            let out = sim.run(RunLimit::default());
+            assert!(out.all_decided(), "t10: sequence must complete");
+            assert!(out.agreement(), "t10: sequences must agree");
+            msgs.push(out.stats.messages_sent / slots as u64);
+            ticks.push(out.last_decision_time().map(|t| t.ticks()).unwrap_or(0) / slots as u64);
+        }
+        let (m, k) = (Summary::of(&msgs).mean, Summary::of(&ticks).mean);
+        println!("{slots:>6} {m:>18.0} {k:>16.0}");
+        rows.push((slots, m, k));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke-level shape assertions; the full sweeps run via the binary.
+
+    #[test]
+    fn t1_matrix_is_all_zeros() {
+        for (label, _, v) in t1() {
+            assert_eq!(v, 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn t7_orders_variants_sensibly() {
+        let rows = t7();
+        let get = |label: &str| {
+            rows.iter()
+                .find(|(l, _, _)| *l == label)
+                .map(|(_, m, _)| m.mean)
+                .unwrap()
+        };
+        // The §5 composition must cost more messages than the native VAC.
+        assert!(get("template + 2×AC VAC (§5)") > get("template + native VAC"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Object compositions from paper §5.
+//!
+//! §5 relates the two agreement detectors:
+//!
+//! * **VAC from two ACs** ([`TwoAcVac`]) — the paper remarks that "VAC may
+//!   be implemented using two AC objects". The construction: run
+//!   `(a, u) ← AC₁(v)`, then `(b, w) ← AC₂(u)`, and return
+//!
+//!   | condition                  | outcome          |
+//!   |----------------------------|------------------|
+//!   | `a = commit ∧ b = commit`  | `(commit, w)`    |
+//!   | `b = commit`               | `(adopt, w)`     |
+//!   | otherwise                  | `(vacillate, w)` |
+//!
+//!   *Why this satisfies the VAC spec:* if any processor commits, it had
+//!   `a = commit`, so by AC₁ coherence every processor's AC₁ value is `u`;
+//!   all AC₂ inputs are then `u`, so by AC₂ convergence everyone gets
+//!   `b = commit` with `w = u` — i.e. everyone returns `(commit, u)` or
+//!   `(adopt, u)` (coherence over adopt & commit). If nobody commits and
+//!   someone adopts, it had `b = commit`, so by AC₂ coherence every
+//!   processor's `w` agrees (coherence over vacillate & adopt). Convergence
+//!   and validity are inherited directly.
+//!
+//! * **AC from a VAC** ([`VacAsAc`]) — the weakening direction: relabel
+//!   `vacillate ↦ adopt`. This is sound because VAC coherence over
+//!   adopt & commit guarantees that when anyone commits *no* processor
+//!   vacillates and all values agree, which is exactly AC coherence.
+//!
+//! The asymmetry (two objects one way, a relabeling the other) is the
+//! paper's evidence that adopt-commit is the strictly weaker detector.
+
+use crate::confidence::{AcConfidence, AcOutcome, Confidence, VacOutcome};
+use crate::objects::{AcObject, ObjectNet, VacObject};
+use ooc_simnet::{ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
+use std::fmt::Debug;
+
+/// Wire format of [`TwoAcVac`]: inner AC messages tagged by stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TwoAcMsg<M> {
+    /// A message of the first adopt-commit object.
+    First(M),
+    /// A message of the second adopt-commit object.
+    Second(M),
+}
+
+enum TwoAcStage<A> {
+    First(A),
+    Second {
+        ac: A,
+        first_confidence: AcConfidence,
+    },
+    Done,
+}
+
+/// A vacillate-adopt-commit object built from two adopt-commit objects
+/// (paper §5). See the [module docs](self) for the construction and its
+/// correctness argument.
+///
+/// The two inner objects must be *independent instances* of the same AC
+/// protocol; the composition keeps their message streams disjoint with
+/// [`TwoAcMsg`] tags.
+pub struct TwoAcVac<A: AcObject> {
+    stage: TwoAcStage<A>,
+    /// The second AC, parked until the first completes.
+    parked_second: Option<A>,
+    /// Second-stage messages from faster processors, held until this
+    /// processor reaches its own second stage.
+    buffered_second: Vec<(ProcessId, A::Msg)>,
+}
+
+impl<A: AcObject> TwoAcVac<A> {
+    /// Composes two fresh AC instances into a VAC.
+    pub fn new(first: A, second: A) -> Self {
+        TwoAcVac {
+            stage: TwoAcStage::First(first),
+            parked_second: Some(second),
+            buffered_second: Vec::new(),
+        }
+    }
+
+    fn finish_first(
+        &mut self,
+        outcome: AcOutcome<A::Value>,
+        net: &mut dyn ObjectNet<TwoAcMsg<A::Msg>>,
+    ) -> Option<VacOutcome<A::Value>> {
+        let mut second = self.parked_second.take().expect("second AC consumed twice");
+        let first_confidence = outcome.confidence;
+        let begin_result = {
+            let mut snet = StageNet {
+                net,
+                wrap: TwoAcMsg::Second,
+            };
+            second.begin(outcome.value, &mut snet)
+        };
+        self.stage = TwoAcStage::Second {
+            ac: second,
+            first_confidence,
+        };
+        if let Some(out) = begin_result {
+            return Some(self.finish_second(out));
+        }
+        // Replay second-stage messages that arrived early.
+        let buffered = std::mem::take(&mut self.buffered_second);
+        for (from, msg) in buffered {
+            let res = {
+                let TwoAcStage::Second { ac, .. } = &mut self.stage else {
+                    break;
+                };
+                let mut snet = StageNet {
+                    net,
+                    wrap: TwoAcMsg::Second,
+                };
+                ac.on_message(from, msg, &mut snet)
+            };
+            if let Some(out) = res {
+                return Some(self.finish_second(out));
+            }
+        }
+        None
+    }
+
+    fn finish_second(&mut self, second: AcOutcome<A::Value>) -> VacOutcome<A::Value> {
+        let TwoAcStage::Second {
+            first_confidence, ..
+        } = std::mem::replace(&mut self.stage, TwoAcStage::Done)
+        else {
+            unreachable!("finish_second outside second stage");
+        };
+        let confidence = match (first_confidence, second.confidence) {
+            (AcConfidence::Commit, AcConfidence::Commit) => Confidence::Commit,
+            (_, AcConfidence::Commit) => Confidence::Adopt,
+            _ => Confidence::Vacillate,
+        };
+        VacOutcome {
+            confidence,
+            value: second.value,
+        }
+    }
+}
+
+impl<A: AcObject + Debug> Debug for TwoAcVac<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match &self.stage {
+            TwoAcStage::First(_) => "first",
+            TwoAcStage::Second { .. } => "second",
+            TwoAcStage::Done => "done",
+        };
+        f.debug_struct("TwoAcVac")
+            .field("stage", &stage)
+            .field("buffered_second", &self.buffered_second.len())
+            .finish()
+    }
+}
+
+impl<A: AcObject> VacObject for TwoAcVac<A> {
+    type Value = A::Value;
+    type Msg = TwoAcMsg<A::Msg>;
+
+    fn begin(
+        &mut self,
+        input: A::Value,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<A::Value>> {
+        let out = {
+            let TwoAcStage::First(first) = &mut self.stage else {
+                return None;
+            };
+            let mut snet = StageNet {
+                net,
+                wrap: TwoAcMsg::First,
+            };
+            first.begin(input, &mut snet)
+        };
+        match out {
+            Some(o) => self.finish_first(o, net),
+            None => None,
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<A::Value>> {
+        match (msg, &mut self.stage) {
+            (TwoAcMsg::First(m), TwoAcStage::First(first)) => {
+                let out = {
+                    let mut snet = StageNet {
+                        net,
+                        wrap: TwoAcMsg::First,
+                    };
+                    first.on_message(from, m, &mut snet)
+                };
+                match out {
+                    Some(o) => self.finish_first(o, net),
+                    None => None,
+                }
+            }
+            (TwoAcMsg::Second(m), TwoAcStage::First(_)) => {
+                // A faster processor is already in its second stage; park
+                // its message until this processor catches up.
+                self.buffered_second.push((from, m));
+                None
+            }
+            (TwoAcMsg::Second(m), TwoAcStage::Second { ac, .. }) => {
+                let out = {
+                    let mut snet = StageNet {
+                        net,
+                        wrap: TwoAcMsg::Second,
+                    };
+                    ac.on_message(from, m, &mut snet)
+                };
+                out.map(|o| self.finish_second(o))
+            }
+            // First-stage stragglers after we moved on, or anything after
+            // completion: no obligations remain.
+            _ => None,
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<A::Value>> {
+        // Timers are delivered to whichever inner AC is active; a timer
+        // set by the first AC that fires during the second stage is
+        // simply forwarded (the inner object ignores unknown ids).
+        match &mut self.stage {
+            TwoAcStage::First(first) => {
+                let out = {
+                    let mut snet = StageNet {
+                        net,
+                        wrap: TwoAcMsg::First,
+                    };
+                    first.on_timer(timer, &mut snet)
+                };
+                match out {
+                    Some(o) => self.finish_first(o, net),
+                    None => None,
+                }
+            }
+            TwoAcStage::Second { .. } => {
+                let out = {
+                    let TwoAcStage::Second { ac, .. } = &mut self.stage else {
+                        unreachable!()
+                    };
+                    let mut snet = StageNet {
+                        net,
+                        wrap: TwoAcMsg::Second,
+                    };
+                    ac.on_timer(timer, &mut snet)
+                };
+                out.map(|o| self.finish_second(o))
+            }
+            TwoAcStage::Done => None,
+        }
+    }
+}
+
+struct StageNet<'a, M> {
+    net: &'a mut dyn ObjectNet<TwoAcMsg<M>>,
+    wrap: fn(M) -> TwoAcMsg<M>,
+}
+
+impl<M: Clone> ObjectNet<M> for StageNet<'_, M> {
+    fn me(&self) -> ProcessId {
+        self.net.me()
+    }
+    fn n(&self) -> usize {
+        self.net.n()
+    }
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+    fn rng(&mut self) -> &mut SplitMix64 {
+        self.net.rng()
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.net.send(to, (self.wrap)(msg));
+    }
+    fn broadcast(&mut self, msg: M) {
+        self.net.broadcast((self.wrap)(msg));
+    }
+    fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        self.net.set_timer(after)
+    }
+}
+
+/// An adopt-commit view of a VAC object (paper §5's weakening direction):
+/// `vacillate` is relabeled `adopt`, which preserves every AC guarantee.
+#[derive(Debug)]
+pub struct VacAsAc<V>(pub V);
+
+impl<V: VacObject> AcObject for VacAsAc<V> {
+    type Value = V::Value;
+    type Msg = V::Msg;
+
+    fn begin(
+        &mut self,
+        input: V::Value,
+        net: &mut dyn ObjectNet<V::Msg>,
+    ) -> Option<AcOutcome<V::Value>> {
+        self.0.begin(input, net).map(weaken)
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: V::Msg,
+        net: &mut dyn ObjectNet<V::Msg>,
+    ) -> Option<AcOutcome<V::Value>> {
+        self.0.on_message(from, msg, net).map(weaken)
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<V::Msg>,
+    ) -> Option<AcOutcome<V::Value>> {
+        self.0.on_timer(timer, net).map(weaken)
+    }
+}
+
+fn weaken<V>(outcome: VacOutcome<V>) -> AcOutcome<V> {
+    AcOutcome {
+        confidence: match outcome.confidence {
+            Confidence::Commit => AcConfidence::Commit,
+            Confidence::Adopt | Confidence::Vacillate => AcConfidence::Adopt,
+        },
+        value: outcome.value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::LoopbackNet;
+
+    /// A scripted AC that completes locally with a canned outcome — lets
+    /// the tests drive every (a, b) combination.
+    #[derive(Debug)]
+    struct ScriptedAc {
+        outcome: AcOutcome<u64>,
+    }
+    impl AcObject for ScriptedAc {
+        type Value = u64;
+        type Msg = ();
+        fn begin(&mut self, _input: u64, _net: &mut dyn ObjectNet<()>) -> Option<AcOutcome<u64>> {
+            Some(self.outcome)
+        }
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            _msg: (),
+            _net: &mut dyn ObjectNet<()>,
+        ) -> Option<AcOutcome<u64>> {
+            None
+        }
+    }
+
+    fn compose(a: AcOutcome<u64>, b: AcOutcome<u64>) -> VacOutcome<u64> {
+        let mut vac = TwoAcVac::new(ScriptedAc { outcome: a }, ScriptedAc { outcome: b });
+        let mut net = LoopbackNet::<TwoAcMsg<()>>::new(0, 3, 1);
+        vac.begin(0, &mut net).expect("completes synchronously")
+    }
+
+    #[test]
+    fn commit_commit_yields_commit() {
+        assert_eq!(
+            compose(AcOutcome::commit(4), AcOutcome::commit(4)),
+            VacOutcome::commit(4)
+        );
+    }
+
+    #[test]
+    fn adopt_commit_yields_adopt() {
+        assert_eq!(
+            compose(AcOutcome::adopt(4), AcOutcome::commit(4)),
+            VacOutcome::adopt(4)
+        );
+    }
+
+    #[test]
+    fn anything_adopt_yields_vacillate() {
+        assert_eq!(
+            compose(AcOutcome::adopt(4), AcOutcome::adopt(7)),
+            VacOutcome::vacillate(7)
+        );
+        // (commit, adopt) is unreachable for correct ACs (convergence
+        // forces b = commit) but the mapping must still be defensive:
+        assert_eq!(
+            compose(AcOutcome::commit(4), AcOutcome::adopt(4)),
+            VacOutcome::vacillate(4)
+        );
+    }
+
+    #[test]
+    fn value_comes_from_second_ac() {
+        assert_eq!(compose(AcOutcome::adopt(1), AcOutcome::commit(2)).value, 2);
+    }
+
+    /// A distributed AC used to exercise buffering: broadcast, wait for n,
+    /// commit iff unanimous, else adopt max.
+    #[derive(Debug, Default)]
+    struct UnanimousAc {
+        seen: Vec<u64>,
+    }
+    impl AcObject for UnanimousAc {
+        type Value = u64;
+        type Msg = u64;
+        fn begin(&mut self, input: u64, net: &mut dyn ObjectNet<u64>) -> Option<AcOutcome<u64>> {
+            net.broadcast(input);
+            None
+        }
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            msg: u64,
+            net: &mut dyn ObjectNet<u64>,
+        ) -> Option<AcOutcome<u64>> {
+            self.seen.push(msg);
+            (self.seen.len() == net.n()).then(|| {
+                let first = self.seen[0];
+                if self.seen.iter().all(|&v| v == first) {
+                    AcOutcome::commit(first)
+                } else {
+                    AcOutcome::adopt(*self.seen.iter().max().unwrap())
+                }
+            })
+        }
+    }
+
+    /// Drives composed VACs in a hand-rolled lock-step network and returns
+    /// every processor's outcome.
+    fn drive_unanimous(inputs: &[u64]) -> Vec<VacOutcome<u64>> {
+        let n = inputs.len();
+        let mut objects: Vec<TwoAcVac<UnanimousAc>> = (0..n)
+            .map(|_| TwoAcVac::new(UnanimousAc::default(), UnanimousAc::default()))
+            .collect();
+        let mut nets: Vec<LoopbackNet<TwoAcMsg<u64>>> =
+            (0..n).map(|i| LoopbackNet::new(i, n, i as u64)).collect();
+        let mut outcomes: Vec<Option<VacOutcome<u64>>> = vec![None; n];
+        for i in 0..n {
+            if let Some(o) = objects[i].begin(inputs[i], &mut nets[i]) {
+                outcomes[i] = Some(o);
+            }
+        }
+        // Pump messages until quiescent.
+        loop {
+            let mut moved = false;
+            for i in 0..n {
+                while let Some((to, msg)) = nets[i].sent.pop_front() {
+                    moved = true;
+                    let j = to.index();
+                    // Split borrow: messages into j's object via j's net.
+                    let (obj_j, net_j) = (&mut objects[j], &mut nets[j]);
+                    if let Some(o) = obj_j.on_message(ProcessId(i), msg, net_j) {
+                        if outcomes[j].is_none() {
+                            outcomes[j] = Some(o);
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("completed"))
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_inputs_commit_through_composition() {
+        let outs = drive_unanimous(&[5, 5, 5]);
+        for o in outs {
+            assert_eq!(o, VacOutcome::commit(5));
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_adopt_through_composition() {
+        // AC₁ adopts max = 2 everywhere, AC₂ then commits 2 ⇒ (adopt, 2).
+        let outs = drive_unanimous(&[0, 1, 2]);
+        for o in &outs {
+            assert_eq!(*o, VacOutcome::adopt(2));
+        }
+        // And the round obeys the VAC laws:
+        let round = crate::checker::RoundOutcomes {
+            round: 1,
+            extra_inputs: Vec::new(),
+            entries: outs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| crate::checker::RoundEntry {
+                    process: ProcessId(i),
+                    input: i as u64,
+                    outcome: *o,
+                })
+                .collect(),
+        };
+        assert!(round.check_vac().is_empty());
+    }
+
+    #[test]
+    fn weakening_maps_vacillate_to_adopt() {
+        assert_eq!(weaken(VacOutcome::vacillate(3)), AcOutcome::adopt(3));
+        assert_eq!(weaken(VacOutcome::adopt(3)), AcOutcome::adopt(3));
+        assert_eq!(weaken(VacOutcome::commit(3)), AcOutcome::commit(3));
+    }
+}

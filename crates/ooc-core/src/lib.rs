@@ -1,0 +1,64 @@
+//! # ooc-core
+//!
+//! The *Object Oriented Consensus* framework (Afek, Aspnes, Cohen,
+//! Vainstein; PODC 2017). The paper's thesis: many consensus algorithms are
+//! a repetition of two steps — an **agreement detector** that reports how
+//! close the system is to agreement, and a **shaker-upper** that moves it
+//! closer. This crate provides:
+//!
+//! * The confidence lattice ([`Confidence`], [`AcConfidence`]) and outcome
+//!   types ([`VacOutcome`], [`AcOutcome`]).
+//! * Object traits for the four building blocks in the asynchronous
+//!   message-passing model: [`VacObject`] (vacillate-adopt-commit),
+//!   [`AcObject`] (adopt-commit), [`ConciliatorObject`] and
+//!   [`ReconciliatorObject`], plus their synchronous-round counterparts
+//!   ([`SyncObject`]).
+//! * The two generic consensus templates, paper Algorithms 1 and 2:
+//!   [`VacConsensus`] (VAC + reconciliator) and [`AcConsensus`]
+//!   (AC + conciliator), as processes runnable on `ooc-simnet`, and
+//!   [`SyncAcConsensus`] for the synchronous model.
+//! * The §5 compositions: [`TwoAcVac`] builds a VAC from two ACs, and
+//!   [`VacAsAc`] weakens a VAC into an AC.
+//! * Executable property checkers ([`checker`]) that turn the paper's
+//!   lemmas into assertions over recorded executions.
+//!
+//! ## The template at a glance (paper Algorithm 1)
+//!
+//! ```text
+//! Consensus(v):
+//!   m ← 0
+//!   loop:
+//!     m ← m + 1
+//!     (X, σ) ← VAC(v, m)
+//!     match X:
+//!       vacillate → v ← Reconciliator(X, σ, m)
+//!       adopt     → v ← σ
+//!       commit    → decide σ
+//! ```
+//!
+//! See `ooc-ben-or`, `ooc-phase-king` and `ooc-raft` for the paper's three
+//! decompositions instantiated against this framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod compose;
+pub mod confidence;
+pub mod objects;
+pub mod sequence;
+pub mod sync_objects;
+pub mod sync_template;
+pub mod template;
+pub mod testkit;
+
+pub use checker::{RoundEntry, RoundOutcomes, Violation, ViolationKind};
+pub use compose::{TwoAcVac, VacAsAc};
+pub use confidence::{AcConfidence, AcOutcome, Confidence, VacOutcome};
+pub use objects::{
+    AcObject, ConciliatorObject, ObjectNet, ReconciliatorObject, VacObject,
+};
+pub use sync_objects::{SyncObjCtx, SyncObject};
+pub use sync_template::{SyncAcConsensus, SyncDecisionRule, SyncTemplateMsg};
+pub use sequence::{SequenceConsensus, SlotMsg};
+pub use template::{AcConsensus, RoundRecord, TemplateConfig, TemplateHost, TemplateMsg, VacConsensus};

@@ -1,0 +1,310 @@
+//! Protocol-object traits for the asynchronous message-passing model.
+//!
+//! The paper treats each building block as an *object* that a processor
+//! invokes with a value and that eventually returns an outcome. In an
+//! asynchronous network an invocation is not a function call: the object
+//! sends messages, waits for quorums, and completes later. We therefore
+//! model each object as a resumable state machine:
+//!
+//! * [`VacObject::begin`] / [`AcObject::begin`] start the invocation
+//!   (typically broadcasting the proposal);
+//! * `on_message` feeds it a protocol message and returns `Some(outcome)`
+//!   once the object's guarantees allow it to complete.
+//!
+//! Objects talk to the world through [`ObjectNet`], a deliberately small,
+//! object-safe facade implemented by the consensus templates (which tag and
+//! route messages per round) and by test harnesses.
+
+use crate::confidence::{AcOutcome, Confidence, VacOutcome};
+use ooc_simnet::{ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
+use std::fmt::Debug;
+
+/// The network facade protocol objects run against.
+///
+/// Implementations wrap the message type and deliver sends to the right
+/// object instance on the receiving side; objects never see routing tags.
+pub trait ObjectNet<M> {
+    /// The invoking processor's id.
+    fn me(&self) -> ProcessId;
+    /// Total number of processors.
+    fn n(&self) -> usize;
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// The invoking processor's deterministic RNG.
+    fn rng(&mut self) -> &mut SplitMix64;
+    /// Sends a protocol message to one processor.
+    fn send(&mut self, to: ProcessId, msg: M);
+    /// Sends a protocol message to every processor, including the caller.
+    fn broadcast(&mut self, msg: M);
+    /// Schedules a timer; when it fires the hosting template routes it to
+    /// this object's `on_timer` (if the object is still active).
+    ///
+    /// Timers are how reconciliators express Raft-style timing behaviour
+    /// (paper Algorithm 11) without blocking the round structure.
+    fn set_timer(&mut self, after: SimDuration) -> TimerId;
+}
+
+/// A vacillate-adopt-commit object (paper §2).
+///
+/// Required guarantees (checked by [`crate::checker`]):
+/// * **Validity** — the returned value is some processor's input.
+/// * **Termination** — completes in finitely many steps.
+/// * **Convergence** — identical inputs ⇒ everyone gets `(commit, v)`.
+/// * **Coherence over adopt & commit** — if anyone gets `(commit, u)`,
+///   everyone gets `(commit, u)` or `(adopt, u)`.
+/// * **Coherence over vacillate & adopt** — if nobody commits and someone
+///   gets `(adopt, u)`, everyone gets `(adopt, u)` or `(vacillate, *)`.
+pub trait VacObject {
+    /// Proposal/decision value type.
+    type Value: Clone + Debug + PartialEq;
+    /// Protocol message type.
+    type Msg: Clone + Debug;
+
+    /// Starts the invocation with this processor's input. May complete
+    /// immediately (degenerate objects).
+    fn begin(
+        &mut self,
+        input: Self::Value,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<Self::Value>>;
+
+    /// Feeds one protocol message; returns the outcome once complete.
+    /// Messages arriving after completion are ignored by the template.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<Self::Value>>;
+
+    /// A timer set through the object's [`ObjectNet`] fired.
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<VacOutcome<Self::Value>> {
+        let _ = (timer, net);
+        None
+    }
+}
+
+/// A classical adopt-commit object (Gafni '98; paper §2).
+///
+/// Guarantees: validity, termination, convergence, and coherence —
+/// if anyone gets `(commit, u)`, everyone's value is `u`.
+pub trait AcObject {
+    /// Proposal/decision value type.
+    type Value: Clone + Debug + PartialEq;
+    /// Protocol message type.
+    type Msg: Clone + Debug;
+
+    /// Starts the invocation. May complete immediately.
+    fn begin(
+        &mut self,
+        input: Self::Value,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<AcOutcome<Self::Value>>;
+
+    /// Feeds one protocol message; returns the outcome once complete.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<AcOutcome<Self::Value>>;
+
+    /// A timer set through the object's [`ObjectNet`] fired.
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<AcOutcome<Self::Value>> {
+        let _ = (timer, net);
+        None
+    }
+}
+
+/// A conciliator (Aspnes '12; paper §2): returns a valid value such that
+/// with probability > 0 all invokers return the same value.
+pub trait ConciliatorObject {
+    /// Proposal/decision value type.
+    type Value: Clone + Debug + PartialEq;
+    /// Protocol message type.
+    type Msg: Clone + Debug;
+
+    /// Starts the invocation with the processor's current preference.
+    fn begin(
+        &mut self,
+        input: Self::Value,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value>;
+
+    /// Feeds one protocol message; returns the new preference once
+    /// complete.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value>;
+
+    /// A timer set through the object's [`ObjectNet`] fired.
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value> {
+        let _ = (timer, net);
+        None
+    }
+}
+
+/// A reconciliator (paper §2): invoked by the *vacillating* processors of a
+/// round with the VAC outcome `(X, σ)`; must terminate, and with
+/// probability 1 at some round all invokers receive the same value,
+/// consistent with the round's adopt values (or some input value if there
+/// were none).
+///
+/// Unlike a conciliator it may be invoked by a strict subset of the
+/// network, and it need not enforce validity machinery of its own — in
+/// Ben-Or it is literally a coin flip (paper Algorithm 6).
+pub trait ReconciliatorObject {
+    /// Proposal/decision value type.
+    type Value: Clone + Debug + PartialEq;
+    /// Protocol message type.
+    type Msg: Clone + Debug;
+
+    /// Starts the invocation with the round's VAC outcome.
+    fn begin(
+        &mut self,
+        confidence: Confidence,
+        sigma: Self::Value,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value>;
+
+    /// Feeds one protocol message; returns the new preference once
+    /// complete.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value>;
+
+    /// A timer set through the object's [`ObjectNet`] fired.
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        net: &mut dyn ObjectNet<Self::Msg>,
+    ) -> Option<Self::Value> {
+        let _ = (timer, net);
+        None
+    }
+}
+
+/// A purely local reconciliator built from a closure — covers the common
+/// case (paper Algorithm 6: `return CoinFlip()`).
+///
+/// ```
+/// use ooc_core::objects::{FnReconciliator, ReconciliatorObject};
+/// // Ben-Or's reconciliator: ignore the VAC outcome, flip a coin.
+/// let make = || FnReconciliator::new(|_conf, _sigma, rng: &mut ooc_simnet::SplitMix64| rng.coin());
+/// # let _ = make();
+/// ```
+pub struct FnReconciliator<V, F>
+where
+    F: FnMut(Confidence, V, &mut SplitMix64) -> V,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(V) -> V>,
+}
+
+impl<V, F> FnReconciliator<V, F>
+where
+    F: FnMut(Confidence, V, &mut SplitMix64) -> V,
+{
+    /// Wraps a local decision function.
+    pub fn new(f: F) -> Self {
+        FnReconciliator {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V, F> Debug for FnReconciliator<V, F>
+where
+    F: FnMut(Confidence, V, &mut SplitMix64) -> V,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnReconciliator").finish_non_exhaustive()
+    }
+}
+
+impl<V, F> ReconciliatorObject for FnReconciliator<V, F>
+where
+    V: Clone + Debug + PartialEq,
+    F: FnMut(Confidence, V, &mut SplitMix64) -> V,
+{
+    type Value = V;
+    type Msg = NoMsg;
+
+    fn begin(
+        &mut self,
+        confidence: Confidence,
+        sigma: V,
+        net: &mut dyn ObjectNet<NoMsg>,
+    ) -> Option<V> {
+        Some((self.f)(confidence, sigma, net.rng()))
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: NoMsg,
+        _net: &mut dyn ObjectNet<NoMsg>,
+    ) -> Option<V> {
+        match msg {}
+    }
+}
+
+/// An uninhabited message type for objects that never communicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoMsg {}
+
+#[cfg(test)]
+mod tests {
+    use crate::testkit::LoopbackNet;
+    use super::*;
+
+    #[test]
+    fn fn_reconciliator_completes_immediately() {
+        let mut rec = FnReconciliator::new(|_c, _s, rng: &mut SplitMix64| rng.coin());
+        let mut net = LoopbackNet::<NoMsg>::new(0, 3, 1);
+        let v = rec.begin(Confidence::Vacillate, 0u64, &mut net);
+        assert!(matches!(v, Some(0) | Some(1)));
+        assert!(net.sent.is_empty(), "a local reconciliator sends nothing");
+    }
+
+    #[test]
+    fn fn_reconciliator_sees_inputs() {
+        let mut rec =
+            FnReconciliator::new(|c, s: u64, _rng: &mut SplitMix64| {
+                if c == Confidence::Adopt {
+                    s
+                } else {
+                    99
+                }
+            });
+        let mut net = LoopbackNet::<NoMsg>::new(0, 3, 1);
+        assert_eq!(rec.begin(Confidence::Adopt, 7, &mut net), Some(7));
+        assert_eq!(rec.begin(Confidence::Vacillate, 7, &mut net), Some(99));
+    }
+
+    #[test]
+    fn loopback_broadcast_reaches_all() {
+        let mut net = LoopbackNet::<u8>::new(1, 3, 1);
+        net.broadcast(5);
+        assert_eq!(net.sent.len(), 3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-shot consensus: a replicated *sequence* of decisions built by
+//! composing template instances — one per slot.
+//!
+//! The paper's introduction motivates consensus through replicated logs,
+//! transactions and replica consistency; all of those need a *sequence*
+//! of agreed values, not one. [`SequenceConsensus`] shows the framework
+//! scales up compositionally: slot `k` runs its own Algorithm 1 loop
+//! (fresh VAC + reconciliator per round) nested through the
+//! [`crate::template::TemplateHost`] abstraction; messages
+//! are slot-tagged, and a processor proposes its slot-`k` input once
+//! slot `k − 1` decided — so the agreed prefix grows like a log.
+//!
+//! This is deliberately the *naive* composition (no pipelining): each
+//! slot is an independent consensus, so its correctness is a corollary
+//! of Lemma 1 per slot. The Raft crate shows the optimized alternative
+//! (one leader amortized across entries).
+
+use crate::objects::{ReconciliatorObject, VacObject};
+use crate::template::{Template, TemplateConfig, TemplateHost, TemplateMsg};
+use ooc_simnet::{Context, Process, ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::sync::{Arc, Mutex};
+
+/// Wire format: a slot index plus the slot's template message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotMsg<DM, SM> {
+    /// Which sequence slot this message belongs to.
+    pub slot: u64,
+    /// The slot's template message.
+    pub inner: TemplateMsg<DM, SM>,
+}
+
+type SharedFactory<T> = Arc<Mutex<dyn FnMut(u64, u64) -> T + Send>>;
+
+/// A processor deciding an agreed sequence, slot by slot.
+///
+/// Its engine-level decision ([`Process::Output`]) is the full decided
+/// sequence, recorded once every slot has decided.
+pub struct SequenceConsensus<D, S>
+where
+    D: VacObject + 'static,
+    S: ReconciliatorObject<Value = D::Value> + 'static,
+{
+    proposals: Vec<D::Value>,
+    detector_factory: SharedFactory<D>,
+    shaker_factory: SharedFactory<S>,
+    config: TemplateConfig,
+    current_slot: u64,
+    /// One template per started slot. Templates of *decided* slots stay
+    /// alive and keep participating: a processor that finished slot `k`
+    /// and stopped sending would look crashed to the slot-`k` laggards
+    /// and could starve their quorums (the same hazard
+    /// `halt_after_decide` has — see `ooc-ben-or`'s ablation test).
+    templates: BTreeMap<u64, Template<D, S>>,
+    decided: Vec<D::Value>,
+    /// Messages for slots this processor has not reached yet.
+    #[allow(clippy::type_complexity)]
+    buffer: BTreeMap<u64, Vec<(ProcessId, TemplateMsg<D::Msg, S::Msg>)>>,
+}
+
+impl<D, S> SequenceConsensus<D, S>
+where
+    D: VacObject + 'static,
+    S: ReconciliatorObject<Value = D::Value> + 'static,
+{
+    /// Creates a processor proposing `proposals[k]` for slot `k`. The
+    /// factories receive `(slot, round)`.
+    ///
+    /// # Panics
+    /// Panics if `proposals` is empty.
+    pub fn new(
+        proposals: Vec<D::Value>,
+        detector_factory: impl FnMut(u64, u64) -> D + Send + 'static,
+        shaker_factory: impl FnMut(u64, u64) -> S + Send + 'static,
+        config: TemplateConfig,
+    ) -> Self {
+        assert!(!proposals.is_empty(), "need at least one slot proposal");
+        SequenceConsensus {
+            proposals,
+            detector_factory: Arc::new(Mutex::new(detector_factory)),
+            shaker_factory: Arc::new(Mutex::new(shaker_factory)),
+            config: TemplateConfig {
+                // Slot templates must keep participating after their
+                // commit; the sequence layer decides when all slots are
+                // done.
+                halt_after_decide: false,
+                ..config
+            },
+            current_slot: 0,
+            templates: BTreeMap::new(),
+            decided: Vec::new(),
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// The decided prefix so far.
+    pub fn decided(&self) -> &[D::Value] {
+        &self.decided
+    }
+
+    /// The slot currently being agreed.
+    pub fn current_slot(&self) -> u64 {
+        self.current_slot
+    }
+
+    /// Whether every slot has been decided.
+    pub fn is_complete(&self) -> bool {
+        self.decided.len() == self.proposals.len()
+    }
+
+    fn make_template(&self, slot: u64) -> Template<D, S> {
+        let df = Arc::clone(&self.detector_factory);
+        let sf = Arc::clone(&self.shaker_factory);
+        Template::vac(
+            self.proposals[slot as usize].clone(),
+            move |round| (df.lock().expect("factory poisoned"))(slot, round),
+            move |round| (sf.lock().expect("factory poisoned"))(slot, round),
+            self.config,
+        )
+    }
+
+    /// Runs the slot loop: start the current slot, harvest its decision,
+    /// advance, repeat while slots complete synchronously.
+    #[allow(clippy::type_complexity)]
+    fn pump(&mut self, ctx: &mut Context<'_, SlotMsg<D::Msg, S::Msg>, Vec<D::Value>>) {
+        loop {
+            if self.is_complete() {
+                ctx.decide(self.decided.clone());
+                return;
+            }
+            let slot = self.current_slot;
+            if !self.templates.contains_key(&slot) {
+                let mut template = self.make_template(slot);
+                let mut slot_decision = None;
+                {
+                    let mut host = SlotHost {
+                        ctx,
+                        slot,
+                        decision: &mut slot_decision,
+                    };
+                    template.start(&mut host);
+                    // Replay messages that arrived before we reached this
+                    // slot.
+                    if let Some(msgs) = self.buffer.remove(&slot) {
+                        for (from, msg) in msgs {
+                            template.deliver(from, msg, &mut host);
+                        }
+                    }
+                }
+                self.templates.insert(slot, template);
+                if let Some(v) = slot_decision {
+                    self.finish_slot(v);
+                    continue; // next slot immediately
+                }
+            }
+            return; // waiting for messages/timers
+        }
+    }
+
+    fn finish_slot(&mut self, value: D::Value) {
+        self.decided.push(value);
+        self.current_slot += 1;
+    }
+}
+
+/// The nested host: translates slot-template traffic into slot-tagged
+/// wire messages and captures the slot's decision instead of deciding at
+/// the engine level.
+struct SlotHost<'a, 'b, 'c, DM, SM, V> {
+    ctx: &'a mut Context<'b, SlotMsg<DM, SM>, Vec<V>>,
+    slot: u64,
+    decision: &'c mut Option<V>,
+}
+
+impl<DM: Clone, SM: Clone, V> TemplateHost<TemplateMsg<DM, SM>, V>
+    for SlotHost<'_, '_, '_, DM, SM, V>
+{
+    fn me(&self) -> ProcessId {
+        self.ctx.me()
+    }
+    fn n(&self) -> usize {
+        self.ctx.n()
+    }
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn rng(&mut self) -> &mut SplitMix64 {
+        self.ctx.rng()
+    }
+    fn send(&mut self, to: ProcessId, msg: TemplateMsg<DM, SM>) {
+        self.ctx.send(
+            to,
+            SlotMsg {
+                slot: self.slot,
+                inner: msg,
+            },
+        );
+    }
+    fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        self.ctx.set_timer(after)
+    }
+    fn decide(&mut self, value: V) {
+        if self.decision.is_none() {
+            *self.decision = Some(value);
+        }
+    }
+    fn halt(&mut self) {
+        // A nested template's halt (e.g. max_rounds) ends its slot, not
+        // the processor; leaving the decision empty stalls the sequence,
+        // which the engine's run limits surface.
+    }
+}
+
+impl<D, S> Process for SequenceConsensus<D, S>
+where
+    D: VacObject + 'static,
+    S: ReconciliatorObject<Value = D::Value> + 'static,
+{
+    type Msg = SlotMsg<D::Msg, S::Msg>;
+    type Output = Vec<D::Value>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.pump(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        from: ProcessId,
+        msg: Self::Msg,
+    ) {
+        if msg.slot > self.current_slot {
+            self.buffer
+                .entry(msg.slot)
+                .or_default()
+                .push((from, msg.inner));
+            return;
+        }
+        // Current or past slot: its template is alive either way.
+        let slot = msg.slot;
+        let was_current = slot == self.current_slot;
+        let mut slot_decision = None;
+        if let Some(mut template) = self.templates.remove(&slot) {
+            {
+                let mut host = SlotHost {
+                    ctx,
+                    slot,
+                    decision: &mut slot_decision,
+                };
+                template.deliver(from, msg.inner, &mut host);
+            }
+            self.templates.insert(slot, template);
+        }
+        if was_current {
+            if let Some(v) = slot_decision {
+                self.finish_slot(v);
+                self.pump(ctx);
+            }
+        }
+        // Past-slot "decisions" are re-commits of the same value; the
+        // template keeps cycling so laggards can finish the slot.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, timer: TimerId) {
+        // Only the owning template reacts (each ignores foreign ids);
+        // collect the current slot's decision if one fires out of it.
+        let slots: Vec<u64> = self.templates.keys().copied().collect();
+        for slot in slots {
+            let was_current = slot == self.current_slot;
+            let mut slot_decision = None;
+            if let Some(mut template) = self.templates.remove(&slot) {
+                {
+                    let mut host = SlotHost {
+                        ctx,
+                        slot,
+                        decision: &mut slot_decision,
+                    };
+                    template.timer(timer, &mut host);
+                }
+                self.templates.insert(slot, template);
+            }
+            if was_current {
+                if let Some(v) = slot_decision {
+                    self.finish_slot(v);
+                    self.pump(ctx);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl<D, S> Debug for SequenceConsensus<D, S>
+where
+    D: VacObject + 'static,
+    S: ReconciliatorObject<Value = D::Value> + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequenceConsensus")
+            .field("current_slot", &self.current_slot)
+            .field("decided", &self.decided)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,94 @@
+//! Test utilities for driving protocol objects by hand.
+//!
+//! Unit tests of [`VacObject`](crate::VacObject) /
+//! [`AcObject`](crate::AcObject) implementations usually want to feed an
+//! object one message at a time and inspect what it sends — without
+//! spinning up a whole simulator. [`LoopbackNet`] is the smallest
+//! [`ObjectNet`] that supports that.
+
+use crate::objects::ObjectNet;
+use ooc_simnet::{ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
+use std::collections::VecDeque;
+
+/// An in-memory [`ObjectNet`]: sends are queued in [`LoopbackNet::sent`]
+/// and the test drains and redistributes them by hand.
+///
+/// ```
+/// use ooc_core::testkit::LoopbackNet;
+/// use ooc_core::objects::ObjectNet;
+///
+/// let mut net = LoopbackNet::<u32>::new(0, 3, 42);
+/// net.broadcast(7);
+/// assert_eq!(net.sent.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct LoopbackNet<M> {
+    /// The id this net reports as [`ObjectNet::me`].
+    pub me: ProcessId,
+    /// The network size this net reports as [`ObjectNet::n`].
+    pub n: usize,
+    /// The deterministic RNG handed to objects.
+    pub rng: SplitMix64,
+    /// Queued `(recipient, message)` pairs, in send order.
+    pub sent: VecDeque<(ProcessId, M)>,
+    /// Timers requested through [`ObjectNet::set_timer`], in order.
+    pub timers: Vec<(TimerId, SimDuration)>,
+}
+
+impl<M> LoopbackNet<M> {
+    /// Creates a net for processor `me` of `n`, with the given RNG seed.
+    pub fn new(me: usize, n: usize, seed: u64) -> Self {
+        LoopbackNet {
+            me: ProcessId(me),
+            n,
+            rng: SplitMix64::new(seed),
+            sent: VecDeque::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+impl<M: Clone> ObjectNet<M> for LoopbackNet<M> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.sent.push_back((to, msg));
+    }
+    fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.sent.push_back((ProcessId(i), msg.clone()));
+        }
+    }
+    fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        let id = TimerId(self.timers.len() as u64);
+        self.timers.push((id, after));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_broadcast_queue_in_order() {
+        let mut net = LoopbackNet::<u8>::new(1, 2, 0);
+        net.send(ProcessId(0), 1);
+        net.broadcast(2);
+        let all: Vec<_> = net.sent.iter().cloned().collect();
+        assert_eq!(
+            all,
+            vec![(ProcessId(0), 1), (ProcessId(0), 2), (ProcessId(1), 2)]
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Edge cases of the generic template's round machinery: cross-round
+//! buffering, stale-message discipline, the `halt_after_decide` switch,
+//! timer routing, and max-round cutoffs.
+
+use ooc_core::confidence::{Confidence, VacOutcome};
+use ooc_core::objects::{FnReconciliator, ObjectNet, ReconciliatorObject, VacObject};
+use ooc_core::template::{Template, TemplateConfig};
+use ooc_simnet::{
+    NetworkConfig, ProcessId, RunLimit, Sim, SimDuration, SplitMix64, StopReason,
+    TimerId,
+};
+
+/// Quorum VAC over `n` processors: broadcast, wait for all `n`, commit
+/// iff unanimous, else vacillate on the majority value.
+#[derive(Debug, Default)]
+struct QuorumVac {
+    seen: Vec<bool>,
+}
+
+impl VacObject for QuorumVac {
+    type Value = bool;
+    type Msg = bool;
+
+    fn begin(&mut self, input: bool, net: &mut dyn ObjectNet<bool>) -> Option<VacOutcome<bool>> {
+        net.broadcast(input);
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: bool,
+        net: &mut dyn ObjectNet<bool>,
+    ) -> Option<VacOutcome<bool>> {
+        self.seen.push(msg);
+        (self.seen.len() == net.n()).then(|| {
+            let trues = self.seen.iter().filter(|&&b| b).count();
+            if trues == self.seen.len() {
+                VacOutcome::commit(true)
+            } else if trues == 0 {
+                VacOutcome::commit(false)
+            } else {
+                VacOutcome::vacillate(trues * 2 > self.seen.len())
+            }
+        })
+    }
+}
+
+type Rec = FnReconciliator<bool, fn(Confidence, bool, &mut SplitMix64) -> bool>;
+
+fn flip_rec(_r: u64) -> Rec {
+    FnReconciliator::new(|_c, _s, rng| rng.coin() == 1)
+}
+
+fn make(v: bool, halt_after_decide: bool) -> Template<QuorumVac, Rec> {
+    Template::vac(
+        v,
+        |_r| QuorumVac::default(),
+        flip_rec,
+        TemplateConfig {
+            halt_after_decide,
+            max_rounds: Some(500),
+        },
+    )
+}
+
+#[test]
+fn mixed_inputs_eventually_commit_via_coin() {
+    for seed in 0..20 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(vec![make(true, false), make(false, false), make(true, false)])
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided(), "seed {seed}");
+        assert!(out.agreement(), "seed {seed}");
+    }
+}
+
+#[test]
+fn halt_after_decide_still_works_when_everyone_commits_together() {
+    // With this VAC everyone completes each round on the same message
+    // multiset, so commits are simultaneous and halting is harmless.
+    for seed in 0..10 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(vec![make(true, true), make(true, true), make(true, true)])
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert_eq!(out.reason, StopReason::AllDecided, "seed {seed}");
+        assert_eq!(out.decided_value(), Some(true));
+    }
+}
+
+#[test]
+fn max_rounds_cutoff_reports_undecided() {
+    /// A VAC that always vacillates — never terminates.
+    #[derive(Debug, Default)]
+    struct NeverCommit {
+        seen: usize,
+    }
+    impl VacObject for NeverCommit {
+        type Value = bool;
+        type Msg = bool;
+        fn begin(&mut self, input: bool, net: &mut dyn ObjectNet<bool>) -> Option<VacOutcome<bool>> {
+            net.broadcast(input);
+            None
+        }
+        fn on_message(
+            &mut self,
+            _f: ProcessId,
+            _m: bool,
+            net: &mut dyn ObjectNet<bool>,
+        ) -> Option<VacOutcome<bool>> {
+            self.seen += 1;
+            (self.seen == net.n()).then(|| VacOutcome::vacillate(false))
+        }
+    }
+    let mk = || -> Template<NeverCommit, Rec> {
+        Template::vac(
+            false,
+            |_r| NeverCommit::default(),
+            flip_rec,
+            TemplateConfig {
+                halt_after_decide: false,
+                max_rounds: Some(7),
+            },
+        )
+    };
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(1)
+        .processes(vec![mk(), mk()])
+        .build();
+    let out = sim.run(RunLimit::default());
+    assert!(!out.all_decided());
+    for i in 0..2 {
+        assert_eq!(sim.process(ProcessId(i)).history().len(), 7);
+        assert_eq!(sim.process(ProcessId(i)).round(), 8, "stopped after round 7");
+    }
+}
+
+#[test]
+fn stale_round_messages_are_dropped_and_future_buffered() {
+    // Three processors with very skewed delays: one races ahead through
+    // coin rounds; its future-round messages must be buffered by the
+    // laggards and its stale messages dropped — ultimately still
+    // agreeing. Exercised via an extreme delay spread.
+    for seed in 0..10 {
+        let mut sim = Sim::builder(NetworkConfig {
+            delay: ooc_simnet::DelayModel::Uniform { min: 1, max: 80 },
+            ..NetworkConfig::default()
+        })
+        .seed(seed)
+        .processes(vec![make(true, false), make(false, false), make(false, false)])
+        .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided(), "seed {seed}");
+        assert!(out.agreement(), "seed {seed}");
+    }
+}
+
+/// A reconciliator that *requires* timer routing to complete: it never
+/// finishes on messages alone.
+#[derive(Debug)]
+struct TimerOnlyRec {
+    timer: Option<TimerId>,
+}
+
+impl ReconciliatorObject for TimerOnlyRec {
+    type Value = bool;
+    type Msg = bool;
+
+    fn begin(
+        &mut self,
+        _c: Confidence,
+        _sigma: bool,
+        net: &mut dyn ObjectNet<bool>,
+    ) -> Option<bool> {
+        self.timer = Some(net.set_timer(SimDuration::from_ticks(25)));
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _f: ProcessId,
+        _m: bool,
+        _net: &mut dyn ObjectNet<bool>,
+    ) -> Option<bool> {
+        None
+    }
+
+    fn on_timer(&mut self, timer: TimerId, net: &mut dyn ObjectNet<bool>) -> Option<bool> {
+        (Some(timer) == self.timer).then(|| net.rng().coin() == 1)
+    }
+}
+
+#[test]
+fn timers_route_to_the_active_shaker() {
+    let mk = |v: bool| -> Template<QuorumVac, TimerOnlyRec> {
+        Template::vac(
+            v,
+            |_r| QuorumVac::default(),
+            |_r| TimerOnlyRec { timer: None },
+            TemplateConfig {
+                halt_after_decide: false,
+                max_rounds: Some(500),
+            },
+        )
+    };
+    for seed in 0..10 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(vec![mk(true), mk(false), mk(true)])
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided(), "seed {seed}: timer-driven shaker must fire");
+        assert!(out.agreement(), "seed {seed}");
+    }
+}
+
+#[test]
+fn histories_record_shaken_values() {
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(3)
+        .processes(vec![make(true, false), make(false, false), make(true, false)])
+        .build();
+    let _ = sim.run(RunLimit::default());
+    for i in 0..3 {
+        for rec in sim.process(ProcessId(i)).history() {
+            match rec.outcome.confidence {
+                Confidence::Vacillate => {
+                    assert!(rec.shaken.is_some(), "vacillate rounds consult the shaker")
+                }
+                _ => assert!(rec.shaken.is_none(), "other rounds do not"),
+            }
+        }
+    }
+}
+
+#[test]
+fn preference_tracks_last_round_value() {
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(5)
+        .processes(vec![make(true, false), make(true, false), make(true, false)])
+        .build();
+    let out = sim.run(RunLimit::default());
+    assert_eq!(out.decided_value(), Some(true));
+    for i in 0..3 {
+        assert!(*sim.process(ProcessId(i)).preference());
+        assert!(*sim.process(ProcessId(i)).initial());
+    }
+}

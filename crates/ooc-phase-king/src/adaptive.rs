@@ -1,0 +1,205 @@
+//! A coordinated, state-tracking Byzantine attacker against the paper's
+//! decide-at-commit rule (the §4.1 / Algorithm 2 reading).
+//!
+//! The canned [`Attack`](crate::Attack)s are oblivious; this adversary
+//! reads the honest processors' broadcasts (a Byzantine processor
+//! receives everything) and plays the scripted attack that defeats early
+//! deciding:
+//!
+//! 1. **Split phase** (phase 1, attacker is king): in exchange 1, send
+//!    `u` to a chosen *victim* set of `n − 2t` honest processors and stay
+//!    silent to the rest, aiming for `C(u) ≥ n − t` only at the victims;
+//!    in exchange 2, send `u` only to one *mark*, pushing exactly the
+//!    mark's `D(u)` to `≥ n − t` so it **commits and decides `u`** while
+//!    everyone else merely adopts. As king, send `w = 1 − u` to every
+//!    non-mark — exploiting the conciliator-validity hole.
+//! 2. **Flip phase** (later phases): amplify `w` everywhere. The honest
+//!    majority now holds `w`; with the attacker's votes `C(w)` and
+//!    `D(w)` clear `n − t` at every honest processor, which commits —
+//!    and decides — `w ≠ u`. Agreement is broken.
+//!
+//! Against the classical decide-after-`t+1`-phases rule the same attack
+//! is harmless (the mark's value simply gets repaired before any
+//! decision), which the tests assert on identical seeds.
+
+use crate::byzantine::tag_for_round;
+use crate::PhaseKingWire;
+use ooc_core::SyncTemplateMsg;
+use ooc_simnet::{ProcessId, SyncContext, SyncProcess};
+
+/// The coordinated attacker. Install one per Byzantine slot (they act
+/// identically, which only strengthens the attack). The script is
+/// deterministic given the round number — in the synchronous model the
+/// adversary knows the honest state evolution in advance, so no runtime
+/// observation is needed.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAttacker {
+    /// Number of Byzantine processors (ids `0..t`).
+    t: usize,
+    /// The value the mark will be tricked into deciding.
+    u: u64,
+}
+
+impl AdaptiveAttacker {
+    /// Creates the attacker for a network with Byzantine ids `0..t`,
+    /// targeting a spurious early decision on `u`.
+    pub fn new(t: usize, u: u64) -> Self {
+        AdaptiveAttacker { t, u }
+    }
+
+    fn w(&self) -> u64 {
+        1 - self.u
+    }
+}
+
+impl SyncProcess for AdaptiveAttacker {
+    type Msg = PhaseKingWire;
+    type Output = u64;
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        _inbox: &[(ProcessId, PhaseKingWire)],
+        ctx: &mut SyncContext<'_, PhaseKingWire, u64>,
+    ) {
+        let n = ctx.n();
+        let t = self.t;
+        let (phase, detect, step) = tag_for_round(round);
+        let mark = ProcessId(t); // the honest processor we make decide u
+        // Victims: enough honest processors that, with our t votes, can
+        // see C(u) ≥ n − t in exchange 1 — they will then broadcast u in
+        // exchange 2, which is what inflates the mark's D(u).
+        let victims: Vec<ProcessId> = (t..n - t).map(ProcessId).collect();
+
+        if phase == 1 {
+            if detect && step == 0 {
+                // Exchange 1 of phase 1: push u toward the victims only.
+                for &v in &victims {
+                    ctx.send(
+                        v,
+                        SyncTemplateMsg::Detect {
+                            phase,
+                            step,
+                            inner: self.u,
+                        },
+                    );
+                }
+            } else if detect && step == 1 {
+                // Exchange 2: only the mark gets our u votes, so only the
+                // mark reaches D(u) ≥ n − t and commits.
+                ctx.send(
+                    mark,
+                    SyncTemplateMsg::Detect {
+                        phase,
+                        step,
+                        inner: self.u,
+                    },
+                );
+                // Everyone else hears w from us, keeping their D(u) low.
+                for i in t..n {
+                    let p = ProcessId(i);
+                    if p != mark {
+                        ctx.send(
+                            p,
+                            SyncTemplateMsg::Detect {
+                                phase,
+                                step,
+                                inner: self.w(),
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Conciliator of phase 1: we are the king (id 0 is
+                // Byzantine). Violate validity: hand every non-mark w.
+                for i in t..n {
+                    let p = ProcessId(i);
+                    if p != mark {
+                        ctx.send(
+                            p,
+                            SyncTemplateMsg::Shake {
+                                phase,
+                                step,
+                                inner: self.w(),
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            // Flip phases: amplify w everywhere, in both exchanges and as
+            // king whenever a Byzantine id holds the crown.
+            let inner = self.w();
+            let msg = if detect {
+                SyncTemplateMsg::Detect { phase, step, inner }
+            } else {
+                SyncTemplateMsg::Shake { phase, step, inner }
+            };
+            for i in t..n {
+                ctx.send(ProcessId(i), msg.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Node;
+    use crate::{phase_king_process, phase_king_process_paper_rule};
+    use ooc_simnet::SyncSim;
+
+    /// Runs n=7, t=2 with two adaptive attackers. The attack needs
+    /// `n − 2t = 3` honest holders of `u = 1` so the victim set can be
+    /// pushed to `C(u) ≥ n − t` in exchange 1.
+    fn run(paper_rule: bool, seed: u64) -> Vec<Option<u64>> {
+        let n = 7;
+        let t = 2;
+        let honest_inputs = [1u64, 1, 1, 0, 0];
+        let mut procs: Vec<Node> = Vec::new();
+        for _ in 0..t {
+            procs.push(Node::Byzantine2(AdaptiveAttacker::new(t, 1)));
+        }
+        for &v in &honest_inputs {
+            let p = if paper_rule {
+                phase_king_process_paper_rule(v, n, t, 12)
+            } else {
+                phase_king_process(v, n, t, 12)
+            };
+            procs.push(Node::Honest(p));
+        }
+        let mut sim = SyncSim::new(procs, seed);
+        sim.track_only((t..n).map(ProcessId));
+        let out = sim.run(3 * 12 + 3);
+        out.decisions
+    }
+
+    #[test]
+    fn coordinated_attack_breaks_paper_rule_agreement() {
+        let mut broken = 0;
+        for seed in 0..10 {
+            let d = run(true, seed);
+            let honest: Vec<u64> = (2..7).filter_map(|i| d[i]).collect();
+            if honest.windows(2).any(|w| w[0] != w[1]) {
+                broken += 1;
+            }
+        }
+        assert!(
+            broken > 0,
+            "the scripted attack should break decide-at-commit agreement"
+        );
+    }
+
+    #[test]
+    fn classical_rule_resists_the_same_attack() {
+        for seed in 0..10 {
+            let d = run(false, seed);
+            let honest: Vec<u64> = (2..7).filter_map(|i| d[i]).collect();
+            assert_eq!(honest.len(), 5, "seed {seed}: all honest decide");
+            assert!(
+                honest.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: classical rule must agree, got {honest:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol-aware Byzantine processors for the decomposed Phase-King.
+//!
+//! The honest processors only tally messages carrying the right
+//! `(phase, component, step)` tag, so an effective Byzantine node must
+//! speak the template's wire format. The global round number determines
+//! the tag deterministically (the network is synchronous), so these nodes
+//! forge perfectly-tagged garbage — including king impersonation in the
+//! conciliator step, which only matters in the phases where the Byzantine
+//! node *is* the king (honest processors filter by king id).
+
+use crate::PhaseKingWire;
+use ooc_core::SyncTemplateMsg;
+use ooc_simnet::{ProcessId, SplitMix64, SyncContext, SyncProcess};
+
+/// The value-choosing strategy of a [`ByzantinePhaseKing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Send nothing at all (crash-like from round 0).
+    Silent,
+    /// Always claim this value, to everyone.
+    Fixed(u64),
+    /// Send `0` to the lower-id half of the network, `1` to the upper
+    /// half — the classic split attack, aimed at keeping `C(k) < n − t`
+    /// on both sides.
+    Equivocate,
+    /// Send every recipient an independent uniformly random value from
+    /// `{0, 1, 2}`.
+    Random,
+}
+
+/// Which template tag honest processors expect in network round `r`.
+///
+/// The synchronous template chains a 3-step AC and a 2-step conciliator,
+/// overlapping outcome steps with the next component's send step, so each
+/// phase occupies 3 network rounds:
+///
+/// | round (0-based)  | sends                      |
+/// |------------------|----------------------------|
+/// | `3k`             | `Detect { phase: k+1, step: 0 }` (exchange 1) |
+/// | `3k + 1`         | `Detect { phase: k+1, step: 1 }` (exchange 2) |
+/// | `3k + 2`         | `Shake  { phase: k+1, step: 0 }` (king)       |
+pub fn tag_for_round(round: u64) -> (u64, bool, u64) {
+    let phase = round / 3 + 1;
+    match round % 3 {
+        0 => (phase, true, 0),
+        1 => (phase, true, 1),
+        _ => (phase, false, 0),
+    }
+}
+
+/// The tag schedule for Phase-**Queen** phases (2 network rounds each:
+/// one AC exchange, one queen broadcast).
+pub fn queen_tag_for_round(round: u64) -> (u64, bool, u64) {
+    let phase = round / 2 + 1;
+    match round % 2 {
+        0 => (phase, true, 0),
+        _ => (phase, false, 0),
+    }
+}
+
+/// A Byzantine processor speaking the decomposed Phase-King (or
+/// Phase-Queen) wire format.
+#[derive(Debug, Clone)]
+pub struct ByzantinePhaseKing {
+    attack: Attack,
+    schedule: fn(u64) -> (u64, bool, u64),
+}
+
+impl ByzantinePhaseKing {
+    /// Creates a Byzantine node with the given attack, tagging for the
+    /// Phase-King round schedule.
+    pub fn new(attack: Attack) -> Self {
+        ByzantinePhaseKing {
+            attack,
+            schedule: tag_for_round,
+        }
+    }
+
+    /// Creates a Byzantine node tagging for the Phase-Queen schedule.
+    pub fn for_queen(attack: Attack) -> Self {
+        ByzantinePhaseKing {
+            attack,
+            schedule: queen_tag_for_round,
+        }
+    }
+
+    fn pick(&self, to: ProcessId, n: usize, rng: &mut SplitMix64) -> Option<u64> {
+        match self.attack {
+            Attack::Silent => None,
+            Attack::Fixed(v) => Some(v),
+            Attack::Equivocate => Some(u64::from(to.index() >= n / 2)),
+            Attack::Random => Some(rng.below(3)),
+        }
+    }
+}
+
+impl SyncProcess for ByzantinePhaseKing {
+    type Msg = PhaseKingWire;
+    type Output = u64;
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        _inbox: &[(ProcessId, PhaseKingWire)],
+        ctx: &mut SyncContext<'_, PhaseKingWire, u64>,
+    ) {
+        let (phase, detect, step) = (self.schedule)(round);
+        let n = ctx.n();
+        for i in 0..n {
+            let to = ProcessId(i);
+            let Some(value) = ({
+                let rng = ctx.rng();
+                self.pick(to, n, rng)
+            }) else {
+                continue;
+            };
+            let msg = if detect {
+                SyncTemplateMsg::Detect {
+                    phase,
+                    step,
+                    inner: value,
+                }
+            } else {
+                SyncTemplateMsg::Shake {
+                    phase,
+                    step,
+                    inner: value.min(1),
+                }
+            };
+            ctx.send(to, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_schedule_matches_template_chaining() {
+        assert_eq!(tag_for_round(0), (1, true, 0));
+        assert_eq!(tag_for_round(1), (1, true, 1));
+        assert_eq!(tag_for_round(2), (1, false, 0));
+        assert_eq!(tag_for_round(3), (2, true, 0));
+        assert_eq!(tag_for_round(5), (2, false, 0));
+        assert_eq!(tag_for_round(6), (3, true, 0));
+    }
+
+    #[test]
+    fn queen_tag_schedule_is_two_rounds_per_phase() {
+        assert_eq!(queen_tag_for_round(0), (1, true, 0));
+        assert_eq!(queen_tag_for_round(1), (1, false, 0));
+        assert_eq!(queen_tag_for_round(2), (2, true, 0));
+        assert_eq!(queen_tag_for_round(3), (2, false, 0));
+    }
+
+    #[test]
+    fn equivocate_splits_halves() {
+        let b = ByzantinePhaseKing::new(Attack::Equivocate);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(b.pick(ProcessId(0), 6, &mut rng), Some(0));
+        assert_eq!(b.pick(ProcessId(2), 6, &mut rng), Some(0));
+        assert_eq!(b.pick(ProcessId(3), 6, &mut rng), Some(1));
+        assert_eq!(b.pick(ProcessId(5), 6, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        let b = ByzantinePhaseKing::new(Attack::Silent);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(b.pick(ProcessId(0), 6, &mut rng), None);
+    }
+
+    #[test]
+    fn random_stays_in_domain() {
+        let b = ByzantinePhaseKing::new(Attack::Random);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let v = b.pick(ProcessId(1), 6, &mut rng).unwrap();
+            assert!(v <= 2);
+        }
+    }
+}

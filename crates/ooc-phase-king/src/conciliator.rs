@@ -1,0 +1,154 @@
+//! Phase-King's conciliator (paper Algorithm 4).
+//!
+//! ```text
+//! Conciliator(X, σ, m):
+//!   if id = m:  broadcast ⟨MIN(1, v)⟩
+//!   σm ← received message from processor m
+//!   return (adopt, σm)
+//! ```
+//!
+//! The phase's *king* pushes its value to everyone. Deterministic, and
+//! correct because some phase `m ≤ t + 1` has an honest king: in that
+//! phase every adopter leaves with the king's value (paper Lemma 3).
+
+use ooc_core::sync_objects::{SyncObjCtx, SyncObject};
+use ooc_simnet::ProcessId;
+
+/// The king of phase `m` (1-based), rotating round-robin.
+pub fn king_of_phase(phase: u64, n: usize) -> ProcessId {
+    ProcessId(((phase - 1) % n as u64) as usize)
+}
+
+/// One phase's conciliator. Two lock-step steps: the king broadcasts, then
+/// everyone adopts what the king said (falling back to their own value if
+/// the king was silent or spoke garbage).
+#[derive(Debug, Clone)]
+pub struct KingConciliator {
+    king: ProcessId,
+}
+
+impl KingConciliator {
+    /// Creates the conciliator for phase `phase` of an `n`-processor
+    /// network.
+    pub fn new(n: usize, phase: u64) -> Self {
+        KingConciliator {
+            king: king_of_phase(phase, n),
+        }
+    }
+
+    /// The king this instance listens to.
+    pub fn king(&self) -> ProcessId {
+        self.king
+    }
+}
+
+impl SyncObject for KingConciliator {
+    type Value = u64;
+    type Msg = u64;
+    type Outcome = u64;
+
+    fn steps(&self) -> u64 {
+        2
+    }
+
+    fn step(
+        &mut self,
+        k: u64,
+        input: &u64,
+        inbox: &[(ProcessId, u64)],
+        ctx: &mut SyncObjCtx<'_, u64>,
+    ) -> Option<u64> {
+        match k {
+            0 => {
+                if ctx.me() == self.king {
+                    ctx.broadcast((*input).min(1));
+                }
+                None
+            }
+            1 => {
+                let from_king = inbox
+                    .iter()
+                    .find(|&&(from, value)| from == self.king && value <= 1)
+                    .map(|&(_, value)| value);
+                // A silent or out-of-domain king (necessarily Byzantine, or
+                // the phase where nobody needed shaking) leaves the value
+                // unchanged, clamped into the consensus domain.
+                Some(from_king.unwrap_or_else(|| (*input).min(1)))
+            }
+            _ => unreachable!("KingConciliator has exactly 2 steps"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_simnet::SplitMix64;
+
+    #[test]
+    fn king_rotates_round_robin() {
+        assert_eq!(king_of_phase(1, 4), ProcessId(0));
+        assert_eq!(king_of_phase(4, 4), ProcessId(3));
+        assert_eq!(king_of_phase(5, 4), ProcessId(0));
+    }
+
+    #[test]
+    fn king_broadcasts_min_one() {
+        let mut c = KingConciliator::new(4, 1); // king = p0
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(0), 4, &mut rng, &mut out);
+        assert!(c.step(0, &2, &[], &mut ctx).is_none());
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|&(_, v)| v == 1), "MIN(1, 2) = 1");
+    }
+
+    #[test]
+    fn non_king_stays_silent() {
+        let mut c = KingConciliator::new(4, 1);
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(2), 4, &mut rng, &mut out);
+        c.step(0, &1, &[], &mut ctx);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn adopts_kings_value() {
+        let mut c = KingConciliator::new(4, 1);
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(2), 4, &mut rng, &mut out);
+        let inbox = vec![(ProcessId(0), 0u64), (ProcessId(3), 1)];
+        assert_eq!(c.step(1, &1, &inbox, &mut ctx), Some(0));
+    }
+
+    #[test]
+    fn ignores_non_king_claims() {
+        let mut c = KingConciliator::new(4, 1);
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(2), 4, &mut rng, &mut out);
+        let inbox = vec![(ProcessId(3), 0u64)];
+        assert_eq!(c.step(1, &1, &inbox, &mut ctx), Some(1), "keep own value");
+    }
+
+    #[test]
+    fn silent_king_leaves_value_clamped() {
+        let mut c = KingConciliator::new(4, 1);
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(2), 4, &mut rng, &mut out);
+        assert_eq!(c.step(1, &2, &[], &mut ctx), Some(1), "MIN(1, 2)");
+    }
+
+    #[test]
+    fn garbage_king_value_rejected() {
+        let mut c = KingConciliator::new(4, 1);
+        let mut rng = SplitMix64::new(1);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(2), 4, &mut rng, &mut out);
+        let inbox = vec![(ProcessId(0), 99u64)];
+        assert_eq!(c.step(1, &0, &inbox, &mut ctx), Some(0));
+    }
+}

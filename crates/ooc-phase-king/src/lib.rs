@@ -1,0 +1,97 @@
+//! # ooc-phase-king
+//!
+//! The Phase-King Byzantine consensus algorithm (Berman, Garay, Perry '89)
+//! decomposed per paper §4.1 into Aspnes' framework objects:
+//!
+//! * [`PhaseKingAc`] — the adopt-commit object of Algorithm 3: two
+//!   *exchanges* over a synchronous network with `t` Byzantine processors,
+//!   `3t < n`. Commits when `n − t` processors visibly back one value.
+//! * [`KingConciliator`] — the conciliator of Algorithm 4: the phase's
+//!   king broadcasts `min(1, v)` and everyone adopts it. Deterministic —
+//!   "probabilistic agreement" degenerates to *eventual* agreement, since
+//!   within `t + 1` phases some king is honest (paper Lemma 3).
+//! * [`PhaseKingProcess`] — the two composed through the synchronous
+//!   template (`ooc_core::SyncAcConsensus`, the synchronous reading of
+//!   paper Algorithm 2). Values are `u64` with the consensus domain
+//!   `{0, 1}` and the protocol-internal "no majority" marker `2`.
+//! * [`ByzantinePhaseKing`] — protocol-aware Byzantine nodes that tag
+//!   their garbage correctly so honest tally loops must count it.
+//! * [`MonolithicPhaseKing`] — the classic three-rounds-per-phase
+//!   formulation, as the decomposition-overhead baseline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ooc_phase_king::{run_phase_king, PhaseKingConfig, Attack};
+//!
+//! // n = 7, t = 2 Byzantine equivocators; honest inputs alternate.
+//! let cfg = PhaseKingConfig::new(7, 2).with_attack(Attack::Equivocate);
+//! let run = run_phase_king(&cfg, &[0, 1, 0, 1, 0], 42);
+//! assert!(run.violations.is_empty());
+//! assert!(run.all_honest_decided());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac;
+pub mod adaptive;
+pub mod byzantine;
+pub mod conciliator;
+pub mod harness;
+pub mod monolithic;
+pub mod queen;
+
+pub use ac::PhaseKingAc;
+pub use adaptive::AdaptiveAttacker;
+pub use byzantine::{Attack, ByzantinePhaseKing};
+pub use conciliator::{king_of_phase, KingConciliator};
+pub use harness::{run_phase_king, PhaseKingConfig, PhaseKingRun};
+pub use monolithic::MonolithicPhaseKing;
+pub use queen::{phase_queen_process, run_phase_queen, PhaseQueenAc, PhaseQueenProcess, QueenConciliator};
+
+/// The decomposed Phase-King process: the synchronous template
+/// instantiated with [`PhaseKingAc`] and [`KingConciliator`].
+pub type PhaseKingProcess = ooc_core::SyncAcConsensus<PhaseKingAc, KingConciliator>;
+
+/// The wire message type of [`PhaseKingProcess`].
+pub type PhaseKingWire = ooc_core::SyncTemplateMsg<u64, u64>;
+
+/// Builds a decomposed Phase-King processor with the **classical**
+/// decision rule: decide the value held after `t + 1` full phases.
+///
+/// The paper's template decides at the first adopt-commit `commit`
+/// instead; use [`phase_king_process_paper_rule`] for that behaviour and
+/// see `ooc_core::SyncDecisionRule` for why it is unsound against
+/// Byzantine kings (reproduced in this crate's tests).
+///
+/// # Panics
+/// Panics unless `3t < n`.
+pub fn phase_king_process(input: u64, n: usize, t: usize, max_phases: u64) -> PhaseKingProcess {
+    assert!(3 * t < n, "Phase-King requires 3t < n (got n={n}, t={t})");
+    ooc_core::SyncAcConsensus::new(
+        input,
+        move |_phase| PhaseKingAc::new(n, t),
+        move |phase| KingConciliator::new(n, phase),
+        max_phases,
+    )
+    .with_decision_rule(ooc_core::SyncDecisionRule::AtPhaseEnd(t as u64 + 1))
+}
+
+/// Builds a decomposed Phase-King processor with the paper's literal
+/// decide-at-commit rule — **unsafe against Byzantine kings**; kept to
+/// demonstrate the violation (see `harness` tests and EXPERIMENTS.md).
+pub fn phase_king_process_paper_rule(
+    input: u64,
+    n: usize,
+    t: usize,
+    max_phases: u64,
+) -> PhaseKingProcess {
+    assert!(3 * t < n, "Phase-King requires 3t < n (got n={n}, t={t})");
+    ooc_core::SyncAcConsensus::new(
+        input,
+        move |_phase| PhaseKingAc::new(n, t),
+        move |phase| KingConciliator::new(n, phase),
+        max_phases,
+    )
+}

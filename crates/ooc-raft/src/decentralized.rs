@@ -1,0 +1,248 @@
+//! The decentralized, leaderless Raft variant sketched at the end of
+//! paper §4.3.
+//!
+//! > "…instead of electing a leader and having him in charge of logging
+//! > commands, everyone broadcasts the command they want logged and once
+//! > someone sees a majority it sends out a commit-to-that-command
+//! > message. This would result in convergence… Interestingly enough,
+//! > this change results in an algorithm that highly resembles Ben-Or's.
+//! > The only difference is … the reconciliators implemented are
+//! > different."
+//!
+//! We take the paper at its word: the agreement detector is exactly
+//! Ben-Or's VAC (`ooc_ben_or::BenOrVac` — broadcast the command, majority
+//! ⇒ ratify/commit-request, `> t` commit-requests ⇒ commit), and only the
+//! reconciliator changes. Raft shakes stalemates with *randomized timers*
+//! — whoever times out first re-proposes and the others follow. The
+//! message-passing equivalent is [`TimerNudge`]: every vacillating
+//! processor draws a random priority (its "timer duration"), broadcasts
+//! `(priority, value)`, and everyone adopts the value of the
+//! highest-priority nudge it collects. When the same processor wins
+//! everywhere (the common case), the next round converges — giving the
+//! required eventual weak agreement with probability 1.
+
+use ooc_ben_or::{BenOrVac, CoinFlip};
+use ooc_core::confidence::Confidence;
+use ooc_core::objects::{ObjectNet, ReconciliatorObject};
+use ooc_core::template::{Template, TemplateConfig, TemplateMsg};
+use ooc_simnet::ProcessId;
+
+/// One reconciliator message: `(priority, value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nudge {
+    /// The sender's random priority (its simulated timer draw).
+    pub priority: u64,
+    /// The value the sender wants to push.
+    pub value: bool,
+}
+
+/// The timer-flavored reconciliator.
+///
+/// On `begin` it broadcasts a `(priority, value)` nudge and arms a
+/// randomized timer (its "election timeout"). Nudges from other
+/// vacillators are collected as they arrive; when the timer fires the
+/// highest-priority nudge seen so far wins. Because only a *subset* of
+/// the network vacillates in any round, no quorum can be awaited — the
+/// timer is what guarantees termination, exactly as in Raft, where "it is
+/// not the returned value that causes the wanted behaviour but rather the
+/// timing of processors entering the reconciliator" (§4.3).
+#[derive(Debug)]
+pub struct TimerNudge {
+    /// Timer window `(lo, hi)` in ticks; should comfortably exceed the
+    /// network delay so concurrent vacillators hear each other (the
+    /// paper's timing property).
+    window: (u64, u64),
+    sigma: bool,
+    best: Option<Nudge>,
+    timer: Option<ooc_simnet::TimerId>,
+}
+
+impl TimerNudge {
+    /// Creates the reconciliator with the default 30–90-tick window.
+    pub fn new() -> Self {
+        TimerNudge::with_window(30, 90)
+    }
+
+    /// Creates the reconciliator with an explicit timer window.
+    pub fn with_window(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi && lo > 0, "window must be positive and ordered");
+        TimerNudge {
+            window: (lo, hi),
+            sigma: false,
+            best: None,
+            timer: None,
+        }
+    }
+
+    fn consider(&mut self, nudge: Nudge) {
+        let better = match self.best {
+            None => true,
+            Some(b) => (nudge.priority, nudge.value) > (b.priority, b.value),
+        };
+        if better {
+            self.best = Some(nudge);
+        }
+    }
+}
+
+impl Default for TimerNudge {
+    fn default() -> Self {
+        TimerNudge::new()
+    }
+}
+
+impl ReconciliatorObject for TimerNudge {
+    type Value = bool;
+    type Msg = Nudge;
+
+    fn begin(
+        &mut self,
+        _confidence: Confidence,
+        sigma: bool,
+        net: &mut dyn ObjectNet<Nudge>,
+    ) -> Option<bool> {
+        self.sigma = sigma;
+        let priority = net.rng().next_u64();
+        let nudge = Nudge {
+            priority,
+            value: sigma,
+        };
+        self.consider(nudge);
+        net.broadcast(nudge);
+        let (lo, hi) = self.window;
+        let wait = net.rng().range_inclusive(lo, hi);
+        self.timer = Some(net.set_timer(ooc_simnet::SimDuration::from_ticks(wait)));
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: Nudge,
+        _net: &mut dyn ObjectNet<Nudge>,
+    ) -> Option<bool> {
+        self.consider(msg);
+        None
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: ooc_simnet::TimerId,
+        _net: &mut dyn ObjectNet<Nudge>,
+    ) -> Option<bool> {
+        if Some(timer) != self.timer {
+            return None;
+        }
+        Some(self.best.map(|b| b.value).unwrap_or(self.sigma))
+    }
+}
+
+/// The decentralized-Raft consensus process: Ben-Or's VAC + [`TimerNudge`].
+pub type DecentralizedRaft = Template<BenOrVac, TimerNudge>;
+
+/// Its wire type.
+pub type DecentralizedWire = TemplateMsg<ooc_ben_or::BenOrMsg, Nudge>;
+
+/// Builds a decentralized-Raft processor.
+///
+/// # Panics
+/// Panics unless `t < n/2`.
+pub fn decentralized_raft(input: bool, n: usize, t: usize) -> DecentralizedRaft {
+    Template::vac(
+        input,
+        move |_m| BenOrVac::new(n, t),
+        move |_m| TimerNudge::new(),
+        TemplateConfig::default(),
+    )
+}
+
+/// The coin-flip twin (plain Ben-Or) with identical configuration — the
+/// ablation baseline for comparing the two reconciliators.
+pub fn coin_flip_twin(input: bool, n: usize, t: usize) -> Template<BenOrVac, CoinFlip> {
+    Template::vac(
+        input,
+        move |_m| BenOrVac::new(n, t),
+        |_m| CoinFlip::new(),
+        TemplateConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_simnet::{NetworkConfig, ProcessId, RunLimit, Sim};
+
+    fn run(inputs: &[bool], t: usize, seed: u64) -> ooc_simnet::RunOutcome<bool> {
+        let n = inputs.len();
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| decentralized_raft(v, n, t)))
+            .build();
+        sim.run(RunLimit::default())
+    }
+
+    #[test]
+    fn decides_and_agrees() {
+        for seed in 0..20 {
+            let out = run(&[true, false, true, false, true], 2, seed);
+            assert!(out.all_decided(), "seed {seed}");
+            assert!(out.agreement(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn convergence_holds_as_the_paper_claims() {
+        // The paper's §4.3 point: the decentralized variant satisfies
+        // convergence (unanimous inputs commit in round one).
+        for seed in 0..10 {
+            let n = 5;
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(seed)
+                .processes((0..n).map(|_| decentralized_raft(true, n, 2)))
+                .build();
+            let out = sim.run(RunLimit::default());
+            assert_eq!(out.decided_value(), Some(true));
+            for i in 0..n {
+                let h = sim.process(ProcessId(i)).history();
+                assert!(h[0].outcome.is_commit(), "seed {seed}: round-1 commit");
+            }
+        }
+    }
+
+    #[test]
+    fn nudge_tracks_highest_priority_and_times_out() {
+        use ooc_core::testkit::LoopbackNet;
+        let mut rec = TimerNudge::new();
+        let mut net = LoopbackNet::<Nudge>::new(0, 3, 5);
+        assert!(rec
+            .begin(ooc_core::Confidence::Vacillate, false, &mut net)
+            .is_none());
+        assert_eq!(net.sent.len(), 3, "nudge broadcast");
+        assert_eq!(net.timers.len(), 1, "timer armed");
+        let timer = net.timers[0].0;
+        rec.on_message(
+            ProcessId(1),
+            Nudge {
+                priority: u64::MAX,
+                value: true,
+            },
+            &mut net,
+        );
+        assert_eq!(rec.on_timer(timer, &mut net), Some(true));
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        use ooc_core::testkit::LoopbackNet;
+        let mut rec = TimerNudge::new();
+        let mut net = LoopbackNet::<Nudge>::new(0, 3, 5);
+        rec.begin(ooc_core::Confidence::Vacillate, true, &mut net);
+        assert_eq!(rec.on_timer(ooc_simnet::TimerId(999), &mut net), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn window_is_validated() {
+        let _ = TimerNudge::with_window(0, 10);
+    }
+}

@@ -1,0 +1,62 @@
+//! # ooc-raft
+//!
+//! A complete Raft implementation (Ongaro & Ousterhout '14) built as the
+//! substrate for paper §4.3, which uses Raft as **single-shot consensus**
+//! via the `D&S(v)` (*decide-and-stop*) command, and decomposes it into a
+//! vacillate-adopt-commit object plus a timer reconciliator.
+//!
+//! What's here:
+//!
+//! * [`RaftNode`] — the full protocol: randomized election timers, terms,
+//!   `RequestVote`/`AppendEntries` exactly as the paper's **Figure 1**
+//!   ([`message`]), node state exactly as **Figure 2** ([`state`]), log
+//!   replication with `NextIndex`/`MatchIndex` backtracking, commit-index
+//!   advancement, crash/restart with persistent state — Algorithms 7–9.
+//! * [`vac_view`] — the decomposition: every node records its per-term
+//!   `(X, σ)` transitions per **Algorithm 10** (vacillate on election,
+//!   adopt on first-kind `AppendEntries` / on winning an election, commit
+//!   on commit-index movement) and its reconciliator invocations per
+//!   **Algorithm 11** (timer expiry, term bump). The module checks the
+//!   VAC laws over those records.
+//! * [`decentralized`] — the leaderless variant the paper sketches at the
+//!   end of §4.3 ("everyone broadcasts the command they want logged…"),
+//!   which the paper observes collapses into Ben-Or with a different
+//!   reconciliator. We pair Ben-Or's VAC with a *timer-flavored*
+//!   [`decentralized::TimerNudge`] reconciliator and get a convergent,
+//!   leaderless Raft-alike.
+//! * [`harness`] — experiment runners: consensus latency, election
+//!   latency vs. timeout spread (the timing property, T6), and checkers
+//!   for Election Safety, Log Matching, Leader Completeness and State
+//!   Machine Safety over recorded runs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ooc_raft::harness::{run_raft, RaftClusterConfig};
+//!
+//! let cfg = RaftClusterConfig::new(3);
+//! let run = run_raft(&cfg, &[10, 20, 30], 7);
+//! assert!(run.outcome.agreement());
+//! assert!(run.violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decentralized;
+pub mod events;
+pub mod harness;
+pub mod log;
+pub mod message;
+pub mod node;
+pub mod state;
+pub mod types;
+pub mod vac_view;
+
+pub use events::RaftEvent;
+pub use harness::{run_raft, RaftClusterConfig, RaftRun};
+pub use log::RaftLog;
+pub use message::{AckAppendEntries, AckRequestVote, AppendEntries, RaftMsg, RequestVote};
+pub use node::{RaftConfig, RaftNode};
+pub use state::{LeaderState, PersistentState, Role, VolatileState};
+pub use types::{DecideAndStop, LogEntry, LogIndex, Term};

@@ -1,0 +1,227 @@
+//! The VAC view of Raft (paper Algorithms 10–11) and its checkers.
+//!
+//! §4.3 maps each Raft **term** to a template round and classifies every
+//! node's experience of the term:
+//!
+//! * **vacillate** — saw no evidence a leader was chosen;
+//! * **adopt** — won the election, or accepted a first-kind
+//!   `AppendEntries` (entries, no commit movement): "all other processors
+//!   which received such a message received it with the same value";
+//! * **commit** — moved the commit index (second-kind `AppendEntries`, or
+//!   the leader's own majority): consensus has been reached.
+//!
+//! [`RaftNode`](crate::RaftNode) records these transitions as
+//! [`RaftEvent::VacTransition`]s; this module folds them into per-term
+//! outcomes and checks the two coherence laws.
+//!
+//! ### A scope note the paper makes in passing
+//!
+//! Lemma 7's proof covers "processors which have not failed during the
+//! term". A node that *times out* of term `T` (its reconciliator fires)
+//! behaves, for `T`'s coherence accounting, like a processor that failed
+//! during the term: it may sit at vacillate while the leader commits.
+//! The checkers below therefore verify:
+//!
+//! * **value coherence** — all adopt/commit records of one term carry one
+//!   value (this is unconditional);
+//! * **commit coherence** — if some node committed in term `T`, every
+//!   *adopt-or-commit* record of `T` carries the committed value;
+//! * **convergence is *not* checked** for leader-based Raft — the paper
+//!   itself concedes it "does not hold as is" (§4.3) and offers the
+//!   [`decentralized`](crate::decentralized) variant instead, where we do
+//!   check it.
+
+use crate::events::RaftEvent;
+use crate::types::Term;
+use ooc_core::checker::{Violation, ViolationKind};
+use ooc_core::{Confidence, VacOutcome};
+use ooc_simnet::ProcessId;
+use std::collections::BTreeMap;
+
+/// One node's final VAC outcome for each term it participated in.
+///
+/// Within a term a node's confidence only ever increases (vacillate →
+/// adopt → commit), so the fold keeps the highest.
+pub fn per_term_outcomes(events: &[RaftEvent]) -> BTreeMap<Term, VacOutcome<u64>> {
+    let mut map: BTreeMap<Term, VacOutcome<u64>> = BTreeMap::new();
+    for e in events {
+        if let RaftEvent::VacTransition {
+            term,
+            confidence,
+            value,
+        } = e
+        {
+            let entry = map.entry(*term).or_insert(VacOutcome {
+                confidence: *confidence,
+                value: *value,
+            });
+            if *confidence >= entry.confidence {
+                *entry = VacOutcome {
+                    confidence: *confidence,
+                    value: *value,
+                };
+            }
+        }
+    }
+    map
+}
+
+/// Number of reconciliator invocations (Algorithm 11 = election-timer
+/// expiries) in the event stream.
+pub fn reconciliator_invocations(events: &[RaftEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, RaftEvent::ElectionStarted { .. }))
+        .count()
+}
+
+/// Checks the VAC coherence laws over all nodes' per-term outcomes.
+pub fn check_vac_coherence(
+    outcomes: &[(ProcessId, BTreeMap<Term, VacOutcome<u64>>)],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut terms: BTreeMap<Term, Vec<(ProcessId, VacOutcome<u64>)>> = BTreeMap::new();
+    for (pid, map) in outcomes {
+        for (term, out) in map {
+            terms.entry(*term).or_default().push((*pid, *out));
+        }
+    }
+    for (term, entries) in terms {
+        let committed: Vec<&(ProcessId, VacOutcome<u64>)> = entries
+            .iter()
+            .filter(|(_, o)| o.confidence == Confidence::Commit)
+            .collect();
+        let adopted_or_committed: Vec<&(ProcessId, VacOutcome<u64>)> = entries
+            .iter()
+            .filter(|(_, o)| o.confidence >= Confidence::Adopt)
+            .collect();
+        // Value coherence among adopt/commit records (both laws' shared
+        // core: first-kind AppendEntries of one term carry one value).
+        if let Some((p0, o0)) = adopted_or_committed.first() {
+            for (p, o) in &adopted_or_committed {
+                if o.value != o0.value {
+                    violations.push(Violation {
+                        kind: if committed.is_empty() {
+                            ViolationKind::CoherenceVacillateAdopt
+                        } else {
+                            ViolationKind::CoherenceAdoptCommit
+                        },
+                        round: Some(term.0),
+                        detail: format!(
+                            "{p0} held ({}, {}) but {p} held ({}, {}) in {term}",
+                            o0.confidence, o0.value, o.confidence, o.value
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks that all committed values across the whole run agree — the
+/// consensus-level consequence of Leader Completeness + State Machine
+/// Safety that the paper's Lemma 6 leans on.
+pub fn check_commit_agreement(
+    outcomes: &[(ProcessId, BTreeMap<Term, VacOutcome<u64>>)],
+) -> Vec<Violation> {
+    let mut commits: Vec<(ProcessId, Term, u64)> = Vec::new();
+    for (pid, map) in outcomes {
+        for (term, out) in map {
+            if out.confidence == Confidence::Commit {
+                commits.push((*pid, *term, out.value));
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    if let Some(&(p0, t0, v0)) = commits.first() {
+        for &(p, t, v) in &commits[1..] {
+            if v != v0 {
+                violations.push(Violation {
+                    kind: ViolationKind::Agreement,
+                    round: None,
+                    detail: format!(
+                        "{p0} committed {v0} in {t0} but {p} committed {v} in {t}"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(term: u64, confidence: Confidence, value: u64) -> RaftEvent {
+        RaftEvent::VacTransition {
+            term: Term(term),
+            confidence,
+            value,
+        }
+    }
+
+    #[test]
+    fn fold_keeps_highest_confidence() {
+        let events = vec![
+            vt(1, Confidence::Vacillate, 5),
+            vt(1, Confidence::Adopt, 7),
+            vt(1, Confidence::Commit, 7),
+            vt(2, Confidence::Vacillate, 7),
+        ];
+        let map = per_term_outcomes(&events);
+        assert_eq!(map[&Term(1)], VacOutcome::commit(7));
+        assert_eq!(map[&Term(2)], VacOutcome::vacillate(7));
+    }
+
+    #[test]
+    fn coherent_terms_pass() {
+        let a = per_term_outcomes(&[vt(1, Confidence::Commit, 7)]);
+        let b = per_term_outcomes(&[vt(1, Confidence::Adopt, 7)]);
+        let c = per_term_outcomes(&[vt(1, Confidence::Vacillate, 3)]);
+        let v = check_vac_coherence(&[
+            (ProcessId(0), a),
+            (ProcessId(1), b),
+            (ProcessId(2), c),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn conflicting_adopts_flagged() {
+        let a = per_term_outcomes(&[vt(1, Confidence::Adopt, 7)]);
+        let b = per_term_outcomes(&[vt(1, Confidence::Adopt, 8)]);
+        let v = check_vac_coherence(&[(ProcessId(0), a), (ProcessId(1), b)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::CoherenceVacillateAdopt);
+    }
+
+    #[test]
+    fn adopt_conflicting_with_commit_flagged() {
+        let a = per_term_outcomes(&[vt(2, Confidence::Commit, 7)]);
+        let b = per_term_outcomes(&[vt(2, Confidence::Adopt, 8)]);
+        let v = check_vac_coherence(&[(ProcessId(0), a), (ProcessId(1), b)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::CoherenceAdoptCommit);
+    }
+
+    #[test]
+    fn cross_term_commit_disagreement_flagged() {
+        let a = per_term_outcomes(&[vt(1, Confidence::Commit, 7)]);
+        let b = per_term_outcomes(&[vt(3, Confidence::Commit, 9)]);
+        let v = check_commit_agreement(&[(ProcessId(0), a), (ProcessId(1), b)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Agreement);
+    }
+
+    #[test]
+    fn reconciliator_count() {
+        let events = vec![
+            RaftEvent::ElectionStarted { term: Term(1) },
+            vt(1, Confidence::Vacillate, 0),
+            RaftEvent::ElectionStarted { term: Term(2) },
+        ];
+        assert_eq!(reconciliator_invocations(&events), 2);
+    }
+}

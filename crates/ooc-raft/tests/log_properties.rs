@@ -1,0 +1,133 @@
+//! Property-based tests of the replicated log — the operations behind
+//! the paper's Log Matching property.
+
+use ooc_raft::{DecideAndStop, LogEntry, LogIndex, RaftLog, Term};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = LogEntry> {
+    (1u64..6, 0u64..8).prop_map(|(term, v)| LogEntry {
+        term: Term(term),
+        command: DecideAndStop(v),
+    })
+}
+
+fn log_strategy() -> impl Strategy<Value = RaftLog> {
+    proptest::collection::vec(entry_strategy(), 0..12).prop_map(|mut entries| {
+        // Terms in a real log are non-decreasing; sort to respect that.
+        entries.sort_by_key(|e| e.term);
+        let mut log = RaftLog::new();
+        for e in entries {
+            log.push(e);
+        }
+        log
+    })
+}
+
+proptest! {
+    /// `install` is idempotent: re-installing the same batch changes
+    /// nothing.
+    #[test]
+    fn install_is_idempotent(log in log_strategy(), batch in proptest::collection::vec(entry_strategy(), 0..6)) {
+        let mut a = log.clone();
+        let prev = a.last_index();
+        a.install(prev, &batch);
+        let once = a.clone();
+        a.install(prev, &batch);
+        prop_assert_eq!(a, once);
+    }
+
+    /// After `install(prev, batch)`, the log contains exactly `batch`
+    /// at positions `prev+1 ..= prev+len`.
+    #[test]
+    fn install_places_batch(log in log_strategy(), batch in proptest::collection::vec(entry_strategy(), 1..6)) {
+        let mut a = log.clone();
+        let prev = a.last_index();
+        let last = a.install(prev, &batch);
+        prop_assert_eq!(last, LogIndex(prev.0 + batch.len() as u64));
+        for (k, e) in batch.iter().enumerate() {
+            prop_assert_eq!(a.get(LogIndex(prev.0 + 1 + k as u64)), Some(e));
+        }
+    }
+
+    /// Install never touches the prefix before `prev`.
+    #[test]
+    fn install_preserves_prefix(log in log_strategy(), batch in proptest::collection::vec(entry_strategy(), 0..6), cut in 0usize..12) {
+        let mut a = log.clone();
+        let prev = LogIndex((cut as u64).min(a.last_index().0));
+        let before: Vec<_> = (1..=prev.0).map(|i| *a.get(LogIndex(i)).unwrap()).collect();
+        a.install(prev, &batch);
+        for (k, e) in before.iter().enumerate() {
+            prop_assert_eq!(a.get(LogIndex(k as u64 + 1)), Some(e));
+        }
+    }
+
+    /// A conflicting entry truncates everything after it (the paper's
+    /// "delete conflicting ones, if deleted delete all entries that
+    /// follow as well").
+    #[test]
+    fn conflict_truncates_suffix(base in log_strategy(), v in 0u64..8) {
+        prop_assume!(base.len() >= 2);
+        let mut a = base.clone();
+        // Overwrite index 1 with a higher term than anything present.
+        let hi = Term(base.entries().iter().map(|e| e.term.0).max().unwrap_or(0) + 1);
+        let conflict = LogEntry { term: hi, command: DecideAndStop(v) };
+        let last = a.install(LogIndex::ZERO, &[conflict]);
+        prop_assert_eq!(last, LogIndex(1));
+        prop_assert_eq!(a.len(), 1, "suffix after the conflict must be gone");
+        prop_assert_eq!(a.get(LogIndex(1)), Some(&conflict));
+    }
+
+    /// `matches` agrees with `term_at`, including the index-0 sentinel.
+    #[test]
+    fn matches_consistent_with_term_at(log in log_strategy(), idx in 0u64..14, term in 0u64..7) {
+        let m = log.matches(LogIndex(idx), Term(term));
+        let t = log.term_at(LogIndex(idx));
+        prop_assert_eq!(m, t == Some(Term(term)));
+    }
+
+    /// `suffix` returns exactly the tail, capped.
+    #[test]
+    fn suffix_is_the_tail(log in log_strategy(), from in 1u64..14, cap in 0usize..6) {
+        let s = log.suffix(LogIndex(from), cap);
+        prop_assert!(s.len() <= cap);
+        for (k, e) in s.iter().enumerate() {
+            prop_assert_eq!(log.get(LogIndex(from + k as u64)), Some(e));
+        }
+        // Cap-respecting completeness: if fewer than `cap` returned, the
+        // log must really end there.
+        if s.len() < cap {
+            prop_assert!(log.get(LogIndex(from + s.len() as u64)).is_none());
+        }
+    }
+
+    /// The log-matching property itself: if two logs agree on (index,
+    /// term) at some position after arbitrary installs from a common
+    /// "leader" sequence, they agree on the whole prefix. We model the
+    /// leader as a fixed entry sequence and two followers that install
+    /// different (prefix-consistent) cuts of it.
+    #[test]
+    fn log_matching_after_leader_installs(
+        leader in proptest::collection::vec(entry_strategy(), 1..10),
+        cut_a in 0usize..10,
+        cut_b in 0usize..10,
+    ) {
+        let mut leader_sorted = leader.clone();
+        leader_sorted.sort_by_key(|e| e.term);
+        let cut_a = cut_a.min(leader_sorted.len());
+        let cut_b = cut_b.min(leader_sorted.len());
+        let mut a = RaftLog::new();
+        a.install(LogIndex::ZERO, &leader_sorted[..cut_a]);
+        let mut b = RaftLog::new();
+        b.install(LogIndex::ZERO, &leader_sorted[..cut_b]);
+        let common = a.len().min(b.len()) as u64;
+        for i in 1..=common {
+            let (ea, eb) = (a.get(LogIndex(i)).unwrap(), b.get(LogIndex(i)).unwrap());
+            if ea.term == eb.term {
+                // Same origin sequence ⇒ entire prefix identical.
+                for k in 1..=i {
+                    prop_assert_eq!(a.get(LogIndex(k)), b.get(LogIndex(k)));
+                }
+            }
+        }
+    }
+}

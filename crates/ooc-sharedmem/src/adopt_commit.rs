@@ -1,0 +1,219 @@
+//! The wait-free register-based adopt-commit (Gafni '98 style).
+//!
+//! ```text
+//! AC(i, v):
+//!   announce[i] ← v
+//!   view ← collect(announce)
+//!   if every non-⊥ value in view equals v:  flag[i] ← (v, candidate)
+//!   else:                                   flag[i] ← (v, plain)
+//!   flags ← collect(flag)
+//!   if every non-⊥ flag is (v, candidate):  return (commit, v)
+//!   else if some flag is (w, candidate):    return (adopt, w)
+//!   else:                                   return (adopt, v)
+//! ```
+//!
+//! Why coherence holds: suppose `p` returns `(commit, v)`. Every process
+//! `q` writes its flag *before* collecting flags. If `q`'s collect missed
+//! `p`'s `(v, candidate)` flag, then `q`'s flag write precedes `p`'s
+//! collect — but `p` saw only `(v, candidate)` flags, so `q`'s flag was
+//! `(v, candidate)` too and `q` leaves with value `v`. If `q`'s collect
+//! did see `p`'s flag, the candidate branch forces `q`'s value to a
+//! candidate value; two candidates can't carry different values (the
+//! first candidate-writer to finish its announce-collect would have seen
+//! the other's conflicting announce). Convergence is immediate: identical
+//! inputs make every flag `(v, candidate)`.
+
+use crate::register::Collect;
+use ooc_core::confidence::AcOutcome;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Flag<V> {
+    value: V,
+    candidate: bool,
+}
+
+/// A single-use, n-process adopt-commit object in shared memory.
+///
+/// `propose` is wait-free: two collects, two writes.
+#[derive(Debug)]
+pub struct RegisterAc<V> {
+    announce: Collect<V>,
+    flags: Collect<Flag<V>>,
+}
+
+impl<V: Clone + PartialEq> RegisterAc<V> {
+    /// An adopt-commit for `n` processes.
+    pub fn new(n: usize) -> Self {
+        RegisterAc {
+            announce: Collect::new(n),
+            flags: Collect::new(n),
+        }
+    }
+
+    /// Process `i` proposes `v`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ n`.
+    pub fn propose(&self, i: usize, v: V) -> AcOutcome<V> {
+        self.announce.update(i, v.clone());
+        let view = self.announce.collect();
+        let unanimous = view
+            .iter()
+            .flatten()
+            .all(|w| *w == v);
+        self.flags.update(
+            i,
+            Flag {
+                value: v.clone(),
+                candidate: unanimous,
+            },
+        );
+        let flags = self.flags.collect();
+        let mut all_candidate_v = true;
+        let mut some_candidate: Option<V> = None;
+        for f in flags.iter().flatten() {
+            if f.candidate
+                && some_candidate.is_none() {
+                    some_candidate = Some(f.value.clone());
+                }
+            if !(f.candidate && f.value == v) {
+                all_candidate_v = false;
+            }
+        }
+        if all_candidate_v {
+            // Our own flag is among them, so the set is non-empty.
+            AcOutcome::commit(v)
+        } else if let Some(w) = some_candidate {
+            AcOutcome::adopt(w)
+        } else {
+            AcOutcome::adopt(v)
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.announce.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_core::checker::{ac_entries, RoundOutcomes};
+    use ooc_core::confidence::AcConfidence;
+    use ooc_simnet::ProcessId;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_proposal_commits() {
+        let ac = RegisterAc::new(3);
+        assert_eq!(ac.propose(0, 7u64), AcOutcome::commit(7));
+    }
+
+    #[test]
+    fn sequential_identical_proposals_commit() {
+        let ac = RegisterAc::new(3);
+        assert_eq!(ac.propose(0, 7u64), AcOutcome::commit(7));
+        assert_eq!(ac.propose(1, 7), AcOutcome::commit(7));
+        assert_eq!(ac.propose(2, 7), AcOutcome::commit(7));
+    }
+
+    #[test]
+    fn sequential_conflicting_second_adopts_first() {
+        let ac = RegisterAc::new(2);
+        assert_eq!(ac.propose(0, 1u64), AcOutcome::commit(1));
+        // The second proposer sees the conflict and must leave with 1.
+        let out = ac.propose(1, 2);
+        assert_eq!(out.value, 1, "coherence with the earlier commit");
+        // (Either confidence is allowed by the spec; value is forced.)
+    }
+
+    /// Hammer the object with real threads and check the AC laws on every
+    /// execution.
+    fn hammer(n: usize, inputs: &[u64], iterations: usize) {
+        for it in 0..iterations {
+            let ac = Arc::new(RegisterAc::new(n));
+            let outs: Vec<AcOutcome<u64>> = std::thread::scope(|s| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let ac = Arc::clone(&ac);
+                        s.spawn(move || ac.propose(i, v))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let round = RoundOutcomes {
+                round: 1,
+                entries: ac_entries(
+                    outs.iter()
+                        .enumerate()
+                        .map(|(i, o)| (ProcessId(i), inputs[i], *o)),
+                ),
+                extra_inputs: Vec::new(),
+            };
+            let v = round.check_ac();
+            assert!(v.is_empty(), "iteration {it}: {v:?} (outs {outs:?})");
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_inputs_all_commit() {
+        for _ in 0..100 {
+            let ac = Arc::new(RegisterAc::new(4));
+            let outs: Vec<AcOutcome<u64>> = std::thread::scope(|s| {
+                (0..4)
+                    .map(|i| {
+                        let ac = Arc::clone(&ac);
+                        s.spawn(move || ac.propose(i, 9))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for o in outs {
+                assert_eq!(o, AcOutcome::commit(9), "convergence");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_inputs_satisfy_coherence() {
+        hammer(4, &[0, 1, 0, 1], 200);
+    }
+
+    #[test]
+    fn concurrent_three_values_satisfy_coherence() {
+        hammer(3, &[10, 20, 30], 200);
+    }
+
+    #[test]
+    fn commit_forces_global_value() {
+        // Directly assert the AC coherence clause on raw outcomes.
+        for _ in 0..200 {
+            let ac = Arc::new(RegisterAc::new(4));
+            let outs: Vec<AcOutcome<u64>> = std::thread::scope(|s| {
+                [3u64, 3, 8, 8]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let ac = Arc::clone(&ac);
+                        s.spawn(move || ac.propose(i, v))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            if let Some(c) = outs.iter().find(|o| o.confidence == AcConfidence::Commit) {
+                for o in &outs {
+                    assert_eq!(o.value, c.value, "{outs:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Aspnes' probabilistic-write conciliator.
+//!
+//! A single shared register, initially `⊥`. Each invoker alternates
+//! between reading the register (returning its value if somebody already
+//! wrote) and writing its own value with small probability `p ≈ 1/n`.
+//! With constant probability exactly one write lands before anyone's
+//! read, and then *every* invoker returns that value — the
+//! "probabilistic agreement" the conciliator spec asks for. Validity is
+//! immediate (only proposed values are ever written) and termination is
+//! bounded by the fallback write.
+
+use crate::register::AtomicRegister;
+use ooc_simnet::SplitMix64;
+
+/// A single-use, n-process conciliator in shared memory.
+#[derive(Debug)]
+pub struct ProbWriteConciliator<V> {
+    register: AtomicRegister<V>,
+    write_probability: f64,
+    max_steps: u32,
+}
+
+impl<V: Clone> ProbWriteConciliator<V> {
+    /// A conciliator tuned for `n` processes (`p = 1/n`).
+    pub fn new(n: usize) -> Self {
+        ProbWriteConciliator {
+            register: AtomicRegister::new(),
+            write_probability: 1.0 / n.max(1) as f64,
+            max_steps: (4 * n.max(1)) as u32,
+        }
+    }
+
+    /// Process proposes `v`; returns the (hopefully common) value.
+    ///
+    /// Each caller needs its own RNG — determinism across a run is the
+    /// caller's concern (thread interleavings are not deterministic
+    /// anyway on this substrate).
+    pub fn propose(&self, v: V, rng: &mut SplitMix64) -> V {
+        for _ in 0..self.max_steps {
+            if let Some(w) = self.register.read() {
+                return w;
+            }
+            if rng.chance(self.write_probability) {
+                self.register.write(v.clone());
+                return v;
+            }
+        }
+        // Fallback: claim the register if still empty, else defer.
+        self.register.write_if_empty(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_invoker_gets_own_value() {
+        let c = ProbWriteConciliator::new(1);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(c.propose(42u64, &mut rng), 42);
+    }
+
+    #[test]
+    fn returned_values_are_valid() {
+        for seed in 0..50 {
+            let c = Arc::new(ProbWriteConciliator::new(4));
+            let outs: Vec<u64> = std::thread::scope(|s| {
+                (0..4u64)
+                    .map(|i| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || {
+                            let mut rng = SplitMix64::new(seed * 100 + i);
+                            c.propose(i * 11, &mut rng)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for v in outs {
+                assert!(v % 11 == 0 && v <= 33, "validity: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_happens_with_decent_frequency() {
+        // The spec only demands probability > 0; empirically the
+        // probabilistic write gives much more. Require ≥ 20% here to
+        // keep the test robust across schedulers.
+        let mut agreements = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let c = Arc::new(ProbWriteConciliator::new(4));
+            let outs: Vec<u64> = std::thread::scope(|s| {
+                (0..4u64)
+                    .map(|i| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || {
+                            let mut rng = SplitMix64::new(seed * 991 + i);
+                            c.propose(i, &mut rng)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            if outs.windows(2).all(|w| w[0] == w[1]) {
+                agreements += 1;
+            }
+        }
+        assert!(
+            agreements * 5 >= trials,
+            "only {agreements}/{trials} agreed"
+        );
+    }
+
+    #[test]
+    fn sequential_invocations_chain_to_first_writer() {
+        let c = ProbWriteConciliator::new(3);
+        let mut rng = SplitMix64::new(7);
+        let first = c.propose(5u64, &mut rng);
+        let second = c.propose(9, &mut rng);
+        assert_eq!(first, 5);
+        assert_eq!(second, 5, "later invokers read the landed value");
+    }
+}

@@ -1,0 +1,258 @@
+//! Message scheduling adversaries.
+//!
+//! The asynchronous engine asks an [`Adversary`] for a [`Decision`] about
+//! every message it is about to route. The default,
+//! [`NetworkAdversary`], just samples the stochastic [`NetworkConfig`];
+//! custom adversaries can inspect payloads and deliberately reorder, delay
+//! or drop messages — the standard tool for attacking liveness claims
+//! (e.g. keeping Ben-Or's votes split for as long as possible).
+
+use crate::network::NetworkConfig;
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+use crate::ProcessId;
+
+/// What to do with a message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Deliver after the given transit delay (clamped to ≥ 1 tick for
+    /// messages between distinct processes).
+    DeliverAfter(SimDuration),
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Chooses transit fates for messages. Implementations must be
+/// deterministic given the provided RNG.
+pub trait Adversary<M> {
+    /// Decides the fate of a message sent at `at` from `from` to `to`.
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> Decision;
+
+    /// Probability-style duplication hook; the default never duplicates.
+    fn duplicate(
+        &mut self,
+        _at: SimTime,
+        _from: ProcessId,
+        _to: ProcessId,
+        _msg: &M,
+        _rng: &mut SplitMix64,
+    ) -> bool {
+        false
+    }
+}
+
+/// The default adversary: faithfully samples a [`NetworkConfig`]
+/// (delays, drops, duplication, partitions).
+#[derive(Debug, Clone)]
+pub struct NetworkAdversary {
+    config: NetworkConfig,
+}
+
+impl NetworkAdversary {
+    /// Wraps a network configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        NetworkAdversary { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+}
+
+impl<M> Adversary<M> for NetworkAdversary {
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        _msg: &M,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        if self.config.partition_blocks(at, from, to) {
+            return Decision::Drop;
+        }
+        if self.config.drop_probability > 0.0 && rng.chance(self.config.drop_probability) {
+            return Decision::Drop;
+        }
+        Decision::DeliverAfter(self.config.delay.sample(rng))
+    }
+
+    fn duplicate(
+        &mut self,
+        _at: SimTime,
+        _from: ProcessId,
+        _to: ProcessId,
+        _msg: &M,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        self.config.duplicate_probability > 0.0 && rng.chance(self.config.duplicate_probability)
+    }
+}
+
+/// An adversary defined by a closure — the quickest way to express a
+/// targeted attack.
+///
+/// ```
+/// use ooc_simnet::{FnAdversary, Decision, SimDuration};
+///
+/// // Delay everything process 0 sends by 100 ticks; deliver the rest fast.
+/// let adv = FnAdversary::new(|_at, from, _to, _msg: &u32, _rng| {
+///     if from.index() == 0 {
+///         Decision::DeliverAfter(SimDuration::from_ticks(100))
+///     } else {
+///         Decision::DeliverAfter(SimDuration::from_ticks(1))
+///     }
+/// });
+/// # let _ = adv;
+/// ```
+pub struct FnAdversary<M, F>
+where
+    F: FnMut(SimTime, ProcessId, ProcessId, &M, &mut SplitMix64) -> Decision,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(&M)>,
+}
+
+impl<M, F> FnAdversary<M, F>
+where
+    F: FnMut(SimTime, ProcessId, ProcessId, &M, &mut SplitMix64) -> Decision,
+{
+    /// Wraps a routing closure.
+    pub fn new(f: F) -> Self {
+        FnAdversary {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, F> std::fmt::Debug for FnAdversary<M, F>
+where
+    F: FnMut(SimTime, ProcessId, ProcessId, &M, &mut SplitMix64) -> Decision,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnAdversary").finish_non_exhaustive()
+    }
+}
+
+impl<M, F> Adversary<M> for FnAdversary<M, F>
+where
+    F: FnMut(SimTime, ProcessId, ProcessId, &M, &mut SplitMix64) -> Decision,
+{
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        (self.f)(at, from, to, msg, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{DelayModel, PartitionWindow};
+
+    #[test]
+    fn network_adversary_drops_across_partitions() {
+        let cfg = NetworkConfig {
+            partitions: vec![PartitionWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_ticks(10),
+                groups: vec![vec![ProcessId(0)], vec![ProcessId(1)]],
+            }],
+            ..NetworkConfig::default()
+        };
+        let mut adv = NetworkAdversary::new(cfg);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::Drop
+        );
+        assert!(matches!(
+            Adversary::<u32>::route(
+                &mut adv,
+                SimTime::from_ticks(10),
+                ProcessId(0),
+                ProcessId(1),
+                &0,
+                &mut rng
+            ),
+            Decision::DeliverAfter(_)
+        ));
+    }
+
+    #[test]
+    fn network_adversary_respects_drop_probability() {
+        let mut adv = NetworkAdversary::new(NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        });
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::Drop
+        );
+    }
+
+    #[test]
+    fn network_adversary_duplicates_when_asked() {
+        let mut adv = NetworkAdversary::new(NetworkConfig {
+            duplicate_probability: 1.0,
+            ..NetworkConfig::default()
+        });
+        let mut rng = SplitMix64::new(1);
+        assert!(Adversary::<u32>::duplicate(
+            &mut adv,
+            SimTime::ZERO,
+            ProcessId(0),
+            ProcessId(1),
+            &0,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn fixed_delay_config_produces_fixed_decision() {
+        let mut adv = NetworkAdversary::new(NetworkConfig {
+            delay: DelayModel::Fixed(4),
+            ..NetworkConfig::default()
+        });
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::DeliverAfter(SimDuration::from_ticks(4))
+        );
+    }
+
+    #[test]
+    fn fn_adversary_sees_payload() {
+        let mut adv = FnAdversary::new(|_, _, _, msg: &u32, _| {
+            if *msg == 13 {
+                Decision::Drop
+            } else {
+                Decision::DeliverAfter(SimDuration::from_ticks(1))
+            }
+        });
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            adv.route(SimTime::ZERO, ProcessId(0), ProcessId(1), &13, &mut rng),
+            Decision::Drop
+        );
+        assert!(matches!(
+            adv.route(SimTime::ZERO, ProcessId(0), ProcessId(1), &7, &mut rng),
+            Decision::DeliverAfter(_)
+        ));
+    }
+}

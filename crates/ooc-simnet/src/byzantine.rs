@@ -1,0 +1,280 @@
+//! Byzantine behaviour for the synchronous engine.
+//!
+//! A Byzantine process is just a [`SyncProcess`] that misbehaves. The
+//! [`ByzantineNode`] adapter packages the classic adversarial strategies so
+//! experiments can mix honest and Byzantine processes in one network via
+//! boxed trait objects.
+
+use crate::rng::SplitMix64;
+use crate::sync::{SyncContext, SyncProcess};
+use crate::ProcessId;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// A canned misbehaviour for a Byzantine process.
+pub enum SyncStrategy<M> {
+    /// Send nothing, ever (crash-like, but from round 0).
+    Silent,
+    /// Broadcast the same fixed message every round.
+    Fixed(M),
+    /// Equivocate: send `low` to the lower-id half of the network and
+    /// `high` to the upper half — the classic split attack.
+    Equivocate {
+        /// Message for recipients with id `< n/2`.
+        low: M,
+        /// Message for recipients with id `>= n/2`.
+        high: M,
+    },
+    /// Send each recipient an independently, uniformly chosen message from
+    /// the list each round.
+    RandomOf(Vec<M>),
+    /// Fully custom: called once per `(round, recipient)`, returning the
+    /// message to send (or `None` for silence).
+    #[allow(clippy::type_complexity)]
+    Custom(Box<dyn FnMut(u64, ProcessId, &mut SplitMix64) -> Option<M>>),
+}
+
+impl<M: Debug> Debug for SyncStrategy<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncStrategy::Silent => write!(f, "Silent"),
+            SyncStrategy::Fixed(m) => f.debug_tuple("Fixed").field(m).finish(),
+            SyncStrategy::Equivocate { low, high } => f
+                .debug_struct("Equivocate")
+                .field("low", low)
+                .field("high", high)
+                .finish(),
+            SyncStrategy::RandomOf(ms) => f.debug_tuple("RandomOf").field(ms).finish(),
+            SyncStrategy::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// A Byzantine process driven by a [`SyncStrategy`]. It never decides.
+///
+/// ```
+/// use ooc_simnet::{ByzantineNode, SyncStrategy};
+/// // A node that always claims the value 1, regardless of the protocol:
+/// let node: ByzantineNode<u64, u64> = ByzantineNode::new(SyncStrategy::Fixed(1));
+/// # let _ = node;
+/// ```
+pub struct ByzantineNode<M, O> {
+    strategy: SyncStrategy<M>,
+    _output: PhantomData<fn() -> O>,
+}
+
+impl<M: Debug, O> Debug for ByzantineNode<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzantineNode")
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+impl<M, O> ByzantineNode<M, O> {
+    /// Wraps a strategy.
+    pub fn new(strategy: SyncStrategy<M>) -> Self {
+        ByzantineNode {
+            strategy,
+            _output: PhantomData,
+        }
+    }
+}
+
+impl<M, O> SyncProcess for ByzantineNode<M, O>
+where
+    M: Clone + Debug,
+    O: Clone + Debug + PartialEq,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn on_round(
+        &mut self,
+        round: u64,
+        _inbox: &[(ProcessId, M)],
+        ctx: &mut SyncContext<'_, M, O>,
+    ) {
+        let n = ctx.n();
+        for r in 0..n {
+            let recipient = ProcessId(r);
+            let msg = match &mut self.strategy {
+                SyncStrategy::Silent => None,
+                SyncStrategy::Fixed(m) => Some(m.clone()),
+                SyncStrategy::Equivocate { low, high } => {
+                    if r < n / 2 {
+                        Some(low.clone())
+                    } else {
+                        Some(high.clone())
+                    }
+                }
+                SyncStrategy::RandomOf(choices) => {
+                    if choices.is_empty() {
+                        None
+                    } else {
+                        let i = ctx.rng().below(choices.len() as u64) as usize;
+                        Some(choices[i].clone())
+                    }
+                }
+                SyncStrategy::Custom(f) => f(round, recipient, ctx.rng()),
+            };
+            if let Some(m) = msg {
+                ctx.send(recipient, m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::SyncSim;
+
+    /// Honest node that records everything it hears.
+    #[derive(Debug, Default)]
+    struct Listener {
+        heard: Vec<(u64, ProcessId, u64)>,
+    }
+    impl SyncProcess for Listener {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(
+            &mut self,
+            round: u64,
+            inbox: &[(ProcessId, u64)],
+            _ctx: &mut SyncContext<'_, u64, u64>,
+        ) {
+            for &(from, v) in inbox {
+                self.heard.push((round, from, v));
+            }
+        }
+    }
+
+    type Node = Box<dyn SyncProcess<Msg = u64, Output = u64>>;
+
+    fn network(strategy: SyncStrategy<u64>) -> SyncSim<Node> {
+        let procs: Vec<Node> = vec![
+            Box::new(Listener::default()),
+            Box::new(Listener::default()),
+            Box::new(Listener::default()),
+            Box::new(ByzantineNode::new(strategy)),
+        ];
+        SyncSim::new(procs, 9)
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        let mut sim = network(SyncStrategy::Silent);
+        let out = sim.run(3);
+        assert_eq!(out.messages_sent, 0);
+    }
+
+    #[test]
+    fn fixed_broadcasts_every_round() {
+        let mut sim = network(SyncStrategy::Fixed(7));
+        let out = sim.run(3);
+        assert_eq!(out.messages_sent, 3 * 4);
+    }
+
+    #[test]
+    fn equivocate_sends_to_everyone() {
+        let mut sim = network(SyncStrategy::Equivocate { low: 0, high: 1 });
+        let out = sim.run(2);
+        assert_eq!(out.messages_sent, 2 * 4);
+    }
+
+    #[test]
+    fn equivocate_payloads_reach_correct_halves() {
+        // Homogeneous network of ByzantineNode so we can observe sends only.
+        #[derive(Debug, Default)]
+        struct Probe {
+            low_heard: Vec<u64>,
+            high_heard: Vec<u64>,
+        }
+        impl SyncProcess for Probe {
+            type Msg = u64;
+            type Output = u64;
+            fn on_round(
+                &mut self,
+                _round: u64,
+                inbox: &[(ProcessId, u64)],
+                ctx: &mut SyncContext<'_, u64, u64>,
+            ) {
+                for &(_, v) in inbox {
+                    if ctx.me().index() < ctx.n() / 2 {
+                        self.low_heard.push(v);
+                    } else {
+                        self.high_heard.push(v);
+                    }
+                }
+            }
+        }
+        // Use an enum wrapper to mix the two concrete types without boxing,
+        // exercising the non-boxed path too.
+        #[derive(Debug)]
+        enum Mixed {
+            Probe(Probe),
+            Byz(ByzantineNode<u64, u64>),
+        }
+        impl SyncProcess for Mixed {
+            type Msg = u64;
+            type Output = u64;
+            fn on_round(
+                &mut self,
+                round: u64,
+                inbox: &[(ProcessId, u64)],
+                ctx: &mut SyncContext<'_, u64, u64>,
+            ) {
+                match self {
+                    Mixed::Probe(p) => p.on_round(round, inbox, ctx),
+                    Mixed::Byz(b) => b.on_round(round, inbox, ctx),
+                }
+            }
+        }
+        let procs = vec![
+            Mixed::Probe(Probe::default()),
+            Mixed::Probe(Probe::default()),
+            Mixed::Probe(Probe::default()),
+            Mixed::Byz(ByzantineNode::new(SyncStrategy::Equivocate { low: 10, high: 20 })),
+        ];
+        let mut sim = SyncSim::new(procs, 3);
+        sim.run(2);
+        for i in 0..3 {
+            if let Mixed::Probe(p) = sim.process(ProcessId(i)) {
+                if i < 2 {
+                    assert!(p.low_heard.iter().all(|&v| v == 10), "p{i}: {:?}", p.low_heard);
+                    assert!(!p.low_heard.is_empty());
+                } else {
+                    assert!(p.high_heard.iter().all(|&v| v == 20));
+                    assert!(!p.high_heard.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_of_picks_from_choices() {
+        let mut sim = network(SyncStrategy::RandomOf(vec![3, 4]));
+        let out = sim.run(5);
+        assert_eq!(out.messages_sent, 5 * 4);
+    }
+
+    #[test]
+    fn random_of_empty_is_silent() {
+        let mut sim = network(SyncStrategy::RandomOf(vec![]));
+        let out = sim.run(3);
+        assert_eq!(out.messages_sent, 0);
+    }
+
+    #[test]
+    fn custom_strategy_controls_everything() {
+        // Sends round number only to even recipients.
+        let strategy =
+            SyncStrategy::Custom(Box::new(|round, to: ProcessId, _rng: &mut SplitMix64| {
+                to.index().is_multiple_of(2).then_some(round)
+            }));
+        let mut sim = network(strategy);
+        let out = sim.run(4);
+        assert_eq!(out.messages_sent, 4 * 2);
+    }
+}

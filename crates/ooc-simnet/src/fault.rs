@@ -1,0 +1,126 @@
+//! Crash/restart fault injection.
+
+use crate::time::SimTime;
+use crate::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// When a process should crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashSpec {
+    /// Crash at the given simulated instant.
+    AtTime(SimTime),
+    /// Crash immediately after handling the given number of events
+    /// (start / message / timer callbacks), counted per process.
+    AfterEvents(u64),
+}
+
+/// A deterministic plan of crashes, restarts and recoveries.
+///
+/// The plan is part of the run's identity: re-running with the same plan and
+/// seed reproduces the execution exactly.
+///
+/// ```
+/// use ooc_simnet::{FaultPlan, ProcessId, SimTime};
+/// let plan = FaultPlan::new()
+///     .crash_at(ProcessId(2), SimTime::from_ticks(50))
+///     .restart_at(ProcessId(2), SimTime::from_ticks(200));
+/// assert_eq!(plan.crashes().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    crashes: Vec<(ProcessId, CrashSpec)>,
+    restarts: Vec<(ProcessId, SimTime)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `p` to crash at time `t`.
+    pub fn crash_at(mut self, p: ProcessId, t: SimTime) -> Self {
+        self.crashes.push((p, CrashSpec::AtTime(t)));
+        self
+    }
+
+    /// Schedules `p` to crash after it has handled `events` callbacks.
+    pub fn crash_after_events(mut self, p: ProcessId, events: u64) -> Self {
+        self.crashes.push((p, CrashSpec::AfterEvents(events)));
+        self
+    }
+
+    /// Schedules `p` to restart (recover) at time `t`. A restart of a
+    /// process that is not crashed at `t` is a no-op.
+    pub fn restart_at(mut self, p: ProcessId, t: SimTime) -> Self {
+        self.restarts.push((p, t));
+        self
+    }
+
+    /// Crashes the last `count` processes of an `n`-process network at the
+    /// given time — the standard "t crash failures" workload shape.
+    pub fn crash_tail(mut self, n: usize, count: usize, t: SimTime) -> Self {
+        let count = count.min(n);
+        for i in (n - count)..n {
+            self.crashes.push((ProcessId(i), CrashSpec::AtTime(t)));
+        }
+        self
+    }
+
+    /// Scheduled crashes.
+    pub fn crashes(&self) -> &[(ProcessId, CrashSpec)] {
+        &self.crashes
+    }
+
+    /// Scheduled restarts.
+    pub fn restarts(&self) -> &[(ProcessId, SimTime)] {
+        &self.restarts
+    }
+
+    /// The event-count crash threshold for `p`, if one is scheduled.
+    pub fn event_crash_threshold(&self, p: ProcessId) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter_map(|&(q, spec)| match spec {
+                CrashSpec::AfterEvents(k) if q == p => Some(k),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_tail_targets_last_processes() {
+        let plan = FaultPlan::new().crash_tail(5, 2, SimTime::from_ticks(10));
+        let ids: Vec<_> = plan.crashes().iter().map(|&(p, _)| p.index()).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn crash_tail_clamps_count() {
+        let plan = FaultPlan::new().crash_tail(3, 99, SimTime::ZERO);
+        assert_eq!(plan.crashes().len(), 3);
+    }
+
+    #[test]
+    fn event_threshold_takes_minimum() {
+        let plan = FaultPlan::new()
+            .crash_after_events(ProcessId(1), 9)
+            .crash_after_events(ProcessId(1), 4);
+        assert_eq!(plan.event_crash_threshold(ProcessId(1)), Some(4));
+        assert_eq!(plan.event_crash_threshold(ProcessId(2)), None);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let plan = FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .restart_at(ProcessId(0), SimTime::from_ticks(9));
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.restarts().len(), 1);
+    }
+}

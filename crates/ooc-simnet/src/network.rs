@@ -1,0 +1,246 @@
+//! Network behaviour configuration for the asynchronous engine.
+
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+use crate::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// How message transit delays are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Delay drawn uniformly from `[min, max]` ticks (inclusive).
+    Uniform {
+        /// Minimum delay in ticks.
+        min: u64,
+        /// Maximum delay in ticks.
+        max: u64,
+    },
+    /// Geometric approximation of an exponential delay with the given mean,
+    /// in ticks; always at least 1 tick so causality is preserved.
+    Exponential {
+        /// Mean delay in ticks.
+        mean: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples a transit delay.
+    pub fn sample(&self, rng: &mut SplitMix64) -> SimDuration {
+        let ticks = match *self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                rng.range_inclusive(lo.max(1), hi.max(1))
+            }
+            DelayModel::Exponential { mean } => {
+                let mean = mean.max(1) as f64;
+                // Inverse-CDF sampling; `u` is kept away from 0 to avoid inf.
+                let u = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                ((-u.ln() * mean).round() as u64).max(1)
+            }
+        };
+        SimDuration::from_ticks(ticks)
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Uniform { min: 1, max: 10 }
+    }
+}
+
+/// A window of simulated time during which the network is partitioned into
+/// disjoint groups; messages between different groups are dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// The groups. A process absent from every group is isolated.
+    pub groups: Vec<Vec<ProcessId>>,
+}
+
+impl PartitionWindow {
+    /// Whether `a` can send to `b` at time `t` under this window.
+    ///
+    /// Returns `None` when the window is not active at `t` (no opinion).
+    pub fn allows(&self, t: SimTime, a: ProcessId, b: ProcessId) -> Option<bool> {
+        if t < self.from || t >= self.until {
+            return None;
+        }
+        let ga = self.groups.iter().position(|g| g.contains(&a));
+        let gb = self.groups.iter().position(|g| g.contains(&b));
+        Some(match (ga, gb) {
+            (Some(x), Some(y)) => x == y,
+            // Isolated processes can talk to nobody (except themselves,
+            // handled by the self-delivery fast path in the engine).
+            _ => false,
+        })
+    }
+}
+
+/// Stochastic network behaviour for the asynchronous engine.
+///
+/// The default configuration is a reliable network with uniform 1–10 tick
+/// delays and instantaneous self-delivery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Transit delay distribution for messages between distinct processes.
+    pub delay: DelayModel,
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// When true, deliveries between each ordered pair of processes respect
+    /// send order (per-link FIFO), as in TCP-like transports.
+    pub fifo_links: bool,
+    /// Delay applied to messages a process sends to itself. Self-messages
+    /// are never dropped, duplicated, or partitioned away.
+    pub self_delay: SimDuration,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            delay: DelayModel::default(),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            fifo_links: false,
+            self_delay: SimDuration::from_ticks(1),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable network with a fixed per-message delay.
+    pub fn reliable(delay_ticks: u64) -> Self {
+        NetworkConfig {
+            delay: DelayModel::Fixed(delay_ticks),
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// A lossy network: uniform delays plus the given drop probability.
+    pub fn lossy(min: u64, max: u64, drop_probability: f64) -> Self {
+        NetworkConfig {
+            delay: DelayModel::Uniform { min, max },
+            drop_probability,
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// Whether a message from `a` to `b` at `t` crosses an active partition.
+    pub fn partition_blocks(&self, t: SimTime, a: ProcessId, b: ProcessId) -> bool {
+        self.partitions
+            .iter()
+            .filter_map(|w| w.allows(t, a, b))
+            .any(|allowed| !allowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_delay_is_fixed() {
+        let mut rng = SplitMix64::new(1);
+        let m = DelayModel::Fixed(5);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_ticks(5));
+        }
+    }
+
+    #[test]
+    fn fixed_zero_becomes_one_tick() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            DelayModel::Fixed(0).sample(&mut rng),
+            SimDuration::from_ticks(1)
+        );
+    }
+
+    #[test]
+    fn uniform_delay_in_range() {
+        let mut rng = SplitMix64::new(2);
+        let m = DelayModel::Uniform { min: 3, max: 9 };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng).ticks();
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_swapped_bounds_are_fixed_up() {
+        let mut rng = SplitMix64::new(2);
+        let m = DelayModel::Uniform { min: 9, max: 3 };
+        for _ in 0..100 {
+            let d = m.sample(&mut rng).ticks();
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn exponential_delay_positive_and_near_mean() {
+        let mut rng = SplitMix64::new(3);
+        let m = DelayModel::Exponential { mean: 10 };
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng).ticks();
+            assert!(d >= 1);
+            total += d;
+        }
+        let mean = total as f64 / 10_000.0;
+        assert!((mean - 10.0).abs() < 1.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn partition_window_blocks_cross_group() {
+        let w = PartitionWindow {
+            from: SimTime::from_ticks(10),
+            until: SimTime::from_ticks(20),
+            groups: vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+        };
+        // Outside the window: no opinion.
+        assert_eq!(w.allows(SimTime::from_ticks(5), ProcessId(0), ProcessId(2)), None);
+        assert_eq!(w.allows(SimTime::from_ticks(20), ProcessId(0), ProcessId(2)), None);
+        // Inside: same group ok, cross group blocked, isolated blocked.
+        assert_eq!(
+            w.allows(SimTime::from_ticks(10), ProcessId(0), ProcessId(1)),
+            Some(true)
+        );
+        assert_eq!(
+            w.allows(SimTime::from_ticks(15), ProcessId(0), ProcessId(2)),
+            Some(false)
+        );
+        let w2 = PartitionWindow {
+            groups: vec![vec![ProcessId(0)]],
+            ..w
+        };
+        assert_eq!(
+            w2.allows(SimTime::from_ticks(15), ProcessId(0), ProcessId(3)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn config_partition_blocks() {
+        let cfg = NetworkConfig {
+            partitions: vec![PartitionWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_ticks(100),
+                groups: vec![vec![ProcessId(0)], vec![ProcessId(1)]],
+            }],
+            ..NetworkConfig::default()
+        };
+        assert!(cfg.partition_blocks(SimTime::from_ticks(1), ProcessId(0), ProcessId(1)));
+        assert!(!cfg.partition_blocks(SimTime::from_ticks(100), ProcessId(0), ProcessId(1)));
+        assert!(!cfg.partition_blocks(SimTime::from_ticks(1), ProcessId(0), ProcessId(0)));
+    }
+}

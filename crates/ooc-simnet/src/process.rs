@@ -1,0 +1,253 @@
+//! The asynchronous process model: [`Process`] and its [`Context`].
+
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+use crate::{ProcessId, TimerId};
+use std::collections::HashSet;
+use std::fmt::Debug;
+
+/// A reactive process running on the asynchronous engine.
+///
+/// Processes are state machines: the engine invokes the handlers below and
+/// the process responds by mutating its own state and issuing sends, timers
+/// and (at most one) decision through the [`Context`].
+///
+/// The trait is object-safe; heterogeneous networks are built from
+/// `Box<dyn Process<Msg = M, Output = O>>`.
+pub trait Process {
+    /// The message type exchanged on the network.
+    type Msg: Clone + Debug;
+    /// The type of the value this process may decide.
+    type Output: Clone + Debug + PartialEq;
+
+    /// Invoked once at time zero, before any delivery.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>);
+
+    /// Invoked for each delivered message.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        from: ProcessId,
+        msg: Self::Msg,
+    );
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, timer: TimerId);
+
+    /// Invoked when the process recovers from a crash.
+    ///
+    /// All state set before the crash is still present (the process value
+    /// itself survives); implementations model *volatile* state loss here.
+    /// Pending timers set before the crash are cancelled by the engine.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+}
+
+/// An outgoing message collected during a handler invocation.
+#[derive(Debug, Clone)]
+pub(crate) struct Outgoing<M> {
+    pub to: ProcessId,
+    pub msg: M,
+}
+
+/// Effects collected from one handler invocation; drained by the engine.
+#[derive(Debug)]
+pub(crate) struct Effects<M, O> {
+    pub outbox: Vec<Outgoing<M>>,
+    pub timer_requests: Vec<(TimerId, SimDuration)>,
+    pub cancelled: Vec<TimerId>,
+    pub decision: Option<O>,
+    pub halted: bool,
+}
+
+impl<M, O> Default for Effects<M, O> {
+    fn default() -> Self {
+        Effects {
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+            cancelled: Vec::new(),
+            decision: None,
+            halted: false,
+        }
+    }
+}
+
+/// The handle a [`Process`] uses to interact with the simulated world.
+///
+/// A fresh context is constructed for every handler invocation; effects are
+/// applied by the engine after the handler returns, in deterministic order.
+#[derive(Debug)]
+pub struct Context<'a, M, O> {
+    me: ProcessId,
+    n: usize,
+    now: SimTime,
+    rng: &'a mut SplitMix64,
+    next_timer: &'a mut u64,
+    live_timers: &'a HashSet<TimerId>,
+    effects: &'a mut Effects<M, O>,
+}
+
+impl<'a, M: Clone, O> Context<'a, M, O> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        me: ProcessId,
+        n: usize,
+        now: SimTime,
+        rng: &'a mut SplitMix64,
+        next_timer: &'a mut u64,
+        live_timers: &'a HashSet<TimerId>,
+        effects: &'a mut Effects<M, O>,
+    ) -> Self {
+        Context {
+            me,
+            n,
+            now,
+            rng,
+            next_timer,
+            live_timers,
+            effects,
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Total number of processes in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's private deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Self-sends are permitted and are always
+    /// delivered (never dropped or partitioned away).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.effects.outbox.push(Outgoing { to, msg });
+    }
+
+    /// Sends `msg` to every process **including this one**, matching the
+    /// paper's `broadcast⟨v⟩` which lets senders count their own message.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.effects.outbox.push(Outgoing {
+                to: ProcessId(i),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Sends `msg` to every *other* process.
+    pub fn broadcast_others(&mut self, msg: M) {
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.effects.outbox.push(Outgoing {
+                    to: ProcessId(i),
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
+    /// Schedules a timer to fire after `after` ticks; returns its handle.
+    pub fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.timer_requests.push((id, after));
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.cancelled.push(id);
+    }
+
+    /// Whether the timer is still pending (set, not fired, not cancelled
+    /// before this handler ran).
+    pub fn timer_pending(&self, id: TimerId) -> bool {
+        self.live_timers.contains(&id)
+            && !self.effects.cancelled.contains(&id)
+    }
+
+    /// Records this process's decision. Only the first decision of a run is
+    /// kept; later calls are ignored (processes such as Phase-King keep
+    /// participating after deciding).
+    pub fn decide(&mut self, value: O) {
+        if self.effects.decision.is_none() {
+            self.effects.decision = Some(value);
+        }
+    }
+
+    /// Stops this process: no further handlers will be invoked on it.
+    pub fn halt(&mut self) {
+        self.effects.halted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture() -> (SplitMix64, u64, HashSet<TimerId>, Effects<u32, u32>) {
+        (SplitMix64::new(1), 0, HashSet::new(), Effects::default())
+    }
+
+    #[test]
+    fn broadcast_includes_self() {
+        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        ctx.broadcast(7);
+        let tos: Vec<_> = fx.outbox.iter().map(|o| o.to.index()).collect();
+        assert_eq!(tos, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn broadcast_others_excludes_self() {
+        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        ctx.broadcast_others(7);
+        let tos: Vec<_> = fx.outbox.iter().map(|o| o.to.index()).collect();
+        assert_eq!(tos, vec![0, 2]);
+    }
+
+    #[test]
+    fn first_decision_wins() {
+        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        ctx.decide(1);
+        ctx.decide(2);
+        assert_eq!(fx.decision, Some(1));
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let a = ctx.set_timer(SimDuration::from_ticks(1));
+        let b = ctx.set_timer(SimDuration::from_ticks(1));
+        assert_ne!(a, b);
+        assert_eq!(fx.timer_requests.len(), 2);
+    }
+
+    #[test]
+    fn timer_pending_reflects_live_set_and_cancellations() {
+        let (mut rng, mut nt, mut live, mut fx) = ctx_fixture();
+        live.insert(TimerId(5));
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        assert!(ctx.timer_pending(TimerId(5)));
+        assert!(!ctx.timer_pending(TimerId(6)));
+        ctx.cancel_timer(TimerId(5));
+        assert!(!ctx.timer_pending(TimerId(5)));
+    }
+}

@@ -1,0 +1,985 @@
+//! The asynchronous discrete-event engine.
+
+use crate::adversary::{Adversary, Decision, NetworkAdversary};
+use crate::fault::{CrashSpec, FaultPlan};
+use crate::network::NetworkConfig;
+use crate::process::{Effects, Process};
+use crate::rng::SplitMix64;
+use crate::stats::RunStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel};
+use crate::{ProcessId, TimerId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt::Debug;
+
+/// Blanket impl so heterogeneous networks can be built from boxed trait
+/// objects while the engine stays generic over a concrete process type.
+impl<M: Clone + Debug, O: Clone + Debug + PartialEq> Process for Box<dyn Process<Msg = M, Output = O>> {
+    type Msg = M;
+    type Output = O;
+
+    fn on_start(&mut self, ctx: &mut crate::Context<'_, M, O>) {
+        (**self).on_start(ctx)
+    }
+
+    fn on_message(&mut self, ctx: &mut crate::Context<'_, M, O>, from: ProcessId, msg: M) {
+        (**self).on_message(ctx, from, msg)
+    }
+
+    fn on_timer(&mut self, ctx: &mut crate::Context<'_, M, O>, timer: TimerId) {
+        (**self).on_timer(ctx, timer)
+    }
+
+    fn on_restart(&mut self, ctx: &mut crate::Context<'_, M, O>) {
+        (**self).on_restart(ctx)
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        process: ProcessId,
+        id: TimerId,
+    },
+    Crash {
+        process: ProcessId,
+    },
+    Restart {
+        process: ProcessId,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    // Reversed so the BinaryHeap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Bounds on a [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Hard stop at this simulated time.
+    pub max_time: SimTime,
+    /// Hard stop after this many handler invocations.
+    pub max_events: u64,
+    /// Stop as soon as every live (non-crashed) process has decided.
+    pub stop_when_all_decide: bool,
+    /// Stop as soon as this many processes have decided.
+    pub stop_after_decisions: Option<usize>,
+}
+
+impl Default for RunLimit {
+    fn default() -> Self {
+        RunLimit {
+            max_time: SimTime::from_ticks(10_000_000),
+            max_events: 50_000_000,
+            stop_when_all_decide: true,
+            stop_after_decisions: None,
+        }
+    }
+}
+
+impl RunLimit {
+    /// A limit that stops only on quiescence or the given time bound.
+    pub fn until_time(max_time: SimTime) -> Self {
+        RunLimit {
+            max_time,
+            stop_when_all_decide: false,
+            ..RunLimit::default()
+        }
+    }
+
+    /// A limit that stops once `k` processes have decided.
+    pub fn until_decisions(k: usize) -> Self {
+        RunLimit {
+            stop_after_decisions: Some(k),
+            stop_when_all_decide: false,
+            ..RunLimit::default()
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every live process decided.
+    AllDecided,
+    /// The requested number of decisions was reached.
+    DecisionTarget,
+    /// The simulated-time bound was hit.
+    TimeLimit,
+    /// The handler-invocation bound was hit.
+    EventLimit,
+    /// No events left to process.
+    Quiescent,
+}
+
+/// The result of a [`Sim::run`] call.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<O> {
+    /// Per-process decision (index = process id), `None` if undecided.
+    pub decisions: Vec<Option<O>>,
+    /// Per-process decision time.
+    pub decision_times: Vec<Option<SimTime>>,
+    /// Aggregate counters.
+    pub stats: RunStats,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// The captured trace (content depends on the configured level).
+    pub trace: Trace,
+}
+
+impl<O: PartialEq + Clone> RunOutcome<O> {
+    /// Whether every process decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(|d| d.is_some())
+    }
+
+    /// Whether all decisions made so far agree (vacuously true if none).
+    pub fn agreement(&self) -> bool {
+        let mut iter = self.decisions.iter().flatten();
+        match iter.next() {
+            None => true,
+            Some(first) => iter.all(|d| d == first),
+        }
+    }
+
+    /// The common decided value, if at least one process decided and all
+    /// deciders agree.
+    pub fn decided_value(&self) -> Option<O> {
+        let first = self.decisions.iter().flatten().next()?;
+        self.agreement().then(|| first.clone())
+    }
+
+    /// Number of processes that decided.
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+
+    /// Latest decision time among deciders.
+    pub fn last_decision_time(&self) -> Option<SimTime> {
+        self.decision_times.iter().flatten().copied().max()
+    }
+}
+
+/// Builder for [`Sim`]. Obtained from [`Sim::builder`].
+pub struct SimBuilder<P: Process> {
+    processes: Vec<P>,
+    config: NetworkConfig,
+    adversary: Option<Box<dyn Adversary<P::Msg>>>,
+    faults: FaultPlan,
+    seed: u64,
+    trace_level: TraceLevel,
+}
+
+impl<P: Process> SimBuilder<P> {
+    /// Sets the master seed; everything random derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds processes in id order.
+    pub fn processes(mut self, procs: impl IntoIterator<Item = P>) -> Self {
+        self.processes.extend(procs);
+        self
+    }
+
+    /// Installs a custom adversary (replaces the stochastic network model
+    /// for routing decisions; partitions/drops in the config are then only
+    /// applied if the adversary chooses to apply them).
+    pub fn adversary(mut self, adversary: Box<dyn Adversary<P::Msg>>) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the trace detail level (default: [`TraceLevel::Events`]).
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Finalizes the simulator.
+    ///
+    /// # Panics
+    /// Panics if no processes were added.
+    pub fn build(self) -> Sim<P> {
+        assert!(!self.processes.is_empty(), "simulation needs processes");
+        let n = self.processes.len();
+        let master = SplitMix64::new(self.seed);
+        let rngs = (0..n).map(|i| master.derive(i as u64)).collect();
+        let route_rng = master.derive(u64::MAX);
+        let adversary = self
+            .adversary
+            .unwrap_or_else(|| Box::new(NetworkAdversary::new(self.config.clone())));
+        let crash_thresholds = (0..n)
+            .map(|i| self.faults.event_crash_threshold(ProcessId(i)))
+            .collect();
+        let mut sim = Sim {
+            processes: self.processes,
+            adversary,
+            self_delay: self.config.self_delay,
+            fifo_links: self.config.fifo_links,
+            rngs,
+            route_rng,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            started: false,
+            crashed: vec![false; n],
+            halted: vec![false; n],
+            decisions: vec![None; n],
+            decision_times: vec![None; n],
+            events_handled: vec![0; n],
+            crash_thresholds,
+            live_timers: vec![HashSet::new(); n],
+            next_timer: 0,
+            fifo_horizon: HashMap::new(),
+            stats: RunStats::default(),
+            trace: Trace::new(self.trace_level),
+        };
+        for &(p, spec) in self.faults.crashes() {
+            if let CrashSpec::AtTime(t) = spec {
+                sim.schedule(t, EventKind::Crash { process: p });
+            }
+        }
+        for &(p, t) in self.faults.restarts() {
+            sim.schedule(t, EventKind::Restart { process: p });
+        }
+        sim
+    }
+}
+
+/// The asynchronous discrete-event simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Sim<P: Process> {
+    processes: Vec<P>,
+    adversary: Box<dyn Adversary<P::Msg>>,
+    self_delay: SimDuration,
+    fifo_links: bool,
+    rngs: Vec<SplitMix64>,
+    route_rng: SplitMix64,
+    queue: BinaryHeap<Scheduled<P::Msg>>,
+    seq: u64,
+    now: SimTime,
+    started: bool,
+    crashed: Vec<bool>,
+    halted: Vec<bool>,
+    decisions: Vec<Option<P::Output>>,
+    decision_times: Vec<Option<SimTime>>,
+    events_handled: Vec<u64>,
+    crash_thresholds: Vec<Option<u64>>,
+    live_timers: Vec<HashSet<TimerId>>,
+    next_timer: u64,
+    fifo_horizon: HashMap<(ProcessId, ProcessId), SimTime>,
+    stats: RunStats,
+    trace: Trace,
+}
+
+impl<P: Process> Sim<P> {
+    /// Starts building a simulator over the given network configuration.
+    pub fn builder(config: NetworkConfig) -> SimBuilder<P> {
+        SimBuilder {
+            processes: Vec::new(),
+            config,
+            adversary: None,
+            faults: FaultPlan::default(),
+            seed: 0,
+            trace_level: TraceLevel::Events,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to a process, e.g. to inspect final state after a
+    /// run.
+    pub fn process(&self, id: ProcessId) -> &P {
+        &self.processes[id.index()]
+    }
+
+    /// Whether the process is currently crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.crashed[id.index()]
+    }
+
+    /// The decision of a process so far, if any.
+    pub fn decision(&self, id: ProcessId) -> Option<&P::Output> {
+        self.decisions[id.index()].as_ref()
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    /// Runs (or resumes) the simulation until a stop condition from
+    /// `limit` is met. Can be called repeatedly; state persists between
+    /// calls, so e.g. one can run until the first decision, inspect, and
+    /// resume.
+    pub fn run(&mut self, limit: RunLimit) -> RunOutcome<P::Output> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.processes.len() {
+                self.invoke(ProcessId(i), Invocation::Start);
+            }
+        }
+        let mut events_this_run: u64 = 0;
+        let reason = loop {
+            if let Some(r) = self.stop_reason(&limit) {
+                break r;
+            }
+            let Some(ev) = self.queue.pop() else {
+                break StopReason::Quiescent;
+            };
+            if ev.at > limit.max_time {
+                // Put it back for a potential later resume with a larger bound.
+                self.queue.push(ev);
+                break StopReason::TimeLimit;
+            }
+            self.now = ev.at;
+            events_this_run += 1;
+            if events_this_run > limit.max_events {
+                break StopReason::EventLimit;
+            }
+            match ev.kind {
+                EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
+                EventKind::Timer { process, id } => self.fire_timer(process, id),
+                EventKind::Crash { process } => self.crash(process),
+                EventKind::Restart { process } => self.restart(process),
+            }
+        };
+        self.stats.end_time = self.now;
+        RunOutcome {
+            decisions: self.decisions.clone(),
+            decision_times: self.decision_times.clone(),
+            stats: self.stats,
+            reason,
+            trace: self.trace.clone(),
+        }
+    }
+
+    fn stop_reason(&self, limit: &RunLimit) -> Option<StopReason> {
+        let decided = self.decisions.iter().flatten().count();
+        if let Some(k) = limit.stop_after_decisions {
+            if decided >= k {
+                return Some(StopReason::DecisionTarget);
+            }
+        }
+        if limit.stop_when_all_decide {
+            let live_undecided = (0..self.processes.len()).any(|i| {
+                !self.crashed[i] && !self.halted[i] && self.decisions[i].is_none()
+            });
+            let any_live = (0..self.processes.len()).any(|i| !self.crashed[i]);
+            if any_live && !live_undecided && decided > 0 {
+                return Some(StopReason::AllDecided);
+            }
+        }
+        None
+    }
+
+    fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        if self.crashed[to.index()] {
+            self.stats.messages_dropped += 1;
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                from,
+                to,
+                reason: DropReason::DeadRecipient,
+            });
+            return;
+        }
+        if self.halted[to.index()] {
+            // Halted processes have returned; their mail is discarded
+            // silently (they are "done", not faulty).
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        if self.trace.level() == TraceLevel::Full {
+            self.trace.push(TraceEvent::Deliver {
+                at: self.now,
+                from,
+                to,
+                payload: Some(format!("{:?}", msg)),
+            });
+        } else {
+            self.trace.push(TraceEvent::Deliver {
+                at: self.now,
+                from,
+                to,
+                payload: None,
+            });
+        }
+        self.invoke(to, Invocation::Message { from, msg });
+    }
+
+    fn fire_timer(&mut self, process: ProcessId, id: TimerId) {
+        if self.crashed[process.index()] || self.halted[process.index()] {
+            return;
+        }
+        if !self.live_timers[process.index()].remove(&id) {
+            return; // cancelled
+        }
+        self.stats.timers_fired += 1;
+        self.trace.push(TraceEvent::TimerFired {
+            at: self.now,
+            process,
+        });
+        self.invoke(process, Invocation::Timer { id });
+    }
+
+    fn crash(&mut self, process: ProcessId) {
+        if self.crashed[process.index()] {
+            return;
+        }
+        self.crashed[process.index()] = true;
+        self.live_timers[process.index()].clear();
+        self.stats.crashes += 1;
+        self.trace.push(TraceEvent::Crash {
+            at: self.now,
+            process,
+        });
+    }
+
+    fn restart(&mut self, process: ProcessId) {
+        if !self.crashed[process.index()] {
+            return;
+        }
+        self.crashed[process.index()] = false;
+        self.stats.restarts += 1;
+        self.trace.push(TraceEvent::Restart {
+            at: self.now,
+            process,
+        });
+        self.invoke(process, Invocation::Restart);
+    }
+
+    fn invoke(&mut self, pid: ProcessId, invocation: Invocation<P::Msg>) {
+        let i = pid.index();
+        if self.crashed[i] || self.halted[i] {
+            return;
+        }
+        let mut effects = Effects::default();
+        {
+            let mut ctx = crate::Context::new(
+                pid,
+                self.processes.len(),
+                self.now,
+                &mut self.rngs[i],
+                &mut self.next_timer,
+                &self.live_timers[i],
+                &mut effects,
+            );
+            let p = &mut self.processes[i];
+            match invocation {
+                Invocation::Start => p.on_start(&mut ctx),
+                Invocation::Message { from, msg } => p.on_message(&mut ctx, from, msg),
+                Invocation::Timer { id } => p.on_timer(&mut ctx, id),
+                Invocation::Restart => p.on_restart(&mut ctx),
+            }
+        }
+        self.stats.events_processed += 1;
+        self.events_handled[i] += 1;
+        self.apply_effects(pid, effects);
+        if let Some(threshold) = self.crash_thresholds[i] {
+            if self.events_handled[i] >= threshold && !self.crashed[i] {
+                self.crash(pid);
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, pid: ProcessId, effects: Effects<P::Msg, P::Output>) {
+        let i = pid.index();
+        for (id, after) in effects.timer_requests {
+            self.live_timers[i].insert(id);
+            let at = self.now + after;
+            self.schedule(at, EventKind::Timer { process: pid, id });
+        }
+        // Cancellations apply last so a timer set and cancelled within one
+        // handler invocation stays cancelled.
+        for id in effects.cancelled {
+            self.live_timers[i].remove(&id);
+        }
+        for out in effects.outbox {
+            self.stats.messages_sent += 1;
+            if self.trace.level() == TraceLevel::Full {
+                self.trace.push(TraceEvent::Send {
+                    at: self.now,
+                    from: pid,
+                    to: out.to,
+                    payload: Some(format!("{:?}", out.msg)),
+                });
+            }
+            if out.to == pid {
+                // Self-messages bypass the adversary entirely.
+                let at = self.now + self.self_delay;
+                self.schedule(
+                    at,
+                    EventKind::Deliver {
+                        from: pid,
+                        to: pid,
+                        msg: out.msg,
+                    },
+                );
+                continue;
+            }
+            match self
+                .adversary
+                .route(self.now, pid, out.to, &out.msg, &mut self.route_rng)
+            {
+                Decision::Drop => {
+                    self.stats.messages_dropped += 1;
+                    self.trace.push(TraceEvent::Drop {
+                        at: self.now,
+                        from: pid,
+                        to: out.to,
+                        reason: DropReason::Adversary,
+                    });
+                }
+                Decision::DeliverAfter(d) => {
+                    let d = SimDuration::from_ticks(d.ticks().max(1));
+                    let mut at = self.now + d;
+                    if self.fifo_links {
+                        let key = (pid, out.to);
+                        if let Some(&h) = self.fifo_horizon.get(&key) {
+                            if at <= h {
+                                at = h + SimDuration::from_ticks(1);
+                            }
+                        }
+                        self.fifo_horizon.insert(key, at);
+                    }
+                    let dup = self.adversary.duplicate(
+                        self.now,
+                        pid,
+                        out.to,
+                        &out.msg,
+                        &mut self.route_rng,
+                    );
+                    if dup {
+                        self.stats.messages_duplicated += 1;
+                        self.schedule(
+                            at + SimDuration::from_ticks(1),
+                            EventKind::Deliver {
+                                from: pid,
+                                to: out.to,
+                                msg: out.msg.clone(),
+                            },
+                        );
+                    }
+                    self.schedule(
+                        at,
+                        EventKind::Deliver {
+                            from: pid,
+                            to: out.to,
+                            msg: out.msg,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(value) = effects.decision {
+            if self.decisions[i].is_none() {
+                if self.trace.level() == TraceLevel::Full {
+                    self.trace.push(TraceEvent::Decide {
+                        at: self.now,
+                        process: pid,
+                        value: Some(format!("{:?}", value)),
+                    });
+                } else {
+                    self.trace.push(TraceEvent::Decide {
+                        at: self.now,
+                        process: pid,
+                        value: None,
+                    });
+                }
+                self.decisions[i] = Some(value);
+                self.decision_times[i] = Some(self.now);
+            }
+        }
+        if effects.halted {
+            self.halted[i] = true;
+            self.live_timers[i].clear();
+        }
+    }
+}
+
+enum Invocation<M> {
+    Start,
+    Message { from: ProcessId, msg: M },
+    Timer { id: TimerId },
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+
+    /// Broadcasts own id once; decides on the max id seen after hearing
+    /// from everyone.
+    #[derive(Debug, Default)]
+    struct MaxId {
+        seen: Vec<u64>,
+    }
+
+    impl Process for MaxId {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.broadcast(ctx.me().index() as u64);
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _from: ProcessId, msg: u64) {
+            self.seen.push(msg);
+            if self.seen.len() == ctx.n() {
+                ctx.decide(*self.seen.iter().max().unwrap());
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64, u64>, _t: TimerId) {}
+    }
+
+    fn max_id_sim(seed: u64, n: usize, cfg: NetworkConfig) -> Sim<MaxId> {
+        Sim::builder(cfg)
+            .seed(seed)
+            .processes((0..n).map(|_| MaxId::default()))
+            .build()
+    }
+
+    #[test]
+    fn simple_consensus_on_max_id() {
+        let mut sim = max_id_sim(1, 5, NetworkConfig::default());
+        let out = sim.run(RunLimit::default());
+        assert_eq!(out.reason, StopReason::AllDecided);
+        assert!(out.all_decided());
+        assert_eq!(out.decided_value(), Some(4));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut sim = max_id_sim(seed, 6, NetworkConfig::default());
+            let out = sim.run(RunLimit::default());
+            (out.stats, out.decision_times)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "different seeds should reorder");
+    }
+
+    #[test]
+    fn crashed_process_never_decides() {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(3)
+            .processes((0..4).map(|_| MaxId::default()))
+            .faults(FaultPlan::new().crash_at(ProcessId(0), SimTime::ZERO))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+        assert!(out.decisions[0].is_none());
+        // Others never hear n messages (p0 is dead before start events run?
+        // crash event is at t0 with seq before starts? starts run first) —
+        // p0 broadcast at start, then crashed; others still decide.
+        assert!(out.stats.crashes == 1);
+    }
+
+    #[test]
+    fn crash_after_events_takes_effect() {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(3)
+            .processes((0..4).map(|_| MaxId::default()))
+            .faults(FaultPlan::new().crash_after_events(ProcessId(2), 1))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+        // p2 handled exactly its start event then crashed: it broadcast but
+        // never received, so it cannot have decided.
+        assert!(out.decisions[2].is_none());
+        assert_eq!(out.stats.crashes, 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_messages() {
+        let mut sim = max_id_sim(9, 4, NetworkConfig::lossy(1, 5, 1.0));
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1_000)));
+        // All cross-process messages dropped; only self-deliveries happen.
+        assert_eq!(out.stats.messages_dropped, 4 * 3);
+        assert!(!out.all_decided());
+    }
+
+    #[test]
+    fn fifo_links_preserve_order() {
+        /// Sends two numbered messages; receiver decides on first seen.
+        #[derive(Debug)]
+        struct TwoSends;
+        impl Process for TwoSends {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+                if ctx.me().index() == 0 {
+                    ctx.send(ProcessId(1), 1);
+                    ctx.send(ProcessId(1), 2);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _f: ProcessId, m: u64) {
+                ctx.decide(m);
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, u64, u64>, _t: TimerId) {}
+        }
+        for seed in 0..50 {
+            let mut sim = Sim::builder(NetworkConfig {
+                fifo_links: true,
+                delay: crate::DelayModel::Uniform { min: 1, max: 100 },
+                ..NetworkConfig::default()
+            })
+            .seed(seed)
+            .processes(vec![TwoSends, TwoSends])
+            .build();
+            let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+            assert_eq!(out.decisions[1], Some(1), "seed {seed} reordered FIFO link");
+        }
+    }
+
+    #[test]
+    fn restart_invokes_handler() {
+        #[derive(Debug, Default)]
+        struct RestartCounter {
+            restarts: u64,
+        }
+        impl Process for RestartCounter {
+            type Msg = ();
+            type Output = u64;
+            fn on_start(&mut self, _ctx: &mut Context<'_, (), u64>) {}
+            fn on_message(&mut self, _c: &mut Context<'_, (), u64>, _f: ProcessId, _m: ()) {}
+            fn on_timer(&mut self, _c: &mut Context<'_, (), u64>, _t: TimerId) {}
+            fn on_restart(&mut self, ctx: &mut Context<'_, (), u64>) {
+                self.restarts += 1;
+                ctx.decide(self.restarts);
+            }
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![RestartCounter::default(), RestartCounter::default()])
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(5))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(10)),
+            )
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(100)));
+        assert_eq!(out.decisions[0], Some(1));
+        assert_eq!(out.stats.restarts, 1);
+        assert_eq!(sim.process(ProcessId(0)).restarts, 1);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        #[derive(Debug, Default)]
+        struct TimerUser {
+            kept: Option<TimerId>,
+            cancelled: Option<TimerId>,
+            fired: Vec<TimerId>,
+        }
+        impl Process for TimerUser {
+            type Msg = ();
+            type Output = usize;
+            fn on_start(&mut self, ctx: &mut Context<'_, (), usize>) {
+                self.kept = Some(ctx.set_timer(SimDuration::from_ticks(10)));
+                let c = ctx.set_timer(SimDuration::from_ticks(5));
+                self.cancelled = Some(c);
+                ctx.cancel_timer(c);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, (), usize>, _f: ProcessId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, (), usize>, t: TimerId) {
+                self.fired.push(t);
+                ctx.decide(self.fired.len());
+            }
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![TimerUser::default()])
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(100)));
+        assert_eq!(out.decisions[0], Some(1));
+        let p = sim.process(ProcessId(0));
+        assert_eq!(p.fired, vec![p.kept.unwrap()]);
+        assert_eq!(out.stats.timers_fired, 1);
+    }
+
+    #[test]
+    fn crash_cancels_pending_timers() {
+        /// Sets a long timer at start; decides if it ever fires.
+        #[derive(Debug)]
+        struct TimerVictim;
+        impl Process for TimerVictim {
+            type Msg = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, (), u64>) {
+                ctx.set_timer(SimDuration::from_ticks(50));
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, (), u64>, _f: ProcessId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, (), u64>, _t: TimerId) {
+                ctx.decide(1);
+            }
+            fn on_restart(&mut self, _ctx: &mut Context<'_, (), u64>) {
+                // Deliberately set no new timer: the pre-crash timer must
+                // NOT fire on our behalf after recovery.
+            }
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![TimerVictim, TimerVictim])
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(10))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(20)),
+            )
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(500)));
+        assert_eq!(out.decisions[0], None, "pre-crash timer must die with the crash");
+        assert_eq!(out.decisions[1], Some(1), "unharmed process fires normally");
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let mut sim = max_id_sim(5, 4, NetworkConfig::default());
+        let first = sim.run(RunLimit::until_decisions(1));
+        assert_eq!(first.reason, StopReason::DecisionTarget);
+        assert!(first.decided_count() >= 1);
+        let rest = sim.run(RunLimit::default());
+        assert!(rest.all_decided());
+    }
+
+    #[test]
+    fn duplicated_messages_are_counted() {
+        let mut sim = max_id_sim(
+            1,
+            3,
+            NetworkConfig {
+                duplicate_probability: 1.0,
+                ..NetworkConfig::default()
+            },
+        );
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1000)));
+        assert_eq!(out.stats.messages_duplicated, 3 * 2);
+        // Duplication must not break the protocol's decision.
+        assert!(out.all_decided());
+    }
+
+    #[test]
+    fn boxed_processes_work() {
+        let procs: Vec<Box<dyn Process<Msg = u64, Output = u64>>> =
+            (0..3).map(|_| Box::new(MaxId::default()) as _).collect();
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(2)
+            .processes(procs)
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert_eq!(out.decided_value(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs processes")]
+    fn empty_network_panics() {
+        let _ = Sim::<MaxId>::builder(NetworkConfig::default()).build();
+    }
+
+    #[test]
+    fn run_outcome_helpers() {
+        let out: RunOutcome<u64> = RunOutcome {
+            decisions: vec![None, None],
+            decision_times: vec![None, None],
+            stats: RunStats::default(),
+            reason: StopReason::Quiescent,
+            trace: Trace::default(),
+        };
+        assert!(!out.all_decided());
+        assert!(out.agreement(), "vacuous agreement with no deciders");
+        assert_eq!(out.decided_value(), None);
+        assert_eq!(out.decided_count(), 0);
+        assert_eq!(out.last_decision_time(), None);
+
+        let out: RunOutcome<u64> = RunOutcome {
+            decisions: vec![Some(3), None, Some(4)],
+            decision_times: vec![Some(SimTime::from_ticks(5)), None, Some(SimTime::from_ticks(9))],
+            stats: RunStats::default(),
+            reason: StopReason::TimeLimit,
+            trace: Trace::default(),
+        };
+        assert!(!out.agreement());
+        assert_eq!(out.decided_value(), None, "disagreement yields no value");
+        assert_eq!(out.decided_count(), 2);
+        assert_eq!(out.last_decision_time(), Some(SimTime::from_ticks(9)));
+    }
+
+    #[test]
+    fn full_trace_level_records_payloads() {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(1)
+            .trace_level(TraceLevel::Full)
+            .processes((0..2).map(|_| MaxId::default()))
+            .build();
+        let out = sim.run(RunLimit::default());
+        let has_payload = out.trace.events().iter().any(|e| {
+            matches!(e, TraceEvent::Deliver { payload: Some(p), .. } if !p.is_empty())
+        });
+        assert!(has_payload, "Full level must capture Debug payloads");
+        let has_decide_value = out.trace.events().iter().any(|e| {
+            matches!(e, TraceEvent::Decide { value: Some(_), .. })
+        });
+        assert!(has_decide_value);
+    }
+
+    #[test]
+    fn events_trace_level_omits_payloads() {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(1)
+            .processes((0..2).map(|_| MaxId::default()))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.trace.events().iter().all(|e| !matches!(
+            e,
+            TraceEvent::Deliver { payload: Some(_), .. } | TraceEvent::Decide { value: Some(_), .. }
+        )));
+        assert!(!out.trace.is_empty());
+    }
+}

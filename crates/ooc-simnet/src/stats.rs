@@ -1,0 +1,55 @@
+//! Aggregate run statistics.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a run, independent of the trace level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Messages handed to the network (one per recipient; a broadcast to
+    /// `n` processes counts `n`).
+    pub messages_sent: u64,
+    /// Messages that reached a handler.
+    pub messages_delivered: u64,
+    /// Messages dropped for any reason.
+    pub messages_dropped: u64,
+    /// Messages delivered twice due to duplication.
+    pub messages_duplicated: u64,
+    /// Timer firings delivered to handlers.
+    pub timers_fired: u64,
+    /// Total handler invocations (start + message + timer + restart).
+    pub events_processed: u64,
+    /// Number of crash injections that took effect.
+    pub crashes: u64,
+    /// Number of restarts that took effect.
+    pub restarts: u64,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+}
+
+impl RunStats {
+    /// Delivery ratio, `delivered / sent`; `1.0` when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        assert_eq!(RunStats::default().delivery_ratio(), 1.0);
+        let s = RunStats {
+            messages_sent: 10,
+            messages_delivered: 7,
+            ..RunStats::default()
+        };
+        assert!((s.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated time.
+//!
+//! Time is counted in abstract *ticks*. Algorithms should only ever compare
+//! durations, never interpret ticks as wall-clock units. Newtypes keep
+//! instants and durations from being mixed up ([`SimTime`] vs
+//! [`SimDuration`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An instant of simulated time, in ticks since the start of the run.
+///
+/// ```
+/// use ooc_simnet::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from a raw tick count.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from a raw tick count.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating duration subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Δ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_ticks(10) + SimDuration::from_ticks(5);
+        assert_eq!(t, SimTime::from_ticks(15));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_ticks(3);
+        let late = SimTime::from_ticks(9);
+        assert_eq!(late.since(early), SimDuration::from_ticks(6));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sub_is_since() {
+        assert_eq!(
+            SimTime::from_ticks(9) - SimTime::from_ticks(4),
+            SimDuration::from_ticks(5)
+        );
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_overflows() {
+        let t = SimTime::MAX + SimDuration::from_ticks(1);
+        assert_eq!(t, SimTime::MAX);
+        let d = SimDuration::from_ticks(u64::MAX) * 2;
+        assert_eq!(d.ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(
+            SimDuration::from_ticks(7) * 3,
+            SimDuration::from_ticks(21)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t42");
+        assert_eq!(SimDuration::from_ticks(7).to_string(), "7Δ");
+    }
+}

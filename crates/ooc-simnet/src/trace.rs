@@ -1,0 +1,241 @@
+//! Execution trace capture.
+//!
+//! Traces are the raw material for the correctness checkers in `ooc-core`:
+//! every send, delivery, drop, crash, restart and decision is recorded with
+//! its simulated timestamp. Message payloads are stored as `Debug` strings
+//! only at [`TraceLevel::Full`] to keep the trace type non-generic.
+
+use crate::time::SimTime;
+use crate::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// How much detail to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum TraceLevel {
+    /// Record nothing (counters in [`RunStats`](crate::RunStats) still work).
+    Off,
+    /// Record events without message payloads.
+    #[default]
+    Events,
+    /// Record events with `Debug`-formatted message payloads.
+    Full,
+}
+
+/// A single recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Time of the send.
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Payload (`Debug` format), present at [`TraceLevel::Full`].
+        payload: Option<String>,
+    },
+    /// A message reached its recipient's handler.
+    Deliver {
+        /// Time of the delivery.
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Payload (`Debug` format), present at [`TraceLevel::Full`].
+        payload: Option<String>,
+    },
+    /// A message was dropped (loss, partition, or dead recipient).
+    Drop {
+        /// Time of the drop decision.
+        at: SimTime,
+        /// Sender.
+        from: ProcessId,
+        /// Intended recipient.
+        to: ProcessId,
+        /// Why the message was dropped.
+        reason: DropReason,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Time of the firing.
+        at: SimTime,
+        /// Owner of the timer.
+        process: ProcessId,
+    },
+    /// A process crashed.
+    Crash {
+        /// Time of the crash.
+        at: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// A crashed process recovered.
+    Restart {
+        /// Time of the recovery.
+        at: SimTime,
+        /// The recovering process.
+        process: ProcessId,
+    },
+    /// A process decided an output value.
+    Decide {
+        /// Time of the decision.
+        at: SimTime,
+        /// The deciding process.
+        process: ProcessId,
+        /// The decision (`Debug` format), present at [`TraceLevel::Full`].
+        value: Option<String>,
+    },
+}
+
+/// Why a message never reached its recipient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Random loss sampled from the network configuration.
+    Loss,
+    /// An active partition separated sender and recipient.
+    Partition,
+    /// The recipient was crashed at delivery time.
+    DeadRecipient,
+    /// The sender was crashed at send time (late event).
+    DeadSender,
+    /// An adversary chose to drop the message.
+    Adversary,
+}
+
+/// An append-only log of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace recording at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Trace {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Appends an event (no-op at [`TraceLevel::Off`]).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.level != TraceLevel::Off {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over decisions as `(process, time, value-debug)` tuples.
+    pub fn decisions(&self) -> impl Iterator<Item = (ProcessId, SimTime, Option<&str>)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Decide { at, process, value } => {
+                Some((*process, *at, value.as_deref()))
+            }
+            _ => None,
+        })
+    }
+
+    /// The time of the last recorded event, if any.
+    pub fn end_time(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Send { at, .. }
+                | TraceEvent::Deliver { at, .. }
+                | TraceEvent::Drop { at, .. }
+                | TraceEvent::TimerFired { at, .. }
+                | TraceEvent::Crash { at, .. }
+                | TraceEvent::Restart { at, .. }
+                | TraceEvent::Decide { at, .. } => *at,
+            })
+            .max()
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut t = Trace::new(TraceLevel::Off);
+        t.push(TraceEvent::Crash {
+            at: SimTime::ZERO,
+            process: ProcessId(0),
+        });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn decisions_are_extracted() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.push(TraceEvent::Decide {
+            at: SimTime::from_ticks(3),
+            process: ProcessId(1),
+            value: Some("42".into()),
+        });
+        t.push(TraceEvent::TimerFired {
+            at: SimTime::from_ticks(4),
+            process: ProcessId(0),
+        });
+        let d: Vec<_> = t.decisions().collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, ProcessId(1));
+        assert_eq!(d[0].2, Some("42"));
+    }
+
+    #[test]
+    fn end_time_is_max() {
+        let mut t = Trace::new(TraceLevel::Events);
+        t.push(TraceEvent::Crash {
+            at: SimTime::from_ticks(9),
+            process: ProcessId(0),
+        });
+        t.push(TraceEvent::TimerFired {
+            at: SimTime::from_ticks(4),
+            process: ProcessId(0),
+        });
+        assert_eq!(t.end_time(), Some(SimTime::from_ticks(9)));
+        assert_eq!(Trace::default().end_time(), None);
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut t = Trace::new(TraceLevel::Events);
+        for i in 0..5 {
+            t.push(TraceEvent::TimerFired {
+                at: SimTime::from_ticks(i),
+                process: ProcessId(0),
+            });
+        }
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::TimerFired { .. })), 5);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Crash { .. })), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run all three of the paper's decompositions once and print
+//! what happened.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use object_oriented_consensus::ben_or::harness::{run_decomposed, BenOrConfig};
+use object_oriented_consensus::phase_king::{run_phase_king, Attack, PhaseKingConfig};
+use object_oriented_consensus::raft::harness::{run_raft, RaftClusterConfig};
+
+fn main() {
+    println!("== Object Oriented Consensus: quickstart ==\n");
+
+    // 1. Ben-Or (async, crash faults): VAC + coin-flip reconciliator.
+    let cfg = BenOrConfig::new(5, 2);
+    let run = run_decomposed(&cfg, &[true, false, true, false, true], 42);
+    println!("Ben-Or (n=5, t=2, balanced inputs, seed 42):");
+    println!("  decided     : {:?}", run.outcome.decided_value());
+    println!("  rounds      : {:?}", run.rounds_to_decide());
+    println!(
+        "  VAC outcomes: vacillate={} adopt={} commit={}",
+        run.confidence_counts[0], run.confidence_counts[1], run.confidence_counts[2]
+    );
+    println!("  violations  : {}\n", run.violations.len());
+
+    // 2. Phase-King (sync, Byzantine): AC + king conciliator.
+    let cfg = PhaseKingConfig::new(7, 2).with_attack(Attack::Equivocate);
+    let run = run_phase_king(&cfg, &[0, 1, 0, 1, 0], 42);
+    println!("Phase-King (n=7, t=2 equivocators, seed 42):");
+    println!(
+        "  honest decisions: {:?}",
+        run.honest
+            .iter()
+            .map(|p| run.decisions[p.index()])
+            .collect::<Vec<_>>()
+    );
+    println!("  phases to decide: {:?}", run.phases_to_decide());
+    println!("  network rounds  : {}", run.rounds);
+    println!("  violations      : {}\n", run.violations.len());
+
+    // 3. Raft (timed, crash/restart): leader election as the
+    //    reconciliator, log replication as the VAC.
+    let cfg = RaftClusterConfig::new(5);
+    let run = run_raft(&cfg, &[10, 20, 30, 40, 50], 42);
+    println!("Raft (n=5, seed 42):");
+    println!("  decided        : {:?}", run.outcome.decided_value());
+    println!("  first leader   : term {:?}", run.first_leader_term);
+    println!("  elections run  : {}", run.elections);
+    println!(
+        "  consensus time : {:?} ticks",
+        run.consensus_latency().map(|t| t.ticks())
+    );
+    println!("  violations     : {}", run.violations.len());
+}

@@ -1,0 +1,80 @@
+//! A replicated log assembled from the paper's bricks: the multi-shot
+//! [`SequenceConsensus`] composition decides a whole sequence of values —
+//! one nested Algorithm-1 template per slot — over Ben-Or's VAC and the
+//! coin-flip reconciliator.
+//!
+//! The paper's introduction motivates consensus via exactly this use
+//! case ("ensuring storage replicas are mutually consistent"); this
+//! example shows the framework reaching it compositionally, and contrasts
+//! the cost with Raft's leader-amortized multi-entry replication.
+//!
+//! ```sh
+//! cargo run --example replicated_log
+//! ```
+
+use object_oriented_consensus::ben_or::{BenOrVac, CoinFlip};
+use object_oriented_consensus::core::sequence::SequenceConsensus;
+use object_oriented_consensus::core::template::TemplateConfig;
+use object_oriented_consensus::raft::{RaftConfig, RaftNode};
+use object_oriented_consensus::simnet::{NetworkConfig, ProcessId, RunLimit, Sim};
+
+fn main() {
+    let n = 5;
+    let t = 2;
+    let slots = 6;
+    println!("== A {slots}-entry replicated log from template slots ==\n");
+
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(7)
+        .processes((0..n).map(|i| {
+            // Processor i proposes an alternating pattern offset by i.
+            SequenceConsensus::new(
+                (0..slots).map(|k| (i + k) % 2 == 0).collect(),
+                move |_slot, _round| BenOrVac::new(n, t),
+                |_slot, _round| CoinFlip::new(),
+                TemplateConfig::default(),
+            )
+        }))
+        .build();
+    let out = sim.run(RunLimit::default());
+    let log = out.decided_value().expect("all replicas agree");
+    println!("agreed log : {log:?}");
+    println!("messages   : {}", out.stats.messages_sent);
+    println!(
+        "sim ticks  : {}",
+        out.last_decision_time().unwrap().ticks()
+    );
+    for i in 0..n {
+        assert_eq!(
+            sim.process(ProcessId(i)).decided(),
+            log.as_slice(),
+            "replica {i} diverged"
+        );
+    }
+
+    // The engineered alternative: Raft replicating the same number of
+    // entries under one leader.
+    println!("\n== The same log length under Raft's single leader ==\n");
+    let mut sim = Sim::builder(NetworkConfig::reliable(5))
+        .seed(7)
+        .processes((0..n).map(|i| {
+            RaftNode::new(i as u64, RaftConfig::default())
+                .with_workload((0..slots as u64 - 1).collect())
+        }))
+        .build();
+    let mut limit = RunLimit::until_time(object_oriented_consensus::simnet::SimTime::from_ticks(
+        10_000,
+    ));
+    limit.stop_when_all_decide = false;
+    let out = sim.run(limit);
+    let committed = (0..n)
+        .map(|i| sim.process(ProcessId(i)).commit_index().0)
+        .min()
+        .unwrap();
+    println!("entries committed everywhere: {committed}");
+    println!("messages                    : {}", out.stats.messages_sent);
+    println!(
+        "\nSlot-per-consensus is simple and leaderless; Raft pays for a leader once\n\
+         and then amortizes it — the engineering trade the paper's §4.3 studies."
+    );
+}

@@ -1,0 +1,43 @@
+//! # Object Oriented Consensus
+//!
+//! A reproduction of *"Brief Announcement: Object Oriented Consensus"*
+//! (Afek, Aspnes, Cohen, Vainstein; PODC 2017): consensus algorithms
+//! decomposed into a repeated two-step template — an **agreement
+//! detector** (vacillate-adopt-commit or adopt-commit) followed by a
+//! **shaker** (reconciliator or conciliator).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `ooc-core` | confidence lattice, object traits, templates (paper Algs 1–2), §5 compositions, property checkers |
+//! | [`simnet`] | `ooc-simnet` | deterministic async + synchronous simulators, faults, Byzantine strategies, adversaries |
+//! | [`ben_or`] | `ooc-ben-or` | Ben-Or decomposed as VAC + coin flip (Algs 5–6) + monolithic baseline |
+//! | [`phase_king`] | `ooc-phase-king` | Phase-King decomposed as AC + king conciliator (Algs 3–4) + Byzantine attacks |
+//! | [`raft`] | `ooc-raft` | full Raft (Algs 7–9, Figs 1–2), its VAC view (Algs 10–11), decentralized variant |
+//! | [`sharedmem`] | `ooc-sharedmem` | register-based adopt-commit + probabilistic-write conciliator (Aspnes's model) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use object_oriented_consensus::ben_or::harness::{run_decomposed, BenOrConfig};
+//!
+//! // Five processors, two tolerated crashes, alternating inputs:
+//! let cfg = BenOrConfig::new(5, 2);
+//! let run = run_decomposed(&cfg, &[true, false, true, false, true], 1);
+//! assert!(run.outcome.all_decided());
+//! assert!(run.violations.is_empty()); // all paper properties hold
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
+//! full experiment suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ooc_ben_or as ben_or;
+pub use ooc_core as core;
+pub use ooc_phase_king as phase_king;
+pub use ooc_raft as raft;
+pub use ooc_sharedmem as sharedmem;
+pub use ooc_simnet as simnet;

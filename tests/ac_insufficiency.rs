@@ -1,0 +1,102 @@
+//! Paper §5, "Adopt-Commit is Not Enough", as an executable argument.
+//!
+//! The paper's claim: encoding Ben-Or with two consecutive adopt-commits
+//! (`A⁰; A¹; C; …`) fails, because Aspnes' framework *decides* whenever
+//! the (second) AC commits — yet Ben-Or reaches exactly that state
+//! (1..=t ratify messages ⇒ the two-AC reading says "commit") with a
+//! value `u` in executions whose final agreement is `ū ≠ u`.
+//!
+//! The VAC framework names that state `adopt` and keeps going. So the
+//! §5 argument reduces to a measurable fact about executions:
+//!
+//! 1. rounds where some processor **adopts** a value different from the
+//!    eventual decision must actually occur (the premature-commit trap is
+//!    real, not hypothetical);
+//! 2. rounds where some processor **commits** a value different from the
+//!    eventual decision must never occur (VAC's commit really is safe).
+
+use object_oriented_consensus::ben_or::harness::{
+    balanced_inputs, run_decomposed, run_decomposed_with, split_adversary, BenOrConfig,
+};
+use object_oriented_consensus::core::Confidence;
+
+#[test]
+fn adopt_states_diverge_from_final_decision() {
+    // Claim 1: sweep seeds until we find executions with an adopt state
+    // whose value loses. These are exactly the executions on which the
+    // two-AC encoding of Ben-Or would violate agreement.
+    let n = 9;
+    let cfg = BenOrConfig::new(n, 4);
+    let mut divergences = 0u64;
+    let mut runs_with_divergence = 0u64;
+    let seeds = 400;
+    for seed in 0..seeds {
+        let run = run_decomposed_with(
+            &cfg,
+            &balanced_inputs(n),
+            seed,
+            Some(split_adversary(n, (1, 4), (20, 40))),
+        );
+        assert!(run.violations.is_empty(), "seed {seed}: {:?}", run.violations);
+        divergences += run.adopt_divergences;
+        if run.adopt_divergences > 0 {
+            runs_with_divergence += 1;
+        }
+    }
+    assert!(
+        runs_with_divergence > 0,
+        "no adopt-divergence found in {seeds} adversarial executions; \
+         the §5 counterexample state should be reachable"
+    );
+    println!(
+        "adopt-divergences: {divergences} across {runs_with_divergence}/{seeds} runs \
+         — each is an execution where an AC-framework commit would have been wrong"
+    );
+}
+
+#[test]
+fn commit_states_never_diverge_from_final_decision() {
+    // Claim 2: VAC commits are always the final value (otherwise the
+    // whole framework would be unsound). Checked over every processor,
+    // round and seed.
+    let n = 7;
+    let cfg = BenOrConfig::new(n, 3);
+    for seed in 0..200 {
+        let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+        let decided = run.outcome.decided_value().expect("terminates");
+        for (i, hist) in run.histories.iter().enumerate() {
+            for rec in hist {
+                if rec.outcome.confidence == Confidence::Commit {
+                    assert_eq!(
+                        rec.outcome.value, decided,
+                        "seed {seed}: p{i} committed {} in round {} but the decision was {}",
+                        rec.outcome.value, rec.round, decided
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vacillate_adopt_commit_are_all_inhabited() {
+    // The paper's three processor types (§4.2 / §5: no ratify, 1..=t
+    // ratifies, > t ratifies) must all show up in practice — otherwise
+    // the finer lattice would be vacuous.
+    let n = 9;
+    let cfg = BenOrConfig::new(n, 4);
+    let mut totals = [0u64; 3];
+    for seed in 0..200 {
+        let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+        for (i, c) in run.confidence_counts.iter().enumerate() {
+            totals[i] += c;
+        }
+    }
+    assert!(totals[Confidence::Vacillate as usize] > 0, "{totals:?}");
+    assert!(totals[Confidence::Adopt as usize] > 0, "{totals:?}");
+    assert!(totals[Confidence::Commit as usize] > 0, "{totals:?}");
+    println!(
+        "outcome distribution over 200 runs: V={} A={} C={}",
+        totals[0], totals[1], totals[2]
+    );
+}

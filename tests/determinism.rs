@@ -1,0 +1,67 @@
+//! Reproducibility contract: every simulated experiment is a pure
+//! function of its seed. These tests pin that across all three algorithm
+//! families — if they break, every "re-run the failing seed" debugging
+//! workflow in this repo breaks with them.
+
+use object_oriented_consensus::ben_or::harness::{balanced_inputs, run_decomposed, BenOrConfig};
+use object_oriented_consensus::phase_king::{run_phase_king, PhaseKingConfig};
+use object_oriented_consensus::raft::harness::{run_raft, RaftClusterConfig};
+
+#[test]
+fn ben_or_runs_replay_exactly() {
+    let cfg = BenOrConfig::new(7, 3);
+    for seed in [0, 7, 123456789] {
+        let a = run_decomposed(&cfg, &balanced_inputs(7), seed);
+        let b = run_decomposed(&cfg, &balanced_inputs(7), seed);
+        assert_eq!(a.outcome.decisions, b.outcome.decisions);
+        assert_eq!(a.outcome.decision_times, b.outcome.decision_times);
+        assert_eq!(a.outcome.stats, b.outcome.stats);
+        assert_eq!(a.histories, b.histories);
+    }
+}
+
+#[test]
+fn ben_or_seeds_actually_differ() {
+    let cfg = BenOrConfig::new(7, 3);
+    let a = run_decomposed(&cfg, &balanced_inputs(7), 1);
+    let b = run_decomposed(&cfg, &balanced_inputs(7), 2);
+    assert_ne!(
+        (a.outcome.decision_times, a.outcome.stats),
+        (b.outcome.decision_times, b.outcome.stats),
+        "different seeds should explore different schedules"
+    );
+}
+
+#[test]
+fn phase_king_runs_replay_exactly() {
+    let cfg = PhaseKingConfig::new(7, 2);
+    for seed in [0, 99] {
+        let a = run_phase_king(&cfg, &[0, 1, 0, 1, 0], seed);
+        let b = run_phase_king(&cfg, &[0, 1, 0, 1, 0], seed);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.decision_rounds, b.decision_rounds);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.honest_histories, b.honest_histories);
+    }
+}
+
+#[test]
+fn raft_runs_replay_exactly() {
+    let cfg = RaftClusterConfig::new(5);
+    for seed in [0, 4242] {
+        let a = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+        let b = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+        assert_eq!(a.outcome.decisions, b.outcome.decisions);
+        assert_eq!(a.outcome.decision_times, b.outcome.decision_times);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.max_term, b.max_term);
+    }
+}
+
+#[test]
+fn trace_contents_replay_exactly() {
+    let cfg = BenOrConfig::new(5, 2);
+    let a = run_decomposed(&cfg, &balanced_inputs(5), 77);
+    let b = run_decomposed(&cfg, &balanced_inputs(5), 77);
+    assert_eq!(a.outcome.trace.events(), b.outcome.trace.events());
+}

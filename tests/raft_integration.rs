@@ -1,0 +1,177 @@
+//! Raft end-to-end under network chaos, plus the §4.3 decomposition
+//! claims: the VAC view's coherence, the timing property's effect on
+//! election convergence, and the decentralized variant's convergence.
+
+use object_oriented_consensus::raft::decentralized::{coin_flip_twin, decentralized_raft};
+use object_oriented_consensus::raft::harness::{run_raft, RaftClusterConfig};
+use object_oriented_consensus::raft::{RaftConfig, Role};
+use object_oriented_consensus::simnet::{
+    FaultPlan, NetworkConfig, PartitionWindow, ProcessId, RunLimit, Sim, SimTime,
+};
+
+#[test]
+fn raft_survives_heavy_loss() {
+    let cfg = RaftClusterConfig::new(5).with_network(NetworkConfig {
+        drop_probability: 0.15,
+        ..NetworkConfig::default()
+    });
+    for seed in 0..10 {
+        let run = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+        assert!(run.violations.is_empty(), "seed {seed}: {:?}", run.violations);
+        assert!(run.outcome.all_decided(), "seed {seed}");
+    }
+}
+
+#[test]
+fn raft_survives_duplication_and_jitter() {
+    let cfg = RaftClusterConfig::new(5).with_network(NetworkConfig {
+        duplicate_probability: 0.2,
+        delay: object_oriented_consensus::simnet::DelayModel::Uniform { min: 1, max: 40 },
+        ..NetworkConfig::default()
+    });
+    for seed in 0..10 {
+        let run = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+        assert!(run.violations.is_empty(), "seed {seed}: {:?}", run.violations);
+    }
+}
+
+#[test]
+fn minority_partition_cannot_decide() {
+    // Permanently isolate 2 of 5 nodes; only the majority side decides,
+    // and it decides one of its own values.
+    let mut network = NetworkConfig::reliable(5);
+    network.partitions = vec![PartitionWindow {
+        from: SimTime::ZERO,
+        until: SimTime::MAX,
+        groups: vec![
+            vec![ProcessId(0), ProcessId(1)],
+            vec![ProcessId(2), ProcessId(3), ProcessId(4)],
+        ],
+    }];
+    let mut cfg = RaftClusterConfig::new(5).with_network(network);
+    cfg.max_time = SimTime::from_ticks(50_000);
+    for seed in 0..5 {
+        let run = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+        assert!(run.violations.is_empty(), "seed {seed}: {:?}", run.violations);
+        assert!(run.outcome.decisions[0].is_none(), "seed {seed}: isolated node decided");
+        assert!(run.outcome.decisions[1].is_none(), "seed {seed}: isolated node decided");
+        let v = run.outcome.decided_value().expect("majority side decides");
+        assert!([3, 4, 5].contains(&v), "seed {seed}: got {v}");
+    }
+}
+
+#[test]
+fn repeated_leader_crashes_never_violate_safety() {
+    // Crash whichever node is leader, several times in a row, by
+    // scheduling rolling crashes/restarts; safety must hold throughout.
+    let faults = FaultPlan::new()
+        .crash_at(ProcessId(0), SimTime::from_ticks(400))
+        .restart_at(ProcessId(0), SimTime::from_ticks(1_500))
+        .crash_at(ProcessId(1), SimTime::from_ticks(800))
+        .restart_at(ProcessId(1), SimTime::from_ticks(2_000))
+        .crash_at(ProcessId(2), SimTime::from_ticks(1_200))
+        .restart_at(ProcessId(2), SimTime::from_ticks(2_500));
+    let cfg = RaftClusterConfig::new(5).with_faults(faults);
+    for seed in 0..10 {
+        let run = run_raft(&cfg, &[6, 7, 8, 9, 10], seed);
+        assert!(run.violations.is_empty(), "seed {seed}: {:?}", run.violations);
+        assert!(run.outcome.agreement(), "seed {seed}");
+    }
+}
+
+#[test]
+fn timing_property_governs_election_convergence() {
+    // The paper's timing property: broadcast time ≪ election timeout.
+    // With a healthy ratio the cluster elects in few terms; with timeouts
+    // comparable to message delay, elections thrash (more terms). The
+    // *shape* (monotone in the ratio) is the claim.
+    let mut terms_by_ratio = Vec::new();
+    for (lo, hi) in [(30, 60), (150, 300), (600, 1200)] {
+        let cfg = RaftClusterConfig::new(5)
+            .with_network(NetworkConfig::reliable(25))
+            .with_raft(RaftConfig {
+                election_timeout: (lo, hi),
+                heartbeat_interval: lo / 3,
+                max_batch: 16,
+            });
+        let mut total_elections = 0usize;
+        for seed in 0..10 {
+            let run = run_raft(&cfg, &[1, 2, 3, 4, 5], seed);
+            assert!(run.violations.is_empty(), "({lo},{hi}) seed {seed}");
+            total_elections += run.elections;
+        }
+        terms_by_ratio.push(((lo, hi), total_elections));
+    }
+    // Tiny timeouts (≈ broadcast time) must cost strictly more elections
+    // than generous ones.
+    assert!(
+        terms_by_ratio[0].1 > terms_by_ratio[2].1,
+        "expected election thrash at small timeout/delay ratios: {terms_by_ratio:?}"
+    );
+}
+
+#[test]
+fn decentralized_variant_converges_and_agrees() {
+    let n = 7;
+    let t = 3;
+    for seed in 0..15 {
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| decentralized_raft(v, n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided(), "seed {seed}");
+        assert!(out.agreement(), "seed {seed}");
+    }
+}
+
+#[test]
+fn reconciliators_differ_only_in_speed() {
+    // Paper §4.3's closing observation, measured: same VAC, two
+    // reconciliators; both correct, the timer-nudge one usually needs
+    // fewer rounds than the coin under balanced inputs.
+    let n = 7;
+    let t = 3;
+    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let seeds = 30;
+    let mut coin_time = 0u64;
+    let mut nudge_time = 0u64;
+    for seed in 0..seeds {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| coin_flip_twin(v, n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.agreement(), "coin seed {seed}");
+        coin_time += out.last_decision_time().unwrap().ticks();
+
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes(inputs.iter().map(|&v| decentralized_raft(v, n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.agreement(), "nudge seed {seed}");
+        nudge_time += out.last_decision_time().unwrap().ticks();
+    }
+    println!(
+        "mean decision time: coin {} ticks vs timer-nudge {} ticks",
+        coin_time / seeds,
+        nudge_time / seeds
+    );
+}
+
+#[test]
+fn roles_settle_to_one_leader_in_steady_state() {
+    let cfg = RaftClusterConfig::new(5);
+    let mut sim = Sim::builder(cfg.network.clone())
+        .seed(9)
+        .processes((0..5).map(|i| object_oriented_consensus::raft::RaftNode::new(i, RaftConfig::default())))
+        .build();
+    let out = sim.run(RunLimit::default());
+    assert!(out.all_decided());
+    let leaders = (0..5)
+        .filter(|&i| sim.process(ProcessId(i)).role() == Role::Leader)
+        .count();
+    assert_eq!(leaders, 1, "exactly one leader once quiesced");
+}

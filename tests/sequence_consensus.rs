@@ -1,0 +1,139 @@
+//! The multi-shot composition ([`SequenceConsensus`]) driven by Ben-Or
+//! slots: an agreed log built purely from the paper's building blocks.
+
+use object_oriented_consensus::ben_or::{BenOrVac, CoinFlip};
+use object_oriented_consensus::core::sequence::SequenceConsensus;
+use object_oriented_consensus::core::template::TemplateConfig;
+use object_oriented_consensus::simnet::{
+    FaultPlan, NetworkConfig, ProcessId, RunLimit, Sim, SimTime,
+};
+
+type SeqProc = SequenceConsensus<BenOrVac, CoinFlip>;
+
+fn make(proposals: Vec<bool>, n: usize, t: usize) -> SeqProc {
+    SequenceConsensus::new(
+        proposals,
+        move |_slot, _round| BenOrVac::new(n, t),
+        |_slot, _round| CoinFlip::new(),
+        TemplateConfig::default(),
+    )
+}
+
+/// Each processor proposes a different pattern per slot.
+fn proposals(i: usize, slots: usize) -> Vec<bool> {
+    (0..slots).map(|k| (i + k).is_multiple_of(2)).collect()
+}
+
+#[test]
+fn all_processors_agree_on_the_whole_sequence() {
+    let n = 5;
+    let t = 2;
+    let slots = 4;
+    for seed in 0..15 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes((0..n).map(|i| make(proposals(i, slots), n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided(), "seed {seed}");
+        let seq = out.decided_value().unwrap_or_else(|| {
+            panic!("seed {seed}: sequences diverged: {:?}", out.decisions)
+        });
+        assert_eq!(seq.len(), slots, "seed {seed}");
+    }
+}
+
+#[test]
+fn per_slot_validity_holds() {
+    // Slot k's decision must be some processor's slot-k proposal.
+    let n = 3;
+    let t = 1;
+    let slots = 3;
+    for seed in 0..15 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes((0..n).map(|i| make(proposals(i, slots), n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        let seq = out.decided_value().expect("agreement");
+        for (k, &v) in seq.iter().enumerate() {
+            let slot_inputs: Vec<bool> = (0..n).map(|i| proposals(i, slots)[k]).collect();
+            assert!(
+                slot_inputs.contains(&v),
+                "seed {seed}: slot {k} decided {v}, inputs {slot_inputs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unanimous_slots_decide_that_value() {
+    let n = 4;
+    let t = 1;
+    // Everyone proposes [true, false, true].
+    for seed in 0..10 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .processes((0..n).map(|_| make(vec![true, false, true], n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert_eq!(
+            out.decided_value(),
+            Some(vec![true, false, true]),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn sequence_survives_crashes() {
+    let n = 5;
+    let t = 2;
+    let slots = 3;
+    for seed in 0..10 {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(seed)
+            .faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(60)))
+            .processes((0..n).map(|i| make(proposals(i, slots), n, t)))
+            .build();
+        let out = sim.run(RunLimit::default());
+        // The live processors must finish the whole log and agree.
+        let live: Vec<Vec<bool>> = (0..n - t)
+            .map(|i| {
+                out.decisions[i]
+                    .clone()
+                    .unwrap_or_else(|| panic!("seed {seed}: p{i} incomplete"))
+            })
+            .collect();
+        for w in live.windows(2) {
+            assert_eq!(w[0], w[1], "seed {seed}");
+        }
+        assert_eq!(live[0].len(), slots);
+    }
+}
+
+#[test]
+fn slots_advance_monotonically_and_prefix_is_stable() {
+    let n = 3;
+    let t = 1;
+    let slots = 5;
+    let mut sim = Sim::builder(NetworkConfig::default())
+        .seed(9)
+        .processes((0..n).map(|i| make(proposals(i, slots), n, t)))
+        .build();
+    // Run to the first full decision, then check everyone's prefix
+    // agrees with the final sequence.
+    let partial = sim.run(RunLimit::until_decisions(1));
+    let _ = partial;
+    let prefixes: Vec<Vec<bool>> = (0..n)
+        .map(|i| sim.process(ProcessId(i)).decided().to_vec())
+        .collect();
+    let out = sim.run(RunLimit::default());
+    let fin = out.decided_value().expect("agreement");
+    for (i, p) in prefixes.iter().enumerate() {
+        assert!(
+            fin.starts_with(p),
+            "p{i}'s mid-run prefix {p:?} must be a prefix of the final {fin:?}"
+        );
+    }
+}

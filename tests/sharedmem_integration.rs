@@ -1,0 +1,89 @@
+//! The shared-memory substrate under genuine thread concurrency, checked
+//! against the same object laws as the message-passing implementations.
+
+use object_oriented_consensus::core::checker::{ac_entries, RoundOutcomes};
+use object_oriented_consensus::core::AcOutcome;
+use object_oriented_consensus::sharedmem::{RegisterAc, SharedConsensus};
+use object_oriented_consensus::simnet::ProcessId;
+use std::sync::Arc;
+
+#[test]
+fn register_ac_obeys_ac_laws_under_threads() {
+    for round_idx in 0..300u64 {
+        let n = 2 + (round_idx as usize % 4); // 2..=5 threads
+        let inputs: Vec<u64> = (0..n).map(|i| (i as u64) % 2).collect();
+        let ac = Arc::new(RegisterAc::new(n));
+        let outs: Vec<AcOutcome<u64>> = std::thread::scope(|s| {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let ac = Arc::clone(&ac);
+                    s.spawn(move || ac.propose(i, v))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let round = RoundOutcomes {
+            round: round_idx,
+            entries: ac_entries(
+                outs.iter()
+                    .enumerate()
+                    .map(|(i, o)| (ProcessId(i), inputs[i], *o)),
+            ),
+            extra_inputs: Vec::new(),
+        };
+        let v = round.check_ac();
+        assert!(v.is_empty(), "execution {round_idx}: {v:?} ({outs:?})");
+    }
+}
+
+#[test]
+fn shared_consensus_agreement_validity_termination() {
+    for seed in 0..60 {
+        let n = 2 + (seed as usize % 4);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        let c = Arc::new(SharedConsensus::new(n));
+        let outs: Vec<u64> = std::thread::scope(|s| {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || c.propose(i, v, seed * 1000 + i as u64))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let first = outs[0];
+        assert!(outs.iter().all(|&v| v == first), "agreement: {outs:?}");
+        assert!(inputs.contains(&first), "validity: {first} ∉ {inputs:?}");
+    }
+}
+
+#[test]
+fn shared_and_simulated_frameworks_agree_on_unanimity_semantics() {
+    // Sanity bridge between the two substrates: unanimity must decide
+    // that value in both worlds.
+    let c = Arc::new(SharedConsensus::new(3));
+    let outs: Vec<u64> = std::thread::scope(|s| {
+        (0..3)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                s.spawn(move || c.propose(i, 5, i as u64))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(outs, vec![5, 5, 5]);
+
+    use object_oriented_consensus::ben_or::harness::{run_decomposed, BenOrConfig};
+    let run = run_decomposed(&BenOrConfig::new(3, 1), &[true, true, true], 0);
+    assert_eq!(run.outcome.decided_value(), Some(true));
+}

@@ -1,0 +1,138 @@
+//! Experiment T1 as a test: the template (paper Algorithm 1/2) yields a
+//! correct consensus for *every* decomposition, across fault configs and
+//! seeds — Lemma 1 exercised end to end.
+
+use object_oriented_consensus::ben_or::harness::{
+    balanced_inputs, run_composed, run_decomposed, BenOrConfig,
+};
+use object_oriented_consensus::phase_king::{run_phase_king, Attack, PhaseKingConfig};
+use object_oriented_consensus::raft::harness::{run_raft, RaftClusterConfig};
+use object_oriented_consensus::simnet::{FaultPlan, NetworkConfig, SimTime};
+
+const SEEDS: u64 = 30;
+
+#[test]
+fn ben_or_template_is_clean_without_faults() {
+    for (n, t) in [(3, 1), (5, 2), (7, 3), (9, 4)] {
+        let cfg = BenOrConfig::new(n, t);
+        for seed in 0..SEEDS {
+            let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+            assert!(
+                run.violations.is_empty(),
+                "n={n} t={t} seed={seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn ben_or_template_is_clean_with_max_crashes() {
+    for (n, t) in [(5, 2), (7, 3)] {
+        let cfg = BenOrConfig::new(n, t)
+            .with_faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(30)));
+        for seed in 0..SEEDS {
+            let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+            assert!(
+                run.violations.is_empty(),
+                "n={n} t={t} seed={seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn ben_or_template_is_clean_on_lossy_networks() {
+    let cfg = BenOrConfig::new(5, 2).with_network(NetworkConfig {
+        drop_probability: 0.05,
+        duplicate_probability: 0.05,
+        ..NetworkConfig::default()
+    });
+    for seed in 0..SEEDS {
+        let run = run_decomposed(&cfg, &balanced_inputs(5), seed);
+        assert!(run.violations.is_empty(), "seed={seed}: {:?}", run.violations);
+    }
+}
+
+#[test]
+fn ben_or_template_is_clean_under_exponential_delays() {
+    let cfg = BenOrConfig::new(5, 2).with_network(NetworkConfig {
+        delay: object_oriented_consensus::simnet::DelayModel::Exponential { mean: 12 },
+        ..NetworkConfig::default()
+    });
+    for seed in 0..SEEDS {
+        let run = run_decomposed(&cfg, &balanced_inputs(5), seed);
+        assert!(run.violations.is_empty(), "seed={seed}: {:?}", run.violations);
+    }
+}
+
+#[test]
+fn composed_two_ac_template_is_clean() {
+    let cfg = BenOrConfig::new(5, 2);
+    for seed in 0..SEEDS {
+        let run = run_composed(&cfg, &balanced_inputs(5), seed);
+        assert!(run.violations.is_empty(), "seed={seed}: {:?}", run.violations);
+    }
+}
+
+#[test]
+fn phase_king_template_is_clean_across_attacks() {
+    for attack in [Attack::Silent, Attack::Equivocate, Attack::Random, Attack::Fixed(2)] {
+        let cfg = PhaseKingConfig::new(7, 2).with_attack(attack);
+        for seed in 0..SEEDS {
+            let run = run_phase_king(&cfg, &[0, 1, 0, 1, 0], seed);
+            assert!(
+                run.violations.is_empty(),
+                "{attack:?} seed={seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn raft_is_clean_with_and_without_crashes() {
+    let healthy = RaftClusterConfig::new(5);
+    let crashy = RaftClusterConfig::new(5)
+        .with_faults(FaultPlan::new().crash_tail(5, 2, SimTime::from_ticks(300)));
+    for seed in 0..15 {
+        for (label, cfg) in [("healthy", &healthy), ("crashy", &crashy)] {
+            let run = run_raft(cfg, &[1, 2, 3, 4, 5], seed);
+            assert!(
+                run.violations.is_empty(),
+                "{label} seed={seed}: {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn validity_under_unanimity_everywhere() {
+    // Every algorithm must decide the unanimous input.
+    for seed in 0..10 {
+        let run = run_decomposed(&BenOrConfig::new(5, 2), &[true; 5], seed);
+        assert_eq!(run.outcome.decided_value(), Some(true), "ben-or seed {seed}");
+
+        let pk = run_phase_king(&PhaseKingConfig::new(7, 2), &[1; 5], seed);
+        for p in &pk.honest {
+            assert_eq!(pk.decisions[p.index()], Some(1), "phase-king seed {seed}");
+        }
+
+        let raft = run_raft(&RaftClusterConfig::new(3), &[4, 4, 4], seed);
+        assert_eq!(raft.outcome.decided_value(), Some(4), "raft seed {seed}");
+    }
+}
+
+#[test]
+fn decisions_always_come_from_inputs() {
+    for seed in 0..20 {
+        let run = run_decomposed(&BenOrConfig::new(7, 3), &balanced_inputs(7), seed);
+        assert!(run.outcome.decided_value().is_some());
+
+        let raft = run_raft(&RaftClusterConfig::new(5), &[11, 22, 33, 44, 55], seed);
+        let v = raft.outcome.decided_value().unwrap();
+        assert!([11, 22, 33, 44, 55].contains(&v), "seed {seed}: {v}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the paper's object laws.
+//!
+//! Strategy-generated network sizes, fault counts, input vectors and
+//! seeds are thrown at the Ben-Or VAC (native and §5-composed); the
+//! recorded executions must satisfy every clause of the VAC
+//! specification. Separately, the §5 constructions are checked as pure
+//! functions over arbitrary AC outcomes, and the checker itself is
+//! validated against hand-crafted violating rounds (it must *find* the
+//! bug, not just pass clean inputs).
+
+use object_oriented_consensus::ben_or::harness::{run_composed, run_decomposed, BenOrConfig};
+use object_oriented_consensus::core::checker::{RoundEntry, RoundOutcomes, ViolationKind};
+use object_oriented_consensus::core::{AcConfidence, AcOutcome, Confidence, VacOutcome};
+use object_oriented_consensus::simnet::{FaultPlan, ProcessId, SimTime};
+use proptest::prelude::*;
+
+/// `(n, t, inputs)` with `t < n/2`.
+fn ben_or_params() -> impl Strategy<Value = (usize, usize, Vec<bool>)> {
+    (3usize..=9)
+        .prop_flat_map(|n| {
+            let t_max = n.div_ceil(2) - 1;
+            (Just(n), 0..=t_max)
+        })
+        .prop_flat_map(|(n, t)| {
+            (
+                Just(n),
+                Just(t),
+                proptest::collection::vec(any::<bool>(), n),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ben_or_vac_laws_hold((n, t, inputs) in ben_or_params(), seed in 0u64..1000) {
+        let cfg = BenOrConfig::new(n, t);
+        let run = run_decomposed(&cfg, &inputs, seed);
+        prop_assert!(run.violations.is_empty(), "{:?}", run.violations);
+        prop_assert!(run.outcome.all_decided());
+    }
+
+    #[test]
+    fn ben_or_vac_laws_hold_under_crashes((n, t, inputs) in ben_or_params(), seed in 0u64..1000, crash_at in 1u64..200) {
+        prop_assume!(t >= 1);
+        let cfg = BenOrConfig::new(n, t)
+            .with_faults(FaultPlan::new().crash_tail(n, t, SimTime::from_ticks(crash_at)));
+        let run = run_decomposed(&cfg, &inputs, seed);
+        prop_assert!(run.violations.is_empty(), "{:?}", run.violations);
+    }
+
+    #[test]
+    fn composed_vac_laws_hold((n, t, inputs) in ben_or_params(), seed in 0u64..1000) {
+        let cfg = BenOrConfig::new(n, t);
+        let run = run_composed(&cfg, &inputs, seed);
+        prop_assert!(run.violations.is_empty(), "{:?}", run.violations);
+    }
+
+    /// §5 composition table as a pure function: for all AC outcome pairs,
+    /// the mapping produces the documented confidence and AC₂'s value.
+    #[test]
+    fn two_ac_mapping_table(
+        a_commit in any::<bool>(),
+        b_commit in any::<bool>(),
+        u in 0u64..8,
+        w in 0u64..8,
+    ) {
+        use object_oriented_consensus::core::compose::{TwoAcMsg, TwoAcVac};
+        use object_oriented_consensus::core::objects::{AcObject, ObjectNet, VacObject};
+        use object_oriented_consensus::core::testkit::LoopbackNet;
+
+        #[derive(Debug)]
+        struct Scripted(AcOutcome<u64>);
+        impl AcObject for Scripted {
+            type Value = u64;
+            type Msg = ();
+            fn begin(&mut self, _v: u64, _net: &mut dyn ObjectNet<()>) -> Option<AcOutcome<u64>> {
+                Some(self.0)
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _net: &mut dyn ObjectNet<()>) -> Option<AcOutcome<u64>> {
+                None
+            }
+        }
+
+        let mk = |commit: bool, v: u64| if commit { AcOutcome::commit(v) } else { AcOutcome::adopt(v) };
+        let mut vac = TwoAcVac::new(Scripted(mk(a_commit, u)), Scripted(mk(b_commit, w)));
+        let mut net = LoopbackNet::<TwoAcMsg<()>>::new(0, 3, 0);
+        let out = vac.begin(0, &mut net).expect("scripted ACs complete in begin");
+        let expected_conf = match (a_commit, b_commit) {
+            (true, true) => Confidence::Commit,
+            (_, true) => Confidence::Adopt,
+            _ => Confidence::Vacillate,
+        };
+        prop_assert_eq!(out.confidence, expected_conf);
+        prop_assert_eq!(out.value, w, "value comes from AC₂");
+    }
+
+    /// The VAC → AC weakening preserves values and maps the lattice as
+    /// documented.
+    #[test]
+    fn weakening_is_value_preserving(conf in 0usize..3, v in 0u64..100) {
+        use object_oriented_consensus::core::compose::VacAsAc;
+        use object_oriented_consensus::core::objects::{AcObject, ObjectNet, VacObject};
+        use object_oriented_consensus::core::testkit::LoopbackNet;
+
+        #[derive(Debug)]
+        struct ScriptedVac(VacOutcome<u64>);
+        impl VacObject for ScriptedVac {
+            type Value = u64;
+            type Msg = ();
+            fn begin(&mut self, _v: u64, _net: &mut dyn ObjectNet<()>) -> Option<VacOutcome<u64>> {
+                Some(self.0)
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _net: &mut dyn ObjectNet<()>) -> Option<VacOutcome<u64>> {
+                None
+            }
+        }
+
+        let confidence = [Confidence::Vacillate, Confidence::Adopt, Confidence::Commit][conf];
+        let mut ac = VacAsAc(ScriptedVac(VacOutcome { confidence, value: v }));
+        let mut net = LoopbackNet::<()>::new(0, 2, 0);
+        let out = ac.begin(0, &mut net).unwrap();
+        prop_assert_eq!(out.value, v);
+        let expected = if confidence == Confidence::Commit {
+            AcConfidence::Commit
+        } else {
+            AcConfidence::Adopt
+        };
+        prop_assert_eq!(out.confidence, expected);
+    }
+
+    /// Checker soundness: a round where someone committed `u` while
+    /// another processor holds a different value (or vacillates) must be
+    /// flagged; a coherent round must not be.
+    #[test]
+    fn checker_flags_planted_coherence_bugs(
+        u in 0u64..4,
+        other in 0u64..4,
+        other_conf in 0usize..3,
+    ) {
+        let confidence = [Confidence::Vacillate, Confidence::Adopt, Confidence::Commit][other_conf];
+        let round = RoundOutcomes {
+            round: 1,
+            entries: vec![
+                RoundEntry { process: ProcessId(0), input: u, outcome: VacOutcome::commit(u) },
+                RoundEntry { process: ProcessId(1), input: other, outcome: VacOutcome { confidence, value: other } },
+            ],
+            extra_inputs: Vec::new(),
+        };
+        let violations = round.check_coherence_adopt_commit();
+        let coherent = confidence != Confidence::Vacillate && other == u;
+        if coherent {
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        } else {
+            prop_assert!(!violations.is_empty(), "planted bug not found: {round:?}");
+            prop_assert!(violations.iter().all(|v| v.kind == ViolationKind::CoherenceAdoptCommit));
+        }
+    }
+
+    /// Checker soundness for the vacillate/adopt law.
+    #[test]
+    fn checker_flags_conflicting_adopts(a in 0u64..4, b in 0u64..4) {
+        let round = RoundOutcomes {
+            round: 1,
+            entries: vec![
+                RoundEntry { process: ProcessId(0), input: a, outcome: VacOutcome::adopt(a) },
+                RoundEntry { process: ProcessId(1), input: b, outcome: VacOutcome::adopt(b) },
+            ],
+            extra_inputs: Vec::new(),
+        };
+        let violations = round.check_coherence_vacillate_adopt();
+        prop_assert_eq!(violations.is_empty(), a == b);
+    }
+
+    /// Convergence checker: unanimity in, anything but commit-of-that-value
+    /// out, must be flagged — including when a non-completing invoker broke
+    /// the unanimity (then nothing is flagged).
+    #[test]
+    fn checker_respects_extra_inputs(v in 0u64..4, extra in 0u64..4) {
+        let round = RoundOutcomes {
+            round: 1,
+            entries: vec![
+                RoundEntry { process: ProcessId(0), input: v, outcome: VacOutcome::adopt(v) },
+            ],
+            extra_inputs: vec![extra],
+        };
+        let violations = round.check_convergence();
+        prop_assert_eq!(!violations.is_empty(), extra == v, "{:?}", violations);
+    }
+}
