@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ac_insufficiency-d9388b2a1d6ca584.d: tests/ac_insufficiency.rs
+
+/root/repo/target/debug/deps/ac_insufficiency-d9388b2a1d6ca584: tests/ac_insufficiency.rs
+
+tests/ac_insufficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c67d83ec2234acbb.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c67d83ec2234acbb: tests/determinism.rs
+
+tests/determinism.rs:

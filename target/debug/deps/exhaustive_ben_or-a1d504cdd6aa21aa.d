@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_ben_or-a1d504cdd6aa21aa.d: tests/exhaustive_ben_or.rs
+
+/root/repo/target/debug/deps/exhaustive_ben_or-a1d504cdd6aa21aa: tests/exhaustive_ben_or.rs
+
+tests/exhaustive_ben_or.rs:

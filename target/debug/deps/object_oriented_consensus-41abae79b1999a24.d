@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/object_oriented_consensus-41abae79b1999a24.d: src/lib.rs
+
+/root/repo/target/debug/deps/object_oriented_consensus-41abae79b1999a24: src/lib.rs
+
+src/lib.rs:

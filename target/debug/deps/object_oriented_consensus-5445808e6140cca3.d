@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/object_oriented_consensus-5445808e6140cca3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libobject_oriented_consensus-5445808e6140cca3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libobject_oriented_consensus-5445808e6140cca3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooc_ben_or-a9e67bd20990e213.d: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+/root/repo/target/debug/deps/libooc_ben_or-a9e67bd20990e213.rlib: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+/root/repo/target/debug/deps/libooc_ben_or-a9e67bd20990e213.rmeta: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+crates/ooc-ben-or/src/lib.rs:
+crates/ooc-ben-or/src/harness.rs:
+crates/ooc-ben-or/src/monolithic.rs:
+crates/ooc-ben-or/src/msg.rs:
+crates/ooc-ben-or/src/reconciliator.rs:
+crates/ooc-ben-or/src/vac.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ooc_core-e05d4f0a04e63235.d: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+/root/repo/target/debug/deps/libooc_core-e05d4f0a04e63235.rlib: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+/root/repo/target/debug/deps/libooc_core-e05d4f0a04e63235.rmeta: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+crates/ooc-core/src/lib.rs:
+crates/ooc-core/src/checker.rs:
+crates/ooc-core/src/compose.rs:
+crates/ooc-core/src/confidence.rs:
+crates/ooc-core/src/objects.rs:
+crates/ooc-core/src/sequence.rs:
+crates/ooc-core/src/sync_objects.rs:
+crates/ooc-core/src/sync_template.rs:
+crates/ooc-core/src/template.rs:
+crates/ooc-core/src/testkit.rs:

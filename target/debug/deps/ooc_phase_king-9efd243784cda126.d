@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ooc_phase_king-9efd243784cda126.d: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+/root/repo/target/debug/deps/libooc_phase_king-9efd243784cda126.rlib: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+/root/repo/target/debug/deps/libooc_phase_king-9efd243784cda126.rmeta: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+crates/ooc-phase-king/src/lib.rs:
+crates/ooc-phase-king/src/ac.rs:
+crates/ooc-phase-king/src/adaptive.rs:
+crates/ooc-phase-king/src/byzantine.rs:
+crates/ooc-phase-king/src/conciliator.rs:
+crates/ooc-phase-king/src/harness.rs:
+crates/ooc-phase-king/src/monolithic.rs:
+crates/ooc-phase-king/src/queen.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ooc_sharedmem-47f85eed7fbce88f.d: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+/root/repo/target/debug/deps/libooc_sharedmem-47f85eed7fbce88f.rlib: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+/root/repo/target/debug/deps/libooc_sharedmem-47f85eed7fbce88f.rmeta: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+crates/ooc-sharedmem/src/lib.rs:
+crates/ooc-sharedmem/src/adopt_commit.rs:
+crates/ooc-sharedmem/src/conciliator.rs:
+crates/ooc-sharedmem/src/consensus.rs:
+crates/ooc-sharedmem/src/register.rs:
+crates/ooc-sharedmem/src/vac.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ooc_simnet-633b589a892ec14f.d: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+/root/repo/target/debug/deps/libooc_simnet-633b589a892ec14f.rlib: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+/root/repo/target/debug/deps/libooc_simnet-633b589a892ec14f.rmeta: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+crates/ooc-simnet/src/lib.rs:
+crates/ooc-simnet/src/adversary.rs:
+crates/ooc-simnet/src/byzantine.rs:
+crates/ooc-simnet/src/fault.rs:
+crates/ooc-simnet/src/network.rs:
+crates/ooc-simnet/src/process.rs:
+crates/ooc-simnet/src/rng.rs:
+crates/ooc-simnet/src/sim.rs:
+crates/ooc-simnet/src/stats.rs:
+crates/ooc-simnet/src/sync.rs:
+crates/ooc-simnet/src/time.rs:
+crates/ooc-simnet/src/trace.rs:
+crates/ooc-simnet/src/id.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raft_integration-2bb5e06739f27a72.d: tests/raft_integration.rs
+
+/root/repo/target/debug/deps/raft_integration-2bb5e06739f27a72: tests/raft_integration.rs
+
+tests/raft_integration.rs:

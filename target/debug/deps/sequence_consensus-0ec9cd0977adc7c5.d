@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequence_consensus-0ec9cd0977adc7c5.d: tests/sequence_consensus.rs
+
+/root/repo/target/debug/deps/sequence_consensus-0ec9cd0977adc7c5: tests/sequence_consensus.rs
+
+tests/sequence_consensus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharedmem_integration-760db44bccbfaed3.d: tests/sharedmem_integration.rs
+
+/root/repo/target/debug/deps/sharedmem_integration-760db44bccbfaed3: tests/sharedmem_integration.rs
+
+tests/sharedmem_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/template_cross_algorithm-5a7749ee4b311173.d: tests/template_cross_algorithm.rs
+
+/root/repo/target/debug/deps/template_cross_algorithm-5a7749ee4b311173: tests/template_cross_algorithm.rs
+
+tests/template_cross_algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/template_soundness_oracle-66502641a67b1695.d: tests/template_soundness_oracle.rs
+
+/root/repo/target/debug/deps/template_soundness_oracle-66502641a67b1695: tests/template_soundness_oracle.rs
+
+tests/template_soundness_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vac_properties_proptest-2fcef04b8d5c12be.d: tests/vac_properties_proptest.rs
+
+/root/repo/target/debug/deps/vac_properties_proptest-2fcef04b8d5c12be: tests/vac_properties_proptest.rs
+
+tests/vac_properties_proptest.rs:

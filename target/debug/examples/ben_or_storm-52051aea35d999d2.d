@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ben_or_storm-52051aea35d999d2.d: examples/ben_or_storm.rs
+
+/root/repo/target/debug/examples/ben_or_storm-52051aea35d999d2: examples/ben_or_storm.rs
+
+examples/ben_or_storm.rs:

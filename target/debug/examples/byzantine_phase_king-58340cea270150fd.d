@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_phase_king-58340cea270150fd.d: examples/byzantine_phase_king.rs
+
+/root/repo/target/debug/examples/byzantine_phase_king-58340cea270150fd: examples/byzantine_phase_king.rs
+
+examples/byzantine_phase_king.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_vac_from_ac-f7400ad6f9cb565d.d: examples/custom_vac_from_ac.rs
+
+/root/repo/target/debug/examples/custom_vac_from_ac-f7400ad6f9cb565d: examples/custom_vac_from_ac.rs
+
+examples/custom_vac_from_ac.rs:

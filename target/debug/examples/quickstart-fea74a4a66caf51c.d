@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fea74a4a66caf51c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fea74a4a66caf51c: examples/quickstart.rs
+
+examples/quickstart.rs:

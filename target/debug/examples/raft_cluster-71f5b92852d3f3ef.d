@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raft_cluster-71f5b92852d3f3ef.d: examples/raft_cluster.rs
+
+/root/repo/target/debug/examples/raft_cluster-71f5b92852d3f3ef: examples/raft_cluster.rs
+
+examples/raft_cluster.rs:

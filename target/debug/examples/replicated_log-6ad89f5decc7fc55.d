@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_log-6ad89f5decc7fc55.d: examples/replicated_log.rs
+
+/root/repo/target/debug/examples/replicated_log-6ad89f5decc7fc55: examples/replicated_log.rs
+
+examples/replicated_log.rs:

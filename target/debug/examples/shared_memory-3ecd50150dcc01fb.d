@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_memory-3ecd50150dcc01fb.d: examples/shared_memory.rs
+
+/root/repo/target/debug/examples/shared_memory-3ecd50150dcc01fb: examples/shared_memory.rs
+
+examples/shared_memory.rs:

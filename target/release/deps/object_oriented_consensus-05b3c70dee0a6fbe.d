@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/object_oriented_consensus-05b3c70dee0a6fbe.d: src/lib.rs
+
+/root/repo/target/release/deps/libobject_oriented_consensus-05b3c70dee0a6fbe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libobject_oriented_consensus-05b3c70dee0a6fbe.rmeta: src/lib.rs
+
+src/lib.rs:

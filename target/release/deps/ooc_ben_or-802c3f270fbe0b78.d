@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ooc_ben_or-802c3f270fbe0b78.d: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+/root/repo/target/release/deps/libooc_ben_or-802c3f270fbe0b78.rlib: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+/root/repo/target/release/deps/libooc_ben_or-802c3f270fbe0b78.rmeta: crates/ooc-ben-or/src/lib.rs crates/ooc-ben-or/src/harness.rs crates/ooc-ben-or/src/monolithic.rs crates/ooc-ben-or/src/msg.rs crates/ooc-ben-or/src/reconciliator.rs crates/ooc-ben-or/src/vac.rs
+
+crates/ooc-ben-or/src/lib.rs:
+crates/ooc-ben-or/src/harness.rs:
+crates/ooc-ben-or/src/monolithic.rs:
+crates/ooc-ben-or/src/msg.rs:
+crates/ooc-ben-or/src/reconciliator.rs:
+crates/ooc-ben-or/src/vac.rs:

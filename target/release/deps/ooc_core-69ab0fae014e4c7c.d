@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ooc_core-69ab0fae014e4c7c.d: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+/root/repo/target/release/deps/libooc_core-69ab0fae014e4c7c.rlib: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+/root/repo/target/release/deps/libooc_core-69ab0fae014e4c7c.rmeta: crates/ooc-core/src/lib.rs crates/ooc-core/src/checker.rs crates/ooc-core/src/compose.rs crates/ooc-core/src/confidence.rs crates/ooc-core/src/objects.rs crates/ooc-core/src/sequence.rs crates/ooc-core/src/sync_objects.rs crates/ooc-core/src/sync_template.rs crates/ooc-core/src/template.rs crates/ooc-core/src/testkit.rs
+
+crates/ooc-core/src/lib.rs:
+crates/ooc-core/src/checker.rs:
+crates/ooc-core/src/compose.rs:
+crates/ooc-core/src/confidence.rs:
+crates/ooc-core/src/objects.rs:
+crates/ooc-core/src/sequence.rs:
+crates/ooc-core/src/sync_objects.rs:
+crates/ooc-core/src/sync_template.rs:
+crates/ooc-core/src/template.rs:
+crates/ooc-core/src/testkit.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ooc_phase_king-9b3402462606d14c.d: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+/root/repo/target/release/deps/libooc_phase_king-9b3402462606d14c.rlib: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+/root/repo/target/release/deps/libooc_phase_king-9b3402462606d14c.rmeta: crates/ooc-phase-king/src/lib.rs crates/ooc-phase-king/src/ac.rs crates/ooc-phase-king/src/adaptive.rs crates/ooc-phase-king/src/byzantine.rs crates/ooc-phase-king/src/conciliator.rs crates/ooc-phase-king/src/harness.rs crates/ooc-phase-king/src/monolithic.rs crates/ooc-phase-king/src/queen.rs
+
+crates/ooc-phase-king/src/lib.rs:
+crates/ooc-phase-king/src/ac.rs:
+crates/ooc-phase-king/src/adaptive.rs:
+crates/ooc-phase-king/src/byzantine.rs:
+crates/ooc-phase-king/src/conciliator.rs:
+crates/ooc-phase-king/src/harness.rs:
+crates/ooc-phase-king/src/monolithic.rs:
+crates/ooc-phase-king/src/queen.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ooc_raft-237d5e567bd83d55.d: crates/ooc-raft/src/lib.rs crates/ooc-raft/src/decentralized.rs crates/ooc-raft/src/events.rs crates/ooc-raft/src/harness.rs crates/ooc-raft/src/log.rs crates/ooc-raft/src/message.rs crates/ooc-raft/src/node.rs crates/ooc-raft/src/state.rs crates/ooc-raft/src/types.rs crates/ooc-raft/src/vac_view.rs
+
+/root/repo/target/release/deps/libooc_raft-237d5e567bd83d55.rlib: crates/ooc-raft/src/lib.rs crates/ooc-raft/src/decentralized.rs crates/ooc-raft/src/events.rs crates/ooc-raft/src/harness.rs crates/ooc-raft/src/log.rs crates/ooc-raft/src/message.rs crates/ooc-raft/src/node.rs crates/ooc-raft/src/state.rs crates/ooc-raft/src/types.rs crates/ooc-raft/src/vac_view.rs
+
+/root/repo/target/release/deps/libooc_raft-237d5e567bd83d55.rmeta: crates/ooc-raft/src/lib.rs crates/ooc-raft/src/decentralized.rs crates/ooc-raft/src/events.rs crates/ooc-raft/src/harness.rs crates/ooc-raft/src/log.rs crates/ooc-raft/src/message.rs crates/ooc-raft/src/node.rs crates/ooc-raft/src/state.rs crates/ooc-raft/src/types.rs crates/ooc-raft/src/vac_view.rs
+
+crates/ooc-raft/src/lib.rs:
+crates/ooc-raft/src/decentralized.rs:
+crates/ooc-raft/src/events.rs:
+crates/ooc-raft/src/harness.rs:
+crates/ooc-raft/src/log.rs:
+crates/ooc-raft/src/message.rs:
+crates/ooc-raft/src/node.rs:
+crates/ooc-raft/src/state.rs:
+crates/ooc-raft/src/types.rs:
+crates/ooc-raft/src/vac_view.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ooc_sharedmem-768c5c8523fa2551.d: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+/root/repo/target/release/deps/libooc_sharedmem-768c5c8523fa2551.rlib: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+/root/repo/target/release/deps/libooc_sharedmem-768c5c8523fa2551.rmeta: crates/ooc-sharedmem/src/lib.rs crates/ooc-sharedmem/src/adopt_commit.rs crates/ooc-sharedmem/src/conciliator.rs crates/ooc-sharedmem/src/consensus.rs crates/ooc-sharedmem/src/register.rs crates/ooc-sharedmem/src/vac.rs
+
+crates/ooc-sharedmem/src/lib.rs:
+crates/ooc-sharedmem/src/adopt_commit.rs:
+crates/ooc-sharedmem/src/conciliator.rs:
+crates/ooc-sharedmem/src/consensus.rs:
+crates/ooc-sharedmem/src/register.rs:
+crates/ooc-sharedmem/src/vac.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ooc_simnet-d5f5914ec3813472.d: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+/root/repo/target/release/deps/libooc_simnet-d5f5914ec3813472.rlib: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+/root/repo/target/release/deps/libooc_simnet-d5f5914ec3813472.rmeta: crates/ooc-simnet/src/lib.rs crates/ooc-simnet/src/adversary.rs crates/ooc-simnet/src/byzantine.rs crates/ooc-simnet/src/fault.rs crates/ooc-simnet/src/network.rs crates/ooc-simnet/src/process.rs crates/ooc-simnet/src/rng.rs crates/ooc-simnet/src/sim.rs crates/ooc-simnet/src/stats.rs crates/ooc-simnet/src/sync.rs crates/ooc-simnet/src/time.rs crates/ooc-simnet/src/trace.rs crates/ooc-simnet/src/id.rs
+
+crates/ooc-simnet/src/lib.rs:
+crates/ooc-simnet/src/adversary.rs:
+crates/ooc-simnet/src/byzantine.rs:
+crates/ooc-simnet/src/fault.rs:
+crates/ooc-simnet/src/network.rs:
+crates/ooc-simnet/src/process.rs:
+crates/ooc-simnet/src/rng.rs:
+crates/ooc-simnet/src/sim.rs:
+crates/ooc-simnet/src/stats.rs:
+crates/ooc-simnet/src/sync.rs:
+crates/ooc-simnet/src/time.rs:
+crates/ooc-simnet/src/trace.rs:
+crates/ooc-simnet/src/id.rs:

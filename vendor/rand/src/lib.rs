@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! pre-populated cargo registry, so the workspace vendors the *exact trait
+//! surface* it consumes from `rand 0.8`: [`RngCore`], [`SeedableRng`],
+//! [`Error`], and the [`Rng`] extension trait with `gen::<T>()` backed by
+//! [`distributions::Standard`]. The APIs are signature-compatible with
+//! rand 0.8 for everything the workspace uses, so swapping the real crate
+//! back in is a one-line `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Error type reported by fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error carrying a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed byte-array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, spreading it over the seed bytes.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Same byte-spreading construction as rand 0.8 (SplitMix64 steps).
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The subset of `rand::distributions` needed for `Rng::gen`.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over all values of the type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            (rng.next_u32() >> 24) as u8
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 bits of precision in [0, 1).
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let r: f64 = self.gen();
+        r < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_dispatches_through_standard() {
+        let mut rng = Counter(0);
+        assert_eq!(rng.gen::<u64>(), 1);
+        assert_eq!(rng.gen::<u64>(), 2);
+        let _: bool = rng.gen();
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct ByteRng([u8; 8]);
+        impl SeedableRng for ByteRng {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                ByteRng(seed)
+            }
+        }
+        let a = ByteRng::seed_from_u64(7);
+        let b = ByteRng::seed_from_u64(7);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (so `use` statements
+//! and trait bounds resolve) and, under the `derive` feature, re-exports
+//! the no-op derive macros from the vendored `serde_derive`. No data-model
+//! machinery is included — the workspace serializes failure artifacts with
+//! hand-rolled JSON in `ooc-campaign`.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility, but never relies on the generated impls
+//! (persistence uses hand-rolled JSON in `ooc-campaign`). These derives
+//! therefore accept the attribute and expand to nothing, which keeps the
+//! annotations compiling without syn/quote or network access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
