@@ -27,6 +27,13 @@ pub struct BenOrConfig {
     pub faults: FaultPlan,
     /// Safety valve on template rounds.
     pub max_rounds: u64,
+    /// Engine-level run limit (simulated time / event ceilings). The
+    /// campaign engine tightens this so adversarial stalls surface as
+    /// bounded runs instead of hanging the sweep.
+    pub run_limit: RunLimit,
+    /// Test-only sabotage: overrides the VAC commit threshold (the
+    /// paper's rule is `t + 1`). See [`BenOrVac::with_commit_threshold`].
+    pub commit_threshold: Option<usize>,
 }
 
 impl BenOrConfig {
@@ -39,7 +46,30 @@ impl BenOrConfig {
             network: NetworkConfig::default(),
             faults: FaultPlan::default(),
             max_rounds: 10_000,
+            run_limit: RunLimit::default(),
+            commit_threshold: None,
         }
+    }
+
+    /// Replaces the engine-level run limit.
+    pub fn with_run_limit(mut self, limit: RunLimit) -> Self {
+        self.run_limit = limit;
+        self
+    }
+
+    /// Caps template rounds (a processor whose VAC reaches the cap stops
+    /// making progress, which the checkers then report as a stall).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Test-only: plants a sabotaged VAC commit threshold so campaign
+    /// tests can prove the checker pipeline catches an unsafe protocol.
+    #[doc(hidden)]
+    pub fn with_sabotaged_commit_threshold(mut self, threshold: usize) -> Self {
+        self.commit_threshold = Some(threshold);
+        self
     }
 
     /// Replaces the network configuration.
@@ -183,13 +213,14 @@ pub fn run_decomposed_with(
 ) -> BenOrRun {
     assert_eq!(inputs.len(), cfg.n, "one input per processor");
     let (n, t) = (cfg.n, cfg.t);
+    let threshold = cfg.commit_threshold.unwrap_or(t + 1);
     let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
         .faults(cfg.faults.clone())
         .processes(inputs.iter().map(|&v| -> BenOrProcess {
             Template::vac(
                 v,
-                move |_m| BenOrVac::new(n, t),
+                move |_m| BenOrVac::with_commit_threshold(n, t, threshold),
                 |_m| CoinFlip::new(),
                 template_config(cfg),
             )
@@ -198,7 +229,7 @@ pub fn run_decomposed_with(
         builder = builder.adversary(adv);
     }
     let mut sim = builder.build();
-    let outcome = sim.run(RunLimit::default());
+    let outcome = sim.run(cfg.run_limit);
     let histories: Vec<_> = (0..cfg.n)
         .map(|i| sim.process(ProcessId(i)).history().to_vec())
         .collect();

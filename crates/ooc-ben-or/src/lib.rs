@@ -40,7 +40,9 @@ pub mod msg;
 pub mod reconciliator;
 pub mod vac;
 
-pub use harness::{run_decomposed, BenOrConfig, BenOrRun};
+pub use harness::{
+    balanced_inputs, run_decomposed, run_decomposed_with, split_adversary, BenOrConfig, BenOrRun,
+};
 pub use monolithic::{MonolithicBenOr, MonolithicMsg};
 pub use msg::BenOrMsg;
 pub use reconciliator::CoinFlip;

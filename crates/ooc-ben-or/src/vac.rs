@@ -50,6 +50,9 @@ pub struct BenOrVac {
     ratifies_seen: usize,
     /// Ratify messages that overtook this processor's report quorum.
     early_ratifies: Vec<Option<bool>>,
+    /// Ratify count needed to commit; the paper's rule is `count > t`,
+    /// i.e. `t + 1`. Only [`BenOrVac::with_commit_threshold`] changes it.
+    commit_threshold: usize,
 }
 
 impl BenOrVac {
@@ -72,7 +75,22 @@ impl BenOrVac {
             ratifies: [0, 0],
             ratifies_seen: 0,
             early_ratifies: Vec::new(),
+            commit_threshold: t + 1,
         }
+    }
+
+    /// Test-only: like [`BenOrVac::new`] but with an explicit commit
+    /// threshold instead of the paper's `t + 1`.
+    ///
+    /// Passing `t` plants the classic off-by-one (committing on exactly
+    /// `t` ratifies, which a disjoint quorum may never see) — the fault
+    /// the campaign engine's sabotage suite must be able to catch. Never
+    /// use this outside deliberate fault-planting experiments.
+    #[doc(hidden)]
+    pub fn with_commit_threshold(n: usize, t: usize, commit_threshold: usize) -> Self {
+        let mut vac = BenOrVac::new(n, t);
+        vac.commit_threshold = commit_threshold;
+        vac
     }
 
     fn quorum(&self) -> usize {
@@ -96,7 +114,7 @@ impl BenOrVac {
         } else {
             (false, self.ratifies[0])
         };
-        Some(if count > self.t {
+        Some(if count >= self.commit_threshold {
             VacOutcome::commit(value)
         } else if count >= 1 {
             VacOutcome::adopt(value)
@@ -313,6 +331,18 @@ mod tests {
         let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true), None]);
         // 2 ratifies = t ⇒ not enough to commit.
         assert_eq!(out, Some(VacOutcome::adopt(true)));
+    }
+
+    #[test]
+    fn sabotaged_threshold_commits_on_exactly_t_ratifies() {
+        // The planted off-by-one: threshold t instead of t+1 turns the
+        // "exactly t ratifies ⇒ adopt" case into an unsafe commit.
+        let mut vac = BenOrVac::with_commit_threshold(5, 2, 2);
+        let mut n = net();
+        vac.begin(true, &mut n);
+        feed_reports(&mut vac, &mut n, &[true, true, true]);
+        let out = feed_ratifies(&mut vac, &mut n, &[Some(true), Some(true), None]);
+        assert_eq!(out, Some(VacOutcome::commit(true)));
     }
 
     #[test]

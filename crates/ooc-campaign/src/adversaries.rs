@@ -1,0 +1,317 @@
+//! Targeted liveness adversaries, one per decomposition.
+//!
+//! Each attack aims at the *reconciliator* — the part of the paper's
+//! template that restores convergence — because that is where liveness
+//! lives: Ben-Or waits for lucky coins, Phase-King waits for an honest
+//! king, Raft waits for a stable leader. All three attacks carry a
+//! budget (a deadline or a flap count) after which they play fair, so a
+//! *correct* protocol must still terminate and a stall inside the budget
+//! is a genuine liveness finding, not an artifact of an omnipotent
+//! scheduler.
+
+use ooc_ben_or::{BenOrMsg, BenOrWire};
+use ooc_core::template::TemplateMsg;
+use ooc_phase_king::PhaseKingConfig;
+use ooc_raft::RaftMsg;
+use ooc_simnet::{
+    Adversary, Decision, NetworkAdversary, NetworkConfig, ProcessId, SimDuration, SimTime,
+    SplitMix64,
+};
+
+/// Ben-Or vote splitter.
+///
+/// Ben-Or only commits when `> n/2` reports agree and `≥ t + 1` ratifies
+/// back the majority value. This adversary biases delivery *order* so
+/// each recipient's first `n − t` messages look like a tie: value-`true`
+/// payloads crawl toward even-id recipients and value-`false` payloads
+/// crawl toward odd-id recipients. Nobody sees a clean majority, rounds
+/// end in `⟨2, ?⟩`, and progress is left to the coin. After
+/// `until` the attack yields entirely.
+///
+/// The attack **composes with** the run's stochastic [`NetworkConfig`]
+/// instead of replacing it: drops, duplication and partitions still
+/// apply, and the attack only stretches the transit delay of partisan
+/// payloads. An artifact that records a lossy network stays lossy when
+/// replayed with the adversary installed.
+#[derive(Debug, Clone)]
+pub struct SplitVoteAdversary {
+    /// When the attack gives up.
+    until: SimTime,
+    /// Transit delay for tie-breaking payloads.
+    slow: SimDuration,
+    /// The underlying stochastic network.
+    base: NetworkAdversary,
+}
+
+impl SplitVoteAdversary {
+    /// An attack active until `until_ticks`, slowing partisan payloads
+    /// by `slow_ticks`, layered over `network`.
+    pub fn new(until_ticks: u64, slow_ticks: u64, network: NetworkConfig) -> Self {
+        SplitVoteAdversary {
+            until: SimTime::from_ticks(until_ticks),
+            slow: SimDuration::from_ticks(slow_ticks.max(2)),
+            base: NetworkAdversary::new(network),
+        }
+    }
+}
+
+impl Adversary<BenOrWire> for SplitVoteAdversary {
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &BenOrWire,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        let base = self.base.route(at, from, to, msg, rng);
+        if at >= self.until || base == Decision::Drop {
+            return base;
+        }
+        let payload = match msg {
+            TemplateMsg::Detect { inner, .. } => match inner {
+                BenOrMsg::Report { value } => Some(*value),
+                BenOrMsg::Ratify { value } => *value,
+            },
+            _ => None,
+        };
+        match payload {
+            // `true` crawls to even ids, `false` crawls to odd ids: every
+            // prefix a recipient acts on is biased toward a tie.
+            Some(v) if v == to.index().is_multiple_of(2) => Decision::DeliverAfter(self.slow),
+            _ => base,
+        }
+    }
+
+    fn duplicate(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &BenOrWire,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        self.base.duplicate(at, from, to, msg, rng)
+    }
+}
+
+/// Raft leader flapper.
+///
+/// Watches `AppendEntries` traffic; the first heartbeat of each new term
+/// betrays the freshly elected leader, which is then isolated (all its
+/// traffic dropped, both directions) for `isolation` ticks — long enough
+/// for follower election timers to fire and depose it. At most
+/// `max_flaps` leaders are attacked; afterwards the network is fair, so
+/// Raft's randomized timers must eventually elect a stable leader.
+///
+/// Like [`SplitVoteAdversary`], the attack composes with the run's
+/// stochastic [`NetworkConfig`] — unattacked traffic still sees the
+/// configured delays, drops and partitions.
+#[derive(Debug, Clone)]
+pub struct LeaderFlapAdversary {
+    isolation: SimDuration,
+    max_flaps: u64,
+    flaps: u64,
+    highest_attacked_term: u64,
+    target: Option<(ProcessId, SimTime)>,
+    base: NetworkAdversary,
+}
+
+impl LeaderFlapAdversary {
+    /// An attack isolating each of the first `max_flaps` leaders for
+    /// `isolation_ticks`, layered over `network`.
+    pub fn new(isolation_ticks: u64, max_flaps: u64, network: NetworkConfig) -> Self {
+        LeaderFlapAdversary {
+            isolation: SimDuration::from_ticks(isolation_ticks),
+            max_flaps,
+            flaps: 0,
+            highest_attacked_term: 0,
+            target: None,
+            base: NetworkAdversary::new(network),
+        }
+    }
+
+    /// How many leaders were actually attacked.
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+}
+
+impl Adversary<RaftMsg> for LeaderFlapAdversary {
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &RaftMsg,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        if let RaftMsg::AppendEntries(ae) = msg {
+            if ae.term.0 > self.highest_attacked_term && self.flaps < self.max_flaps {
+                self.highest_attacked_term = ae.term.0;
+                self.flaps += 1;
+                self.target = Some((ae.leader_id, at + self.isolation));
+            }
+        }
+        if let Some((leader, until)) = self.target {
+            if at >= until {
+                self.target = None;
+            } else if from == leader || to == leader {
+                return Decision::Drop;
+            }
+        }
+        self.base.route(at, from, to, msg, rng)
+    }
+
+    fn duplicate(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &RaftMsg,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        self.base.duplicate(at, from, to, msg, rng)
+    }
+}
+
+/// Phase-King king crasher.
+///
+/// Phase-King is synchronous, so the attack is a *crash schedule*, not a
+/// message adversary: with kings rotating through
+/// `ProcessId((phase − 1) % n)` and each phase spanning three lock-step
+/// rounds, this schedule crashes each honest king one round into its
+/// reign — after it has influenced the conciliator but before the phase
+/// resolves. The schedule spends the fault budget the configuration
+/// leaves unspent (`t − byzantine` crashes), targeting the earliest
+/// reigning honest kings, which is the adversarial placement: the
+/// protocol's `t + 2` bound leans exactly on one of the first `t + 1`
+/// kings surviving.
+pub fn king_crash_schedule(cfg: &PhaseKingConfig) -> Vec<(ProcessId, u64)> {
+    let budget = cfg.t.saturating_sub(cfg.byzantine);
+    let mut schedule = Vec::with_capacity(budget);
+    let mut victims = std::collections::BTreeSet::new();
+    for phase in 1..=cfg.max_phases {
+        if schedule.len() >= budget {
+            break;
+        }
+        let king = ProcessId(((phase - 1) % cfg.n as u64) as usize);
+        if king.index() >= cfg.byzantine && victims.insert(king) {
+            // Round (phase−1)·3 is the phase's first exchange; crash one
+            // round in, mid-reign.
+            schedule.push((king, (phase - 1) * 3 + 1));
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_vote_slows_partisan_payloads_and_then_plays_fair() {
+        let mut adv = SplitVoteAdversary::new(100, 40, NetworkConfig::reliable(1));
+        let mut rng = SplitMix64::new(1);
+        let report = |v: bool| TemplateMsg::Detect {
+            round: 1,
+            inner: BenOrMsg::Report { value: v },
+        };
+        // true → even id: slow.
+        assert_eq!(
+            adv.route(
+                SimTime::from_ticks(0),
+                ProcessId(1),
+                ProcessId(2),
+                &report(true),
+                &mut rng
+            ),
+            Decision::DeliverAfter(SimDuration::from_ticks(40))
+        );
+        // true → odd id: fast.
+        assert_eq!(
+            adv.route(
+                SimTime::from_ticks(0),
+                ProcessId(1),
+                ProcessId(3),
+                &report(true),
+                &mut rng
+            ),
+            Decision::DeliverAfter(SimDuration::from_ticks(1))
+        );
+        // Past the deadline everything is fast.
+        assert_eq!(
+            adv.route(
+                SimTime::from_ticks(100),
+                ProcessId(1),
+                ProcessId(2),
+                &report(true),
+                &mut rng
+            ),
+            Decision::DeliverAfter(SimDuration::from_ticks(1))
+        );
+    }
+
+    #[test]
+    fn leader_flap_isolates_at_most_the_budgeted_leaders() {
+        use ooc_raft::{AppendEntries, LogIndex, Term};
+        let mut adv = LeaderFlapAdversary::new(50, 1, NetworkConfig::reliable(1));
+        let mut rng = SplitMix64::new(1);
+        let hb = RaftMsg::AppendEntries(AppendEntries {
+            term: Term(1),
+            leader_id: ProcessId(0),
+            prev_log_index: LogIndex(0),
+            prev_log_term: Term(0),
+            entries: vec![],
+            leader_commit: LogIndex(0),
+        });
+        // First heartbeat of term 1 marks p0 and drops its traffic.
+        assert_eq!(
+            adv.route(SimTime::from_ticks(10), ProcessId(0), ProcessId(1), &hb, &mut rng),
+            Decision::Drop
+        );
+        // Unrelated traffic still flows.
+        let vote = RaftMsg::RequestVote(ooc_raft::RequestVote {
+            term: Term(2),
+            candidate_id: ProcessId(2),
+            last_log_index: LogIndex(0),
+            last_log_term: Term(0),
+        });
+        assert!(matches!(
+            adv.route(SimTime::from_ticks(20), ProcessId(2), ProcessId(1), &vote, &mut rng),
+            Decision::DeliverAfter(_)
+        ));
+        // Isolation expires; budget exhausted, so a term-2 heartbeat is
+        // not attacked.
+        let hb2 = RaftMsg::AppendEntries(AppendEntries {
+            term: Term(2),
+            leader_id: ProcessId(2),
+            prev_log_index: LogIndex(0),
+            prev_log_term: Term(0),
+            entries: vec![],
+            leader_commit: LogIndex(0),
+        });
+        assert!(matches!(
+            adv.route(SimTime::from_ticks(70), ProcessId(2), ProcessId(1), &hb2, &mut rng),
+            Decision::DeliverAfter(_)
+        ));
+        assert_eq!(adv.flaps(), 1);
+    }
+
+    #[test]
+    fn king_crash_schedule_respects_the_budget_and_targets_reigning_kings() {
+        let cfg = PhaseKingConfig::new(7, 2).with_byzantine(0);
+        let schedule = king_crash_schedule(&cfg);
+        assert_eq!(schedule.len(), 2);
+        // Kings of phases 1 and 2, each one round into the reign.
+        assert_eq!(schedule[0], (ProcessId(0), 1));
+        assert_eq!(schedule[1], (ProcessId(1), 4));
+
+        // With Byzantine processors on the early ids, the schedule skips
+        // them (they are already faulty) and still stays in budget.
+        let cfg = PhaseKingConfig::new(7, 2).with_byzantine(1);
+        let schedule = king_crash_schedule(&cfg);
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule[0], (ProcessId(1), 4));
+    }
+}

@@ -1,0 +1,754 @@
+//! Self-contained, re-runnable failure artifacts.
+//!
+//! When a sweep finds a violation it serializes **everything the run's
+//! identity depends on** — algorithm, sizes, seed, inputs, fault plan,
+//! network configuration, adversary parameters, budget caps, sabotage
+//! flags — into one JSON document. Anyone holding the file can replay
+//! the exact execution (`ooc-campaign replay art.json`) or minimize it
+//! (`ooc-campaign shrink art.json`); determinism is inherited from the
+//! simulator's seeded RNG discipline.
+
+use crate::json::{Json, JsonError};
+use ooc_core::checker::{Violation, ViolationKind};
+use ooc_phase_king::Attack;
+use ooc_simnet::{
+    DelayModel, FaultPlan, NetworkConfig, PartitionWindow, ProcessId, SimDuration, SimTime,
+};
+
+/// Which decomposition the artifact drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Ben-Or (asynchronous, crash faults, randomized).
+    BenOr,
+    /// Phase-King (synchronous, Byzantine faults).
+    PhaseKing,
+    /// Raft as single-shot consensus (asynchronous, crash faults).
+    Raft,
+}
+
+impl Algorithm {
+    /// The stable string used in JSON and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::BenOr => "ben-or",
+            Algorithm::PhaseKing => "phase-king",
+            Algorithm::Raft => "raft",
+        }
+    }
+
+    /// Parses the stable string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ben-or" => Some(Algorithm::BenOr),
+            "phase-king" => Some(Algorithm::PhaseKing),
+            "raft" => Some(Algorithm::Raft),
+            _ => None,
+        }
+    }
+
+    /// All three decompositions.
+    pub fn all() -> [Algorithm; 3] {
+        [Algorithm::BenOr, Algorithm::PhaseKing, Algorithm::Raft]
+    }
+}
+
+/// One scheduled fault, serialization-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Crash process `p` at simulated tick `tick` (asynchronous engine).
+    CrashAt {
+        /// Victim.
+        p: usize,
+        /// Simulated instant.
+        tick: u64,
+    },
+    /// Crash process `p` after it has handled `events` events.
+    CrashAfterEvents {
+        /// Victim.
+        p: usize,
+        /// Handler-invocation threshold.
+        events: u64,
+    },
+    /// Restart process `p` at simulated tick `tick`.
+    RestartAt {
+        /// The process to revive.
+        p: usize,
+        /// Simulated instant.
+        tick: u64,
+    },
+    /// Crash process `p` at synchronous round `round` (Phase-King).
+    CrashAtRound {
+        /// Victim (an honest id).
+        p: usize,
+        /// Lock-step round number.
+        round: u64,
+    },
+}
+
+impl FaultSpec {
+    /// The victim's process index.
+    pub fn process(&self) -> usize {
+        match *self {
+            FaultSpec::CrashAt { p, .. }
+            | FaultSpec::CrashAfterEvents { p, .. }
+            | FaultSpec::RestartAt { p, .. }
+            | FaultSpec::CrashAtRound { p, .. } => p,
+        }
+    }
+
+    /// Whether this entry is a crash (as opposed to a restart).
+    pub fn is_crash(&self) -> bool {
+        !matches!(self, FaultSpec::RestartAt { .. })
+    }
+}
+
+/// Converts serialization-friendly fault entries into an engine
+/// [`FaultPlan`] (ignoring the synchronous-only `CrashAtRound` entries).
+pub fn faults_to_plan(faults: &[FaultSpec]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for f in faults {
+        plan = match *f {
+            FaultSpec::CrashAt { p, tick } => {
+                plan.crash_at(ProcessId(p), SimTime::from_ticks(tick))
+            }
+            FaultSpec::CrashAfterEvents { p, events } => {
+                plan.crash_after_events(ProcessId(p), events)
+            }
+            FaultSpec::RestartAt { p, tick } => {
+                plan.restart_at(ProcessId(p), SimTime::from_ticks(tick))
+            }
+            FaultSpec::CrashAtRound { .. } => plan,
+        };
+    }
+    plan
+}
+
+/// The synchronous crash schedule carried by the fault list.
+pub fn faults_to_round_crashes(faults: &[FaultSpec]) -> Vec<(ProcessId, u64)> {
+    faults
+        .iter()
+        .filter_map(|f| match *f {
+            FaultSpec::CrashAtRound { p, round } => Some((ProcessId(p), round)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Which message-scheduling adversary to install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// No custom adversary; the stochastic network config rules alone.
+    None,
+    /// Ben-Or vote splitter: biases report/ratify delivery order so each
+    /// recipient sees a near-tie, until `until_ticks`, then plays fair.
+    SplitVote {
+        /// Tick at which the attack yields to a fair scheduler.
+        until_ticks: u64,
+        /// Transit delay applied to tie-breaking messages.
+        slow_ticks: u64,
+    },
+    /// Raft leader isolator: each newly elected leader is cut off from
+    /// the cluster for `isolation_ticks`, at most `max_flaps` times.
+    LeaderFlap {
+        /// How long each fresh leader stays isolated.
+        isolation_ticks: u64,
+        /// Attack budget; afterwards the scheduler plays fair.
+        max_flaps: u64,
+    },
+}
+
+/// A compact record of the violation the artifact reproduces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationSummary {
+    /// The violated property, in stable string form (see
+    /// [`kind_name`]).
+    pub kind: String,
+    /// The round, when the checker attributed one.
+    pub round: Option<u64>,
+    /// Human-readable details from the checker.
+    pub detail: String,
+}
+
+impl ViolationSummary {
+    /// Summarizes a checker violation.
+    pub fn of(v: &Violation) -> Self {
+        ViolationSummary {
+            kind: kind_name(v.kind).to_string(),
+            round: v.round,
+            detail: v.detail.clone(),
+        }
+    }
+}
+
+/// The stable string form of a [`ViolationKind`].
+pub fn kind_name(kind: ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::Validity => "validity",
+        ViolationKind::Convergence => "convergence",
+        ViolationKind::CoherenceAdoptCommit => "coherence-adopt-commit",
+        ViolationKind::CoherenceVacillateAdopt => "coherence-vacillate-adopt",
+        ViolationKind::Agreement => "agreement",
+        ViolationKind::DecisionValidity => "decision-validity",
+        ViolationKind::Termination => "termination",
+    }
+}
+
+/// Whether a violation kind breaks *safety* (anything but termination).
+pub fn is_safety(kind: ViolationKind) -> bool {
+    kind != ViolationKind::Termination
+}
+
+/// Everything needed to re-run one failing execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureArtifact {
+    /// Which decomposition to drive.
+    pub algorithm: Algorithm,
+    /// Network size.
+    pub n: usize,
+    /// Fault tolerance the protocol is parameterized with.
+    pub t: usize,
+    /// Phase-King only: how many actually-Byzantine processors.
+    pub byzantine: Option<usize>,
+    /// Phase-King only: the Byzantine behaviour (stable string form).
+    pub attack: Option<String>,
+    /// The run seed.
+    pub seed: u64,
+    /// Inputs — `{0,1}` for Ben-Or (booleans) and Phase-King (honest
+    /// processors only), arbitrary `u64` proposals for Raft.
+    pub inputs: Vec<u64>,
+    /// Template-round / phase cap.
+    pub max_rounds: u64,
+    /// Simulated-time budget in ticks (asynchronous engines).
+    pub max_ticks: u64,
+    /// Network behaviour (asynchronous engines).
+    pub network: Option<NetworkConfig>,
+    /// Crash/restart schedule.
+    pub faults: Vec<FaultSpec>,
+    /// The message-scheduling adversary.
+    pub adversary: AdversarySpec,
+    /// Ben-Or only: a deliberately broken VAC commit threshold, proving
+    /// the campaign catches unsafe protocols.
+    pub sabotage_commit_threshold: Option<usize>,
+    /// The violation this artifact reproduces (filled in by the sweep).
+    pub violation: Option<ViolationSummary>,
+}
+
+impl FailureArtifact {
+    /// Parses the Phase-King attack string ("silent", "equivocate",
+    /// "random", "fixed:K").
+    pub fn parse_attack(&self) -> Attack {
+        match self.attack.as_deref() {
+            Some("silent") => Attack::Silent,
+            Some("random") => Attack::Random,
+            Some(s) if s.starts_with("fixed:") => {
+                Attack::Fixed(s["fixed:".len()..].parse().unwrap_or(0))
+            }
+            _ => Attack::Equivocate,
+        }
+    }
+
+    /// The stable string form of a Phase-King attack.
+    pub fn attack_name(attack: Attack) -> String {
+        match attack {
+            Attack::Silent => "silent".to_string(),
+            Attack::Equivocate => "equivocate".to_string(),
+            Attack::Random => "random".to_string(),
+            Attack::Fixed(v) => format!("fixed:{v}"),
+        }
+    }
+
+    /// Serializes to the artifact JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("algorithm".into(), Json::Str(self.algorithm.name().into())),
+            ("n".into(), Json::U64(self.n as u64)),
+            ("t".into(), Json::U64(self.t as u64)),
+            ("seed".into(), Json::U64(self.seed)),
+            (
+                "inputs".into(),
+                Json::Arr(self.inputs.iter().map(|&v| Json::U64(v)).collect()),
+            ),
+            ("max_rounds".into(), Json::U64(self.max_rounds)),
+            ("max_ticks".into(), Json::U64(self.max_ticks)),
+        ];
+        if let Some(b) = self.byzantine {
+            fields.push(("byzantine".into(), Json::U64(b as u64)));
+        }
+        if let Some(a) = &self.attack {
+            fields.push(("attack".into(), Json::Str(a.clone())));
+        }
+        if let Some(net) = &self.network {
+            fields.push(("network".into(), network_to_json(net)));
+        }
+        if !self.faults.is_empty() {
+            fields.push((
+                "faults".into(),
+                Json::Arr(self.faults.iter().map(fault_to_json).collect()),
+            ));
+        }
+        fields.push(("adversary".into(), adversary_to_json(self.adversary)));
+        if let Some(th) = self.sabotage_commit_threshold {
+            fields.push(("sabotage_commit_threshold".into(), Json::U64(th as u64)));
+        }
+        if let Some(v) = &self.violation {
+            fields.push((
+                "violation".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(v.kind.clone())),
+                    (
+                        "round".into(),
+                        v.round.map(Json::U64).unwrap_or(Json::Null),
+                    ),
+                    ("detail".into(), Json::Str(v.detail.clone())),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Deserializes from the artifact JSON document.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let alg = json
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .and_then(Algorithm::parse)
+            .ok_or("missing or unknown \"algorithm\"")?;
+        let n = json
+            .get("n")
+            .and_then(Json::as_usize)
+            .ok_or("missing \"n\"")?;
+        let t = json
+            .get("t")
+            .and_then(Json::as_usize)
+            .ok_or("missing \"t\"")?;
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"seed\"")?;
+        let inputs = json
+            .get("inputs")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"inputs\"")?
+            .iter()
+            .map(|v| v.as_u64().ok_or("non-integer input"))
+            .collect::<Result<Vec<u64>, _>>()?;
+        let max_rounds = json
+            .get("max_rounds")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"max_rounds\"")?;
+        let max_ticks = json
+            .get("max_ticks")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"max_ticks\"")?;
+        let byzantine = json.get("byzantine").and_then(Json::as_usize);
+        let attack = json
+            .get("attack")
+            .and_then(Json::as_str)
+            .map(|s| s.to_string());
+        let network = match json.get("network") {
+            Some(net) => Some(network_from_json(net)?),
+            None => None,
+        };
+        let faults = match json.get("faults").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(fault_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        let adversary = adversary_from_json(json.get("adversary"))?;
+        let sabotage_commit_threshold =
+            json.get("sabotage_commit_threshold").and_then(Json::as_usize);
+        let violation = json.get("violation").map(|v| {
+            ViolationSummary {
+                kind: v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                round: v.get("round").and_then(Json::as_u64),
+                detail: v
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }
+        });
+        Ok(FailureArtifact {
+            algorithm: alg,
+            n,
+            t,
+            byzantine,
+            attack,
+            seed,
+            inputs,
+            max_rounds,
+            max_ticks,
+            network,
+            faults,
+            adversary,
+            sabotage_commit_threshold,
+            violation,
+        })
+    }
+
+    /// Parses an artifact from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Self::from_json(&json)
+    }
+
+    /// Serializes to pretty JSON text.
+    pub fn to_string_pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+fn network_to_json(net: &NetworkConfig) -> Json {
+    let delay = match net.delay {
+        DelayModel::Fixed(ticks) => Json::Obj(vec![
+            ("model".into(), Json::Str("fixed".into())),
+            ("ticks".into(), Json::U64(ticks)),
+        ]),
+        DelayModel::Uniform { min, max } => Json::Obj(vec![
+            ("model".into(), Json::Str("uniform".into())),
+            ("min".into(), Json::U64(min)),
+            ("max".into(), Json::U64(max)),
+        ]),
+        DelayModel::Exponential { mean } => Json::Obj(vec![
+            ("model".into(), Json::Str("exponential".into())),
+            ("mean".into(), Json::U64(mean)),
+        ]),
+    };
+    let partitions = net
+        .partitions
+        .iter()
+        .map(|w| {
+            Json::Obj(vec![
+                ("from".into(), Json::U64(w.from.ticks())),
+                ("until".into(), Json::U64(w.until.ticks())),
+                (
+                    "groups".into(),
+                    Json::Arr(
+                        w.groups
+                            .iter()
+                            .map(|g| {
+                                Json::Arr(
+                                    g.iter().map(|p| Json::U64(p.index() as u64)).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("delay".into(), delay),
+        ("drop_probability".into(), Json::F64(net.drop_probability)),
+        (
+            "duplicate_probability".into(),
+            Json::F64(net.duplicate_probability),
+        ),
+        ("fifo_links".into(), Json::Bool(net.fifo_links)),
+        ("self_delay".into(), Json::U64(net.self_delay.ticks())),
+        ("partitions".into(), Json::Arr(partitions)),
+    ])
+}
+
+fn network_from_json(json: &Json) -> Result<NetworkConfig, String> {
+    let delay_json = json.get("delay").ok_or("network missing \"delay\"")?;
+    let delay = match delay_json.get("model").and_then(Json::as_str) {
+        Some("fixed") => DelayModel::Fixed(
+            delay_json
+                .get("ticks")
+                .and_then(Json::as_u64)
+                .ok_or("fixed delay missing \"ticks\"")?,
+        ),
+        Some("uniform") => DelayModel::Uniform {
+            min: delay_json
+                .get("min")
+                .and_then(Json::as_u64)
+                .ok_or("uniform delay missing \"min\"")?,
+            max: delay_json
+                .get("max")
+                .and_then(Json::as_u64)
+                .ok_or("uniform delay missing \"max\"")?,
+        },
+        Some("exponential") => DelayModel::Exponential {
+            mean: delay_json
+                .get("mean")
+                .and_then(Json::as_u64)
+                .ok_or("exponential delay missing \"mean\"")?,
+        },
+        _ => return Err("unknown delay model".to_string()),
+    };
+    let partitions = match json.get("partitions").and_then(Json::as_arr) {
+        Some(items) => items
+            .iter()
+            .map(|w| {
+                Ok(PartitionWindow {
+                    from: SimTime::from_ticks(
+                        w.get("from")
+                            .and_then(Json::as_u64)
+                            .ok_or("partition missing \"from\"")?,
+                    ),
+                    until: SimTime::from_ticks(
+                        w.get("until")
+                            .and_then(Json::as_u64)
+                            .ok_or("partition missing \"until\"")?,
+                    ),
+                    groups: w
+                        .get("groups")
+                        .and_then(Json::as_arr)
+                        .ok_or("partition missing \"groups\"")?
+                        .iter()
+                        .map(|g| {
+                            g.as_arr()
+                                .ok_or("partition group must be an array")
+                                .map(|ids| {
+                                    ids.iter()
+                                        .filter_map(Json::as_usize)
+                                        .map(ProcessId)
+                                        .collect()
+                                })
+                        })
+                        .collect::<Result<Vec<Vec<ProcessId>>, &str>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    Ok(NetworkConfig {
+        delay,
+        drop_probability: json
+            .get("drop_probability")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        duplicate_probability: json
+            .get("duplicate_probability")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        fifo_links: json
+            .get("fifo_links")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        self_delay: SimDuration::from_ticks(
+            json.get("self_delay").and_then(Json::as_u64).unwrap_or(0),
+        ),
+        partitions,
+    })
+}
+
+fn fault_to_json(f: &FaultSpec) -> Json {
+    match *f {
+        FaultSpec::CrashAt { p, tick } => Json::Obj(vec![
+            ("kind".into(), Json::Str("crash-at".into())),
+            ("p".into(), Json::U64(p as u64)),
+            ("tick".into(), Json::U64(tick)),
+        ]),
+        FaultSpec::CrashAfterEvents { p, events } => Json::Obj(vec![
+            ("kind".into(), Json::Str("crash-after-events".into())),
+            ("p".into(), Json::U64(p as u64)),
+            ("events".into(), Json::U64(events)),
+        ]),
+        FaultSpec::RestartAt { p, tick } => Json::Obj(vec![
+            ("kind".into(), Json::Str("restart-at".into())),
+            ("p".into(), Json::U64(p as u64)),
+            ("tick".into(), Json::U64(tick)),
+        ]),
+        FaultSpec::CrashAtRound { p, round } => Json::Obj(vec![
+            ("kind".into(), Json::Str("crash-at-round".into())),
+            ("p".into(), Json::U64(p as u64)),
+            ("round".into(), Json::U64(round)),
+        ]),
+    }
+}
+
+fn fault_from_json(json: &Json) -> Result<FaultSpec, String> {
+    let p = json
+        .get("p")
+        .and_then(Json::as_usize)
+        .ok_or("fault missing \"p\"")?;
+    match json.get("kind").and_then(Json::as_str) {
+        Some("crash-at") => Ok(FaultSpec::CrashAt {
+            p,
+            tick: json
+                .get("tick")
+                .and_then(Json::as_u64)
+                .ok_or("crash-at missing \"tick\"")?,
+        }),
+        Some("crash-after-events") => Ok(FaultSpec::CrashAfterEvents {
+            p,
+            events: json
+                .get("events")
+                .and_then(Json::as_u64)
+                .ok_or("crash-after-events missing \"events\"")?,
+        }),
+        Some("restart-at") => Ok(FaultSpec::RestartAt {
+            p,
+            tick: json
+                .get("tick")
+                .and_then(Json::as_u64)
+                .ok_or("restart-at missing \"tick\"")?,
+        }),
+        Some("crash-at-round") => Ok(FaultSpec::CrashAtRound {
+            p,
+            round: json
+                .get("round")
+                .and_then(Json::as_u64)
+                .ok_or("crash-at-round missing \"round\"")?,
+        }),
+        _ => Err("unknown fault kind".to_string()),
+    }
+}
+
+fn adversary_to_json(spec: AdversarySpec) -> Json {
+    match spec {
+        AdversarySpec::None => Json::Obj(vec![("kind".into(), Json::Str("none".into()))]),
+        AdversarySpec::SplitVote {
+            until_ticks,
+            slow_ticks,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("split-vote".into())),
+            ("until_ticks".into(), Json::U64(until_ticks)),
+            ("slow_ticks".into(), Json::U64(slow_ticks)),
+        ]),
+        AdversarySpec::LeaderFlap {
+            isolation_ticks,
+            max_flaps,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("leader-flap".into())),
+            ("isolation_ticks".into(), Json::U64(isolation_ticks)),
+            ("max_flaps".into(), Json::U64(max_flaps)),
+        ]),
+    }
+}
+
+fn adversary_from_json(json: Option<&Json>) -> Result<AdversarySpec, String> {
+    let Some(json) = json else {
+        return Ok(AdversarySpec::None);
+    };
+    match json.get("kind").and_then(Json::as_str) {
+        None | Some("none") => Ok(AdversarySpec::None),
+        Some("split-vote") => Ok(AdversarySpec::SplitVote {
+            until_ticks: json
+                .get("until_ticks")
+                .and_then(Json::as_u64)
+                .ok_or("split-vote missing \"until_ticks\"")?,
+            slow_ticks: json
+                .get("slow_ticks")
+                .and_then(Json::as_u64)
+                .ok_or("split-vote missing \"slow_ticks\"")?,
+        }),
+        Some("leader-flap") => Ok(AdversarySpec::LeaderFlap {
+            isolation_ticks: json
+                .get("isolation_ticks")
+                .and_then(Json::as_u64)
+                .ok_or("leader-flap missing \"isolation_ticks\"")?,
+            max_flaps: json
+                .get("max_flaps")
+                .and_then(Json::as_u64)
+                .ok_or("leader-flap missing \"max_flaps\"")?,
+        }),
+        Some(other) => Err(format!("unknown adversary kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FailureArtifact {
+        FailureArtifact {
+            algorithm: Algorithm::BenOr,
+            n: 5,
+            t: 2,
+            byzantine: None,
+            attack: None,
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            inputs: vec![0, 1, 0, 1, 0],
+            max_rounds: 64,
+            max_ticks: 100_000,
+            network: Some(NetworkConfig {
+                delay: DelayModel::Uniform { min: 1, max: 9 },
+                drop_probability: 0.05,
+                duplicate_probability: 0.01,
+                fifo_links: true,
+                self_delay: SimDuration::from_ticks(1),
+                partitions: vec![PartitionWindow {
+                    from: SimTime::from_ticks(10),
+                    until: SimTime::from_ticks(500),
+                    groups: vec![
+                        vec![ProcessId(0), ProcessId(1)],
+                        vec![ProcessId(2), ProcessId(3), ProcessId(4)],
+                    ],
+                }],
+            }),
+            faults: vec![
+                FaultSpec::CrashAt { p: 4, tick: 120 },
+                FaultSpec::RestartAt { p: 4, tick: 900 },
+                FaultSpec::CrashAfterEvents { p: 3, events: 77 },
+            ],
+            adversary: AdversarySpec::SplitVote {
+                until_ticks: 5_000,
+                slow_ticks: 40,
+            },
+            sabotage_commit_threshold: Some(2),
+            violation: Some(ViolationSummary {
+                kind: "agreement".into(),
+                round: Some(3),
+                detail: "p0 decided true but p4 decided false".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json_text() {
+        let art = sample();
+        let text = art.to_string_pretty();
+        let back = FailureArtifact::from_json_str(&text).expect("parse");
+        assert_eq!(back, art);
+        // And the text form is stable (deterministic printing).
+        assert_eq!(back.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn minimal_artifact_round_trips() {
+        let art = FailureArtifact {
+            algorithm: Algorithm::PhaseKing,
+            n: 7,
+            t: 2,
+            byzantine: Some(1),
+            attack: Some("fixed:1".into()),
+            seed: 3,
+            inputs: vec![0, 1, 0, 1, 0, 1],
+            max_rounds: 6,
+            max_ticks: 0,
+            network: None,
+            faults: vec![FaultSpec::CrashAtRound { p: 3, round: 4 }],
+            adversary: AdversarySpec::None,
+            sabotage_commit_threshold: None,
+            violation: None,
+        };
+        let back = FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
+        assert_eq!(back, art);
+        assert_eq!(back.parse_attack(), Attack::Fixed(1));
+    }
+
+    #[test]
+    fn fault_conversions_split_by_engine() {
+        let faults = vec![
+            FaultSpec::CrashAt { p: 1, tick: 10 },
+            FaultSpec::CrashAtRound { p: 2, round: 5 },
+            FaultSpec::RestartAt { p: 1, tick: 80 },
+        ];
+        let plan = faults_to_plan(&faults);
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.restarts().len(), 1);
+        assert_eq!(
+            faults_to_round_crashes(&faults),
+            vec![(ProcessId(2), 5)]
+        );
+    }
+}

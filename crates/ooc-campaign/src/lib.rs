@@ -1,0 +1,60 @@
+//! # ooc-campaign
+//!
+//! A fault-injection campaign engine for the paper's three consensus
+//! decompositions (Ben-Or, Phase-King, Raft-as-single-shot).
+//!
+//! The engine sweeps deterministic grids of
+//! `(seed × fault plan × network × adversary)` combinations, runs every
+//! execution through the `ooc-core::checker` property pipeline, and for
+//! any violation produces a **reproducible failure artifact**: a
+//! self-contained JSON document holding everything the run's identity
+//! depends on. Artifacts can be replayed bit-for-bit and *shrunk* —
+//! delta-debugging style — to a minimal counterexample.
+//!
+//! ## Pieces
+//!
+//! * [`adversaries`] — targeted liveness attacks, one per algorithm:
+//!   [`adversaries::SplitVoteAdversary`] biases Ben-Or message order
+//!   toward ties, [`adversaries::LeaderFlapAdversary`] isolates each
+//!   freshly elected Raft leader, and
+//!   [`adversaries::king_crash_schedule`] decapitates each reigning
+//!   Phase-King king. All attacks carry budgets, so a correct protocol
+//!   must still terminate.
+//! * [`artifact`] — the [`artifact::FailureArtifact`] model and its JSON
+//!   round-trip.
+//! * [`runner`] — replays an artifact under a [`ooc_core::RunBudget`] so
+//!   adversarial stalls become bounded `Termination` violations instead
+//!   of hangs.
+//! * [`sweep`] — the campaign grids (≥ 1000 combinations per algorithm
+//!   at the default target).
+//! * [`shrink`] — greedy delta-debugging minimization preserving the
+//!   violation kind.
+//! * [`json`] — a small dependency-free JSON value/parser/printer with
+//!   exact 64-bit integers (seeds survive the round trip).
+//!
+//! ## CLI
+//!
+//! ```text
+//! cargo run --release -p ooc-campaign -- sweep [--algorithm A] [--combos N] [--out DIR] [--sabotage]
+//! cargo run --release -p ooc-campaign -- replay <artifact.json>
+//! cargo run --release -p ooc-campaign -- shrink <artifact.json> [--out FILE]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversaries;
+pub mod artifact;
+pub mod json;
+pub mod runner;
+pub mod shrink;
+pub mod sweep;
+
+pub use adversaries::{king_crash_schedule, LeaderFlapAdversary, SplitVoteAdversary};
+pub use artifact::{
+    AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
+};
+pub use json::Json;
+pub use runner::{run_artifact, CampaignOutcome};
+pub use shrink::{shrink, ShrinkReport};
+pub use sweep::{sweep, SweepReport};

@@ -1,0 +1,234 @@
+//! The campaign CLI: `sweep`, `replay`, `shrink`.
+
+use ooc_campaign::artifact::{Algorithm, FailureArtifact};
+use ooc_campaign::runner::run_artifact;
+use ooc_campaign::shrink::{shrink, size_of};
+use ooc_campaign::sweep::sweep;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: ooc-campaign <command> [options]
+
+commands:
+  sweep  [--algorithm ben-or|phase-king|raft|all] [--combos N]
+         [--out DIR] [--sabotage] [--shrink]
+      Run the fault-injection campaign (default: all algorithms,
+      1000 combos each). Violations are written to DIR (default
+      campaign-artifacts/) as re-runnable JSON artifacts; --shrink
+      minimizes each before writing. --sabotage plants the Ben-Or
+      off-by-one commit threshold to prove the pipeline catches it.
+      Exits non-zero if any SAFETY violation was found (unless
+      --sabotage asked for one).
+
+  replay <artifact.json>
+      Re-run one artifact and report what the checkers see.
+      Exits 0 iff the recorded violation kind is reproduced.
+
+  shrink <artifact.json> [--out FILE]
+      Minimize an artifact while preserving its violation kind and
+      write the result (default: <artifact>.min.json).";
+
+fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let algorithms: Vec<Algorithm> = match parse_flag(args, "--algorithm") {
+        None | Some("all") => Algorithm::all().to_vec(),
+        Some(name) => match Algorithm::parse(name) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown algorithm {name:?} (ben-or|phase-king|raft|all)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let combos: usize = parse_flag(args, "--combos")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let out_dir = PathBuf::from(parse_flag(args, "--out").unwrap_or("campaign-artifacts"));
+    let sabotage = has_flag(args, "--sabotage");
+    let do_shrink = has_flag(args, "--shrink");
+
+    let mut any_safety = false;
+    for alg in algorithms {
+        let report = sweep(alg, combos, sabotage);
+        println!("{}", report.summary());
+        any_safety |= !report.safety.is_empty();
+        for (i, art) in report
+            .safety
+            .iter()
+            .chain(report.liveness.iter())
+            .enumerate()
+        {
+            let art = if do_shrink {
+                match shrink(art) {
+                    Some(r) => {
+                        println!(
+                            "  shrunk artifact {} in {} steps ({} probe runs), size {} -> {}",
+                            i,
+                            r.steps,
+                            r.runs,
+                            size_of(art),
+                            size_of(&r.artifact)
+                        );
+                        r.artifact
+                    }
+                    None => art.clone(),
+                }
+            } else {
+                art.clone()
+            };
+            let path = out_dir.join(format!("{}-{:04}.json", alg.name(), i));
+            if let Err(e) = write_artifact(&path, &art) {
+                eprintln!("  failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            let what = art
+                .violation
+                .as_ref()
+                .map(|v| v.kind.clone())
+                .unwrap_or_else(|| "unknown".into());
+            println!("  wrote {} ({what})", path.display());
+        }
+    }
+    // With sabotage we *expect* safety violations; without, any safety
+    // violation is a red alert.
+    if any_safety != sabotage {
+        if sabotage {
+            eprintln!("sabotaged sweep failed to catch the broken variant");
+        } else {
+            eprintln!("SAFETY VIOLATION found — artifacts written above");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_artifact(path: &Path, art: &FailureArtifact) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, art.to_string_pretty())
+}
+
+fn load_artifact(path: &str) -> Result<FailureArtifact, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FailureArtifact::from_json_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let art = match load_artifact(path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = run_artifact(&art);
+    println!(
+        "replayed {} n={} t={} seed={}: {} decided, {} undecided, stopped after {} ({})",
+        art.algorithm.name(),
+        art.n,
+        art.t,
+        art.seed,
+        out.decided,
+        out.undecided,
+        out.spent,
+        out.stop
+    );
+    for v in &out.violations {
+        println!("  violation: {v}");
+    }
+    match &art.violation {
+        Some(expected) => {
+            let reproduced = out
+                .violations
+                .iter()
+                .any(|v| ooc_campaign::artifact::kind_name(v.kind) == expected.kind);
+            if reproduced {
+                println!("reproduced the recorded {} violation", expected.kind);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("did NOT reproduce the recorded {} violation", expected.kind);
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            if out.violations.is_empty() {
+                println!("clean run (artifact records no violation)");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let art = match load_artifact(path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match shrink(&art) {
+        None => {
+            eprintln!("artifact does not reproduce any violation; nothing to shrink");
+            ExitCode::FAILURE
+        }
+        Some(report) => {
+            let out_path = parse_flag(args, "--out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| {
+                    PathBuf::from(path.strip_suffix(".json").unwrap_or(path).to_string() + ".min.json")
+                });
+            println!(
+                "shrunk in {} steps ({} probe runs): size {} -> {}",
+                report.steps,
+                report.runs,
+                size_of(&art),
+                size_of(&report.artifact)
+            );
+            if let Some(v) = &report.artifact.violation {
+                println!("minimal counterexample reproduces: {} — {}", v.kind, v.detail);
+            }
+            if let Err(e) = write_artifact(&out_path, &report.artifact) {
+                eprintln!("failed to write {}: {e}", out_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", out_path.display());
+            ExitCode::SUCCESS
+        }
+    }
+}

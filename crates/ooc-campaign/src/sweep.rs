@@ -1,0 +1,360 @@
+//! Campaign sweeps: deterministic grids over
+//! `(seed × fault plan × network × adversary)` per decomposition.
+//!
+//! Every combination is materialized as a [`FailureArtifact`] *first* and
+//! then executed, so any failing combination is already in its
+//! re-runnable, serializable form — the sweep never has to reconstruct
+//! what it was doing when something broke.
+
+use crate::artifact::{
+    is_safety, AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
+};
+use crate::adversaries::king_crash_schedule;
+use crate::runner::run_artifact;
+use ooc_phase_king::{Attack, PhaseKingConfig};
+use ooc_simnet::{DelayModel, NetworkConfig, PartitionWindow, ProcessId, SimTime};
+
+/// Everything a sweep over one algorithm produced.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The algorithm swept.
+    pub algorithm: Algorithm,
+    /// Combinations executed.
+    pub total: usize,
+    /// Artifacts that broke a safety property (must stay empty for the
+    /// shipped protocols).
+    pub safety: Vec<FailureArtifact>,
+    /// Artifacts that broke only liveness (stalls under attack).
+    pub liveness: Vec<FailureArtifact>,
+}
+
+impl SweepReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} combos, {} safety violations, {} liveness violations",
+            self.algorithm.name(),
+            self.total,
+            self.safety.len(),
+            self.liveness.len()
+        )
+    }
+}
+
+/// Sweeps one algorithm over at least `target` combinations.
+///
+/// `sabotage` plants the Ben-Or off-by-one commit threshold (`t` instead
+/// of `t + 1`) so tests and demos can prove the pipeline catches an
+/// unsafe protocol; it is ignored for the other algorithms.
+pub fn sweep(algorithm: Algorithm, target: usize, sabotage: bool) -> SweepReport {
+    let grid = match algorithm {
+        Algorithm::BenOr => ben_or_grid(target, sabotage),
+        Algorithm::PhaseKing => phase_king_grid(target),
+        Algorithm::Raft => raft_grid(target),
+    };
+    let mut report = SweepReport {
+        algorithm,
+        total: 0,
+        safety: Vec::new(),
+        liveness: Vec::new(),
+    };
+    for mut artifact in grid {
+        let out = run_artifact(&artifact);
+        report.total += 1;
+        if let Some(v) = out.violations.first() {
+            let safety = out.violations.iter().any(|v| is_safety(v.kind));
+            let flagged = out
+                .violations
+                .iter()
+                .find(|v| is_safety(v.kind))
+                .unwrap_or(v);
+            artifact.violation = Some(ViolationSummary::of(flagged));
+            if safety {
+                report.safety.push(artifact);
+            } else {
+                report.liveness.push(artifact);
+            }
+        }
+    }
+    report
+}
+
+/// The alternating / all-zero / all-one input patterns, cycled by seed.
+fn inputs_for(len: usize, seed: u64) -> Vec<u64> {
+    match seed % 3 {
+        0 => (0..len).map(|i| (i % 2) as u64).collect(),
+        1 => vec![0; len],
+        _ => vec![1; len],
+    }
+}
+
+fn uniform_net(min: u64, max: u64) -> NetworkConfig {
+    NetworkConfig {
+        delay: DelayModel::Uniform { min, max },
+        ..NetworkConfig::reliable(1)
+    }
+}
+
+fn partitioned_net(n: usize, until: u64) -> NetworkConfig {
+    let split = n / 2;
+    NetworkConfig {
+        partitions: vec![PartitionWindow {
+            from: SimTime::ZERO,
+            until: SimTime::from_ticks(until),
+            groups: vec![
+                (0..split).map(ProcessId).collect(),
+                (split..n).map(ProcessId).collect(),
+            ],
+        }],
+        ..NetworkConfig::reliable(2)
+    }
+}
+
+fn crash_tail_specs(n: usize, count: usize, tick: u64) -> Vec<FaultSpec> {
+    (n.saturating_sub(count)..n)
+        .map(|p| FaultSpec::CrashAt { p, tick })
+        .collect()
+}
+
+fn ben_or_grid(target: usize, sabotage: bool) -> Vec<FailureArtifact> {
+    let sizes = [(4usize, 1usize), (5, 2), (7, 3)];
+    let networks = [
+        NetworkConfig::reliable(1),
+        NetworkConfig::lossy(1, 5, 0.05),
+        uniform_net(1, 10),
+    ];
+    let adversaries = [
+        AdversarySpec::None,
+        AdversarySpec::SplitVote {
+            until_ticks: 2_000,
+            slow_ticks: 25,
+        },
+    ];
+    let mut grid = Vec::new();
+    let mut seed = 0u64;
+    while grid.len() < target {
+        for &(n, t) in &sizes {
+            let fault_menu: [Vec<FaultSpec>; 4] = [
+                vec![],
+                crash_tail_specs(n, 1, 60),
+                crash_tail_specs(n, t, 60),
+                vec![
+                    FaultSpec::CrashAt {
+                        p: n - 1,
+                        tick: 40,
+                    },
+                    FaultSpec::RestartAt {
+                        p: n - 1,
+                        tick: 400,
+                    },
+                ],
+            ];
+            for network in &networks {
+                for faults in &fault_menu {
+                    for &adversary in &adversaries {
+                        grid.push(FailureArtifact {
+                            algorithm: Algorithm::BenOr,
+                            n,
+                            t,
+                            byzantine: None,
+                            attack: None,
+                            seed,
+                            inputs: inputs_for(n, seed),
+                            max_rounds: 200,
+                            max_ticks: 300_000,
+                            network: Some(network.clone()),
+                            faults: faults.clone(),
+                            adversary,
+                            sabotage_commit_threshold: sabotage.then_some(t),
+                            violation: None,
+                        });
+                    }
+                }
+            }
+        }
+        seed += 1;
+    }
+    grid
+}
+
+fn phase_king_grid(target: usize) -> Vec<FailureArtifact> {
+    let sizes = [(4usize, 1usize), (7, 2), (10, 3)];
+    let attacks = [
+        Attack::Equivocate,
+        Attack::Silent,
+        Attack::Random,
+        Attack::Fixed(0),
+        Attack::Fixed(1),
+    ];
+    let mut grid = Vec::new();
+    let mut seed = 0u64;
+    while grid.len() < target {
+        for &(n, t) in &sizes {
+            // Three ways to spend the fault budget: all Byzantine, a
+            // Byzantine/crash mix, and all crashes (king-crasher).
+            let splits: [usize; 3] = [t, t.saturating_sub(1), 0];
+            for (si, &byzantine) in splits.iter().enumerate() {
+                // Skip the duplicate split when t == 1 makes two equal.
+                if si > 0 && splits[..si].contains(&byzantine) {
+                    continue;
+                }
+                let attack_menu: &[Attack] = if byzantine == 0 {
+                    &attacks[..1]
+                } else {
+                    &attacks
+                };
+                for &attack in attack_menu {
+                    let cfg = PhaseKingConfig::new(n, t)
+                        .with_byzantine(byzantine)
+                        .with_attack(attack);
+                    let faults: Vec<FaultSpec> = if byzantine < t {
+                        king_crash_schedule(&cfg)
+                            .into_iter()
+                            .map(|(p, round)| FaultSpec::CrashAtRound {
+                                p: p.index(),
+                                round,
+                            })
+                            .collect()
+                    } else {
+                        vec![]
+                    };
+                    grid.push(FailureArtifact {
+                        algorithm: Algorithm::PhaseKing,
+                        n,
+                        t,
+                        byzantine: Some(byzantine),
+                        attack: Some(FailureArtifact::attack_name(attack)),
+                        seed,
+                        inputs: inputs_for(n - byzantine, seed),
+                        max_rounds: t as u64 + 4,
+                        max_ticks: 0,
+                        network: None,
+                        faults,
+                        adversary: AdversarySpec::None,
+                        sabotage_commit_threshold: None,
+                        violation: None,
+                    });
+                }
+            }
+        }
+        seed += 1;
+    }
+    grid
+}
+
+fn raft_grid(target: usize) -> Vec<FailureArtifact> {
+    let sizes = [3usize, 5];
+    let adversaries = [
+        AdversarySpec::None,
+        AdversarySpec::LeaderFlap {
+            isolation_ticks: 300,
+            max_flaps: 2,
+        },
+        AdversarySpec::LeaderFlap {
+            isolation_ticks: 500,
+            max_flaps: 3,
+        },
+    ];
+    let mut grid = Vec::new();
+    let mut seed = 0u64;
+    while grid.len() < target {
+        for &n in &sizes {
+            let minority = (n - 1) / 2;
+            let networks = [
+                NetworkConfig::reliable(2),
+                NetworkConfig::lossy(1, 10, 0.1),
+                partitioned_net(n, 2_000),
+            ];
+            let fault_menu: [Vec<FaultSpec>; 3] = [
+                vec![],
+                crash_tail_specs(n, minority, 200),
+                vec![
+                    FaultSpec::CrashAt { p: n - 1, tick: 150 },
+                    FaultSpec::RestartAt {
+                        p: n - 1,
+                        tick: 3_000,
+                    },
+                ],
+            ];
+            for network in &networks {
+                for faults in &fault_menu {
+                    for &adversary in &adversaries {
+                        grid.push(FailureArtifact {
+                            algorithm: Algorithm::Raft,
+                            n,
+                            t: minority,
+                            byzantine: None,
+                            attack: None,
+                            seed,
+                            inputs: (1..=n as u64).collect(),
+                            max_rounds: 10_000,
+                            max_ticks: 2_000_000,
+                            network: Some(network.clone()),
+                            faults: faults.clone(),
+                            adversary,
+                            sabotage_commit_threshold: None,
+                            violation: None,
+                        });
+                    }
+                }
+            }
+        }
+        seed += 1;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_reach_their_target_size() {
+        assert!(ben_or_grid(1000, false).len() >= 1000);
+        assert!(phase_king_grid(1000).len() >= 1000);
+        assert!(raft_grid(1000).len() >= 1000);
+    }
+
+    #[test]
+    fn grids_are_deterministic() {
+        assert_eq!(ben_or_grid(100, false), ben_or_grid(100, false));
+        assert_eq!(phase_king_grid(100), phase_king_grid(100));
+        assert_eq!(raft_grid(100), raft_grid(100));
+    }
+
+    #[test]
+    fn small_clean_sweeps_have_no_safety_violations() {
+        for alg in Algorithm::all() {
+            let report = sweep(alg, 30, false);
+            assert!(
+                report.safety.is_empty(),
+                "{}: {:?}",
+                alg.name(),
+                report.safety.first().map(|a| &a.violation)
+            );
+            assert!(report.total >= 30);
+        }
+    }
+
+    #[test]
+    fn sabotaged_sweep_catches_the_broken_ben_or() {
+        let report = sweep(Algorithm::BenOr, 400, true);
+        assert!(
+            !report.safety.is_empty(),
+            "the off-by-one commit threshold must be caught"
+        );
+        // Every flagged artifact carries its violation summary and
+        // replays to the same violation kind.
+        let art = &report.safety[0];
+        let summary = art.violation.as_ref().expect("summary recorded");
+        let replay = run_artifact(art);
+        assert!(
+            replay
+                .violations
+                .iter()
+                .any(|v| crate::artifact::kind_name(v.kind) == summary.kind),
+            "replay must reproduce {summary:?}, got {:?}",
+            replay.violations
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Run-budget accounting: turning "it just hangs" into a checkable
+//! liveness verdict.
+//!
+//! A liveness adversary that succeeds does not produce a crisp assertion
+//! failure — it produces a run that never stops. The campaign engine
+//! therefore brackets every execution with a [`RunBudget`]: explicit
+//! ceilings on template rounds, simulated ticks, delivered events and
+//! wall-clock time. When a run exhausts its budget without every
+//! obligated process deciding, [`RunBudget::classify`] converts the stall
+//! into an ordinary [`Violation`] of kind
+//! [`ViolationKind::Termination`], so stalled runs flow through the same
+//! reporting, artifact and shrinking pipeline as safety violations
+//! instead of hanging the suite.
+
+use crate::checker::{Violation, ViolationKind};
+use std::time::Duration;
+
+/// Ceilings for one simulated execution. `None` means unlimited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum template rounds (or protocol phases) before the run is
+    /// declared stalled.
+    pub max_rounds: Option<u64>,
+    /// Maximum simulated ticks.
+    pub max_ticks: Option<u64>,
+    /// Maximum delivered events.
+    pub max_events: Option<u64>,
+    /// Maximum wall-clock time for the whole run.
+    pub wall: Option<Duration>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_rounds: Some(10_000),
+            max_ticks: Some(1_000_000),
+            max_events: Some(5_000_000),
+            wall: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl RunBudget {
+    /// An unlimited budget (useful for replaying known artifacts).
+    pub fn unlimited() -> Self {
+        RunBudget {
+            max_rounds: None,
+            max_ticks: None,
+            max_events: None,
+            wall: None,
+        }
+    }
+
+    /// Sets the round ceiling.
+    pub fn rounds(mut self, max: u64) -> Self {
+        self.max_rounds = Some(max);
+        self
+    }
+
+    /// Sets the simulated-tick ceiling.
+    pub fn ticks(mut self, max: u64) -> Self {
+        self.max_ticks = Some(max);
+        self
+    }
+
+    /// Sets the delivered-event ceiling.
+    pub fn events(mut self, max: u64) -> Self {
+        self.max_events = Some(max);
+        self
+    }
+
+    /// Sets the wall-clock ceiling.
+    pub fn wall(mut self, limit: Duration) -> Self {
+        self.wall = Some(limit);
+        self
+    }
+
+    /// Whether `spent` exhausts this budget.
+    pub fn exhausted(&self, spent: &BudgetSpent) -> bool {
+        self.first_exhausted(spent).is_some()
+    }
+
+    /// The first dimension of the budget that `spent` exhausts, if any.
+    pub fn first_exhausted(&self, spent: &BudgetSpent) -> Option<&'static str> {
+        if self.max_rounds.is_some_and(|m| spent.rounds >= m) {
+            return Some("rounds");
+        }
+        if self.max_ticks.is_some_and(|m| spent.ticks >= m) {
+            return Some("ticks");
+        }
+        if self.max_events.is_some_and(|m| spent.events >= m) {
+            return Some("events");
+        }
+        if self.wall.is_some_and(|m| spent.wall >= m) {
+            return Some("wall-clock");
+        }
+        None
+    }
+
+    /// Classifies a finished (or aborted) run.
+    ///
+    /// Returns a [`ViolationKind::Termination`] violation when the run
+    /// exhausted this budget while some obligated process was still
+    /// undecided — i.e. the adversary (or a bug) actually prevented
+    /// progress, rather than the run merely being long. A run that
+    /// decided everything within budget yields `None`, as does a run
+    /// that exhausted the budget *after* every obligation was met.
+    pub fn classify(&self, spent: &BudgetSpent, undecided: usize) -> Option<Violation> {
+        if undecided == 0 {
+            return None;
+        }
+        let dimension = self.first_exhausted(spent)?;
+        Some(Violation {
+            kind: ViolationKind::Termination,
+            round: Some(spent.rounds),
+            detail: format!(
+                "liveness: {undecided} obligated process(es) undecided when the \
+                 {dimension} budget ran out ({spent})",
+            ),
+        })
+    }
+}
+
+/// What a run actually consumed, in the same units as [`RunBudget`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetSpent {
+    /// Template rounds (or protocol phases) executed.
+    pub rounds: u64,
+    /// Simulated ticks elapsed.
+    pub ticks: u64,
+    /// Events delivered.
+    pub events: u64,
+    /// Wall-clock time consumed.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for BudgetSpent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} ticks={} events={} wall={:?}",
+            self.rounds, self.ticks, self.events, self.wall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spent(rounds: u64, ticks: u64) -> BudgetSpent {
+        BudgetSpent {
+            rounds,
+            ticks,
+            ..BudgetSpent::default()
+        }
+    }
+
+    #[test]
+    fn within_budget_is_not_a_violation() {
+        let budget = RunBudget::default().rounds(100).ticks(1000);
+        assert_eq!(budget.classify(&spent(5, 40), 3), None);
+    }
+
+    #[test]
+    fn stall_with_undecided_processes_is_a_termination_violation() {
+        let budget = RunBudget::default().rounds(100);
+        let v = budget.classify(&spent(100, 0), 2).expect("stall");
+        assert_eq!(v.kind, ViolationKind::Termination);
+        assert_eq!(v.round, Some(100));
+        assert!(v.detail.contains("rounds"));
+    }
+
+    #[test]
+    fn exhaustion_after_all_decided_is_benign() {
+        let budget = RunBudget::default().rounds(100);
+        assert_eq!(budget.classify(&spent(100, 0), 0), None);
+    }
+
+    #[test]
+    fn first_exhausted_reports_the_right_dimension() {
+        let budget = RunBudget::unlimited().ticks(10);
+        assert_eq!(budget.first_exhausted(&spent(999, 9)), None);
+        assert_eq!(budget.first_exhausted(&spent(999, 10)), Some("ticks"));
+        let wall = RunBudget::unlimited().wall(Duration::from_millis(1));
+        let consumed = BudgetSpent {
+            wall: Duration::from_millis(2),
+            ..BudgetSpent::default()
+        };
+        assert_eq!(wall.first_exhausted(&consumed), Some("wall-clock"));
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let budget = RunBudget::unlimited();
+        assert!(!budget.exhausted(&spent(u64::MAX, u64::MAX)));
+    }
+}

@@ -391,6 +391,89 @@ mod tests {
     }
 
     #[test]
+    fn extra_inputs_count_for_validity_in_vac_path() {
+        // Processor 1 crashed mid-round after proposing 7; processor 0
+        // adopted 7. Without the crashed input that value looks invented;
+        // with it, validity must hold.
+        let flagged = round(vec![entry(0, 3, VacOutcome::adopt(7))]);
+        assert!(flagged
+            .check_vac()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Validity));
+
+        let r = round(vec![entry(0, 3, VacOutcome::adopt(7))]).with_extra_inputs([7]);
+        assert!(
+            !r.check_vac().iter().any(|v| v.kind == ViolationKind::Validity),
+            "a crashed invoker's input must legitimise the value: {:?}",
+            r.check_vac()
+        );
+    }
+
+    #[test]
+    fn extra_inputs_count_for_validity_in_ac_path() {
+        let flagged = round(vec![entry(0, 3, VacOutcome::adopt(7))]);
+        assert!(flagged
+            .check_ac()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Validity));
+
+        let r = round(vec![entry(0, 3, VacOutcome::adopt(7))]).with_extra_inputs([7]);
+        assert!(!r.check_ac().iter().any(|v| v.kind == ViolationKind::Validity));
+    }
+
+    #[test]
+    fn extra_inputs_count_against_convergence_in_vac_path() {
+        // Every completer proposed 5 but a crashed invoker proposed 6:
+        // unanimity is broken, so a non-commit outcome is *not* a
+        // convergence violation.
+        let vacuous = round(vec![
+            entry(0, 5, VacOutcome::adopt(5)),
+            entry(1, 5, VacOutcome::commit(5)),
+        ])
+        .with_extra_inputs([6]);
+        assert!(
+            !vacuous.check_vac().iter().any(|v| v.kind == ViolationKind::Convergence),
+            "crashed-mid-round input must break unanimity: {:?}",
+            vacuous.check_vac()
+        );
+
+        // Whereas a crashed invoker that *agreed* keeps unanimity intact,
+        // so the adopt is still flagged.
+        let flagged = round(vec![
+            entry(0, 5, VacOutcome::adopt(5)),
+            entry(1, 5, VacOutcome::commit(5)),
+        ])
+        .with_extra_inputs([5]);
+        assert!(flagged
+            .check_vac()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Convergence));
+    }
+
+    #[test]
+    fn extra_inputs_count_against_convergence_in_ac_path() {
+        let vacuous = round(vec![
+            entry(0, 5, VacOutcome::adopt(5)),
+            entry(1, 5, VacOutcome::adopt(5)),
+        ])
+        .with_extra_inputs([6]);
+        assert!(!vacuous
+            .check_ac()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Convergence));
+
+        let flagged = round(vec![
+            entry(0, 5, VacOutcome::adopt(5)),
+            entry(1, 5, VacOutcome::adopt(5)),
+        ])
+        .with_extra_inputs([5]);
+        assert!(flagged
+            .check_ac()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Convergence));
+    }
+
+    #[test]
     fn clean_round_passes_all_vac_checks() {
         let r = round(vec![
             entry(0, 0, VacOutcome::commit(0)),

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod checker;
 pub mod compose;
 pub mod confidence;
@@ -52,6 +53,7 @@ pub mod sync_template;
 pub mod template;
 pub mod testkit;
 
+pub use budget::{BudgetSpent, RunBudget};
 pub use checker::{RoundEntry, RoundOutcomes, Violation, ViolationKind};
 pub use compose::{TwoAcVac, VacAsAc};
 pub use confidence::{AcConfidence, AcOutcome, Confidence, VacOutcome};

@@ -18,8 +18,15 @@ use ooc_simnet::{ProcessId, SyncContext, SyncProcess, SyncSim};
 pub struct PhaseKingConfig {
     /// Network size (honest + Byzantine).
     pub n: usize,
-    /// Number of Byzantine processors (`3t < n`), occupying ids `0..t`.
+    /// Fault tolerance the protocol is parameterized with (`3t < n`).
+    /// The fault *budget*: Byzantine processors plus mid-run crashes must
+    /// stay within it for the checks to be sound.
     pub t: usize,
+    /// Number of actually-Byzantine processors, occupying ids
+    /// `0..byzantine`. Defaults to `t`; lowered (via
+    /// [`PhaseKingConfig::with_byzantine`]) when part of the fault budget
+    /// is spent on crash faults instead.
+    pub byzantine: usize,
     /// The Byzantine behaviour.
     pub attack: Attack,
     /// Phases before the template gives up.
@@ -41,6 +48,7 @@ impl PhaseKingConfig {
         PhaseKingConfig {
             n,
             t,
+            byzantine: t,
             attack: Attack::Equivocate,
             max_phases: t as u64 + 4,
             paper_decision_rule: false,
@@ -53,6 +61,22 @@ impl PhaseKingConfig {
         self
     }
 
+    /// Places only `byzantine ≤ t` actual Byzantine processors, leaving
+    /// the rest of the fault budget for crash schedules (see
+    /// [`run_phase_king_with_crashes`]).
+    ///
+    /// # Panics
+    /// Panics if `byzantine > t`.
+    pub fn with_byzantine(mut self, byzantine: usize) -> Self {
+        assert!(
+            byzantine <= self.t,
+            "byzantine count {byzantine} exceeds fault budget t={}",
+            self.t
+        );
+        self.byzantine = byzantine;
+        self
+    }
+
     /// Switches to the paper's decide-at-commit rule (unsound under
     /// Byzantine kings; for demonstrations).
     pub fn with_paper_decision_rule(mut self) -> Self {
@@ -60,9 +84,9 @@ impl PhaseKingConfig {
         self
     }
 
-    /// Ids of the honest processors (`t..n`).
+    /// Ids of the honest processors (`byzantine..n`).
     pub fn honest_ids(&self) -> Vec<ProcessId> {
-        (self.t..self.n).map(ProcessId).collect()
+        (self.byzantine..self.n).map(ProcessId).collect()
     }
 }
 
@@ -126,12 +150,18 @@ pub struct PhaseKingRun {
     pub messages: u64,
     /// The honest ids of this run.
     pub honest: Vec<ProcessId>,
+    /// Honest processors crashed by the schedule (exempt from the
+    /// termination check).
+    pub crashed: Vec<ProcessId>,
 }
 
 impl PhaseKingRun {
-    /// Whether every honest processor decided.
+    /// Whether every honest processor that survived decided.
     pub fn all_honest_decided(&self) -> bool {
-        self.honest.iter().all(|p| self.decisions[p.index()].is_some())
+        self.honest
+            .iter()
+            .filter(|p| !self.crashed.contains(p))
+            .all(|p| self.decisions[p.index()].is_some())
     }
 
     /// Latest phase that fixed any honest processor's decision.
@@ -148,27 +178,68 @@ impl PhaseKingRun {
     }
 }
 
-/// Runs the decomposed Phase-King: Byzantine nodes on ids `0..t`, honest
-/// nodes with `honest_inputs` (length `n − t`, domain `{0, 1}`) on ids
-/// `t..n`. Checks agreement, Byzantine validity (unanimity in ⇒ unanimity
-/// out), the `t + 2`-phase decision bound, and the per-phase AC laws over
-/// the honest outcomes.
+/// Runs the decomposed Phase-King: Byzantine nodes on ids `0..byzantine`,
+/// honest nodes with `honest_inputs` (length `n − byzantine`, domain
+/// `{0, 1}`) on ids `byzantine..n`. Checks agreement, Byzantine validity
+/// (unanimity in ⇒ unanimity out), the `t + 2`-phase decision bound, and
+/// the per-phase AC laws over the honest outcomes.
 ///
 /// # Panics
-/// Panics if `honest_inputs.len() != n − t` or an input is outside
-/// `{0, 1}`.
+/// Panics if `honest_inputs.len() != n − byzantine` or an input is
+/// outside `{0, 1}`.
 pub fn run_phase_king(cfg: &PhaseKingConfig, honest_inputs: &[u64], seed: u64) -> PhaseKingRun {
+    run_phase_king_with_crashes(cfg, honest_inputs, seed, &[])
+}
+
+/// Like [`run_phase_king`] but with a crash schedule: each `(p, round)`
+/// silences honest processor `p` from synchronous round `round` on. This
+/// is the campaign engine's king-crasher hook — with kings rotating
+/// through `ProcessId((phase − 1) % n)` and each phase spanning three
+/// sync rounds, a schedule can decapitate each reign as it starts.
+///
+/// Crash faults draw from the same budget as Byzantine faults: the run
+/// asserts `byzantine + |crashed| ≤ t` so every property check stays
+/// sound. Crashed processors are exempt from the termination check, and
+/// a phase a processor died in contributes its going-in preference as an
+/// *extra input* to the convergence law (mirroring the Ben-Or harness's
+/// open-round accounting).
+///
+/// # Panics
+/// Panics on non-honest crash ids or a schedule that blows the fault
+/// budget.
+pub fn run_phase_king_with_crashes(
+    cfg: &PhaseKingConfig,
+    honest_inputs: &[u64],
+    seed: u64,
+    crashes: &[(ProcessId, u64)],
+) -> PhaseKingRun {
     assert_eq!(
         honest_inputs.len(),
-        cfg.n - cfg.t,
+        cfg.n - cfg.byzantine,
         "one input per honest processor"
     );
     assert!(
         honest_inputs.iter().all(|&v| v <= 1),
         "inputs must be binary"
     );
+    let mut crashed: Vec<ProcessId> = crashes.iter().map(|&(p, _)| p).collect();
+    crashed.sort_unstable();
+    crashed.dedup();
+    for p in &crashed {
+        assert!(
+            p.index() >= cfg.byzantine && p.index() < cfg.n,
+            "crash schedule names non-honest {p}"
+        );
+    }
+    assert!(
+        cfg.byzantine + crashed.len() <= cfg.t,
+        "fault budget exceeded: {} Byzantine + {} crashed > t={}",
+        cfg.byzantine,
+        crashed.len(),
+        cfg.t
+    );
     let mut procs: Vec<Node> = Vec::with_capacity(cfg.n);
-    for _ in 0..cfg.t {
+    for _ in 0..cfg.byzantine {
         procs.push(Node::Byzantine(ByzantinePhaseKing::new(cfg.attack)));
     }
     for &v in honest_inputs {
@@ -180,6 +251,9 @@ pub fn run_phase_king(cfg: &PhaseKingConfig, honest_inputs: &[u64], seed: u64) -
         procs.push(Node::Honest(p));
     }
     let mut sim = SyncSim::new(procs, seed);
+    for &(p, round) in crashes {
+        sim.crash_at_round(p, round);
+    }
     let honest = cfg.honest_ids();
     sim.track_only(honest.iter().copied());
     let out = sim.run(3 * cfg.max_phases + 3);
@@ -221,7 +295,7 @@ pub fn run_phase_king(cfg: &PhaseKingConfig, honest_inputs: &[u64], seed: u64) -
         }
     }
     for (p, d) in &honest_decisions {
-        if d.is_none() {
+        if d.is_none() && !crashed.contains(p) {
             violations.push(Violation {
                 kind: ViolationKind::Termination,
                 round: None,
@@ -262,8 +336,27 @@ pub fn run_phase_king(cfg: &PhaseKingConfig, honest_inputs: &[u64], seed: u64) -
         .flat_map(|(_, h)| h.iter().map(|r| r.round))
         .max()
         .unwrap_or(0);
+    // A crashed processor's phase-in-flight never completes, but it still
+    // *invoked* it — its going-in preference (last completed phase's
+    // outcome value, or its initial input) counts as an extra input for
+    // the convergence law in the first phase missing from its history.
+    let open_inputs: Vec<(u64, u64)> = crashed
+        .iter()
+        .filter_map(|p| {
+            let (_, h) = honest_histories.iter().find(|(q, _)| q == p)?;
+            match h.last() {
+                Some(rec) => Some((rec.round + 1, rec.outcome.value)),
+                None => Some((1, honest_inputs[p.index() - cfg.byzantine])),
+            }
+        })
+        .collect();
     for phase in 1..=max_phase {
-        let ro = RoundOutcomes::from_histories(phase, &handles);
+        let ro = RoundOutcomes::from_histories(phase, &handles).with_extra_inputs(
+            open_inputs
+                .iter()
+                .filter(|&&(ph, _)| ph == phase)
+                .map(|&(_, v)| v),
+        );
         violations.extend(ro.check_convergence());
         violations.extend(ro.check_coherence_adopt_commit());
         // AC interface: no vacillate outcomes can exist.
@@ -303,6 +396,7 @@ pub fn run_phase_king(cfg: &PhaseKingConfig, honest_inputs: &[u64], seed: u64) -
         rounds: out.rounds,
         messages: out.messages_sent,
         honest,
+        crashed,
     }
 }
 
@@ -428,6 +522,79 @@ mod tests {
                 .expect("someone commits");
             assert!(first_commit <= cfg.t as u64 + 2, "seed {seed}: {first_commit}");
         }
+    }
+
+    #[test]
+    fn crash_schedule_within_budget_stays_safe() {
+        // Fault budget t=2 split as 1 Byzantine + 1 crash: the crashed
+        // processor is exempt from termination, everyone else must still
+        // agree within the bound.
+        let cfg = PhaseKingConfig::new(7, 2).with_byzantine(1);
+        for seed in 0..10 {
+            for crash_round in 0..9 {
+                let run = run_phase_king_with_crashes(
+                    &cfg,
+                    &[0, 1, 0, 1, 0, 1],
+                    seed,
+                    &[(ProcessId(3), crash_round)],
+                );
+                assert!(
+                    run.violations.is_empty(),
+                    "seed {seed} crash@{crash_round}: {:?}",
+                    run.violations
+                );
+                assert!(run.all_honest_decided(), "seed {seed} crash@{crash_round}");
+            }
+        }
+    }
+
+    #[test]
+    fn crashing_each_early_king_stays_safe() {
+        // The king-crasher shape: with kings rotating through
+        // ProcessId((phase − 1) % n), silence an honest king one round
+        // into its reign. Budget t=2, all spent on crashes.
+        let cfg = PhaseKingConfig::new(7, 2).with_byzantine(0);
+        for seed in 0..5 {
+            for victim_phase in 1..=2u64 {
+                let king = ProcessId(((victim_phase - 1) % 7) as usize);
+                let crash_round = (victim_phase - 1) * 3 + 1;
+                let run = run_phase_king_with_crashes(
+                    &cfg,
+                    &[0, 1, 0, 1, 0, 1, 0],
+                    seed,
+                    &[(king, crash_round)],
+                );
+                assert!(
+                    run.violations.is_empty(),
+                    "seed {seed} phase {victim_phase}: {:?}",
+                    run.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault budget exceeded")]
+    fn crash_schedule_cannot_blow_the_budget() {
+        let cfg = PhaseKingConfig::new(7, 2);
+        let _ = run_phase_king_with_crashes(
+            &cfg,
+            &[0, 1, 0, 1, 0],
+            0,
+            &[(ProcessId(3), 1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-honest")]
+    fn crash_schedule_must_name_honest_ids() {
+        let cfg = PhaseKingConfig::new(7, 2).with_byzantine(1);
+        let _ = run_phase_king_with_crashes(
+            &cfg,
+            &[0, 1, 0, 1, 0, 1],
+            0,
+            &[(ProcessId(0), 1)],
+        );
     }
 
     #[test]

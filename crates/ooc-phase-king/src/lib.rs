@@ -46,7 +46,7 @@ pub use ac::PhaseKingAc;
 pub use adaptive::AdaptiveAttacker;
 pub use byzantine::{Attack, ByzantinePhaseKing};
 pub use conciliator::{king_of_phase, KingConciliator};
-pub use harness::{run_phase_king, PhaseKingConfig, PhaseKingRun};
+pub use harness::{run_phase_king, run_phase_king_with_crashes, PhaseKingConfig, PhaseKingRun};
 pub use monolithic::MonolithicPhaseKing;
 pub use queen::{phase_queen_process, run_phase_queen, PhaseQueenAc, PhaseQueenProcess, QueenConciliator};
 

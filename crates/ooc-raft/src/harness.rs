@@ -2,12 +2,13 @@
 //! and the `ooc-bench` tables (T1, T6).
 
 use crate::events::RaftEvent;
+use crate::message::RaftMsg;
 use crate::node::{RaftConfig, RaftNode};
 use crate::types::{LogIndex, Term};
 use crate::vac_view;
 use ooc_core::checker::{check_consensus, Violation, ViolationKind};
 use ooc_simnet::{
-    FaultPlan, NetworkConfig, ProcessId, RunLimit, RunOutcome, Sim, SimTime,
+    Adversary, FaultPlan, NetworkConfig, ProcessId, RunLimit, RunOutcome, Sim, SimTime,
 };
 use std::collections::BTreeMap;
 
@@ -94,12 +95,27 @@ impl RaftRun {
 /// # Panics
 /// Panics if `inputs.len() != cfg.n`.
 pub fn run_raft(cfg: &RaftClusterConfig, inputs: &[u64], seed: u64) -> RaftRun {
+    run_raft_with(cfg, inputs, seed, None)
+}
+
+/// Like [`run_raft`] but with a custom message-scheduling adversary —
+/// the hook the campaign engine uses for targeted liveness attacks
+/// (e.g. isolating each new leader just after election).
+pub fn run_raft_with(
+    cfg: &RaftClusterConfig,
+    inputs: &[u64],
+    seed: u64,
+    adversary: Option<Box<dyn Adversary<RaftMsg>>>,
+) -> RaftRun {
     assert_eq!(inputs.len(), cfg.n, "one input per node");
-    let mut sim = Sim::builder(cfg.network.clone())
+    let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
         .faults(cfg.faults.clone())
-        .processes(inputs.iter().map(|&v| RaftNode::new(v, cfg.raft)))
-        .build();
+        .processes(inputs.iter().map(|&v| RaftNode::new(v, cfg.raft)));
+    if let Some(adv) = adversary {
+        builder = builder.adversary(adv);
+    }
+    let mut sim = builder.build();
     let limit = RunLimit {
         max_time: cfg.max_time,
         ..RunLimit::default()

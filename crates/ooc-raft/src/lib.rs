@@ -54,7 +54,7 @@ pub mod types;
 pub mod vac_view;
 
 pub use events::RaftEvent;
-pub use harness::{run_raft, RaftClusterConfig, RaftRun};
+pub use harness::{run_raft, run_raft_with, RaftClusterConfig, RaftRun};
 pub use log::RaftLog;
 pub use message::{AckAppendEntries, AckRequestVote, AppendEntries, RaftMsg, RequestVote};
 pub use node::{RaftConfig, RaftNode};

@@ -224,12 +224,19 @@ impl RaftNode {
             term: self.persistent.current_term,
         });
         self.freeze_election_timer(ctx);
-        // Consensus reduction: a leader of an empty log proposes its own
-        // input as the single D&S command (Algorithm 7's v* ← log[last]).
-        if self.persistent.log.is_empty() {
+        // Consensus reduction: the new leader proposes v* ← log[last]
+        // (its own input while the log is empty — Algorithm 7). A leader
+        // whose log ends in an *older* term must re-propose v* in its own
+        // term: Raft's commit rule only fires on current-term entries, so
+        // without a fresh entry a leader elected over deposed leaders'
+        // stale entries would heartbeat forever and never commit (the
+        // no-op entry of Raft §5.4.2, carrying v* so the VAC view's
+        // committed value is stable across terms).
+        if self.persistent.log.last_term() != self.persistent.current_term {
+            let v_star = self.last_value();
             self.persistent.log.push(LogEntry {
                 term: self.persistent.current_term,
-                command: DecideAndStop(self.input),
+                command: DecideAndStop(v_star),
             });
         }
         let me = ctx.me().index();

@@ -159,6 +159,101 @@ where
     }
 }
 
+/// Runs `attack` for every message sent strictly before `until`, then
+/// hands routing over to `fallback`.
+///
+/// Liveness adversaries are only interesting while they are *bounded*:
+/// an attack that runs forever trivially kills liveness, so campaign
+/// adversaries wrap their attack phase in `SwitchAfter` with a fair
+/// fallback, and the checker then demands termination after the switch.
+pub struct SwitchAfter<M> {
+    until: SimTime,
+    attack: Box<dyn Adversary<M>>,
+    fallback: Box<dyn Adversary<M>>,
+}
+
+impl<M> SwitchAfter<M> {
+    /// Attacks before `until`, falls back afterwards.
+    pub fn new(until: SimTime, attack: Box<dyn Adversary<M>>, fallback: Box<dyn Adversary<M>>) -> Self {
+        SwitchAfter {
+            until,
+            attack,
+            fallback,
+        }
+    }
+
+    /// Attacks before `until`, then routes fairly over a reliable network.
+    pub fn then_fair(until: SimTime, attack: Box<dyn Adversary<M>>) -> Self {
+        SwitchAfter::new(
+            until,
+            attack,
+            Box::new(NetworkAdversary::new(NetworkConfig::reliable(1))),
+        )
+    }
+}
+
+impl<M> std::fmt::Debug for SwitchAfter<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchAfter").field("until", &self.until).finish_non_exhaustive()
+    }
+}
+
+impl<M> Adversary<M> for SwitchAfter<M> {
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        if at < self.until {
+            self.attack.route(at, from, to, msg, rng)
+        } else {
+            self.fallback.route(at, from, to, msg, rng)
+        }
+    }
+
+    fn duplicate(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        if at < self.until {
+            self.attack.duplicate(at, from, to, msg, rng)
+        } else {
+            self.fallback.duplicate(at, from, to, msg, rng)
+        }
+    }
+}
+
+impl<M> Adversary<M> for Box<dyn Adversary<M>> {
+    fn route(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> Decision {
+        (**self).route(at, from, to, msg, rng)
+    }
+
+    fn duplicate(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SplitMix64,
+    ) -> bool {
+        (**self).duplicate(at, from, to, msg, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +329,21 @@ mod tests {
             Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
             Decision::DeliverAfter(SimDuration::from_ticks(4))
         );
+    }
+
+    #[test]
+    fn switch_after_hands_over_at_the_deadline() {
+        let attack = FnAdversary::new(|_, _, _, _msg: &u32, _| Decision::Drop);
+        let mut adv = SwitchAfter::then_fair(SimTime::from_ticks(100), Box::new(attack));
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            adv.route(SimTime::from_ticks(99), ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::Drop
+        );
+        assert!(matches!(
+            adv.route(SimTime::from_ticks(100), ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::DeliverAfter(_)
+        ));
     }
 
     #[test]

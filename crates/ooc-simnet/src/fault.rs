@@ -87,6 +87,64 @@ impl FaultPlan {
             })
             .min()
     }
+
+    /// `true` when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.restarts.is_empty()
+    }
+
+    /// Total number of scheduled crashes.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    // ---- shrink hooks -------------------------------------------------
+    //
+    // The campaign engine's delta-debugging shrinker works by deleting one
+    // scheduled fault at a time and re-running; these return the mutated
+    // plan without disturbing the order of the surviving entries (order is
+    // part of a run's identity through event sequence numbers).
+
+    /// A copy of the plan with crash number `idx` removed; `None` when
+    /// `idx` is out of range.
+    pub fn without_crash(&self, idx: usize) -> Option<FaultPlan> {
+        if idx >= self.crashes.len() {
+            return None;
+        }
+        let mut plan = self.clone();
+        plan.crashes.remove(idx);
+        Some(plan)
+    }
+
+    /// A copy of the plan with restart number `idx` removed; `None` when
+    /// `idx` is out of range.
+    pub fn without_restart(&self, idx: usize) -> Option<FaultPlan> {
+        if idx >= self.restarts.len() {
+            return None;
+        }
+        let mut plan = self.clone();
+        plan.restarts.remove(idx);
+        Some(plan)
+    }
+
+    /// A copy of the plan with every fault aimed at a process id `>= n`
+    /// removed — used when the shrinker reduces the network size.
+    pub fn restricted_to(&self, n: usize) -> FaultPlan {
+        FaultPlan {
+            crashes: self
+                .crashes
+                .iter()
+                .copied()
+                .filter(|(p, _)| p.index() < n)
+                .collect(),
+            restarts: self
+                .restarts
+                .iter()
+                .copied()
+                .filter(|(p, _)| p.index() < n)
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +171,64 @@ mod tests {
             .crash_after_events(ProcessId(1), 4);
         assert_eq!(plan.event_crash_threshold(ProcessId(1)), Some(4));
         assert_eq!(plan.event_crash_threshold(ProcessId(2)), None);
+    }
+
+    #[test]
+    fn crash_tail_with_zero_count_is_empty() {
+        let plan = FaultPlan::new().crash_tail(5, 0, SimTime::from_ticks(10));
+        assert!(plan.crashes().is_empty());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn crash_tail_with_zero_n_is_empty() {
+        // count > n == 0 must clamp to nothing, not underflow in `n - count`.
+        let plan = FaultPlan::new().crash_tail(0, 3, SimTime::ZERO);
+        assert!(plan.crashes().is_empty());
+    }
+
+    #[test]
+    fn overlapping_crash_and_restart_at_same_tick_are_both_kept() {
+        // The plan records both; the engine resolves the tie (crash events
+        // are scheduled before restarts, so the process ends up alive).
+        let t = SimTime::from_ticks(7);
+        let plan = FaultPlan::new()
+            .crash_at(ProcessId(1), t)
+            .restart_at(ProcessId(1), t);
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.restarts().len(), 1);
+        assert_eq!(plan.restarts()[0], (ProcessId(1), t));
+    }
+
+    #[test]
+    fn without_crash_removes_exactly_one() {
+        let plan = FaultPlan::new().crash_tail(4, 3, SimTime::from_ticks(5));
+        let shrunk = plan.without_crash(1).unwrap();
+        assert_eq!(shrunk.crash_count(), 2);
+        let ids: Vec<_> = shrunk.crashes().iter().map(|&(p, _)| p.index()).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert!(plan.without_crash(3).is_none());
+    }
+
+    #[test]
+    fn without_restart_removes_exactly_one() {
+        let plan = FaultPlan::new()
+            .restart_at(ProcessId(0), SimTime::from_ticks(3))
+            .restart_at(ProcessId(1), SimTime::from_ticks(4));
+        let shrunk = plan.without_restart(0).unwrap();
+        assert_eq!(shrunk.restarts(), &[(ProcessId(1), SimTime::from_ticks(4))]);
+        assert!(plan.without_restart(2).is_none());
+    }
+
+    #[test]
+    fn restricted_to_drops_out_of_range_processes() {
+        let plan = FaultPlan::new()
+            .crash_at(ProcessId(1), SimTime::from_ticks(5))
+            .crash_at(ProcessId(4), SimTime::from_ticks(5))
+            .restart_at(ProcessId(4), SimTime::from_ticks(9));
+        let small = plan.restricted_to(3);
+        assert_eq!(small.crash_count(), 1);
+        assert!(small.restarts().is_empty());
     }
 
     #[test]

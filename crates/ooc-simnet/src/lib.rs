@@ -64,7 +64,7 @@ pub mod trace;
 
 mod id;
 
-pub use adversary::{Adversary, Decision, FnAdversary, NetworkAdversary};
+pub use adversary::{Adversary, Decision, FnAdversary, NetworkAdversary, SwitchAfter};
 pub use byzantine::{ByzantineNode, SyncStrategy};
 pub use fault::{CrashSpec, FaultPlan};
 pub use id::{ProcessId, TimerId};

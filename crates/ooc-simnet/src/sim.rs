@@ -738,6 +738,30 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_crash_and_restart_leaves_process_alive() {
+        // A crash and a restart scheduled for the same instant must resolve
+        // crash-first (scheduling order in `build`), so the restart applies
+        // and the process comes back instead of staying dead — and neither
+        // side panics or underflows.
+        let t = SimTime::from_ticks(5);
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(11)
+            .processes((0..4).map(|_| MaxId::default()))
+            .faults(FaultPlan::new().crash_at(ProcessId(0), t).restart_at(ProcessId(0), t))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+        assert_eq!(out.stats.crashes, 1);
+        assert_eq!(
+            out.stats.restarts, 1,
+            "restart at the crash tick must still take effect"
+        );
+        // The surviving majority is untouched by the blip.
+        for i in 1..4 {
+            assert!(out.decisions[i].is_some());
+        }
+    }
+
+    #[test]
     fn lossy_network_drops_messages() {
         let mut sim = max_id_sim(9, 4, NetworkConfig::lossy(1, 5, 1.0));
         let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1_000)));
