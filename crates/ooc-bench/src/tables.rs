@@ -17,6 +17,7 @@ use ooc_raft::RaftConfig;
 use ooc_sharedmem::{RegisterAc, SharedConsensus};
 use ooc_simnet::{FaultPlan, NetworkConfig, RunLimit, Sim, SimTime};
 use std::sync::Arc;
+// ooc-lint::allow(determinism/wall-clock, "throughput benchmarks time real execution by design")
 use std::time::Instant;
 
 /// Number of seeds per configuration (kept moderate so `tables all`
@@ -395,6 +396,7 @@ pub fn t8() -> Vec<(usize, f64, f64)> {
         // Adopt-commit throughput: each iteration is a fresh object, all
         // threads propose once.
         let iters = 400u64;
+        // ooc-lint::allow(determinism/wall-clock, "adopt-commit throughput measurement")
         let start = Instant::now();
         for i in 0..iters {
             let ac = Arc::new(RegisterAc::new(threads));
@@ -408,6 +410,7 @@ pub fn t8() -> Vec<(usize, f64, f64)> {
         let ac_rate = (iters * threads as u64) as f64 / start.elapsed().as_secs_f64();
 
         let runs = 150u64;
+        // ooc-lint::allow(determinism/wall-clock, "consensus throughput measurement")
         let start = Instant::now();
         for seed in 0..runs {
             let c = Arc::new(SharedConsensus::new(threads));

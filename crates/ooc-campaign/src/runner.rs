@@ -13,6 +13,7 @@ use ooc_core::{BudgetSpent, RunBudget};
 use ooc_phase_king::{run_phase_king_with_crashes, PhaseKingConfig};
 use ooc_raft::{run_raft_with, RaftClusterConfig, RaftMsg};
 use ooc_simnet::{Adversary, NetworkConfig, RunLimit, SimTime};
+// ooc-lint::allow(determinism/wall-clock, "measures host-side campaign wall time, not simulated time")
 use std::time::Instant;
 
 /// What one campaign execution produced.
@@ -71,6 +72,7 @@ fn network_of(artifact: &FailureArtifact) -> NetworkConfig {
 }
 
 fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
+    // ooc-lint::allow(determinism/wall-clock, "campaign duration reporting only; never feeds the schedule")
     let started = Instant::now();
     let budget = artifact_budget(artifact);
     let mut cfg = BenOrConfig::new(artifact.n, artifact.t)
@@ -128,6 +130,7 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
 }
 
 fn run_phase_king_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
+    // ooc-lint::allow(determinism/wall-clock, "campaign duration reporting only; never feeds the schedule")
     let started = Instant::now();
     let byzantine = artifact.byzantine.unwrap_or(artifact.t);
     let cfg = {
@@ -166,6 +169,7 @@ fn run_phase_king_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
 }
 
 fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
+    // ooc-lint::allow(determinism/wall-clock, "campaign duration reporting only; never feeds the schedule")
     let started = Instant::now();
     let budget = artifact_budget(artifact);
     let cfg = RaftClusterConfig {

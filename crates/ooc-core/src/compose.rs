@@ -83,6 +83,7 @@ impl<A: AcObject> TwoAcVac<A> {
         outcome: AcOutcome<A::Value>,
         net: &mut dyn ObjectNet<TwoAcMsg<A::Msg>>,
     ) -> Option<VacOutcome<A::Value>> {
+        // ooc-lint::allow(protocol/panic, "the second stage runs at most once per round by construction")
         let mut second = self.parked_second.take().expect("second AC consumed twice");
         let first_confidence = outcome.confidence;
         let begin_result = {
@@ -124,6 +125,7 @@ impl<A: AcObject> TwoAcVac<A> {
             first_confidence, ..
         } = std::mem::replace(&mut self.stage, TwoAcStage::Done)
         else {
+            // ooc-lint::allow(protocol/panic, "stage field is Second whenever finish_second is called")
             unreachable!("finish_second outside second stage");
         };
         let confidence = match (first_confidence, second.confidence) {
@@ -244,6 +246,7 @@ impl<A: AcObject> VacObject for TwoAcVac<A> {
             TwoAcStage::Second { .. } => {
                 let out = {
                     let TwoAcStage::Second { ac, .. } = &mut self.stage else {
+                        // ooc-lint::allow(protocol/panic, "outcome variants are exhausted above")
                         unreachable!()
                     };
                     let mut snet = StageNet {

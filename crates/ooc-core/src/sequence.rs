@@ -114,7 +114,9 @@ where
         let sf = Arc::clone(&self.shaker_factory);
         Template::vac(
             self.proposals[slot as usize].clone(),
+            // ooc-lint::allow(protocol/panic, "factory mutex cannot be poisoned: closures never panic while holding it")
             move |round| (df.lock().expect("factory poisoned"))(slot, round),
+            // ooc-lint::allow(protocol/panic, "factory mutex cannot be poisoned: closures never panic while holding it")
             move |round| (sf.lock().expect("factory poisoned"))(slot, round),
             self.config,
         )

@@ -21,7 +21,7 @@
 use crate::confidence::{Confidence, VacOutcome};
 use crate::objects::{AcObject, ConciliatorObject, ObjectNet, ReconciliatorObject, VacObject};
 use ooc_simnet::{Context, Process, ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 /// The environment a [`Template`] runs in.
@@ -177,7 +177,7 @@ where
     buffer: BTreeMap<u64, Vec<(ProcessId, TemplateMsg<D::Msg, S::Msg>)>>,
     /// Maps pending object timers to the `(round, component)` that set
     /// them, so stale timers from finished rounds are discarded.
-    timer_owners: HashMap<TimerId, (u64, Component)>,
+    timer_owners: BTreeMap<TimerId, (u64, Component)>,
     history: Vec<RoundRecord<D::Value>>,
     decided: Option<D::Value>,
 }
@@ -212,7 +212,7 @@ where
             round: 0,
             stage: Stage::Halted,
             buffer: BTreeMap::new(),
-            timer_owners: HashMap::new(),
+            timer_owners: BTreeMap::new(),
             history: Vec::new(),
             decided: None,
         }
@@ -595,7 +595,7 @@ struct ComponentNet<'a, M, O, IM> {
     round: u64,
     component: Component,
     wrap: fn(u64, IM) -> M,
-    timer_owners: &'a mut HashMap<TimerId, (u64, Component)>,
+    timer_owners: &'a mut BTreeMap<TimerId, (u64, Component)>,
 }
 
 impl<M: Clone, O, IM: Clone> ObjectNet<IM> for ComponentNet<'_, M, O, IM> {

@@ -1,0 +1,200 @@
+//! Checker-pipeline coverage for the Algorithm 2 adapters.
+//!
+//! [`AcDetector`] and [`ConciliatorShaker`] are the two adapters the
+//! template loop uses to run Algorithm 2 over classical objects. Their
+//! contracts are inherited, not invented: an AC presented as a VAC must
+//! satisfy the VAC laws *and never vacillate*, and a conciliator presented
+//! as a reconciliator must ignore the confidence argument entirely. Both
+//! claims are checked here against the §2 property checkers by driving
+//! full n-processor exchanges over [`LoopbackNet`]s by hand.
+
+use ooc_core::checker::{check_consensus, check_termination, RoundEntry, RoundOutcomes};
+use ooc_core::confidence::{AcOutcome, Confidence, VacOutcome};
+use ooc_core::objects::{AcObject, ConciliatorObject, ObjectNet, ReconciliatorObject, VacObject};
+use ooc_core::template::{AcDetector, ConciliatorShaker};
+use ooc_core::testkit::LoopbackNet;
+use ooc_simnet::ProcessId;
+
+/// A minimal honest adopt-commit object for full-exchange driving:
+/// broadcast the proposal, wait for all `n` values, commit on unanimity
+/// and otherwise adopt the largest value seen (deterministic, so every
+/// processor adopts the same one — Gafni coherence holds trivially).
+#[derive(Debug)]
+struct EchoAc {
+    n: usize,
+    seen: Vec<u64>,
+}
+
+impl EchoAc {
+    fn new(n: usize) -> Self {
+        EchoAc { n, seen: Vec::new() }
+    }
+}
+
+impl AcObject for EchoAc {
+    type Value = u64;
+    type Msg = u64;
+
+    fn begin(&mut self, input: u64, net: &mut dyn ObjectNet<u64>) -> Option<AcOutcome<u64>> {
+        net.broadcast(input);
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: u64,
+        _net: &mut dyn ObjectNet<u64>,
+    ) -> Option<AcOutcome<u64>> {
+        self.seen.push(msg);
+        if self.seen.len() < self.n {
+            return None;
+        }
+        let first = self.seen[0];
+        if self.seen.iter().all(|&v| v == first) {
+            Some(AcOutcome::commit(first))
+        } else {
+            Some(AcOutcome::adopt(*self.seen.iter().max().unwrap()))
+        }
+    }
+}
+
+/// Runs one full exchange of `AcDetector<EchoAc>` across `inputs.len()`
+/// processors and returns each one's VAC outcome.
+fn run_detector_round(inputs: &[u64]) -> Vec<VacOutcome<u64>> {
+    let n = inputs.len();
+    let mut objects: Vec<AcDetector<EchoAc>> =
+        (0..n).map(|_| AcDetector(EchoAc::new(n))).collect();
+    let mut nets: Vec<LoopbackNet<u64>> =
+        (0..n).map(|i| LoopbackNet::new(i, n, i as u64 + 1)).collect();
+    for (i, obj) in objects.iter_mut().enumerate() {
+        assert!(
+            obj.begin(inputs[i], &mut nets[i]).is_none(),
+            "EchoAc waits for the full exchange"
+        );
+    }
+    // Deliver every queued send to its recipient, in sender order.
+    let mut outcomes: Vec<Option<VacOutcome<u64>>> = vec![None; n];
+    for sender in 0..n {
+        while let Some((to, msg)) = nets[sender].sent.pop_front() {
+            let j = to.index();
+            if let Some(out) = objects[j].on_message(ProcessId(sender), msg, &mut nets[j]) {
+                outcomes[j] = Some(out);
+            }
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all-to-all delivery completes the object"))
+        .collect()
+}
+
+fn detector_round_outcomes(inputs: &[u64]) -> RoundOutcomes<u64> {
+    RoundOutcomes {
+        round: 1,
+        entries: run_detector_round(inputs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, outcome)| RoundEntry {
+                process: ProcessId(i),
+                input: inputs[i],
+                outcome,
+            })
+            .collect(),
+        extra_inputs: Vec::new(),
+    }
+}
+
+#[test]
+fn ac_detector_satisfies_vac_laws_on_unanimity() {
+    let round = detector_round_outcomes(&[1, 1, 1]);
+    assert!(
+        round.check_vac().is_empty(),
+        "unanimous round must be violation-free: {:?}",
+        round.check_vac()
+    );
+    assert!(
+        round.entries.iter().all(|e| e.outcome.is_commit()),
+        "convergence: unanimity commits"
+    );
+}
+
+#[test]
+fn ac_detector_satisfies_vac_laws_on_split_inputs() {
+    let round = detector_round_outcomes(&[0, 1, 0]);
+    assert!(
+        round.check_vac().is_empty(),
+        "split round must be violation-free: {:?}",
+        round.check_vac()
+    );
+    // The adapter's defining property: an AC has no vacillate level, so
+    // the detector must never surface one (that is check_ac's extra law).
+    assert!(
+        round
+            .entries
+            .iter()
+            .all(|e| e.outcome.confidence != Confidence::Vacillate),
+        "an adopt-commit object presented as a VAC never vacillates"
+    );
+    assert!(round.check_ac().is_empty(), "{:?}", round.check_ac());
+}
+
+/// A minimal conciliator: broadcast the preference, return the maximum of
+/// all `n` preferences once heard — every processor converges to the same
+/// valid value in one exchange.
+#[derive(Debug)]
+struct MaxVoice {
+    n: usize,
+    seen: Vec<u64>,
+}
+
+impl ConciliatorObject for MaxVoice {
+    type Value = u64;
+    type Msg = u64;
+
+    fn begin(&mut self, input: u64, net: &mut dyn ObjectNet<u64>) -> Option<u64> {
+        net.broadcast(input);
+        None
+    }
+
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: u64,
+        _net: &mut dyn ObjectNet<u64>,
+    ) -> Option<u64> {
+        self.seen.push(msg);
+        (self.seen.len() == self.n).then(|| *self.seen.iter().max().unwrap())
+    }
+}
+
+#[test]
+fn conciliator_shaker_ignores_confidence_and_keeps_consensus_laws() {
+    let inputs = [3u64, 7, 5];
+    let n = inputs.len();
+    // Hand each wrapped conciliator a *different* confidence level; the
+    // shaker's contract is that the level is irrelevant to the outcome.
+    let confidences = [Confidence::Vacillate, Confidence::Adopt, Confidence::Commit];
+    let mut objects: Vec<ConciliatorShaker<MaxVoice>> = (0..n)
+        .map(|_| ConciliatorShaker(MaxVoice { n, seen: Vec::new() }))
+        .collect();
+    let mut nets: Vec<LoopbackNet<u64>> =
+        (0..n).map(|i| LoopbackNet::new(i, n, 9 + i as u64)).collect();
+    for (i, obj) in objects.iter_mut().enumerate() {
+        assert!(obj.begin(confidences[i], inputs[i], &mut nets[i]).is_none());
+    }
+    let mut decisions: Vec<Option<u64>> = vec![None; n];
+    for sender in 0..n {
+        while let Some((to, msg)) = nets[sender].sent.pop_front() {
+            let j = to.index();
+            if let Some(v) = objects[j].on_message(ProcessId(sender), msg, &mut nets[j]) {
+                decisions[j] = Some(v);
+            }
+        }
+    }
+    // Agreement + validity + termination over the shaken preferences.
+    assert!(check_consensus(&inputs, &decisions).is_empty());
+    let everyone: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+    assert!(check_termination(&everyone, &decisions).is_empty());
+    assert_eq!(decisions, vec![Some(7); n], "max of {inputs:?}");
+}

@@ -1,0 +1,422 @@
+//! A minimal, lossy Rust lexer.
+//!
+//! The rules only need to see *code* — identifiers and punctuation with
+//! line numbers — plus the line comments (where suppressions live). So the
+//! lexer collapses every literal into an opaque [`Tok::Literal`] and
+//! discards string/char contents entirely, which is what makes the whole
+//! pass immune to false positives from `"HashMap"` appearing in a doc
+//! string or an error message.
+//!
+//! Handled: line & (nested) block comments, doc comments, string / raw
+//! string / byte-string / char literals, lifetimes vs. char literals,
+//! raw identifiers, numeric literals with suffixes and exponents.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident(String),
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is `:`, `:`).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// A `//` comment (suppressions are only read from these; `///` and `//!`
+/// doc comments are captured but marked, so documentation *about* the
+/// suppression syntax can never act as a suppression).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether any code token precedes the comment on its line (a
+    /// trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub code_before: bool,
+    /// Whether this is a `///` or `//!` doc comment.
+    pub doc: bool,
+}
+
+/// The lexer output.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes Rust source. Never fails: unrecognized bytes come out as
+/// [`Tok::Punct`], and an unterminated literal consumes to end of input —
+/// good enough for linting code that `rustc` already accepts.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_code_line: u32 = 0;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_char = |c: char| c.is_alphanumeric() || c == '_';
+
+    macro_rules! push_tok {
+        ($tok:expr, $line:expr) => {{
+            last_code_line = $line;
+            out.tokens.push(Token { tok: $tok, line: $line });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    text: chars[i + 2..j].iter().collect(),
+                    line: start_line,
+                    code_before: last_code_line == start_line,
+                    doc,
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                push_tok!(Tok::Literal, start_line);
+            }
+            '\'' => {
+                // Lifetime or char literal?
+                let next = chars.get(i + 1).copied();
+                let char_lit = match next {
+                    Some('\\') => true,
+                    Some(n) if is_ident_char(n) => chars.get(i + 2) == Some(&'\''),
+                    Some('\'') => false, // `''` — malformed, treat as puncts
+                    Some(_) => true,     // e.g. '+' — a char literal
+                    None => false,
+                };
+                if char_lit {
+                    // Consume until the closing quote (handles escapes and
+                    // multi-char escapes like '\u{1F600}').
+                    let mut j = i + 1;
+                    while j < chars.len() {
+                        match chars[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            '\n' => break, // malformed; bail at line end
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                    push_tok!(Tok::Literal, start_line);
+                } else if matches!(next, Some(n) if is_ident_start(n)) {
+                    // A lifetime: skip the quote and the identifier.
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_char(chars[j]) {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    i += 1;
+                    push_tok!(Tok::Punct('\''), start_line);
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() && (is_ident_char(chars[j])) {
+                    j += 1;
+                }
+                // Fractional part only when followed by a digit, so `4u64.pow`
+                // and `0..n` keep their dots.
+                if chars.get(j) == Some(&'.')
+                    && matches!(chars.get(j + 1), Some(d) if d.is_ascii_digit())
+                {
+                    j += 2;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    if matches!(chars.get(j), Some('e') | Some('E')) {
+                        let mut k = j + 1;
+                        if matches!(chars.get(k), Some('+') | Some('-')) {
+                            k += 1;
+                        }
+                        if matches!(chars.get(k), Some(d) if d.is_ascii_digit()) {
+                            j = k;
+                            while j < chars.len() && chars[j].is_ascii_digit() {
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                i = j;
+                push_tok!(Tok::Literal, start_line);
+            }
+            'r' | 'b' if is_raw_or_byte_literal(&chars, i) => {
+                i = skip_raw_or_byte_literal(&chars, i, &mut line);
+                push_tok!(Tok::Literal, start_line);
+            }
+            'r' if chars.get(i + 1) == Some(&'#')
+                && matches!(chars.get(i + 2), Some(n) if is_ident_start(*n)) =>
+            {
+                // Raw identifier `r#type`.
+                let mut j = i + 2;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                let name: String = chars[i + 2..j].iter().collect();
+                i = j;
+                push_tok!(Tok::Ident(name), start_line);
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                let name: String = chars[i..j].iter().collect();
+                i = j;
+                push_tok!(Tok::Ident(name), start_line);
+            }
+            _ => {
+                i += 1;
+                push_tok!(Tok::Punct(c), start_line);
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte literal rather
+/// than an identifier.
+fn is_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'b' => matches!(
+            (chars.get(i + 1), chars.get(i + 2)),
+            (Some('"'), _) | (Some('\''), _) | (Some('r'), Some('"')) | (Some('r'), Some('#'))
+        ),
+        'r' => {
+            // `r"`, or `r#`+ ultimately followed by `"` (otherwise it is a
+            // raw identifier, handled elsewhere).
+            match chars.get(i + 1) {
+                Some('"') => true,
+                Some('#') => {
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        j += 1;
+                    }
+                    chars.get(j) == Some(&'"')
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skips a raw string / byte string / byte char starting at `i`; returns
+/// the index past the literal.
+fn skip_raw_or_byte_literal(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'\'') {
+        // Byte char b'x'.
+        j += 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return j; // not actually a literal; be permissive
+    }
+    if hashes == 0 && !raw(chars, i) {
+        // Plain (byte) string with escapes.
+        return skip_string(chars, j, line);
+    }
+    j += 1;
+    // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Whether the literal at `i` has an `r` (raw) marker.
+fn raw(chars: &[char], i: usize) -> bool {
+    chars[i] == 'r' || (chars[i] == 'b' && chars.get(i + 1) == Some(&'r'))
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r###"
+            let x = "Instant::now()"; // Instant in a comment
+            /* HashMap in /* a nested */ block */
+            let y = r#"SystemTime"#;
+            let z = 'a';
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".into()));
+        assert!(!ids.contains(&"Instant".into()));
+        assert!(!ids.contains(&"HashMap".into()));
+        assert!(!ids.contains(&"SystemTime".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // Lifetimes are dropped entirely (their names are never rule
+        // targets); the point is that `'a` must not open a char literal
+        // that would swallow the rest of the signature.
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_calls() {
+        let ids = idents("let v = 4u64.pow(2) + 1.5e-3 as u64;");
+        assert!(ids.contains(&"pow".into()));
+    }
+
+    #[test]
+    fn comments_track_position_and_docness() {
+        let lx = lex("let a = 1; // trailing\n// standalone\n/// doc\nlet b = 2;");
+        assert_eq!(lx.comments.len(), 3);
+        assert!(lx.comments[0].code_before);
+        assert!(!lx.comments[1].code_before);
+        assert!(lx.comments[2].doc);
+        assert_eq!(lx.comments[1].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lx = lex("let s = \"line1\nline2\";\nlet t = 3;");
+        let t = lx.tokens.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

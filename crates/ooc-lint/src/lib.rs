@@ -1,0 +1,168 @@
+//! `ooc-lint` — workspace-aware static analysis enforcing the determinism
+//! & protocol-hygiene contract.
+//!
+//! Every safety/liveness claim this repo reproduces is checked by
+//! *replaying simulated runs*, so the whole verification story rests on
+//! the contract pinned by `tests/determinism.rs`: **a run is a pure
+//! function of its seed**. This crate is the build-time half of that
+//! contract. Where Gafni frames consensus power as restricting the set of
+//! admissible *runs*, the linter restricts the set of admissible
+//! *programs* — to those whose runs are replayable and whose crashes are
+//! accounted for.
+//!
+//! The pass is a hand-rolled lexer plus lightweight use-path resolution
+//! (no rustc plugin, no external deps) feeding a pluggable rule engine:
+//!
+//! | rule | contract clause |
+//! |------|-----------------|
+//! | `determinism/wall-clock`    | no `Instant::now` / `SystemTime` in shipped code |
+//! | `determinism/ambient-rng`   | no `thread_rng` / `from_entropy` / `OsRng` anywhere |
+//! | `determinism/unordered-iter`| no `HashMap`/`HashSet` in deterministic crates |
+//! | `protocol/panic`            | no `unwrap`/`panic!` inside protocol state machines |
+//! | `hygiene/checker-coverage`  | every public protocol object is checker-tested |
+//!
+//! Suppression is explicit and auditable:
+//! `// ooc-lint::allow(<rule>, "<reason>")` on (or directly above) the
+//! offending line. Allows without reasons, with unknown rule ids, or that
+//! suppress nothing are findings themselves (`hygiene/suppression`).
+//!
+//! Run it as `cargo run -p ooc-lint -- check [--json]`.
+
+pub mod lexer;
+pub mod report;
+pub mod resolve;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use report::{Finding, Report};
+pub use source::{SourceFile, Workspace};
+
+use std::io;
+use std::path::Path;
+
+/// Lints the workspace rooted at `root` (see [`Workspace::scan`] for what
+/// is scanned).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint(&Workspace::scan(root)?))
+}
+
+/// Runs every rule over an already-built workspace model, applies
+/// suppressions, and audits the suppressions themselves.
+pub fn lint(ws: &Workspace) -> Report {
+    let mut findings = Vec::new();
+    for rule in rules::all() {
+        rule.check(ws, &mut findings);
+    }
+    let known = rules::known_ids();
+    let mut hygiene = Vec::new();
+    for file in &ws.files {
+        for allow in &file.allows {
+            if let Some(err) = &allow.error {
+                hygiene.push(suppression_finding(file, allow.line, err));
+                continue;
+            }
+            if !known.contains(&allow.rule.as_str()) {
+                hygiene.push(suppression_finding(
+                    file,
+                    allow.line,
+                    &format!(
+                        "unknown rule `{}` in ooc-lint::allow (known: {})",
+                        allow.rule,
+                        known.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            let mut used = false;
+            for f in findings.iter_mut().filter(|f| {
+                f.suppressed.is_none()
+                    && f.rule == allow.rule
+                    && f.path == file.path
+                    && f.line == allow.target
+            }) {
+                f.suppressed = Some(allow.reason.clone());
+                used = true;
+            }
+            if !used {
+                hygiene.push(suppression_finding(
+                    file,
+                    allow.line,
+                    &format!(
+                        "stale ooc-lint::allow({}) suppresses nothing on line {}",
+                        allow.rule, allow.target
+                    ),
+                ));
+            }
+        }
+    }
+    findings.extend(hygiene);
+    let mut report = Report {
+        findings,
+        files_scanned: ws.files.len(),
+    };
+    report.sort();
+    report
+}
+
+fn suppression_finding(file: &SourceFile, line: u32, message: &str) -> Finding {
+    Finding {
+        rule: rules::SUPPRESSION_RULE,
+        path: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message: message.to_string(),
+        suppressed: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(p, c, s)| SourceFile::from_source(p, c, s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn suppression_lifecycle() {
+        // A justified allow silences the finding; the JSON still sees it.
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "use std::collections::HashMap;\n\
+             // ooc-lint::allow(determinism/unordered-iter, \"membership-only\")\n\
+             struct S { m: HashMap<u32, u32> }\n",
+        )]);
+        let r = lint(&w);
+        // Line 1 (the `use`) is an active finding; line 3 is suppressed.
+        let active: Vec<_> = r.active().collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].line, 1);
+        assert_eq!(r.findings.len(), 2);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.suppressed.as_deref() == Some("membership-only")));
+    }
+
+    #[test]
+    fn stale_and_unknown_allows_are_findings() {
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "// ooc-lint::allow(determinism/wall-clock, \"nothing here\")\n\
+             fn f() {}\n\
+             // ooc-lint::allow(not/a-rule, \"whatever\")\n\
+             fn g() {}\n",
+        )]);
+        let r = lint(&w);
+        let rules: Vec<_> = r.active().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["hygiene/suppression", "hygiene/suppression"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The `ooc-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ooc-lint -- check            # human-readable, exit 1 on findings
+//! cargo run -p ooc-lint -- check --json     # machine-readable (all findings,
+//! cargo run -p ooc-lint -- check --root X   #   incl. suppressed, for diffing)
+//! cargo run -p ooc-lint -- rules            # list the rule catalogue
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(arg.as_str()),
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    match cmd {
+        Some("rules") => {
+            for rule in ooc_lint::rules::all() {
+                println!("{:28} {}", rule.id(), rule.describe());
+            }
+            println!(
+                "{:28} engine: malformed / unknown / stale ooc-lint::allow annotations",
+                ooc_lint::rules::SUPPRESSION_RULE
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = root.or_else(|| {
+                std::env::current_dir()
+                    .ok()
+                    .and_then(|d| ooc_lint::Workspace::find_root(&d))
+            });
+            let Some(root) = root else {
+                return usage("no workspace root found (run inside the repo or pass --root)");
+            };
+            match ooc_lint::lint_workspace(&root) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", report.render_json());
+                    } else {
+                        print!("{}", report.render_text());
+                    }
+                    if report.active_count() == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("ooc-lint: i/o error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage("expected a command: check | rules"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("ooc-lint: {err}");
+    eprintln!("usage: ooc-lint check [--json] [--root <dir>] | ooc-lint rules");
+    ExitCode::from(2)
+}

@@ -1,0 +1,166 @@
+//! Findings and report rendering (human text and `--json`).
+//!
+//! The JSON form carries *all* findings including suppressed ones (with
+//! their suppression reason), so CI tooling can diff lint results across
+//! PRs and audit what is being allowed, not just what is failing.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `determinism/wall-clock`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed offending source line.
+    pub snippet: String,
+    /// Why this is a problem, with the fix direction.
+    pub message: String,
+    /// The suppression reason when an `ooc-lint::allow` covers this
+    /// finding; `None` means the finding is active (fails the build).
+    pub suppressed: Option<String>,
+}
+
+/// The outcome of a full lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that are not suppressed — these fail the build.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Number of active (build-failing) findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Sorts findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.active() {
+            let _ = writeln!(
+                out,
+                "error[{}]: {}\n  --> {}:{}\n   | {}\n",
+                f.rule, f.message, f.path, f.line, f.snippet
+            );
+        }
+        let suppressed = self.findings.len() - self.active_count();
+        let _ = writeln!(
+            out,
+            "ooc-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+            self.files_scanned,
+            self.active_count(),
+            suppressed
+        );
+        out
+    }
+
+    /// Machine-readable report (stable field order, findings pre-sorted).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"active_findings\": {},", self.active_count());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"rule\": {}, ", json_str(f.rule));
+            let _ = write!(out, "\"file\": {}, ", json_str(&f.path));
+            let _ = write!(out, "\"line\": {}, ", f.line);
+            let _ = write!(out, "\"snippet\": {}, ", json_str(&f.snippet));
+            let _ = write!(out, "\"message\": {}, ", json_str(&f.message));
+            match &f.suppressed {
+                Some(reason) => {
+                    let _ = write!(
+                        out,
+                        "\"suppressed\": true, \"suppression_reason\": {}",
+                        json_str(reason)
+                    );
+                }
+                None => {
+                    let _ = write!(out, "\"suppressed\": false");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: "determinism/wall-clock",
+                    path: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    snippet: "let t = Instant::now(); // \"quoted\"".into(),
+                    message: "m".into(),
+                    suppressed: None,
+                },
+                Finding {
+                    rule: "protocol/panic",
+                    path: "crates/x/src/a.rs".into(),
+                    line: 1,
+                    snippet: "s".into(),
+                    message: "m".into(),
+                    suppressed: Some("checked invariant".into()),
+                },
+            ],
+            files_scanned: 2,
+        };
+        r.sort();
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.active_count(), 1);
+        let json = r.render_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"suppressed\": true"));
+        assert!(json.contains("\"suppression_reason\": \"checked invariant\""));
+        assert!(json.contains("\"active_findings\": 1"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Lightweight use-path resolution.
+//!
+//! Rules want to know what an identifier *refers to*, not what it is
+//! called: `use std::time::Instant as Clock; Clock::now()` must trip the
+//! wall-clock rule, while `use crate::sim_clock::Instant; Instant::now()`
+//! must not. We get there without a full name resolver by recording every
+//! `use` declaration in a file (including groups, globs and renames) and
+//! expanding an occurrence's leading path segment through that map.
+
+use crate::lexer::{Tok, Token};
+
+/// The `use` declarations of one file, flattened.
+#[derive(Debug, Default, Clone)]
+pub struct UseMap {
+    /// `alias → fully written path` (e.g. `Clock → std::time::Instant`).
+    aliases: Vec<(String, String)>,
+    /// Prefixes of glob imports (`use std::collections::*` → `std::collections`).
+    globs: Vec<String>,
+}
+
+impl UseMap {
+    /// Scans a token stream for `use` declarations.
+    pub fn parse(tokens: &[Token]) -> UseMap {
+        let mut map = UseMap::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].is_ident("use") {
+                i = parse_tree(tokens, i + 1, &mut Vec::new(), &mut map);
+            } else {
+                i += 1;
+            }
+        }
+        map
+    }
+
+    /// The full path an identifier was imported as, if any.
+    pub fn lookup(&self, ident: &str) -> Option<&str> {
+        self.aliases
+            .iter()
+            .find(|(a, _)| a == ident)
+            .map(|(_, p)| p.as_str())
+    }
+
+    /// Whether `ident` could come from a glob import under `prefix`
+    /// (e.g. `could_glob("HashMap", "std::collections")`).
+    pub fn could_glob(&self, prefix: &str) -> bool {
+        self.globs.iter().any(|g| g == prefix)
+    }
+
+    /// Every `(alias, path)` pair, for rules that scan for renamed
+    /// imports of a forbidden item.
+    pub fn aliases(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.aliases.iter().map(|(a, p)| (a.as_str(), p.as_str()))
+    }
+}
+
+/// Parses one use-tree starting at `i` with the given path `prefix`;
+/// returns the index after the tree (and its terminator, where applicable).
+fn parse_tree(tokens: &[Token], mut i: usize, prefix: &mut Vec<String>, map: &mut UseMap) -> usize {
+    let depth_at_entry = prefix.len();
+    loop {
+        match tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(seg)) if seg == "as" => {
+                // Rename: `path as Alias` — binds only the alias.
+                if let Some(Tok::Ident(alias)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    map.aliases.push((alias.clone(), prefix.join("::")));
+                    i += 2;
+                    while !matches!(
+                        tokens.get(i).map(|t| &t.tok),
+                        None | Some(Tok::Punct(';'))
+                    ) {
+                        i += 1;
+                    }
+                    prefix.truncate(depth_at_entry);
+                    if tokens.get(i).is_some() {
+                        i += 1;
+                    }
+                    return i;
+                }
+                i += 1;
+            }
+            Some(Tok::Ident(seg)) => {
+                prefix.push(seg.clone());
+                i += 1;
+            }
+            Some(Tok::Punct(':')) => i += 1,
+            Some(Tok::Punct('*')) => {
+                map.globs.push(prefix.join("::"));
+                i += 1;
+            }
+            Some(Tok::Punct('{')) => {
+                // A group: parse each comma-separated subtree.
+                i += 1;
+                loop {
+                    match tokens.get(i).map(|t| &t.tok) {
+                        None | Some(Tok::Punct('}')) => {
+                            i += 1;
+                            break;
+                        }
+                        Some(Tok::Punct(',')) => i += 1,
+                        _ => {
+                            let mut sub = prefix.clone();
+                            i = parse_group_element(tokens, i, &mut sub, map);
+                        }
+                    }
+                }
+                // A group always ends the tree at this level.
+                prefix.truncate(depth_at_entry);
+                return finish(tokens, i, prefix, map, depth_at_entry, true);
+            }
+            Some(Tok::Punct(';')) | None => {
+                return finish(tokens, i, prefix, map, depth_at_entry, false);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Ends a use-tree: a path without a group or rename binds its last
+/// segment as the alias.
+fn finish(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    map: &mut UseMap,
+    depth_at_entry: usize,
+    had_group: bool,
+) -> usize {
+    if !had_group && prefix.len() > depth_at_entry {
+        if let Some(last) = prefix.last() {
+            if last != "self" {
+                map.aliases.push((last.clone(), prefix.join("::")));
+            } else {
+                // `use a::b::{self, c}` binds `b`.
+                let path = prefix[..prefix.len() - 1].join("::");
+                if let Some(name) = prefix.get(prefix.len().wrapping_sub(2)) {
+                    map.aliases.push((name.clone(), path));
+                }
+            }
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    if tokens.get(i).map(|t| t.is_punct(';')).unwrap_or(false) {
+        i += 1;
+    }
+    i
+}
+
+/// Parses one element inside `{…}`: a nested tree that terminates at `,`
+/// or `}` instead of `;`.
+fn parse_group_element(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    map: &mut UseMap,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    loop {
+        match tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(seg)) if seg == "as" => {
+                if let Some(Tok::Ident(alias)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    map.aliases.push((alias.clone(), prefix.join("::")));
+                    i += 2;
+                    // Skip to the element terminator.
+                    while !matches!(
+                        tokens.get(i).map(|t| &t.tok),
+                        None | Some(Tok::Punct(',')) | Some(Tok::Punct('}'))
+                    ) {
+                        i += 1;
+                    }
+                    return i;
+                }
+                i += 1;
+            }
+            Some(Tok::Ident(seg)) => {
+                prefix.push(seg.clone());
+                i += 1;
+            }
+            Some(Tok::Punct(':')) => i += 1,
+            Some(Tok::Punct('*')) => {
+                map.globs.push(prefix.join("::"));
+                i += 1;
+            }
+            Some(Tok::Punct('{')) => {
+                i += 1;
+                loop {
+                    match tokens.get(i).map(|t| &t.tok) {
+                        None | Some(Tok::Punct('}')) => {
+                            i += 1;
+                            break;
+                        }
+                        Some(Tok::Punct(',')) => i += 1,
+                        _ => {
+                            let mut sub = prefix.clone();
+                            i = parse_group_element(tokens, i, &mut sub, map);
+                        }
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            None | Some(Tok::Punct(',')) | Some(Tok::Punct('}')) => {
+                if prefix.len() > depth_at_entry {
+                    let last = prefix.last().cloned().unwrap_or_default();
+                    if last == "self" {
+                        let path = prefix[..prefix.len() - 1].join("::");
+                        if prefix.len() >= 2 {
+                            map.aliases.push((prefix[prefix.len() - 2].clone(), path));
+                        }
+                    } else {
+                        map.aliases.push((last, prefix.join("::")));
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Expands the textual path around the ident token at `idx` (walking
+/// `a::b` chains both directions) and resolves its first segment through
+/// the file's [`UseMap`]. Returns the canonical path, e.g.
+/// `std::time::Instant::now` for a bare `Instant::now()` under
+/// `use std::time::Instant`.
+///
+/// Returns `None` when the first segment is neither absolute
+/// (`std`/`core`/`alloc`/a crate name is treated as written) nor found in
+/// the use map — i.e. for locally defined names.
+pub fn canonical_path(tokens: &[Token], idx: usize, uses: &UseMap) -> Option<String> {
+    // Walk back to the first segment of the path.
+    let mut first = idx;
+    while first >= 2
+        && tokens[first - 1].is_punct(':')
+        && tokens[first - 2].is_punct(':')
+        && first >= 3
+        && matches!(tokens[first - 3].tok, Tok::Ident(_))
+    {
+        first -= 3;
+    }
+    // Collect segments forward from `first`.
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = first;
+    while let Some(s) = tokens.get(j).and_then(|t| t.ident()) {
+        segs.push(s);
+        if tokens.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && tokens.get(j + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+            && matches!(tokens.get(j + 3).map(|t| &t.tok), Some(Tok::Ident(_)))
+        {
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    let head = *segs.first()?;
+    let resolved_head: String = match head {
+        "std" | "core" | "alloc" => segs.join("::"),
+        "crate" | "self" | "super" => return Some(segs.join("::")),
+        _ => {
+            let base = uses.lookup(head)?;
+            let mut full = base.to_string();
+            for s in &segs[1..] {
+                full.push_str("::");
+                full.push_str(s);
+            }
+            full
+        }
+    };
+    Some(resolved_head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn uses(src: &str) -> UseMap {
+        UseMap::parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn plain_group_and_rename_imports() {
+        let m = uses(
+            "use std::time::{Instant, Duration};\n\
+             use std::time::SystemTime as Wall;\n\
+             use std::collections::*;\n\
+             use rand::thread_rng;",
+        );
+        assert_eq!(m.lookup("Instant"), Some("std::time::Instant"));
+        assert_eq!(m.lookup("Duration"), Some("std::time::Duration"));
+        assert_eq!(m.lookup("Wall"), Some("std::time::SystemTime"));
+        assert_eq!(m.lookup("thread_rng"), Some("rand::thread_rng"));
+        assert!(m.could_glob("std::collections"));
+    }
+
+    #[test]
+    fn nested_groups_and_self() {
+        let m = uses("use a::{b::{c, d as e}, f::self};");
+        assert_eq!(m.lookup("c"), Some("a::b::c"));
+        assert_eq!(m.lookup("e"), Some("a::b::d"));
+        assert_eq!(m.lookup("f"), Some("a::f"));
+    }
+
+    #[test]
+    fn canonical_paths_resolve_imports_and_absolutes() {
+        let lx = lex("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        let m = UseMap::parse(&lx.tokens);
+        let idx = lx
+            .tokens
+            .iter()
+            .rposition(|t| t.is_ident("Instant"))
+            .unwrap();
+        assert_eq!(
+            canonical_path(&lx.tokens, idx, &m).as_deref(),
+            Some("std::time::Instant::now")
+        );
+        // `now` resolves through the same chain when asked from its index.
+        let now = lx.tokens.iter().rposition(|t| t.is_ident("now")).unwrap();
+        assert_eq!(
+            canonical_path(&lx.tokens, now, &m).as_deref(),
+            Some("std::time::Instant::now")
+        );
+    }
+
+    #[test]
+    fn local_names_do_not_resolve() {
+        let lx = lex("fn f() { let t = Instant::now(); }");
+        let m = UseMap::parse(&lx.tokens);
+        let idx = lx.tokens.iter().position(|t| t.is_ident("Instant")).unwrap();
+        assert_eq!(canonical_path(&lx.tokens, idx, &m), None);
+    }
+
+    #[test]
+    fn fully_qualified_std_paths_resolve_as_written() {
+        let lx = lex("fn f() { std::time::Instant::now(); }");
+        let m = UseMap::parse(&lx.tokens);
+        let idx = lx.tokens.iter().position(|t| t.is_ident("time")).unwrap();
+        assert_eq!(
+            canonical_path(&lx.tokens, idx, &m).as_deref(),
+            Some("std::time::Instant::now")
+        );
+    }
+}

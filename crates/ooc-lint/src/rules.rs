@@ -1,0 +1,269 @@
+//! The pluggable rule engine and shared analysis helpers.
+
+use crate::report::Finding;
+use crate::resolve::canonical_path;
+use crate::source::{SourceFile, Workspace};
+
+pub mod ambient_rng;
+pub mod checker_coverage;
+pub mod protocol_panic;
+pub mod unordered_iter;
+pub mod wall_clock;
+
+/// A lint rule. Rules see the whole workspace so they can be cross-file
+/// (e.g. checker coverage) as well as token-local.
+pub trait Rule {
+    /// Stable id used in reports and `ooc-lint::allow(...)`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for the workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// The registered rule set, in report order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wall_clock::WallClock),
+        Box::new(ambient_rng::AmbientRng),
+        Box::new(unordered_iter::UnorderedIter),
+        Box::new(protocol_panic::ProtocolPanic),
+        Box::new(checker_coverage::CheckerCoverage),
+    ]
+}
+
+/// Rule id of the engine-level suppression-hygiene findings (malformed
+/// allow, unknown rule id, unused allow). Not suppressible.
+pub const SUPPRESSION_RULE: &str = "hygiene/suppression";
+
+/// Every id an `ooc-lint::allow` may name.
+pub fn known_ids() -> Vec<&'static str> {
+    all().iter().map(|r| r.id()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+/// A forbidden item a token rule scans for.
+pub struct ForbiddenItem {
+    /// The identifier the item appears as in source.
+    pub base: &'static str,
+    /// Canonical path prefixes that confirm the identifier really is this
+    /// item (empty = flag on name alone, e.g. method calls, which carry
+    /// no path to resolve).
+    pub paths: &'static [&'static str],
+}
+
+/// Scans a file's non-test tokens for forbidden items, honoring the
+/// file's `use` declarations: an identifier that resolves to a different
+/// origin than the forbidden paths is *not* flagged, and a rename of a
+/// forbidden item *is*.
+pub fn scan_forbidden<'a>(
+    file: &SourceFile,
+    items: &'a [ForbiddenItem],
+) -> Vec<(u32, String, &'a ForbiddenItem)> {
+    let mut hits = Vec::new();
+    // Renames: `use std::time::Instant as Clock` makes `Clock` a target.
+    let aliases: Vec<(String, &ForbiddenItem)> = file
+        .uses
+        .aliases()
+        .filter_map(|(alias, path)| {
+            items
+                .iter()
+                .find(|it| it.paths.iter().any(|p| path.starts_with(p)))
+                .map(|it| (alias.to_string(), it))
+        })
+        .collect();
+    for (idx, token) in file.tokens.iter().enumerate() {
+        if !file.non_test[idx] {
+            continue;
+        }
+        let Some(name) = token.ident() else { continue };
+        let item = items
+            .iter()
+            .find(|it| it.base == name)
+            .or_else(|| aliases.iter().find(|(a, _)| a == name).map(|(_, it)| *it));
+        let Some(item) = item else { continue };
+        if defines_ident(file, name) {
+            continue; // the workspace's own type/fn of the same name
+        }
+        match canonical_path(&file.tokens, idx, &file.uses) {
+            Some(path) => {
+                let confirmed = item.paths.is_empty()
+                    || item
+                        .paths
+                        .iter()
+                        .any(|p| path.starts_with(p) || p.starts_with(path.as_str()));
+                if confirmed {
+                    hits.push((token.line, path, item));
+                }
+            }
+            // Unresolvable: a bare method call, a glob import, or prelude
+            // leakage. Flag it — the determinism gate errs conservative,
+            // and a justified use can carry an allow.
+            None => hits.push((token.line, name.to_string(), item)),
+        }
+    }
+    hits
+}
+
+/// Whether the file itself defines `name` (struct/enum/trait/type/fn/mod
+/// /const/static), which vetoes forbidden-name matching for shadowing
+/// local types.
+fn defines_ident(file: &SourceFile, name: &str) -> bool {
+    file.tokens.windows(2).any(|w| {
+        matches!(
+            w[0].ident(),
+            Some("struct" | "enum" | "trait" | "type" | "fn" | "mod" | "const" | "static")
+        ) && w[1].is_ident(name)
+    })
+}
+
+/// One `impl` block header, trait and self-type resolved to bare names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplHead {
+    /// Last path segment of the trait, empty for inherent impls.
+    pub trait_name: String,
+    /// Last leading path segment of the implementing type.
+    pub type_name: String,
+    /// Line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// Parses every `impl` header in the file's non-test code. Handles
+/// generic parameter lists (including `Fn(..) -> T` bounds) and
+/// path-qualified traits/types.
+pub fn impl_heads(file: &SourceFile) -> Vec<ImplHead> {
+    let toks = &file.tokens;
+    let mut heads = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !file.non_test[i] || !t.is_ident("impl") {
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip the generic parameter list, if any. `>` directly preceded
+        // by `-` is an arrow inside an `Fn` bound, not a closer.
+        if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>')
+                    && !(j > 0 && toks[j - 1].is_punct('-'))
+                {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // First path: the trait (if followed by `for`) or the self type.
+        let (first_last, k, stopped_at_for) = scan_path(file, j);
+        if stopped_at_for {
+            let (type_last, _, _) = scan_path(file, k + 1);
+            heads.push(ImplHead {
+                trait_name: first_last,
+                type_name: type_last,
+                line: t.line,
+            });
+        } else {
+            heads.push(ImplHead {
+                trait_name: String::new(),
+                type_name: first_last,
+                line: t.line,
+            });
+        }
+    }
+    heads
+}
+
+/// Scans a trait/type path from `j`; returns (last angle-depth-0 ident,
+/// stop index, whether it stopped at the `for` keyword).
+fn scan_path(file: &SourceFile, mut j: usize) -> (String, usize, bool) {
+    let toks = &file.tokens;
+    let mut depth = 0i32;
+    let mut last = String::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        if depth == 0 {
+            if t.is_ident("for") {
+                return (last, j, true);
+            }
+            if t.is_ident("where") || t.is_punct('{') || t.is_punct(';') {
+                return (last, j, false);
+            }
+            if let Some(name) = t.ident() {
+                last = name.to_string();
+            }
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    (last, j, false)
+}
+
+/// Whether a file contains protocol state-machine code: an impl of the
+/// simulator's `Process`/`SyncProcess` traits or of any `…Object`
+/// protocol-object trait, or a handler-shaped `fn on_*` definition.
+pub fn is_state_machine_file(file: &SourceFile) -> bool {
+    if impl_heads(file).iter().any(|h| {
+        h.trait_name == "Process"
+            || h.trait_name == "SyncProcess"
+            || h.trait_name.ends_with("Object")
+    }) {
+        return true;
+    }
+    file.tokens.windows(2).enumerate().any(|(i, w)| {
+        file.non_test[i]
+            && w[0].is_ident("fn")
+            && matches!(
+                w[1].ident(),
+                Some("on_start" | "on_message" | "on_timer" | "on_restart")
+            )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn impl_heads_handle_generics_and_paths() {
+        let src = "impl<A: AcObject> VacObject for AcDetector<A> {}\n\
+                   impl<V, F: FnMut(u64) -> V> ReconciliatorObject for FnReconciliator<V, F> {}\n\
+                   impl ooc_simnet::SyncProcess for QueenNode {}\n\
+                   impl Widget {}\n";
+        let f = SourceFile::from_source("src/x.rs", "ooc-core", src);
+        let heads = impl_heads(&f);
+        assert_eq!(heads.len(), 4);
+        assert_eq!(heads[0].trait_name, "VacObject");
+        assert_eq!(heads[0].type_name, "AcDetector");
+        assert_eq!(heads[1].trait_name, "ReconciliatorObject");
+        assert_eq!(heads[1].type_name, "FnReconciliator");
+        assert_eq!(heads[2].trait_name, "SyncProcess");
+        assert_eq!(heads[2].type_name, "QueenNode");
+        assert_eq!(heads[3].trait_name, "");
+        assert_eq!(heads[3].type_name, "Widget");
+    }
+
+    #[test]
+    fn state_machine_markers() {
+        let on_msg = SourceFile::from_source(
+            "src/x.rs",
+            "ooc-core",
+            "impl Thing { fn on_message(&mut self) {} }",
+        );
+        assert!(is_state_machine_file(&on_msg));
+        let plain = SourceFile::from_source("src/x.rs", "ooc-core", "fn helper() {}");
+        assert!(!is_state_machine_file(&plain));
+    }
+}

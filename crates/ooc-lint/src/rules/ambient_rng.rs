@@ -1,0 +1,69 @@
+//! `determinism/ambient-rng` — all randomness must flow from the seed.
+//!
+//! `thread_rng`, `from_entropy`, `OsRng` and friends pull entropy from the
+//! OS, which makes a failing schedule unreproducible: the campaign
+//! engine's "re-run the failing seed" workflow silently stops working.
+//! Every RNG in the workspace must derive from the master `SplitMix64`
+//! seed. The rule applies everywhere, including tests — a test that rolls
+//! ambient dice is a test that cannot be rerun.
+
+use crate::report::Finding;
+use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
+use crate::source::Workspace;
+
+const ITEMS: &[ForbiddenItem] = &[
+    ForbiddenItem {
+        base: "thread_rng",
+        paths: &["rand::thread_rng"],
+    },
+    // Constructor methods carry no path; flagged by name.
+    ForbiddenItem {
+        base: "from_entropy",
+        paths: &[],
+    },
+    ForbiddenItem {
+        base: "from_os_rng",
+        paths: &[],
+    },
+    ForbiddenItem {
+        base: "OsRng",
+        paths: &["rand::rngs::OsRng", "rand_core::OsRng"],
+    },
+    ForbiddenItem {
+        base: "getrandom",
+        paths: &[],
+    },
+];
+
+/// See module docs.
+pub struct AmbientRng;
+
+impl Rule for AmbientRng {
+    fn id(&self) -> &'static str {
+        "determinism/ambient-rng"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbids thread_rng / from_entropy / OsRng / getrandom anywhere; \
+         every RNG must derive from the run's seed"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            for (line, path, item) in scan_forbidden(file, ITEMS) {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: file.path.clone(),
+                    line,
+                    snippet: file.snippet(line),
+                    message: format!(
+                        "ambient entropy source `{}` ({}) makes runs unreplayable; \
+                         derive a SplitMix64 from the run seed instead",
+                        item.base, path
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `hygiene/checker-coverage` — every public protocol object is checked.
+//!
+//! The repo's claims about Lemmas 1–7 rest on the §2 property checkers
+//! (`ooc-core/src/checker.rs`) actually being pointed at each object
+//! implementation. This rule finds every *public* implementor of the
+//! protocol-object traits (`VacObject`, `AcObject`, `ConciliatorObject`,
+//! `ReconciliatorObject`, `SyncObject`) and requires it to be exercised by
+//! a test that speaks the checker vocabulary: the implementor's name must
+//! appear in some file under `tests/` or `crates/*/tests/` that also
+//! references the checker pipeline (`check_*`, `RoundOutcomes`,
+//! `AcOutcome`, `VacOutcome`, or `Violation`).
+
+use crate::report::Finding;
+use crate::rules::{impl_heads, Rule};
+use crate::source::{SourceFile, Workspace};
+
+const OBJECT_TRAITS: &[&str] = &[
+    "VacObject",
+    "AcObject",
+    "ConciliatorObject",
+    "ReconciliatorObject",
+    "SyncObject",
+];
+
+/// See module docs.
+pub struct CheckerCoverage;
+
+impl Rule for CheckerCoverage {
+    fn id(&self) -> &'static str {
+        "hygiene/checker-coverage"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every public AC/VAC/conciliator/reconciliator implementation must be \
+         exercised by the §2 checker pipeline somewhere under tests/"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Public type names per crate (plain `pub`, not `pub(crate)`).
+        let mut pub_types: Vec<(&str, &str)> = Vec::new(); // (crate, name)
+        for file in &ws.files {
+            if file.is_test_file {
+                continue;
+            }
+            for w in file.tokens.windows(3) {
+                if w[0].is_ident("pub")
+                    && matches!(w[1].ident(), Some("struct" | "enum"))
+                {
+                    if let Some(name) = w[2].ident() {
+                        pub_types.push((&file.crate_name, name));
+                    }
+                }
+            }
+        }
+        // Test files that reference the checker pipeline, with their idents.
+        let checker_tests: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| f.is_test_file && speaks_checker(f))
+            .collect();
+        let mut reported: Vec<String> = Vec::new();
+        for file in &ws.files {
+            if file.is_test_file {
+                continue;
+            }
+            for head in impl_heads(file) {
+                if !OBJECT_TRAITS.contains(&head.trait_name.as_str()) {
+                    continue;
+                }
+                let name = head.type_name.as_str();
+                let is_pub = pub_types
+                    .iter()
+                    .any(|(c, n)| *c == file.crate_name && *n == name);
+                if !is_pub || reported.iter().any(|r| r == name) {
+                    continue;
+                }
+                let covered = checker_tests
+                    .iter()
+                    .any(|f| f.tokens.iter().any(|t| t.is_ident(name)));
+                if !covered {
+                    reported.push(name.to_string());
+                    out.push(Finding {
+                        rule: self.id(),
+                        path: file.path.clone(),
+                        line: head.line,
+                        snippet: file.snippet(head.line),
+                        message: format!(
+                            "public protocol object `{name}` (impl {}) is never \
+                             exercised by the checker pipeline: no file under \
+                             tests/ names it alongside check_*/RoundOutcomes/\
+                             AcOutcome/VacOutcome",
+                            head.trait_name
+                        ),
+                        suppressed: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether a test file references the checker pipeline.
+fn speaks_checker(file: &SourceFile) -> bool {
+    file.tokens.iter().any(|t| match t.ident() {
+        Some(name) => {
+            name.starts_with("check_")
+                || matches!(
+                    name,
+                    "RoundOutcomes" | "AcOutcome" | "VacOutcome" | "Violation"
+                )
+        }
+        None => false,
+    })
+}

@@ -1,0 +1,69 @@
+//! `protocol/panic` — protocol state machines must not crash themselves.
+//!
+//! The fault model (`ooc-core/src/budget.rs`, the campaign's `FaultPlan`)
+//! accounts for every crash the adversary is allowed; an `unwrap()` inside
+//! an `on_message` handler is a crash the budget never sees, so a run that
+//! "tolerates t faults" can silently tolerate fewer. Inside state-machine
+//! files in deterministic crates, `unwrap`/`expect`/`panic!`/
+//! `unreachable!`/`todo!`/`unimplemented!` are flagged; a genuine
+//! can't-happen invariant keeps its panic but must say why via an allow.
+//! (`assert!` is deliberately exempt: executable invariant documentation.)
+
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::rules::{is_state_machine_file, Rule};
+use crate::source::Workspace;
+
+/// See module docs.
+pub struct ProtocolPanic;
+
+impl Rule for ProtocolPanic {
+    fn id(&self) -> &'static str {
+        "protocol/panic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "flags unwrap/expect/panic!/unreachable! inside protocol state machines, \
+         where a crash escapes the fault-budget accounting"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !file.deterministic() || file.is_test_file || !is_state_machine_file(file) {
+                continue;
+            }
+            let toks = &file.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if !file.non_test[i] {
+                    continue;
+                }
+                let Some(name) = t.ident() else { continue };
+                let hit = match name {
+                    // Method calls: only the exact `.unwrap()` / `.expect(`,
+                    // never `unwrap_or` and friends (distinct identifiers).
+                    "unwrap" | "expect" => {
+                        i > 0 && toks[i - 1].is_punct('.')
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented" => {
+                        matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+                    }
+                    _ => false,
+                };
+                if hit {
+                    out.push(Finding {
+                        rule: self.id(),
+                        path: file.path.clone(),
+                        line: t.line,
+                        snippet: file.snippet(t.line),
+                        message: format!(
+                            "`{name}` in a protocol state machine crashes outside the \
+                             fault budget; return a protocol error / default, or allow \
+                             with the invariant that makes this unreachable"
+                        ),
+                        suppressed: None,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `determinism/unordered-iter` — no randomized-order containers in
+//! deterministic crates.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`, so any
+//! iteration over them inside the simulator or a protocol crate is a
+//! latent nondeterminism bug waiting for a refactor to expose it. The
+//! rule flags every `HashMap`/`HashSet` *mention* in deterministic crates
+//! rather than trying to prove an iteration reaches it: the safe steady
+//! state is `BTreeMap`/`BTreeSet` (ordered, and `Ord` keys are cheap
+//! here), and a genuinely membership-only use can carry an allow stating
+//! exactly that.
+
+use crate::report::Finding;
+use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
+use crate::source::Workspace;
+
+const ITEMS: &[ForbiddenItem] = &[
+    ForbiddenItem {
+        base: "HashMap",
+        paths: &["std::collections::HashMap", "hashbrown::HashMap"],
+    },
+    ForbiddenItem {
+        base: "HashSet",
+        paths: &["std::collections::HashSet", "hashbrown::HashSet"],
+    },
+];
+
+/// See module docs.
+pub struct UnorderedIter;
+
+impl Rule for UnorderedIter {
+    fn id(&self) -> &'static str {
+        "determinism/unordered-iter"
+    }
+
+    fn describe(&self) -> &'static str {
+        "flags HashMap/HashSet in deterministic crates; use BTreeMap/BTreeSet \
+         so iteration order is a function of the data, not of RandomState"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !file.deterministic() || file.is_test_file {
+                continue;
+            }
+            for (line, path, item) in scan_forbidden(file, ITEMS) {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: file.path.clone(),
+                    line,
+                    snippet: file.snippet(line),
+                    message: format!(
+                        "`{}` ({}) has seed-independent iteration order; use \
+                         BTree{} in deterministic crates, or allow with a \
+                         reason proving the use is membership-only",
+                        item.base,
+                        path,
+                        &item.base[4..]
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}

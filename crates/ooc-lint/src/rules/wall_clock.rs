@@ -1,0 +1,63 @@
+//! `determinism/wall-clock` — no ambient time sources.
+//!
+//! A replayable run must be a pure function of its seed; `Instant::now`
+//! and `SystemTime` smuggle the host's clock into the execution. The rule
+//! applies to every crate's shipped code (simulated time comes from
+//! `ooc_simnet::SimTime`); measurement code in `ooc-campaign`/`ooc-bench`
+//! that reports *real* elapsed wall time carries explicit allows.
+
+use crate::report::Finding;
+use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
+use crate::source::Workspace;
+
+const ITEMS: &[ForbiddenItem] = &[
+    ForbiddenItem {
+        base: "Instant",
+        paths: &["std::time::Instant"],
+    },
+    ForbiddenItem {
+        base: "SystemTime",
+        paths: &["std::time::SystemTime"],
+    },
+    ForbiddenItem {
+        base: "UNIX_EPOCH",
+        paths: &["std::time::UNIX_EPOCH", "std::time::SystemTime::UNIX_EPOCH"],
+    },
+];
+
+/// See module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "determinism/wall-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbids std::time::Instant / SystemTime (wall-clock) in shipped code; \
+         simulated time must come from ooc_simnet::SimTime"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.is_test_file {
+                continue;
+            }
+            for (line, path, item) in scan_forbidden(file, ITEMS) {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: file.path.clone(),
+                    line,
+                    snippet: file.snippet(line),
+                    message: format!(
+                        "wall-clock time source `{}` ({}) breaks seed-replayability; \
+                         use ooc_simnet::SimTime, or justify with an \
+                         ooc-lint::allow for measurement-only code",
+                        item.base, path
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}

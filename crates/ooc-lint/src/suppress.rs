@@ -1,0 +1,135 @@
+//! Explicit, auditable suppressions.
+//!
+//! A finding is silenced only by an annotation at the offending line:
+//!
+//! ```text
+//! // ooc-lint::allow(determinism/wall-clock, "measures real elapsed time for reports")
+//! let started = Instant::now();
+//! ```
+//!
+//! A trailing comment annotates its own line; a standalone comment
+//! annotates the next code line. The reason string is mandatory and must
+//! be non-empty — an allow without a reason is itself a finding, as is an
+//! allow that suppresses nothing (so stale annotations cannot linger).
+
+use crate::source::SourceFile;
+
+/// The marker every suppression comment starts with (after trimming).
+pub const ALLOW_PREFIX: &str = "ooc-lint::allow";
+
+/// One parsed suppression annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule id being allowed, e.g. `determinism/wall-clock`.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// The line the comment sits on.
+    pub line: u32,
+    /// The code line it suppresses.
+    pub target: u32,
+    /// Parse problem, if any (malformed allows never suppress).
+    pub error: Option<String>,
+}
+
+/// Extracts every `ooc-lint::allow` annotation from a file's comments.
+/// Doc comments are ignored so documentation about the syntax is inert.
+pub fn parse_allows(file: &SourceFile) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &file.comments {
+        if c.doc {
+            continue;
+        }
+        let text = c.text.trim();
+        if !text.starts_with(ALLOW_PREFIX) {
+            continue;
+        }
+        let target = if c.code_before {
+            c.line
+        } else {
+            file.next_code_line(c.line).unwrap_or(c.line)
+        };
+        let rest = text[ALLOW_PREFIX.len()..].trim_start();
+        let (rule, reason, error) = parse_args(rest);
+        allows.push(Allow {
+            rule,
+            reason,
+            line: c.line,
+            target,
+            error,
+        });
+    }
+    allows
+}
+
+/// Parses `(<rule>, "<reason>")`. Returns whatever could be salvaged plus
+/// an error description when the annotation is malformed.
+fn parse_args(rest: &str) -> (String, String, Option<String>) {
+    let fail = |msg: &str| (String::new(), String::new(), Some(msg.to_string()));
+    let Some(inner) = rest.strip_prefix('(') else {
+        return fail("expected `(` after `ooc-lint::allow`");
+    };
+    let Some(close) = inner.rfind(')') else {
+        return fail("missing closing `)`");
+    };
+    let inner = &inner[..close];
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return (
+            inner.trim().to_string(),
+            String::new(),
+            Some("missing reason: use ooc-lint::allow(<rule>, \"<why this is sound>\")".into()),
+        );
+    };
+    let rule = rule.trim().to_string();
+    let reason_part = reason_part.trim();
+    if reason_part.len() < 2 || !reason_part.starts_with('"') || !reason_part.ends_with('"') {
+        return (
+            rule,
+            String::new(),
+            Some("reason must be a quoted string".into()),
+        );
+    }
+    let reason = reason_part[1..reason_part.len() - 1].to_string();
+    if reason.trim().is_empty() {
+        return (rule, reason, Some("reason must not be empty".into()));
+    }
+    (rule, reason, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn allows(src: &str) -> Vec<Allow> {
+        SourceFile::from_source("src/x.rs", "ooc-core", src).allows
+    }
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = "let a = 1; // ooc-lint::allow(determinism/wall-clock, \"trailing\")\n\
+                   // ooc-lint::allow(determinism/ambient-rng, \"standalone\")\n\
+                   let b = 2;";
+        let a = allows(src);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].target, 1);
+        assert_eq!(a[1].target, 3);
+        assert!(a.iter().all(|x| x.error.is_none()));
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_an_error() {
+        let a = allows("// ooc-lint::allow(protocol/panic)\nfn f() {}");
+        assert!(a[0].error.is_some());
+        let a = allows("// ooc-lint::allow(protocol/panic, \"  \")\nfn f() {}");
+        assert!(a[0].error.is_some());
+        let a = allows("// ooc-lint::allow(protocol/panic, unquoted)\nfn f() {}");
+        assert!(a[0].error.is_some());
+    }
+
+    #[test]
+    fn doc_comments_never_suppress() {
+        let a = allows("/// ooc-lint::allow(protocol/panic, \"docs\")\nfn f() {}");
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Fixture snippets proving each rule fires, stays quiet, and suppresses.
+//!
+//! Every rule gets three scenarios over in-memory source files:
+//! a **positive** fixture that must produce the finding, a **negative**
+//! fixture that must not, and a **suppressed** fixture where a reasoned
+//! `ooc-lint::allow` silences it (visible to `--json`, absent from the
+//! active set). The file closes with the self-test the whole crate exists
+//! for: the real workspace lints clean.
+
+use ooc_lint::{lint, Report, SourceFile, Workspace};
+
+/// Lints one fixture file placed in a deterministic crate.
+fn lint_one(path: &str, crate_name: &str, src: &str) -> Report {
+    lint(&Workspace::from_files(vec![SourceFile::from_source(
+        path, crate_name, src,
+    )]))
+}
+
+fn active_rules(report: &Report) -> Vec<&'static str> {
+    report.active().map(|f| f.rule).collect()
+}
+
+/// Asserts the standard suppressed-fixture shape: nothing active, exactly
+/// one finding recorded with the given suppression reason.
+fn assert_suppressed(report: &Report, rule: &str, reason: &str) {
+    assert_eq!(active_rules(report), Vec::<&str>::new(), "no active findings");
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == rule)
+        .expect("the finding is still recorded for --json auditing");
+    assert_eq!(f.suppressed.as_deref(), Some(reason));
+}
+
+// ---------------------------------------------------------------------------
+// determinism/wall-clock
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wall_clock_positive() {
+    let r = lint_one(
+        "crates/ooc-core/src/clocky.rs",
+        "ooc-core",
+        "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n",
+    );
+    let rules = active_rules(&r);
+    assert!(
+        rules.iter().all(|&x| x == "determinism/wall-clock") && !rules.is_empty(),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn wall_clock_catches_renamed_imports() {
+    let r = lint_one(
+        "crates/ooc-core/src/clocky.rs",
+        "ooc-core",
+        "use std::time::Instant as Clock;\nfn f() -> Clock { Clock::now() }\n",
+    );
+    assert!(
+        active_rules(&r).contains(&"determinism/wall-clock"),
+        "an `as` rename must not launder a wall-clock read"
+    );
+}
+
+#[test]
+fn wall_clock_negative_simulated_time() {
+    // A local type that happens to be called Instant is fine once the use
+    // path proves it is not std's.
+    let r = lint_one(
+        "crates/ooc-core/src/clocky.rs",
+        "ooc-core",
+        "use crate::sim_clock::Instant;\nfn f() -> Instant { Instant::now() }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn wall_clock_suppressed() {
+    let r = lint_one(
+        "crates/ooc-bench/src/b.rs",
+        "ooc-bench",
+        "use std::time::Instant;\n\
+         // ooc-lint::allow(determinism/wall-clock, \"benchmark timing\")\n\
+         fn f() { let _ = Instant::now(); }\n",
+    );
+    // The `use` line itself is annotated separately in real code; here only
+    // line 3 is allowed, so line 1 must stay active.
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active.len(), 1);
+    assert_eq!(active[0].line, 1);
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.suppressed.as_deref() == Some("benchmark timing")));
+}
+
+// ---------------------------------------------------------------------------
+// determinism/ambient-rng
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ambient_rng_positive() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/r.rs",
+        "ooc-simnet",
+        "fn f() -> u64 { let mut rng = rand::thread_rng(); rng.gen() }\n",
+    );
+    assert!(active_rules(&r).contains(&"determinism/ambient-rng"));
+}
+
+#[test]
+fn ambient_rng_fires_even_in_test_files() {
+    // Ambient entropy in tests breaks replayability of failures, so the
+    // rule does not carve out tests/.
+    let r = lint_one(
+        "crates/ooc-simnet/tests/r.rs",
+        "ooc-simnet",
+        "fn seed() -> Foo { Foo::from_entropy() }\n",
+    );
+    assert!(active_rules(&r).contains(&"determinism/ambient-rng"));
+}
+
+#[test]
+fn ambient_rng_negative_seeded() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/r.rs",
+        "ooc-simnet",
+        "fn f() -> u64 { let mut rng = SplitMix64::new(42); rng.next_u64() }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn ambient_rng_suppressed() {
+    let r = lint_one(
+        "crates/ooc-campaign/src/r.rs",
+        "ooc-campaign",
+        "// ooc-lint::allow(determinism/ambient-rng, \"seeding the seed generator\")\n\
+         fn f() -> u64 { rand::thread_rng().gen() }\n",
+    );
+    assert_suppressed(&r, "determinism/ambient-rng", "seeding the seed generator");
+}
+
+// ---------------------------------------------------------------------------
+// determinism/unordered-iter
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unordered_iter_positive() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/s.rs",
+        "ooc-simnet",
+        "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+    );
+    let rules = active_rules(&r);
+    assert_eq!(rules, vec!["determinism/unordered-iter"; 2], "{rules:?}");
+}
+
+#[test]
+fn unordered_iter_negative_btree_and_tooling_crates() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/s.rs",
+        "ooc-simnet",
+        "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u32, u32> }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // Measurement tooling may hash freely: iteration order never feeds a
+    // schedule there.
+    let r = lint_one(
+        "crates/ooc-campaign/src/s.rs",
+        "ooc-campaign",
+        "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn unordered_iter_suppressed() {
+    let r = lint_one(
+        "crates/ooc-core/src/s.rs",
+        "ooc-core",
+        "// ooc-lint::allow(determinism/unordered-iter, \"membership-only, never iterated\")\n\
+         fn f(m: &std::collections::HashMap<u32, u32>) -> bool { m.contains_key(&1) }\n",
+    );
+    assert_suppressed(
+        &r,
+        "determinism/unordered-iter",
+        "membership-only, never iterated",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// protocol/panic
+// ---------------------------------------------------------------------------
+
+/// A fixture that looks like a protocol state machine (it impls an object
+/// trait) with a panic in a handler.
+const PANICKY_OBJECT: &str = "\
+impl VacObject for Flaky {
+    type Value = u64;
+    type Msg = u64;
+    fn begin(&mut self, input: u64, net: &mut dyn ObjectNet<u64>) -> Option<VacOutcome<u64>> {
+        self.state.take().unwrap();
+        None
+    }
+}
+";
+
+#[test]
+fn protocol_panic_positive() {
+    let r = lint_one("crates/ooc-core/src/p.rs", "ooc-core", PANICKY_OBJECT);
+    assert_eq!(active_rules(&r), vec!["protocol/panic"]);
+}
+
+#[test]
+fn protocol_panic_negative_outside_state_machines() {
+    // The same unwrap in a file with no protocol handlers is none of this
+    // rule's business (clippy territory, not fault-budget territory).
+    let r = lint_one(
+        "crates/ooc-core/src/util.rs",
+        "ooc-core",
+        "fn parse(s: &str) -> u64 { s.parse().unwrap() }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // And `unwrap_or` inside a state machine is a distinct identifier.
+    let r = lint_one(
+        "crates/ooc-core/src/p.rs",
+        "ooc-core",
+        "impl AcObject for Safe {\n    fn on_message(&mut self) { self.v.unwrap_or(0); }\n}\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn protocol_panic_suppressed() {
+    let src = PANICKY_OBJECT.replace(
+        "        self.state.take().unwrap();",
+        "        // ooc-lint::allow(protocol/panic, \"state is Some between begin and outcome\")\n\
+         \x20       self.state.take().unwrap();",
+    );
+    let r = lint_one("crates/ooc-core/src/p.rs", "ooc-core", &src);
+    assert_suppressed(&r, "protocol/panic", "state is Some between begin and outcome");
+}
+
+// ---------------------------------------------------------------------------
+// hygiene/checker-coverage
+// ---------------------------------------------------------------------------
+
+const PUBLIC_OBJECT: &str = "\
+pub struct Orphan;
+impl AcObject for Orphan {
+    type Value = u64;
+    type Msg = u64;
+}
+";
+
+#[test]
+fn checker_coverage_positive() {
+    let r = lint(&Workspace::from_files(vec![SourceFile::from_source(
+        "crates/ooc-core/src/o.rs",
+        "ooc-core",
+        PUBLIC_OBJECT,
+    )]));
+    assert_eq!(active_rules(&r), vec!["hygiene/checker-coverage"]);
+}
+
+#[test]
+fn checker_coverage_negative_when_checker_tested() {
+    // Covered: a tests/ file names the type *and* speaks the checker
+    // vocabulary.
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source("crates/ooc-core/src/o.rs", "ooc-core", PUBLIC_OBJECT),
+        SourceFile::from_source(
+            "crates/ooc-core/tests/o.rs",
+            "ooc-core",
+            "#[test]\nfn laws() { let o = Orphan; assert!(round.check_ac().is_empty()); }\n",
+        ),
+    ]));
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // Not covered: the test names the type but never invokes any checker.
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source("crates/ooc-core/src/o.rs", "ooc-core", PUBLIC_OBJECT),
+        SourceFile::from_source(
+            "crates/ooc-core/tests/o.rs",
+            "ooc-core",
+            "#[test]\nfn smoke() { let _ = Orphan; }\n",
+        ),
+    ]));
+    assert_eq!(active_rules(&r), vec!["hygiene/checker-coverage"]);
+    // Private objects are the template's internal business.
+    let r = lint(&Workspace::from_files(vec![SourceFile::from_source(
+        "crates/ooc-core/src/o.rs",
+        "ooc-core",
+        &PUBLIC_OBJECT.replace("pub struct", "struct"),
+    )]));
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn checker_coverage_suppressed() {
+    let src = PUBLIC_OBJECT.replace(
+        "impl AcObject for Orphan {",
+        "// ooc-lint::allow(hygiene/checker-coverage, \"exercised indirectly via TwoAcVac\")\n\
+         impl AcObject for Orphan {",
+    );
+    let r = lint(&Workspace::from_files(vec![SourceFile::from_source(
+        "crates/ooc-core/src/o.rs",
+        "ooc-core",
+        &src,
+    )]));
+    assert_suppressed(
+        &r,
+        "hygiene/checker-coverage",
+        "exercised indirectly via TwoAcVac",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// hygiene/suppression — the engine audits its own escape hatch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reasonless_allow_is_a_finding() {
+    let r = lint_one(
+        "crates/ooc-core/src/s.rs",
+        "ooc-core",
+        "// ooc-lint::allow(determinism/wall-clock)\nfn f() {}\n",
+    );
+    assert_eq!(active_rules(&r), vec!["hygiene/suppression"]);
+}
+
+// ---------------------------------------------------------------------------
+// the point of the whole exercise
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lint_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = ooc_lint::lint_workspace(&root).expect("workspace scans");
+    assert!(
+        report.files_scanned > 100,
+        "sanity: the scan saw the real workspace, not an empty dir ({} files)",
+        report.files_scanned
+    );
+    let active: Vec<String> = report
+        .active()
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "the workspace must lint clean; new findings need a fix or a reasoned \
+         allow:\n{}",
+        active.join("\n")
+    );
+    // Zero unexplained suppressions: every allow in the tree carries a
+    // reason and suppresses a live finding (the engine turns violations of
+    // either property into hygiene/suppression findings, checked above).
+    for f in &report.findings {
+        if let Some(reason) = &f.suppressed {
+            assert!(
+                !reason.trim().is_empty(),
+                "{}:{} has an empty suppression reason",
+                f.path,
+                f.line
+            );
+        }
+    }
+}

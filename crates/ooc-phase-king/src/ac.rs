@@ -116,6 +116,7 @@ impl SyncObject for PhaseKingAc {
                     AcOutcome::adopt(v)
                 })
             }
+            // ooc-lint::allow(protocol/panic, "SyncObject::STEPS pins PhaseKingAc to exactly 3 steps")
             _ => unreachable!("PhaseKingAc has exactly 3 steps"),
         }
     }

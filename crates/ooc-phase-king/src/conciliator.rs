@@ -75,6 +75,7 @@ impl SyncObject for KingConciliator {
                 // unchanged, clamped into the consensus domain.
                 Some(from_king.unwrap_or_else(|| (*input).min(1)))
             }
+            // ooc-lint::allow(protocol/panic, "SyncObject::STEPS pins KingConciliator to exactly 2 steps")
             _ => unreachable!("KingConciliator has exactly 2 steps"),
         }
     }

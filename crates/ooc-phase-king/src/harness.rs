@@ -264,6 +264,7 @@ pub fn run_phase_king_with_crashes(
             let h = sim
                 .process(p)
                 .honest()
+                // ooc-lint::allow(protocol/panic, "iterates honest ids only; honest() is Some for them")
                 .expect("honest slot")
                 .history()
                 .to_vec();
@@ -272,6 +273,7 @@ pub fn run_phase_king_with_crashes(
         .collect();
     let decision_phases: Vec<Option<u64>> = honest
         .iter()
+        // ooc-lint::allow(protocol/panic, "iterates honest ids only; honest() is Some for them")
         .map(|&p| sim.process(p).honest().expect("honest slot").decision_phase())
         .collect();
 

@@ -93,6 +93,7 @@ impl SyncObject for PhaseQueenAc {
                     AcOutcome::adopt(maj)
                 })
             }
+            // ooc-lint::allow(protocol/panic, "SyncObject::STEPS pins PhaseQueenAc to exactly 2 steps")
             _ => unreachable!("PhaseQueenAc has exactly 2 steps"),
         }
     }
@@ -149,6 +150,7 @@ impl SyncObject for QueenConciliator {
                     .map(|&(_, value)| value)
                     .unwrap_or_else(|| (*input).min(1)),
             ),
+            // ooc-lint::allow(protocol/panic, "SyncObject::STEPS pins QueenConciliator to exactly 2 steps")
             _ => unreachable!("QueenConciliator has exactly 2 steps"),
         }
     }

@@ -1,0 +1,130 @@
+//! Checker-pipeline coverage for the Phase-King/Phase-Queen conciliators.
+//!
+//! [`KingConciliator`] and [`QueenConciliator`] are the royal halves of
+//! the decomposed Berman-Garay-Perry protocols (paper Algorithms 4/5):
+//! the phase's monarch broadcasts its clamped value and every adopter
+//! leaves with it. With an honest monarch that is exactly *coherence over
+//! vacillate & adopt* — all adopts carry one value — and validity follows
+//! because the monarch's value is its own input. Both claims are checked
+//! with the §2 `RoundOutcomes` checkers over hand-driven lock-step
+//! exchanges.
+
+use ooc_core::checker::{RoundEntry, RoundOutcomes};
+use ooc_core::confidence::VacOutcome;
+use ooc_core::sync_objects::{SyncObjCtx, SyncObject};
+use ooc_phase_king::{KingConciliator, QueenConciliator};
+use ooc_simnet::{ProcessId, SplitMix64};
+
+/// Drives one full conciliator phase for all `n` processors: step 0 lets
+/// the monarch broadcast, step 1 hands that broadcast (plus any forged
+/// `extra` messages) to everyone and collects the adopted values.
+fn run_phase<C>(make: impl Fn() -> C, inputs: &[u64], extra: &[(ProcessId, u64)]) -> Vec<u64>
+where
+    C: SyncObject<Value = u64, Msg = u64, Outcome = u64>,
+{
+    let n = inputs.len();
+    let mut objects: Vec<C> = (0..n).map(|_| make()).collect();
+    let mut monarch_says: Vec<(ProcessId, u64)> = extra.to_vec();
+    for (i, obj) in objects.iter_mut().enumerate() {
+        let mut rng = SplitMix64::new(0);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(i), n, &mut rng, &mut out);
+        assert!(obj.step(0, &inputs[i], &[], &mut ctx).is_none());
+        if let Some(&(_, v)) = out.first() {
+            monarch_says.push((ProcessId(i), v));
+        }
+    }
+    objects
+        .iter_mut()
+        .enumerate()
+        .map(|(i, obj)| {
+            let mut rng = SplitMix64::new(0);
+            let mut out = Vec::new();
+            let mut ctx = SyncObjCtx::new(ProcessId(i), n, &mut rng, &mut out);
+            obj.step(1, &inputs[i], &monarch_says, &mut ctx)
+                .expect("conciliators complete at step 1")
+        })
+        .collect()
+}
+
+/// Wraps conciliator results as an adopt-only round so the VAC coherence
+/// and validity checkers apply (the paper's Algorithm 4 literally returns
+/// `(adopt, σm)`).
+fn adopt_round(inputs: &[u64], values: &[u64]) -> RoundOutcomes<u64> {
+    RoundOutcomes {
+        round: 1,
+        entries: values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| RoundEntry {
+                process: ProcessId(i),
+                input: inputs[i],
+                outcome: VacOutcome::adopt(v),
+            })
+            .collect(),
+        extra_inputs: Vec::new(),
+    }
+}
+
+#[test]
+fn king_conciliator_with_honest_king_is_coherent_and_valid() {
+    let inputs = [0u64, 1, 1, 0];
+    // Phase 1 ⇒ king = p0, honest here; everyone must adopt its value.
+    let values = run_phase(|| KingConciliator::new(4, 1), &inputs, &[]);
+    assert_eq!(values, vec![0; 4], "everyone adopts the king's MIN(1, 0)");
+    let round = adopt_round(&inputs, &values);
+    assert!(round.check_validity().is_empty(), "{:?}", round.check_validity());
+    assert!(
+        round.check_coherence_vacillate_adopt().is_empty(),
+        "honest king ⇒ one adopted value: {:?}",
+        round.check_coherence_vacillate_adopt()
+    );
+}
+
+#[test]
+fn king_conciliator_survives_garbage_king_without_inventing_values() {
+    let inputs = [9u64, 1, 0, 1];
+    // p0 is the phase-1 king and broadcasts MIN(1, 9) = 1 itself, but we
+    // also forge an out-of-domain claim in its name; receivers must treat
+    // the forged 99 as garbage and the domain stays {0, 1}.
+    let values = run_phase(
+        || KingConciliator::new(4, 1),
+        &inputs,
+        &[(ProcessId(0), 99)],
+    );
+    assert!(values.iter().all(|&v| v <= 1), "clamped into the domain: {values:?}");
+    let round = adopt_round(&inputs, &values).with_extra_inputs([1]);
+    assert!(round.check_validity().is_empty(), "{:?}", round.check_validity());
+}
+
+#[test]
+fn queen_conciliator_with_honest_queen_is_coherent_and_valid() {
+    let inputs = [1u64, 0, 1, 0, 1];
+    // Phase 2 ⇒ queen = p1; her clamped value 0 wins everywhere.
+    let values = run_phase(|| QueenConciliator::new(5, 2), &inputs, &[]);
+    assert_eq!(values, vec![0; 5], "everyone adopts the queen's value");
+    let round = adopt_round(&inputs, &values);
+    assert!(round.check_validity().is_empty(), "{:?}", round.check_validity());
+    assert!(round.check_coherence_vacillate_adopt().is_empty());
+}
+
+#[test]
+fn queen_conciliator_silent_queen_keeps_own_clamped_value() {
+    let inputs = [2u64, 1, 0, 1, 1];
+    // Phase 3 ⇒ queen = p2. Forge silence by dropping her broadcast:
+    // deliver only messages from a non-queen forger, which everyone must
+    // ignore, falling back to MIN(1, input).
+    let n = inputs.len();
+    let mut values = Vec::with_capacity(n);
+    for (i, input) in inputs.iter().enumerate() {
+        let mut obj = QueenConciliator::new(n, 3);
+        let mut rng = SplitMix64::new(0);
+        let mut out = Vec::new();
+        let mut ctx = SyncObjCtx::new(ProcessId(i), n, &mut rng, &mut out);
+        let inbox = vec![(ProcessId(4), 0u64)];
+        values.push(obj.step(1, input, &inbox, &mut ctx).expect("completes"));
+    }
+    assert_eq!(values, vec![1, 1, 0, 1, 1], "MIN(1, input) fallback");
+    let round = adopt_round(&inputs, &values).with_extra_inputs([1]);
+    assert!(round.check_validity().is_empty(), "{:?}", round.check_validity());
+}

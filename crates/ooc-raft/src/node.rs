@@ -306,6 +306,7 @@ impl RaftNode {
         }
         if advanced {
             let idx = self.volatile.commit_index;
+            // ooc-lint::allow(protocol/panic, "commit_index never exceeds log length")
             let entry = *self.persistent.log.get(idx).expect("committed entry");
             self.events.push(RaftEvent::Committed {
                 term: self.persistent.current_term,
@@ -327,6 +328,7 @@ impl RaftNode {
         while self.volatile.last_applied < self.volatile.commit_index {
             self.volatile.last_applied = self.volatile.last_applied.next();
             let idx = self.volatile.last_applied;
+            // ooc-lint::allow(protocol/panic, "last_applied never exceeds commit_index")
             let entry = *self.persistent.log.get(idx).expect("applied entry");
             self.events.push(RaftEvent::Applied {
                 index: idx,
@@ -436,6 +438,7 @@ impl RaftNode {
             self.volatile.commit_index = target;
             {
                 let idx = self.volatile.commit_index;
+                // ooc-lint::allow(protocol/panic, "commit_index never exceeds log length")
                 let entry = *self.persistent.log.get(idx).expect("committed entry");
                 self.events.push(RaftEvent::Committed {
                     term: self.persistent.current_term,

@@ -1,0 +1,100 @@
+//! Checker-pipeline coverage for the decentralized-Raft reconciliator.
+//!
+//! [`TimerNudge`] replaces Ben-Or's coin with Raft's randomized timers
+//! (paper §4.3): every vacillator broadcasts `(priority, value)`, and when
+//! its own timer fires it follows the highest-priority nudge heard so far.
+//! In the common case — timers long enough that everyone hears everyone —
+//! all vacillators leave with the *same* valid value, which is what makes
+//! the next round converge. That common case is exactly an
+//! agreement + validity + termination claim, so it is checked with the §2
+//! consensus checkers over a hand-driven exchange; the degraded case (a
+//! vacillator that heard nobody) is checked against round validity.
+
+use ooc_core::checker::{
+    check_consensus, check_termination, RoundEntry, RoundOutcomes,
+};
+use ooc_core::confidence::{Confidence, VacOutcome};
+use ooc_core::objects::ReconciliatorObject;
+use ooc_core::testkit::LoopbackNet;
+use ooc_raft::decentralized::{Nudge, TimerNudge};
+use ooc_simnet::ProcessId;
+
+/// Runs one reconciliation among `sigmas.len()` vacillators: everyone
+/// begins, every nudge is delivered to every peer, then each timer fires.
+fn reconcile(sigmas: &[bool]) -> Vec<Option<bool>> {
+    let n = sigmas.len();
+    let mut objects: Vec<TimerNudge> = (0..n).map(|_| TimerNudge::new()).collect();
+    let mut nets: Vec<LoopbackNet<Nudge>> =
+        (0..n).map(|i| LoopbackNet::new(i, n, 100 + i as u64)).collect();
+    for (i, obj) in objects.iter_mut().enumerate() {
+        assert!(
+            obj.begin(Confidence::Vacillate, sigmas[i], &mut nets[i]).is_none(),
+            "the nudge waits for its timer"
+        );
+        assert_eq!(nets[i].sent.len(), n, "nudge broadcast reaches everyone");
+        assert_eq!(nets[i].timers.len(), 1, "one election timeout armed");
+    }
+    for sender in 0..n {
+        while let Some((to, msg)) = nets[sender].sent.pop_front() {
+            let j = to.index();
+            if j != sender {
+                assert!(objects[j].on_message(ProcessId(sender), msg, &mut nets[j]).is_none());
+            }
+        }
+    }
+    objects
+        .iter_mut()
+        .enumerate()
+        .map(|(i, obj)| {
+            let timer = nets[i].timers[0].0;
+            obj.on_timer(timer, &mut nets[i])
+        })
+        .collect()
+}
+
+#[test]
+fn full_exchange_reaches_agreement_on_a_valid_value() {
+    let sigmas = [true, false, true, false, true];
+    let decisions = reconcile(&sigmas);
+    let everyone: Vec<ProcessId> = (0..sigmas.len()).map(ProcessId).collect();
+    assert!(
+        check_termination(&everyone, &decisions).is_empty(),
+        "every timer fires: {decisions:?}"
+    );
+    assert!(
+        check_consensus(&sigmas, &decisions).is_empty(),
+        "all vacillators follow the same highest-priority nudge: {decisions:?}"
+    );
+}
+
+#[test]
+fn unanimous_vacillators_keep_their_value() {
+    // Every nudge carries `true`, so whichever priority wins the outcome
+    // is forced — the reconciliator cannot invent a value.
+    let decisions = reconcile(&[true, true, true]);
+    assert_eq!(decisions, vec![Some(true); 3]);
+    assert!(check_consensus(&[true, true, true], &decisions).is_empty());
+}
+
+#[test]
+fn isolated_vacillator_falls_back_to_sigma_and_stays_valid() {
+    // A vacillator that hears no nudges before its timeout must return its
+    // own sigma (termination cannot wait on a quorum — only a subset of
+    // the network vacillates). That fallback keeps round validity.
+    let mut rec = TimerNudge::new();
+    let mut net = LoopbackNet::<Nudge>::new(0, 4, 7);
+    assert!(rec.begin(Confidence::Vacillate, true, &mut net).is_none());
+    let timer = net.timers[0].0;
+    let value = rec.on_timer(timer, &mut net).expect("timer completes the object");
+    let round = RoundOutcomes {
+        round: 1,
+        entries: vec![RoundEntry {
+            process: ProcessId(0),
+            input: true,
+            outcome: VacOutcome::vacillate(value),
+        }],
+        extra_inputs: Vec::new(),
+    };
+    assert!(round.check_validity().is_empty(), "{:?}", round.check_validity());
+    assert!(value, "nobody outbid it, so sigma survives");
+}

@@ -3,7 +3,7 @@
 use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 use crate::{ProcessId, TimerId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Debug;
 
 /// A reactive process running on the asynchronous engine.
@@ -84,7 +84,7 @@ pub struct Context<'a, M, O> {
     now: SimTime,
     rng: &'a mut SplitMix64,
     next_timer: &'a mut u64,
-    live_timers: &'a HashSet<TimerId>,
+    live_timers: &'a BTreeSet<TimerId>,
     effects: &'a mut Effects<M, O>,
 }
 
@@ -96,7 +96,7 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
         now: SimTime,
         rng: &'a mut SplitMix64,
         next_timer: &'a mut u64,
-        live_timers: &'a HashSet<TimerId>,
+        live_timers: &'a BTreeSet<TimerId>,
         effects: &'a mut Effects<M, O>,
     ) -> Self {
         Context {
@@ -199,8 +199,8 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
 mod tests {
     use super::*;
 
-    fn ctx_fixture() -> (SplitMix64, u64, HashSet<TimerId>, Effects<u32, u32>) {
-        (SplitMix64::new(1), 0, HashSet::new(), Effects::default())
+    fn ctx_fixture() -> (SplitMix64, u64, BTreeSet<TimerId>, Effects<u32, u32>) {
+        (SplitMix64::new(1), 0, BTreeSet::new(), Effects::default())
     }
 
     #[test]

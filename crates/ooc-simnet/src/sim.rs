@@ -10,7 +10,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel};
 use crate::{ProcessId, TimerId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt::Debug;
 
 /// Blanket impl so heterogeneous networks can be built from boxed trait
@@ -263,9 +263,9 @@ impl<P: Process> SimBuilder<P> {
             decision_times: vec![None; n],
             events_handled: vec![0; n],
             crash_thresholds,
-            live_timers: vec![HashSet::new(); n],
+            live_timers: vec![BTreeSet::new(); n],
             next_timer: 0,
-            fifo_horizon: HashMap::new(),
+            fifo_horizon: BTreeMap::new(),
             stats: RunStats::default(),
             trace: Trace::new(self.trace_level),
         };
@@ -301,9 +301,11 @@ pub struct Sim<P: Process> {
     decision_times: Vec<Option<SimTime>>,
     events_handled: Vec<u64>,
     crash_thresholds: Vec<Option<u64>>,
-    live_timers: Vec<HashSet<TimerId>>,
+    // Ordered containers: scheduler state must never iterate in
+    // RandomState order (determinism/unordered-iter).
+    live_timers: Vec<BTreeSet<TimerId>>,
     next_timer: u64,
-    fifo_horizon: HashMap<(ProcessId, ProcessId), SimTime>,
+    fifo_horizon: BTreeMap<(ProcessId, ProcessId), SimTime>,
     stats: RunStats,
     trace: Trace,
 }
