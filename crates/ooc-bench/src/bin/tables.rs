@@ -3,17 +3,39 @@
 //! ```sh
 //! cargo run -p ooc-bench --bin tables --release -- all
 //! cargo run -p ooc-bench --bin tables --release -- t3 t5
+//! cargo run -p ooc-bench --bin tables --release -- t11 --bench-json BENCH_ooc.json
 //! ```
+//!
+//! `--bench-json PATH` writes the T11 observability metrics as a
+//! deterministic JSON document (running T11 first if it was not
+//! requested).
 
 use ooc_bench::tables;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10"]
+    let bench_json_path = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-json requires a PATH");
+            std::process::exit(2);
+        }));
+    let tables_args: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            *a != "--bench-json"
+                && !(*i > 0 && args[i - 1] == "--bench-json")
+        })
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
+        vec!["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11"]
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        tables_args
     };
+    let mut t11_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -46,10 +68,22 @@ fn main() {
             "t10" => {
                 tables::t10();
             }
+            "t11" => {
+                t11_rows = Some(tables::t11());
+            }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t10 or all");
+                eprintln!("unknown table {other:?}; expected t1..t11 or all");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = bench_json_path {
+        let rows = t11_rows.unwrap_or_else(tables::t11);
+        let doc = tables::bench_json(&rows);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
     }
 }

@@ -1,4 +1,4 @@
-//! The T1–T8 experiment implementations.
+//! The T1–T11 experiment implementations.
 //!
 //! Each function runs one experiment sweep, prints the table, and returns
 //! the raw rows so tests can assert on the *shape* of the results (who
@@ -535,6 +535,135 @@ pub fn t10() -> Vec<(usize, f64, f64)> {
     rows
 }
 
+/// T11 — the observability layer end to end: engine metrics registry,
+/// protocol-level round metrics, trace analysis, and the decision
+/// critical path, exercised on Ben-Or under a lossy duplicating network
+/// and on Phase-King under the Equivocate attack.
+///
+/// Returns `(metric, value)` rows — exactly what `--bench-json`
+/// serializes into `BENCH_ooc.json`. Every value is a simulated
+/// quantity (no wall clock), so the rows are bit-for-bit reproducible.
+pub fn t11() -> Vec<(String, u64)> {
+    use ooc_core::RoundMetrics;
+    use ooc_simnet::{analyze, decision_critical_path, ProcessId, TickHistogram};
+
+    hr("T11  observability: metrics registry, round metrics, critical path");
+    let mut rows: Vec<(String, u64)> = Vec::new();
+
+    // Ben-Or over a lossy, duplicating network, so every layer of the
+    // stack has something to report: drops for the trace breakdown,
+    // duplicates for the delivery-ratio fix, rounds for RoundMetrics.
+    {
+        let n = 7usize;
+        let t = 3usize;
+        let net = NetworkConfig {
+            duplicate_probability: 0.05,
+            ..NetworkConfig::lossy(1, 5, 0.05)
+        };
+        let cfg = BenOrConfig::new(n, t).with_network(net);
+        let mut rm = RoundMetrics::default();
+        let (mut sent, mut delivered, mut dups, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+        let mut decide_hist = TickHistogram::new();
+        let mut path_hops = 0u64;
+        for seed in 0..SEEDS {
+            let run = run_decomposed(&cfg, &balanced_inputs(n), seed);
+            assert!(run.violations.is_empty(), "t11 violation: {:?}", run.violations);
+            for h in &run.histories {
+                rm.absorb(h);
+            }
+            let stats = &run.outcome.stats;
+            sent += stats.messages_sent;
+            delivered += stats.messages_delivered;
+            dups += stats.duplicate_deliveries;
+            dropped += stats.messages_dropped;
+            if let Some(at) = run.outcome.last_decision_time() {
+                decide_hist.record(at.ticks());
+            }
+            // The trace must agree with the engine's own counters.
+            let analysis = analyze(&run.outcome.trace, n, 50);
+            let traced_drops: u64 = analysis.drop_breakdown.values().sum();
+            assert_eq!(traced_drops, stats.messages_dropped, "trace/stats drop mismatch");
+            let first = run
+                .outcome
+                .decision_times
+                .iter()
+                .enumerate()
+                .filter_map(|(i, at)| at.map(|at| (at, i)))
+                .min();
+            if let Some((_, p)) = first {
+                path_hops +=
+                    decision_critical_path(&run.outcome.trace, ProcessId(p)).len() as u64;
+            }
+        }
+        rows.push(("ben-or/rounds_total".into(), rm.rounds));
+        rows.push(("ben-or/rounds_vacillated".into(), rm.vacillated));
+        rows.push(("ben-or/rounds_adopted".into(), rm.adopted));
+        rows.push(("ben-or/rounds_committed".into(), rm.committed));
+        rows.push(("ben-or/rounds_shaken".into(), rm.shaken));
+        rows.push(("ben-or/protocol_messages".into(), rm.messages));
+        rows.push(("ben-or/max_round_messages".into(), rm.max_round_messages));
+        rows.push(("ben-or/wire_sent".into(), sent));
+        rows.push(("ben-or/wire_delivered".into(), delivered));
+        rows.push(("ben-or/wire_duplicates".into(), dups));
+        rows.push(("ben-or/wire_dropped".into(), dropped));
+        rows.push(("ben-or/delivery_permille".into(), delivered * 1000 / sent.max(1)));
+        rows.push((
+            "ben-or/decide_ticks_p50".into(),
+            decide_hist.quantile(0.50).unwrap_or(0),
+        ));
+        rows.push((
+            "ben-or/decide_ticks_p95".into(),
+            decide_hist.quantile(0.95).unwrap_or(0),
+        ));
+        rows.push(("ben-or/critical_path_hops".into(), path_hops));
+    }
+
+    // Phase-King (synchronous): round metrics come from the same
+    // RoundRecord instrumentation, with durations in network rounds.
+    {
+        let cfg = PhaseKingConfig::new(7, 2).with_attack(Attack::Equivocate);
+        let mut rm = RoundMetrics::default();
+        let mut wire = 0u64;
+        for seed in 0..SEEDS {
+            let run = run_phase_king(&cfg, &[0, 1, 0, 1, 0], seed);
+            assert!(run.violations.is_empty(), "t11 violation: {:?}", run.violations);
+            for (_, h) in &run.honest_histories {
+                rm.absorb(h);
+            }
+            wire += run.messages;
+        }
+        rows.push(("phase-king/rounds_total".into(), rm.rounds));
+        rows.push(("phase-king/rounds_committed".into(), rm.committed));
+        rows.push(("phase-king/rounds_shaken".into(), rm.shaken));
+        rows.push(("phase-king/protocol_messages".into(), rm.messages));
+        rows.push(("phase-king/max_round_messages".into(), rm.max_round_messages));
+        rows.push(("phase-king/wire_messages".into(), wire));
+    }
+
+    println!("{:<34} {:>14}", "metric", "value");
+    for (metric, value) in &rows {
+        println!("{metric:<34} {value:>14}");
+    }
+    rows
+}
+
+/// Serializes T11 rows as the `BENCH_ooc.json` document: a schema tag
+/// plus `{name, value}` metric records, in row order. Deterministic
+/// because the rows are.
+pub fn bench_json(rows: &[(String, u64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ooc-bench/v1\",\n  \"source\": \"tables t11\",\n  \"metrics\": [");
+    for (i, (name, value)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Metric names are plain ASCII identifiers; `{name:?}` quotes
+        // and escapes them JSON-compatibly.
+        out.push_str(&format!("\n    {{ \"name\": {name:?}, \"value\": {value} }}"));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,5 +688,22 @@ mod tests {
         };
         // The §5 composition must cost more messages than the native VAC.
         assert!(get("template + 2×AC VAC (§5)") > get("template + native VAC"));
+    }
+
+    #[test]
+    fn t11_rows_are_deterministic_and_serialize() {
+        let a = t11();
+        let b = t11();
+        assert_eq!(a, b, "t11 must be bit-for-bit reproducible");
+        let json = bench_json(&a);
+        assert!(json.contains("\"ooc-bench/v1\""));
+        assert!(json.contains("\"ben-or/rounds_total\""));
+        assert!(json.contains("\"phase-king/protocol_messages\""));
+        // Sanity on the content: consensus costs messages and rounds.
+        let get = |name: &str| a.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+        assert!(get("ben-or/rounds_total") > 0);
+        assert!(get("ben-or/wire_sent") > 0);
+        assert!(get("ben-or/delivery_permille") <= 1000);
+        assert!(get("phase-king/rounds_committed") > 0);
     }
 }

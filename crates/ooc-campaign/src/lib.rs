@@ -27,6 +27,9 @@
 //!   of hangs.
 //! * [`sweep`] — the campaign grids (≥ 1000 combinations per algorithm
 //!   at the default target).
+//! * [`report`] — percentile aggregation (p50/p95/p99 rounds-to-decide,
+//!   messages, simulated time) over the same grids, rendered as
+//!   byte-identical deterministic JSON.
 //! * [`shrink`] — greedy delta-debugging minimization preserving the
 //!   violation kind.
 //! * [`json`] — a small dependency-free JSON value/parser/printer with
@@ -36,6 +39,7 @@
 //!
 //! ```text
 //! cargo run --release -p ooc-campaign -- sweep [--algorithm A] [--combos N] [--out DIR] [--sabotage]
+//! cargo run --release -p ooc-campaign -- report [--algorithm A] [--combos N] [--out FILE]
 //! cargo run --release -p ooc-campaign -- replay <artifact.json>
 //! cargo run --release -p ooc-campaign -- shrink <artifact.json> [--out FILE]
 //! ```
@@ -46,6 +50,7 @@
 pub mod adversaries;
 pub mod artifact;
 pub mod json;
+pub mod report;
 pub mod runner;
 pub mod shrink;
 pub mod sweep;
@@ -55,6 +60,7 @@ pub use artifact::{
     AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
 };
 pub use json::Json;
+pub use report::{collect_reports, report_json, AlgorithmReport, PercentileSummary};
 pub use runner::{run_artifact, CampaignOutcome};
 pub use shrink::{shrink, ShrinkReport};
-pub use sweep::{sweep, SweepReport};
+pub use sweep::{grid, sweep, SweepReport};

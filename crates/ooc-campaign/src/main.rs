@@ -1,6 +1,7 @@
-//! The campaign CLI: `sweep`, `replay`, `shrink`.
+//! The campaign CLI: `sweep`, `report`, `replay`, `shrink`.
 
 use ooc_campaign::artifact::{Algorithm, FailureArtifact};
+use ooc_campaign::report::{collect_reports, report_json};
 use ooc_campaign::runner::run_artifact;
 use ooc_campaign::shrink::{shrink, size_of};
 use ooc_campaign::sweep::sweep;
@@ -12,6 +13,7 @@ fn main() -> ExitCode {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         _ => {
@@ -34,6 +36,14 @@ commands:
       off-by-one commit threshold to prove the pipeline catches it.
       Exits non-zero if any SAFETY violation was found (unless
       --sabotage asked for one).
+
+  report [--algorithm ben-or|phase-king|raft|all] [--combos N]
+         [--out FILE]
+      Run the first N grid combinations per algorithm (default: all
+      algorithms, 200 combos each) and aggregate them into percentile
+      summaries (p50/p95/p99 rounds-to-decide, messages, simulated
+      ticks). The JSON output is byte-identical across repeated runs
+      with the same inputs; written to FILE or stdout.
 
   replay <artifact.json>
       Re-run one artifact and report what the checkers see.
@@ -123,6 +133,54 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             eprintln!("SAFETY VIOLATION found — artifacts written above");
         }
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let algorithms: Vec<Algorithm> = match parse_flag(args, "--algorithm") {
+        None | Some("all") => Algorithm::all().to_vec(),
+        Some(name) => match Algorithm::parse(name) {
+            Some(a) => vec![a],
+            None => {
+                eprintln!("unknown algorithm {name:?} (ben-or|phase-king|raft|all)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let combos: usize = parse_flag(args, "--combos")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let reports = collect_reports(&algorithms, combos);
+    for r in &reports {
+        println!(
+            "{}: {} combos, {} fully decided, {} with undecided, p50/p95/p99 rounds {}/{}/{}",
+            r.algorithm.name(),
+            r.combos,
+            r.fully_decided,
+            r.with_undecided,
+            r.rounds_to_decide.p50,
+            r.rounds_to_decide.p95,
+            r.rounds_to_decide.p99,
+        );
+    }
+    let text = report_json(&reports).pretty();
+    match parse_flag(args, "--out") {
+        Some(path) => {
+            let path = Path::new(path);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("failed to create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        None => print!("{text}"),
     }
     ExitCode::SUCCESS
 }

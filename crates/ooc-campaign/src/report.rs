@@ -1,0 +1,261 @@
+//! Sweep aggregation: percentile summaries over a campaign grid.
+//!
+//! Where [`sweep`](crate::sweep::sweep) hunts for violations and keeps
+//! only the failures, `report` runs the *same* deterministic grid and
+//! keeps the distributions: rounds-to-decide, message complexity, and
+//! simulated time per combination, condensed to nearest-rank
+//! p50/p95/p99 summaries per algorithm.
+//!
+//! Everything the report emits is a pure function of
+//! `(algorithm, combos)`: wall-clock spend is deliberately excluded, so
+//! rendering the same report twice produces **byte-identical** JSON.
+//! CI relies on this to diff report artifacts across runs.
+
+use crate::artifact::{kind_name, Algorithm};
+use crate::json::Json;
+use crate::runner::run_artifact;
+use crate::sweep::grid;
+use std::collections::BTreeMap;
+
+/// Order statistics of one metric across a set of runs.
+///
+/// Percentiles use the nearest-rank definition over the sorted sample:
+/// the p-th percentile is the smallest value with at least `p%` of the
+/// sample at or below it. With an empty sample every field is zero and
+/// `count == 0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PercentileSummary {
+    /// Sample size.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Sum of all observations (exact; divide by `count` for the mean).
+    pub sum: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl PercentileSummary {
+    /// Summarizes a sample. The input need not be sorted.
+    pub fn of(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return PercentileSummary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: u64| -> u64 {
+            // Nearest rank: ceil(p/100 * n), 1-based, clamped to n.
+            let n = sorted.len() as u64;
+            let r = (p * n).div_ceil(100).max(1);
+            sorted[(r.min(n) - 1) as usize]
+        };
+        PercentileSummary {
+            count: sorted.len() as u64,
+            min: sorted[0],
+            sum: sorted.iter().sum(),
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Mean of the sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Renders as a JSON object with a fixed field order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::U64(self.count)),
+            ("min".into(), Json::U64(self.min)),
+            ("sum".into(), Json::U64(self.sum)),
+            ("p50".into(), Json::U64(self.p50)),
+            ("p95".into(), Json::U64(self.p95)),
+            ("p99".into(), Json::U64(self.p99)),
+            ("max".into(), Json::U64(self.max)),
+        ])
+    }
+}
+
+/// Aggregated observations for one algorithm's grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmReport {
+    /// Which algorithm was swept.
+    pub algorithm: Algorithm,
+    /// Combinations executed.
+    pub combos: u64,
+    /// Combinations in which every expected process decided.
+    pub fully_decided: u64,
+    /// Combinations that left at least one expected decider undecided.
+    pub with_undecided: u64,
+    /// Violation counts by kind name (stable, sorted order).
+    pub violations: BTreeMap<String, u64>,
+    /// Rounds consumed, over combinations where everyone decided.
+    pub rounds_to_decide: PercentileSummary,
+    /// Messages sent, over all combinations.
+    pub messages: PercentileSummary,
+    /// Simulated ticks consumed, over all combinations.
+    pub sim_ticks: PercentileSummary,
+}
+
+impl AlgorithmReport {
+    /// Runs the first `combos` entries of the algorithm's campaign grid
+    /// and aggregates the outcome of every run.
+    pub fn collect(algorithm: Algorithm, combos: usize) -> Self {
+        let mut artifacts = grid(algorithm, combos);
+        artifacts.truncate(combos);
+        let mut violations: BTreeMap<String, u64> = BTreeMap::new();
+        let mut fully_decided = 0u64;
+        let mut with_undecided = 0u64;
+        let mut rounds = Vec::new();
+        let mut messages = Vec::new();
+        let mut ticks = Vec::new();
+        for artifact in &artifacts {
+            let out = run_artifact(artifact);
+            if out.undecided == 0 {
+                fully_decided += 1;
+                rounds.push(out.spent.rounds);
+            } else {
+                with_undecided += 1;
+            }
+            messages.push(out.messages);
+            ticks.push(out.spent.ticks);
+            for v in &out.violations {
+                *violations.entry(kind_name(v.kind).to_string()).or_insert(0) += 1;
+            }
+        }
+        AlgorithmReport {
+            algorithm,
+            combos: artifacts.len() as u64,
+            fully_decided,
+            with_undecided,
+            violations,
+            rounds_to_decide: PercentileSummary::of(&rounds),
+            messages: PercentileSummary::of(&messages),
+            sim_ticks: PercentileSummary::of(&ticks),
+        }
+    }
+
+    /// Renders as a JSON object with a fixed field order. Violation
+    /// kinds appear in `BTreeMap` (sorted) order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("algorithm".into(), Json::Str(self.algorithm.name().into())),
+            ("combos".into(), Json::U64(self.combos)),
+            ("fully_decided".into(), Json::U64(self.fully_decided)),
+            ("with_undecided".into(), Json::U64(self.with_undecided)),
+            (
+                "violations".into(),
+                Json::Obj(
+                    self.violations
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ),
+            ("rounds_to_decide".into(), self.rounds_to_decide.to_json()),
+            ("messages".into(), self.messages.to_json()),
+            ("sim_ticks".into(), self.sim_ticks.to_json()),
+        ])
+    }
+}
+
+/// Collects reports for several algorithms into one document.
+pub fn collect_reports(algorithms: &[Algorithm], combos: usize) -> Vec<AlgorithmReport> {
+    algorithms
+        .iter()
+        .map(|&a| AlgorithmReport::collect(a, combos))
+        .collect()
+}
+
+/// Renders a full report document. Byte-identical across repeated runs
+/// with the same inputs: no wall-clock or host-dependent values appear.
+pub fn report_json(reports: &[AlgorithmReport]) -> Json {
+    Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("ooc-campaign-report/v1".into()),
+        ),
+        (
+            "algorithms".into(),
+            Json::Arr(reports.iter().map(AlgorithmReport::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = PercentileSummary::of(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 100);
+        assert_eq!(s.p99, 100);
+        assert_eq!(s.sum, 550);
+        assert!((s.mean().unwrap() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_singleton_and_empty() {
+        let one = PercentileSummary::of(&[7]);
+        assert_eq!((one.p50, one.p95, one.p99), (7, 7, 7));
+        let none = PercentileSummary::of(&[]);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.mean(), None);
+    }
+
+    #[test]
+    fn percentiles_ignore_input_order() {
+        let a = PercentileSummary::of(&[3, 1, 2]);
+        let b = PercentileSummary::of(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2);
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_across_runs() {
+        // Two independent collections over the same grid must render to
+        // the same bytes — the acceptance criterion for `report`.
+        let algorithms = [Algorithm::BenOr, Algorithm::PhaseKing];
+        let first = report_json(&collect_reports(&algorithms, 12)).pretty();
+        let second = report_json(&collect_reports(&algorithms, 12)).pretty();
+        assert_eq!(first, second, "report must be bit-for-bit deterministic");
+        // And it parses back as valid JSON with the expected shape.
+        let doc = Json::parse(&first).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ooc-campaign-report/v1")
+        );
+        let algs = doc.get("algorithms").and_then(Json::as_arr).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert_eq!(algs[0].get("combos").and_then(Json::as_u64), Some(12));
+    }
+
+    #[test]
+    fn clean_ben_or_report_decides_everywhere() {
+        let r = AlgorithmReport::collect(Algorithm::BenOr, 8);
+        assert_eq!(r.combos, 8);
+        assert_eq!(r.fully_decided + r.with_undecided, r.combos);
+        // The first eight grid entries are clean configurations: all
+        // must decide, so the rounds sample covers every combo.
+        assert_eq!(r.rounds_to_decide.count, r.fully_decided);
+        assert!(r.messages.min > 0, "consensus costs messages");
+    }
+}

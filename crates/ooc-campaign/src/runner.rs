@@ -25,6 +25,10 @@ pub struct CampaignOutcome {
     pub decided: usize,
     /// How many processes were expected to decide but did not.
     pub undecided: usize,
+    /// Messages sent during the run (protocol messages for the
+    /// synchronous Phase-King, wire messages for the simnet-backed
+    /// algorithms).
+    pub messages: u64,
     /// What the run consumed.
     pub spent: BudgetSpent,
     /// Why the run stopped, human-readable.
@@ -124,6 +128,7 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
         violations,
         decided,
         undecided,
+        messages: run.outcome.stats.messages_sent,
         spent,
         stop: format!("{:?}", run.outcome.reason),
     }
@@ -163,6 +168,7 @@ fn run_phase_king_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
         violations: run.violations,
         decided,
         undecided: honest_alive.saturating_sub(decided),
+        messages: run.messages,
         spent,
         stop: format!("{} rounds", run.rounds),
     }
@@ -220,6 +226,7 @@ fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
         violations,
         decided,
         undecided,
+        messages: run.outcome.stats.messages_sent,
         spent,
         stop: format!("{:?}", run.outcome.reason),
     }

@@ -47,10 +47,10 @@ impl SweepReport {
 /// of `t + 1`) so tests and demos can prove the pipeline catches an
 /// unsafe protocol; it is ignored for the other algorithms.
 pub fn sweep(algorithm: Algorithm, target: usize, sabotage: bool) -> SweepReport {
-    let grid = match algorithm {
-        Algorithm::BenOr => ben_or_grid(target, sabotage),
-        Algorithm::PhaseKing => phase_king_grid(target),
-        Algorithm::Raft => raft_grid(target),
+    let grid = if sabotage && algorithm == Algorithm::BenOr {
+        ben_or_grid(target, true)
+    } else {
+        grid(algorithm, target)
     };
     let mut report = SweepReport {
         algorithm,
@@ -77,6 +77,20 @@ pub fn sweep(algorithm: Algorithm, target: usize, sabotage: bool) -> SweepReport
         }
     }
     report
+}
+
+/// The deterministic campaign grid for one algorithm, unsabotaged.
+///
+/// This is exactly the set of combinations [`sweep`] executes (for at
+/// least `target` entries — the grid always completes its innermost
+/// product, so it may overshoot). Exposed so the `report` aggregator
+/// can run the same combinations the sweep does.
+pub fn grid(algorithm: Algorithm, target: usize) -> Vec<FailureArtifact> {
+    match algorithm {
+        Algorithm::BenOr => ben_or_grid(target, false),
+        Algorithm::PhaseKing => phase_king_grid(target),
+        Algorithm::Raft => raft_grid(target),
+    }
 }
 
 /// The alternating / all-zero / all-one input patterns, cycled by seed.

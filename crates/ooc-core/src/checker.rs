@@ -620,6 +620,9 @@ mod tests {
             input: 4u64,
             outcome: VacOutcome::adopt(4),
             shaken: None,
+            messages: 0,
+            started_at: 0,
+            ended_at: 0,
         }];
         let h1: Vec<RoundRecord<u64>> = vec![];
         let r = RoundOutcomes::from_histories(

@@ -46,6 +46,7 @@ pub mod budget;
 pub mod checker;
 pub mod compose;
 pub mod confidence;
+pub mod metrics;
 pub mod objects;
 pub mod sequence;
 pub mod sync_objects;
@@ -56,6 +57,7 @@ pub mod testkit;
 pub use budget::{BudgetSpent, RunBudget};
 pub use checker::{RoundEntry, RoundOutcomes, Violation, ViolationKind};
 pub use compose::{TwoAcVac, VacAsAc};
+pub use metrics::RoundMetrics;
 pub use confidence::{AcConfidence, AcOutcome, Confidence, VacOutcome};
 pub use objects::{
     AcObject, ConciliatorObject, ObjectNet, ReconciliatorObject, VacObject,

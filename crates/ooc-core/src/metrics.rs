@@ -1,0 +1,154 @@
+//! Per-round metrics derived from the template's round records.
+//!
+//! Where `ooc-simnet`'s [`MetricsRegistry`](ooc_simnet::MetricsRegistry)
+//! counts engine events, this module reads the *protocol-level*
+//! [`RoundRecord`]s a [`Template`](crate::template::Template) (or
+//! [`SyncAcConsensus`](crate::sync_template::SyncAcConsensus)) accumulates:
+//! how many rounds vacillated, adopted, or committed, how many messages
+//! each round cost, and how long rounds took. These are exactly the
+//! quantities the paper's complexity discussion (round and message
+//! complexity of the object-oriented template) is about.
+
+use crate::confidence::Confidence;
+use crate::template::RoundRecord;
+
+/// Aggregate statistics over one or more processors' round histories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Number of round records aggregated.
+    pub rounds: u64,
+    /// Rounds whose detector returned `vacillate`.
+    pub vacillated: u64,
+    /// Rounds whose detector returned `adopt`.
+    pub adopted: u64,
+    /// Rounds whose detector returned `commit`.
+    pub committed: u64,
+    /// Rounds in which a shaker was consulted (recorded a shaken value).
+    pub shaken: u64,
+    /// Total messages sent across the aggregated rounds.
+    pub messages: u64,
+    /// Total round duration across the aggregated rounds, in the
+    /// engine's time unit (ticks async, network rounds sync).
+    pub duration: u64,
+    /// Largest per-round message count seen.
+    pub max_round_messages: u64,
+    /// Largest per-round duration seen.
+    pub max_round_duration: u64,
+}
+
+impl RoundMetrics {
+    /// Metrics over a single processor's history.
+    pub fn of<V>(history: &[RoundRecord<V>]) -> Self {
+        let mut m = RoundMetrics::default();
+        m.absorb(history);
+        m
+    }
+
+    /// Metrics over every processor's history (e.g. a whole run).
+    pub fn aggregate<'a, V: 'a>(
+        histories: impl IntoIterator<Item = &'a [RoundRecord<V>]>,
+    ) -> Self {
+        let mut m = RoundMetrics::default();
+        for h in histories {
+            m.absorb(h);
+        }
+        m
+    }
+
+    /// Folds one history into this aggregate.
+    pub fn absorb<V>(&mut self, history: &[RoundRecord<V>]) {
+        for r in history {
+            self.rounds += 1;
+            match r.outcome.confidence {
+                Confidence::Vacillate => self.vacillated += 1,
+                Confidence::Adopt => self.adopted += 1,
+                Confidence::Commit => self.committed += 1,
+            }
+            if r.shaken.is_some() {
+                self.shaken += 1;
+            }
+            self.messages += r.messages;
+            let d = r.duration();
+            self.duration += d;
+            self.max_round_messages = self.max_round_messages.max(r.messages);
+            self.max_round_duration = self.max_round_duration.max(d);
+        }
+    }
+
+    /// Mean messages per round, or `None` with no rounds.
+    pub fn mean_messages(&self) -> Option<f64> {
+        if self.rounds == 0 {
+            None
+        } else {
+            Some(self.messages as f64 / self.rounds as f64)
+        }
+    }
+
+    /// Mean round duration, or `None` with no rounds.
+    pub fn mean_duration(&self) -> Option<f64> {
+        if self.rounds == 0 {
+            None
+        } else {
+            Some(self.duration as f64 / self.rounds as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::VacOutcome;
+
+    fn rec(round: u64, outcome: VacOutcome<u64>, shaken: Option<u64>, msgs: u64, start: u64, end: u64) -> RoundRecord<u64> {
+        RoundRecord {
+            round,
+            input: 0,
+            outcome,
+            shaken,
+            messages: msgs,
+            started_at: start,
+            ended_at: end,
+        }
+    }
+
+    #[test]
+    fn counts_confidences_and_totals() {
+        let h = vec![
+            rec(1, VacOutcome::vacillate(0), Some(1), 6, 0, 10),
+            rec(2, VacOutcome::adopt(1), None, 3, 10, 14),
+            rec(3, VacOutcome::commit(1), None, 3, 14, 20),
+        ];
+        let m = RoundMetrics::of(&h);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.vacillated, 1);
+        assert_eq!(m.adopted, 1);
+        assert_eq!(m.committed, 1);
+        assert_eq!(m.shaken, 1);
+        assert_eq!(m.messages, 12);
+        assert_eq!(m.duration, 20);
+        assert_eq!(m.max_round_messages, 6);
+        assert_eq!(m.max_round_duration, 10);
+        assert!((m.mean_messages().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_folds_all_histories() {
+        let h0 = vec![rec(1, VacOutcome::commit(5), None, 4, 0, 8)];
+        let h1 = vec![
+            rec(1, VacOutcome::vacillate(0), Some(5), 4, 0, 9),
+            rec(2, VacOutcome::commit(5), None, 4, 9, 12),
+        ];
+        let m = RoundMetrics::aggregate([h0.as_slice(), h1.as_slice()]);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.committed, 2);
+        assert_eq!(m.messages, 12);
+    }
+
+    #[test]
+    fn empty_history_has_no_means() {
+        let m = RoundMetrics::of(&Vec::<RoundRecord<u64>>::new());
+        assert_eq!(m.rounds, 0);
+        assert_eq!(m.mean_messages(), None);
+        assert_eq!(m.mean_duration(), None);
+    }
+}

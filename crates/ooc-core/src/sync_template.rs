@@ -90,6 +90,10 @@ where
     history: Vec<RoundRecord<D::Value>>,
     decided: Option<D::Value>,
     decided_phase: Option<u64>,
+    /// Messages sent so far in the current phase (detector + conciliator).
+    phase_msgs: u64,
+    /// The network round at which the current phase began.
+    phase_started: u64,
 }
 
 impl<D, S> SyncAcConsensus<D, S>
@@ -119,6 +123,8 @@ where
             history: Vec::new(),
             decided: None,
             decided_phase: None,
+            phase_msgs: 0,
+            phase_started: 0,
         }
     }
 
@@ -180,12 +186,16 @@ where
 
     fn on_round(
         &mut self,
-        _round: u64,
+        round: u64,
         inbox: &[(ProcessId, Self::Msg)],
         ctx: &mut SyncContext<'_, Self::Msg, Self::Output>,
     ) {
-        if self.phase == 0 && !self.begin_phase() {
-            return;
+        if self.phase == 0 {
+            if !self.begin_phase() {
+                return;
+            }
+            self.phase_msgs = 0;
+            self.phase_started = round;
         }
         // A single network round may execute several object steps: one
         // message-consuming step plus any number of immediately-following
@@ -220,6 +230,7 @@ where
                         obj.step(step, &self.v, &filtered, &mut octx)
                     };
                     for (to, inner) in outbox {
+                        self.phase_msgs += 1;
                         ctx.send(
                             to,
                             SyncTemplateMsg::Detect {
@@ -243,6 +254,9 @@ where
                                 input: self.v.clone(),
                                 outcome: out.clone().into_vac(),
                                 shaken: None,
+                                messages: self.phase_msgs,
+                                started_at: self.phase_started,
+                                ended_at: round,
                             });
                             let committed = out.is_commit();
                             self.v = out.value;
@@ -296,6 +310,7 @@ where
                         obj.step(step, &self.v, &filtered, &mut octx)
                     };
                     for (to, inner) in outbox {
+                        self.phase_msgs += 1;
                         ctx.send(to, SyncTemplateMsg::Shake { phase, step, inner });
                     }
                     match outcome {
@@ -311,6 +326,10 @@ where
                             if let Some(last) = self.history.last_mut() {
                                 if last.round == phase {
                                     last.shaken = Some(value.clone());
+                                    // Phase complete: stamp final message
+                                    // count and end round onto the record.
+                                    last.messages = self.phase_msgs;
+                                    last.ended_at = round;
                                 }
                             }
                             // Algorithm 2: only this phase's adopters take
@@ -328,6 +347,8 @@ where
                             if !self.begin_phase() {
                                 return;
                             }
+                            self.phase_msgs = 0;
+                            self.phase_started = round;
                             if let SyncDecisionRule::AtPhaseEnd(k) = self.decision_rule {
                                 // Entering phase k+1 means phase k fully
                                 // completed, conciliator included.

@@ -130,7 +130,8 @@ impl Default for TemplateConfig {
 }
 
 /// What one completed template round looked like at this processor —
-/// the raw material for the paper's per-round coherence checks.
+/// the raw material for the paper's per-round coherence checks and for
+/// the per-round metrics in [`crate::metrics`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord<V> {
     /// The round (the paper's `m`, starting at 1).
@@ -141,6 +142,23 @@ pub struct RoundRecord<V> {
     pub outcome: VacOutcome<V>,
     /// The value returned by the shaker, when one was consulted.
     pub shaken: Option<V>,
+    /// Messages this processor sent during the round (detector and
+    /// shaker combined).
+    pub messages: u64,
+    /// When the round began at this processor — simulated ticks under
+    /// the async engine, network-round numbers under the sync engine.
+    pub started_at: u64,
+    /// When the round ended at this processor (same unit as
+    /// [`started_at`](RoundRecord::started_at)).
+    pub ended_at: u64,
+}
+
+impl<V> RoundRecord<V> {
+    /// How long the round took at this processor, in the engine's time
+    /// unit (ticks for async runs, network rounds for sync runs).
+    pub fn duration(&self) -> u64 {
+        self.ended_at.saturating_sub(self.started_at)
+    }
 }
 
 enum Stage<D, S> {
@@ -180,6 +198,11 @@ where
     timer_owners: BTreeMap<TimerId, (u64, Component)>,
     history: Vec<RoundRecord<D::Value>>,
     decided: Option<D::Value>,
+    /// Messages sent so far in the current round (fed by the component
+    /// nets, snapshotted into the round's record when the round ends).
+    round_msgs: u64,
+    /// Tick at which the current round began at this processor.
+    round_started: u64,
 }
 
 /// Algorithm 1: consensus from a VAC and a reconciliator.
@@ -215,6 +238,8 @@ where
             timer_owners: BTreeMap::new(),
             history: Vec::new(),
             decided: None,
+            round_msgs: 0,
+            round_started: 0,
         }
     }
 
@@ -276,11 +301,25 @@ where
 {
     /// Advances into the next round. Exposed for nested hosts via
     /// [`Template::start`].
+    /// Stamps message count and end time onto the current round's record
+    /// (if one was pushed), called when the round is left for good.
+    fn finalize_round(&mut self, now: SimTime) {
+        if let Some(last) = self.history.last_mut() {
+            if last.round == self.round {
+                last.messages = self.round_msgs;
+                last.ended_at = now.ticks();
+            }
+        }
+    }
+
     fn enter_next_round(
         &mut self,
         ctx: &mut dyn TemplateHost<TemplateMsg<D::Msg, S::Msg>, D::Value>,
     ) {
+        self.finalize_round(ctx.now());
         self.round += 1;
+        self.round_msgs = 0;
+        self.round_started = ctx.now().ticks();
         // Drop mail from rounds we have permanently left.
         let stale: Vec<u64> = self
             .buffer
@@ -305,6 +344,7 @@ where
                 component: Component::Detector,
                 wrap: wrap_detect,
                 timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
             };
             detector.begin(self.v.clone(), &mut net)
         };
@@ -340,6 +380,9 @@ where
             input: self.v.clone(),
             outcome: outcome.clone(),
             shaken: None,
+            messages: self.round_msgs,
+            started_at: self.round_started,
+            ended_at: ctx.now().ticks(),
         });
         let VacOutcome { confidence, value } = outcome;
         if confidence == Confidence::Commit {
@@ -349,6 +392,7 @@ where
             }
             ctx.decide(value);
             if self.config.halt_after_decide {
+                self.finalize_round(ctx.now());
                 self.stage = Stage::Halted;
                 ctx.halt();
             } else {
@@ -363,6 +407,7 @@ where
                     component: Component::Shaker,
                     wrap: wrap_shake,
                     timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
                 };
                 shaker.begin(confidence, value, &mut net)
             };
@@ -421,6 +466,7 @@ where
                         component: Component::Detector,
                         wrap: wrap_detect,
                         timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
                     };
                     d.on_message(from, inner, &mut net)
                 };
@@ -437,6 +483,7 @@ where
                         component: Component::Shaker,
                         wrap: wrap_shake,
                         timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
                     };
                     s.on_message(from, inner, &mut net)
                 };
@@ -506,6 +553,7 @@ where
                         component: Component::Detector,
                         wrap: wrap_detect,
                         timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
                     };
                     d.on_timer(timer, &mut net)
                 };
@@ -522,6 +570,7 @@ where
                         component: Component::Shaker,
                         wrap: wrap_shake,
                         timer_owners: &mut self.timer_owners,
+                    msgs: &mut self.round_msgs,
                     };
                     sh.on_timer(timer, &mut net)
                 };
@@ -596,6 +645,8 @@ struct ComponentNet<'a, M, O, IM> {
     component: Component,
     wrap: fn(u64, IM) -> M,
     timer_owners: &'a mut BTreeMap<TimerId, (u64, Component)>,
+    /// Running count of messages sent this round (owned by the template).
+    msgs: &'a mut u64,
 }
 
 impl<M: Clone, O, IM: Clone> ObjectNet<IM> for ComponentNet<'_, M, O, IM> {
@@ -612,10 +663,12 @@ impl<M: Clone, O, IM: Clone> ObjectNet<IM> for ComponentNet<'_, M, O, IM> {
         self.ctx.rng()
     }
     fn send(&mut self, to: ProcessId, msg: IM) {
+        *self.msgs += 1;
         self.ctx.send(to, (self.wrap)(self.round, msg));
     }
     fn broadcast(&mut self, msg: IM) {
         for i in 0..self.ctx.n() {
+            *self.msgs += 1;
             self.ctx
                 .send(ProcessId(i), (self.wrap)(self.round, msg.clone()));
         }
@@ -826,6 +879,19 @@ mod tests {
             let h = sim.process(ProcessId(i)).history();
             assert_eq!(h[0].outcome.confidence, Confidence::Vacillate);
             assert_eq!(h[1].outcome, VacOutcome::commit(3));
+            // Round instrumentation: each round's detector broadcast n
+            // messages; the local reconciliator sent none. Rounds take
+            // real simulated time (deliveries have a 1-tick floor).
+            assert_eq!(h[0].messages, 3, "detector broadcast to n=3");
+            assert_eq!(h[1].messages, 3);
+            assert!(h[0].duration() > 0, "round must span simulated time");
+            assert!(h[1].started_at >= h[0].ended_at, "rounds must not overlap");
+            let m = crate::metrics::RoundMetrics::of(h);
+            assert_eq!(m.rounds, 2);
+            assert_eq!(m.vacillated, 1);
+            assert_eq!(m.committed, 1);
+            assert_eq!(m.shaken, 1);
+            assert_eq!(m.messages, 6);
         }
     }
 

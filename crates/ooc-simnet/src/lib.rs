@@ -53,6 +53,7 @@
 pub mod adversary;
 pub mod byzantine;
 pub mod fault;
+pub mod metrics;
 pub mod network;
 pub mod process;
 pub mod rng;
@@ -68,6 +69,7 @@ pub use adversary::{Adversary, Decision, FnAdversary, NetworkAdversary, SwitchAf
 pub use byzantine::{ByzantineNode, SyncStrategy};
 pub use fault::{CrashSpec, FaultPlan};
 pub use id::{ProcessId, TimerId};
+pub use metrics::{MetricsRegistry, TickHistogram};
 pub use network::{DelayModel, NetworkConfig, PartitionWindow};
 pub use process::{Context, Process};
 pub use rng::SplitMix64;
@@ -75,4 +77,7 @@ pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason};
 pub use stats::RunStats;
 pub use sync::{SyncContext, SyncProcess, SyncRunOutcome, SyncSim};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceLevel};
+pub use trace::analyze::{
+    analyze, decision_critical_path, CriticalHop, ProcessTimeline, TraceAnalysis, WindowRow,
+};
+pub use trace::{DropReason, Trace, TraceEvent, TraceLevel};

@@ -1,0 +1,307 @@
+//! Deterministic run metrics: named counters and tick histograms.
+//!
+//! [`MetricsRegistry`] is the quantitative face of a run, fed by the
+//! engine alongside [`RunStats`](crate::RunStats). Where `RunStats` is a
+//! fixed struct of headline counters, the registry is an open, ordered
+//! namespace (`BTreeMap`-backed, so iteration and serialization order are
+//! stable) of counters plus [`TickHistogram`]s for distributions such as
+//! message delay and decision latency.
+//!
+//! Everything here is a pure function of the run: same processes, same
+//! config, same seed ⇒ byte-identical [`MetricsRegistry::to_json`]
+//! output. No wall-clock values ever enter the registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A log-scaled histogram of tick values.
+///
+/// Values are bucketed by bit-length: bucket `0` holds the value `0`,
+/// bucket `k` (for `k ≥ 1`) holds values whose highest set bit is
+/// `k - 1`, i.e. the range `[2^(k-1), 2^k)`. 65 buckets cover the full
+/// `u64` range. Exact `count`/`sum`/`min`/`max` are kept alongside the
+/// buckets, so means are exact and only percentiles are bucket-resolution
+/// approximations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for TickHistogram {
+    fn default() -> Self {
+        TickHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl TickHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `value`: `0` for `0`, otherwise the
+    /// value's bit length.
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `i` (the smallest value it can hold).
+    fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (nearest-rank over buckets).
+    ///
+    /// Returns the floor of the bucket containing the nearest-rank
+    /// observation, clamped to the recorded `[min, max]`, so the answer
+    /// is always a value the run could actually have produced. `None` if
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the ceil(q * count)-th observation (1-based).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            // The top rank is tracked exactly.
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Renders as a deterministic JSON object fragment.
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            self.count,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.quantile(0.50).unwrap_or(0),
+            self.quantile(0.95).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+        ));
+    }
+}
+
+/// An ordered registry of named counters and tick histograms.
+///
+/// Names are `'static` dotted paths (`"messages.dropped.loss"`); the
+/// `BTreeMap` backing makes iteration — and therefore
+/// [`to_json`](MetricsRegistry::to_json) — deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, TickHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn incr(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one observation in the named histogram (creating it).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Current value of a counter (`0` if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&TickHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &TickHistogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Renders the whole registry as a deterministic JSON object:
+    /// `{"counters":{...},"histograms":{...}}` with keys in name order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", name, value));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":", name));
+            hist.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let mut h = TickHistogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounded_by_observations() {
+        let mut h = TickHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1..=100).contains(&p50));
+        assert!(p50 <= p99);
+        assert!(p99 <= 100);
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn empty_histogram_yields_none() {
+        let h = TickHistogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let mut h = TickHistogram::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let mut a = MetricsRegistry::new();
+        a.incr("zeta", 1);
+        a.incr("alpha", 2);
+        a.observe("delay", 7);
+        let mut b = MetricsRegistry::new();
+        b.observe("delay", 7);
+        b.incr("alpha", 2);
+        b.incr("zeta", 1);
+        assert_eq!(a.to_json(), b.to_json());
+        // alpha sorts before zeta regardless of insertion order.
+        let j = a.to_json();
+        assert!(j.find("alpha").unwrap() < j.find("zeta").unwrap());
+    }
+}

@@ -6,19 +6,33 @@ use crate::ProcessId;
 use serde::{Deserialize, Serialize};
 
 /// How message transit delays are sampled.
+///
+/// # Causality floor
+///
+/// *Every* variant clamps the sampled delay to **at least 1 tick**: a
+/// zero-tick delay would deliver a message at the instant it was sent,
+/// letting effects land at the same time as (or, after heap reordering,
+/// logically before) their cause. Concretely, `Fixed(0)` behaves as
+/// `Fixed(1)`, and `Uniform` clamps each bound to ≥ 1 (so
+/// `min: 0, max: 0` also yields 1-tick delays), exactly as
+/// `Exponential` rounds up to 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DelayModel {
-    /// Every message takes exactly this many ticks.
+    /// Every message takes exactly this many ticks (floored to 1; see
+    /// the [causality floor](DelayModel#causality-floor)).
     Fixed(u64),
-    /// Delay drawn uniformly from `[min, max]` ticks (inclusive).
+    /// Delay drawn uniformly from `[min, max]` ticks (inclusive). Both
+    /// bounds are floored to 1 and swapped bounds are reordered (see
+    /// the [causality floor](DelayModel#causality-floor)).
     Uniform {
-        /// Minimum delay in ticks.
+        /// Minimum delay in ticks (effective minimum is 1).
         min: u64,
-        /// Maximum delay in ticks.
+        /// Maximum delay in ticks (effective maximum is `max(max, 1)`).
         max: u64,
     },
     /// Geometric approximation of an exponential delay with the given mean,
-    /// in ticks; always at least 1 tick so causality is preserved.
+    /// in ticks; rounded up to 1 tick (see the
+    /// [causality floor](DelayModel#causality-floor)).
     Exponential {
         /// Mean delay in ticks.
         mean: u64,
@@ -26,7 +40,8 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
-    /// Samples a transit delay.
+    /// Samples a transit delay; never less than 1 tick (see the
+    /// [causality floor](DelayModel#causality-floor)).
     pub fn sample(&self, rng: &mut SplitMix64) -> SimDuration {
         let ticks = match *self {
             DelayModel::Fixed(d) => d.max(1),
@@ -162,6 +177,32 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         assert_eq!(
             DelayModel::Fixed(0).sample(&mut rng),
+            SimDuration::from_ticks(1)
+        );
+    }
+
+    #[test]
+    fn causality_floor_on_all_variants() {
+        // The documented contract: no variant can ever sample 0 ticks,
+        // even with degenerate parameters.
+        let mut rng = SplitMix64::new(7);
+        let degenerate = [
+            DelayModel::Fixed(0),
+            DelayModel::Uniform { min: 0, max: 0 },
+            DelayModel::Uniform { min: 0, max: 2 },
+            DelayModel::Exponential { mean: 0 },
+        ];
+        for m in degenerate {
+            for _ in 0..500 {
+                assert!(
+                    m.sample(&mut rng).ticks() >= 1,
+                    "{m:?} sampled a zero-tick delay"
+                );
+            }
+        }
+        // Uniform {0, 0} is exactly the 1-tick floor, like Fixed(0).
+        assert_eq!(
+            DelayModel::Uniform { min: 0, max: 0 }.sample(&mut rng),
             SimDuration::from_ticks(1)
         );
     }

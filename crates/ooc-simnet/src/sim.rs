@@ -2,6 +2,7 @@
 
 use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
+use crate::metrics::MetricsRegistry;
 use crate::network::NetworkConfig;
 use crate::process::{Effects, Process};
 use crate::rng::SplitMix64;
@@ -42,6 +43,10 @@ enum EventKind<M> {
         from: ProcessId,
         to: ProcessId,
         msg: M,
+        /// Whether this is the extra copy of a duplicated message (the
+        /// second copy is tallied separately so `delivered / sent`
+        /// stays a true ratio).
+        dup: bool,
     },
     Timer {
         process: ProcessId,
@@ -152,6 +157,9 @@ pub struct RunOutcome<O> {
     pub reason: StopReason,
     /// The captured trace (content depends on the configured level).
     pub trace: Trace,
+    /// Named counters and tick histograms fed by the engine
+    /// (see [`MetricsRegistry`]); independent of the trace level.
+    pub metrics: MetricsRegistry,
 }
 
 impl<O: PartialEq + Clone> RunOutcome<O> {
@@ -268,6 +276,7 @@ impl<P: Process> SimBuilder<P> {
             fifo_horizon: BTreeMap::new(),
             stats: RunStats::default(),
             trace: Trace::new(self.trace_level),
+            metrics: MetricsRegistry::new(),
         };
         for &(p, spec) in self.faults.crashes() {
             if let CrashSpec::AtTime(t) = spec {
@@ -308,6 +317,7 @@ pub struct Sim<P: Process> {
     fifo_horizon: BTreeMap<(ProcessId, ProcessId), SimTime>,
     stats: RunStats,
     trace: Trace,
+    metrics: MetricsRegistry,
 }
 
 impl<P: Process> Sim<P> {
@@ -331,6 +341,11 @@ impl<P: Process> Sim<P> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The metrics accumulated so far (counters and tick histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Immutable access to a process, e.g. to inspect final state after a
@@ -371,6 +386,13 @@ impl<P: Process> Sim<P> {
             if let Some(r) = self.stop_reason(&limit) {
                 break r;
             }
+            // Check the event budget *before* popping, mirroring the
+            // max_time path: the next event must stay queued and
+            // `self.now` untouched, so a resumed run replays exactly
+            // the schedule an unbounded run would have produced.
+            if events_this_run >= limit.max_events {
+                break StopReason::EventLimit;
+            }
             let Some(ev) = self.queue.pop() else {
                 break StopReason::Quiescent;
             };
@@ -379,13 +401,11 @@ impl<P: Process> Sim<P> {
                 self.queue.push(ev);
                 break StopReason::TimeLimit;
             }
+            self.metrics.observe("queue_depth", self.queue.len() as u64);
             self.now = ev.at;
             events_this_run += 1;
-            if events_this_run > limit.max_events {
-                break StopReason::EventLimit;
-            }
             match ev.kind {
-                EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
+                EventKind::Deliver { from, to, msg, dup } => self.deliver(from, to, msg, dup),
                 EventKind::Timer { process, id } => self.fire_timer(process, id),
                 EventKind::Crash { process } => self.crash(process),
                 EventKind::Restart { process } => self.restart(process),
@@ -398,6 +418,7 @@ impl<P: Process> Sim<P> {
             stats: self.stats,
             reason,
             trace: self.trace.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -420,9 +441,10 @@ impl<P: Process> Sim<P> {
         None
     }
 
-    fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+    fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg, dup: bool) {
         if self.crashed[to.index()] {
             self.stats.messages_dropped += 1;
+            self.metrics.incr("messages.dropped.dead_recipient", 1);
             self.trace.push(TraceEvent::Drop {
                 at: self.now,
                 from,
@@ -433,11 +455,27 @@ impl<P: Process> Sim<P> {
         }
         if self.halted[to.index()] {
             // Halted processes have returned; their mail is discarded
-            // silently (they are "done", not faulty).
+            // (they are "done", not faulty) — but the drop is still
+            // traced so `messages_dropped` and the trace agree.
             self.stats.messages_dropped += 1;
+            self.metrics.incr("messages.dropped.halted_recipient", 1);
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                from,
+                to,
+                reason: DropReason::HaltedRecipient,
+            });
             return;
         }
-        self.stats.messages_delivered += 1;
+        if dup {
+            // Extra copy of a duplicated message: tallied apart from
+            // first deliveries so delivery_ratio stays bounded by 1.
+            self.stats.duplicate_deliveries += 1;
+            self.metrics.incr("messages.duplicate_deliveries", 1);
+        } else {
+            self.stats.messages_delivered += 1;
+            self.metrics.incr("messages.delivered", 1);
+        }
         if self.trace.level() == TraceLevel::Full {
             self.trace.push(TraceEvent::Deliver {
                 at: self.now,
@@ -464,6 +502,7 @@ impl<P: Process> Sim<P> {
             return; // cancelled
         }
         self.stats.timers_fired += 1;
+        self.metrics.incr("timers.fired", 1);
         self.trace.push(TraceEvent::TimerFired {
             at: self.now,
             process,
@@ -478,6 +517,7 @@ impl<P: Process> Sim<P> {
         self.crashed[process.index()] = true;
         self.live_timers[process.index()].clear();
         self.stats.crashes += 1;
+        self.metrics.incr("crashes", 1);
         self.trace.push(TraceEvent::Crash {
             at: self.now,
             process,
@@ -490,6 +530,7 @@ impl<P: Process> Sim<P> {
         }
         self.crashed[process.index()] = false;
         self.stats.restarts += 1;
+        self.metrics.incr("restarts", 1);
         self.trace.push(TraceEvent::Restart {
             at: self.now,
             process,
@@ -522,6 +563,7 @@ impl<P: Process> Sim<P> {
             }
         }
         self.stats.events_processed += 1;
+        self.metrics.incr("events", 1);
         self.events_handled[i] += 1;
         self.apply_effects(pid, effects);
         if let Some(threshold) = self.crash_thresholds[i] {
@@ -545,23 +587,31 @@ impl<P: Process> Sim<P> {
         }
         for out in effects.outbox {
             self.stats.messages_sent += 1;
-            if self.trace.level() == TraceLevel::Full {
-                self.trace.push(TraceEvent::Send {
-                    at: self.now,
-                    from: pid,
-                    to: out.to,
-                    payload: Some(format!("{:?}", out.msg)),
-                });
-            }
+            self.metrics.incr("messages.sent", 1);
+            // Sends are part of the trace contract at every recording
+            // level; only the payload string is Full-level extra.
+            let payload = if self.trace.level() == TraceLevel::Full {
+                Some(format!("{:?}", out.msg))
+            } else {
+                None
+            };
+            self.trace.push(TraceEvent::Send {
+                at: self.now,
+                from: pid,
+                to: out.to,
+                payload,
+            });
             if out.to == pid {
                 // Self-messages bypass the adversary entirely.
                 let at = self.now + self.self_delay;
+                self.metrics.observe("delay_ticks", self.self_delay.ticks());
                 self.schedule(
                     at,
                     EventKind::Deliver {
                         from: pid,
                         to: pid,
                         msg: out.msg,
+                        dup: false,
                     },
                 );
                 continue;
@@ -572,6 +622,7 @@ impl<P: Process> Sim<P> {
             {
                 Decision::Drop => {
                     self.stats.messages_dropped += 1;
+                    self.metrics.incr("messages.dropped.adversary", 1);
                     self.trace.push(TraceEvent::Drop {
                         at: self.now,
                         from: pid,
@@ -581,6 +632,7 @@ impl<P: Process> Sim<P> {
                 }
                 Decision::DeliverAfter(d) => {
                     let d = SimDuration::from_ticks(d.ticks().max(1));
+                    self.metrics.observe("delay_ticks", d.ticks());
                     let mut at = self.now + d;
                     if self.fifo_links {
                         let key = (pid, out.to);
@@ -600,12 +652,14 @@ impl<P: Process> Sim<P> {
                     );
                     if dup {
                         self.stats.messages_duplicated += 1;
+                        self.metrics.incr("messages.duplicated", 1);
                         self.schedule(
                             at + SimDuration::from_ticks(1),
                             EventKind::Deliver {
                                 from: pid,
                                 to: out.to,
                                 msg: out.msg.clone(),
+                                dup: true,
                             },
                         );
                     }
@@ -615,6 +669,7 @@ impl<P: Process> Sim<P> {
                             from: pid,
                             to: out.to,
                             msg: out.msg,
+                            dup: false,
                         },
                     );
                 }
@@ -637,6 +692,8 @@ impl<P: Process> Sim<P> {
                 }
                 self.decisions[i] = Some(value);
                 self.decision_times[i] = Some(self.now);
+                self.metrics.incr("decisions", 1);
+                self.metrics.observe("decision_ticks", self.now.ticks());
             }
         }
         if effects.halted {
@@ -957,6 +1014,7 @@ mod tests {
             stats: RunStats::default(),
             reason: StopReason::Quiescent,
             trace: Trace::default(),
+            metrics: MetricsRegistry::default(),
         };
         assert!(!out.all_decided());
         assert!(out.agreement(), "vacuous agreement with no deciders");
@@ -970,6 +1028,7 @@ mod tests {
             stats: RunStats::default(),
             reason: StopReason::TimeLimit,
             trace: Trace::default(),
+            metrics: MetricsRegistry::default(),
         };
         assert!(!out.agreement());
         assert_eq!(out.decided_value(), None, "disagreement yields no value");
@@ -1004,8 +1063,137 @@ mod tests {
         let out = sim.run(RunLimit::default());
         assert!(out.trace.events().iter().all(|e| !matches!(
             e,
-            TraceEvent::Deliver { payload: Some(_), .. } | TraceEvent::Decide { value: Some(_), .. }
+            TraceEvent::Send { payload: Some(_), .. }
+                | TraceEvent::Deliver { payload: Some(_), .. }
+                | TraceEvent::Decide { value: Some(_), .. }
         )));
         assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn sends_recorded_at_events_level() {
+        // The trace contract promises every send is recorded; payload-less
+        // Send events must appear at the default (Events) level, and they
+        // must agree with the send counter.
+        let mut sim = max_id_sim(1, 3, NetworkConfig::default());
+        let out = sim.run(RunLimit::default());
+        let sends = out.trace.count(|e| matches!(e, TraceEvent::Send { .. }));
+        assert!(sends > 0, "Events level must record sends");
+        assert_eq!(sends as u64, out.stats.messages_sent);
+    }
+
+    #[test]
+    fn event_limit_resume_matches_unbounded_run() {
+        // Regression: the engine used to pop-and-discard the event that
+        // crossed max_events (with `now` already advanced), so a resumed
+        // run silently lost one event. Chunked execution must be
+        // event-for-event identical to a single unbounded run.
+        let mut reference = max_id_sim(7, 4, NetworkConfig::default());
+        let expected = reference.run(RunLimit::default());
+
+        let mut chunked = max_id_sim(7, 4, NetworkConfig::default());
+        let mut last;
+        let mut chunks = 0;
+        loop {
+            last = chunked.run(RunLimit {
+                max_events: 3,
+                ..RunLimit::default()
+            });
+            chunks += 1;
+            if last.reason != StopReason::EventLimit {
+                break;
+            }
+            assert!(chunks < 10_000, "resume loop failed to terminate");
+        }
+        assert!(chunks > 1, "limit too large to exercise resumption");
+        assert_eq!(last.reason, expected.reason);
+        assert_eq!(last.decisions, expected.decisions);
+        assert_eq!(last.decision_times, expected.decision_times);
+        assert_eq!(last.stats, expected.stats);
+        assert_eq!(
+            last.trace.events(),
+            expected.trace.events(),
+            "chunked run must replay the exact event schedule"
+        );
+    }
+
+    #[test]
+    fn delivery_ratio_bounded_under_duplication() {
+        // Every message is duplicated; the extra copies land in
+        // duplicate_deliveries, so delivered <= sent and the ratio
+        // stays a true ratio.
+        let mut sim = max_id_sim(
+            1,
+            3,
+            NetworkConfig {
+                duplicate_probability: 1.0,
+                ..NetworkConfig::default()
+            },
+        );
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1000)));
+        assert!(out.stats.duplicate_deliveries > 0, "duplicates must arrive");
+        assert!(out.stats.messages_delivered <= out.stats.messages_sent);
+        assert!(out.stats.delivery_ratio() <= 1.0);
+        // Every copy is accounted for: first deliveries + duplicate
+        // deliveries + drops == sent + duplicated (scheduled copies).
+        assert_eq!(
+            out.stats.messages_delivered
+                + out.stats.duplicate_deliveries
+                + out.stats.messages_dropped,
+            out.stats.messages_sent + out.stats.messages_duplicated,
+        );
+    }
+
+    #[test]
+    fn halted_recipient_drop_is_traced() {
+        /// Decides and halts on the first message; stragglers' mail is
+        /// dropped as HaltedRecipient.
+        #[derive(Debug)]
+        struct EarlyHalter;
+        impl Process for EarlyHalter {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+                ctx.broadcast(ctx.me().index() as u64);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _f: ProcessId, m: u64) {
+                ctx.decide(m);
+                ctx.halt();
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, u64, u64>, _t: TimerId) {}
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(4)
+            .processes((0..3).map(|_| EarlyHalter))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1000)));
+        let halted_drops = out.trace.count(|e| {
+            matches!(e, TraceEvent::Drop { reason: DropReason::HaltedRecipient, .. })
+        });
+        assert!(halted_drops > 0, "halted-recipient drops must be traced");
+        let traced_drops = out.trace.count(|e| matches!(e, TraceEvent::Drop { .. }));
+        assert_eq!(
+            traced_drops as u64, out.stats.messages_dropped,
+            "messages_dropped and the trace must agree"
+        );
+    }
+
+    #[test]
+    fn metrics_agree_with_stats() {
+        let mut sim = max_id_sim(3, 4, NetworkConfig::default());
+        let out = sim.run(RunLimit::default());
+        let m = &out.metrics;
+        assert_eq!(m.counter("messages.sent"), out.stats.messages_sent);
+        assert_eq!(m.counter("messages.delivered"), out.stats.messages_delivered);
+        assert_eq!(m.counter("events"), out.stats.events_processed);
+        assert_eq!(m.counter("decisions"), 4);
+        let delays = m.histogram("delay_ticks").expect("delays observed");
+        // Default config drops nothing, so every send sampled a delay.
+        assert_eq!(delays.count(), out.stats.messages_sent);
+        assert!(m.histogram("decision_ticks").is_some());
+        // Determinism: an identical run yields byte-identical JSON.
+        let mut sim2 = max_id_sim(3, 4, NetworkConfig::default());
+        let out2 = sim2.run(RunLimit::default());
+        assert_eq!(m.to_json(), out2.metrics.to_json());
     }
 }

@@ -9,12 +9,20 @@ pub struct RunStats {
     /// Messages handed to the network (one per recipient; a broadcast to
     /// `n` processes counts `n`).
     pub messages_sent: u64,
-    /// Messages that reached a handler.
+    /// Messages whose *first* copy reached a handler. Extra copies of a
+    /// duplicated message are tallied in [`duplicate_deliveries`]
+    /// (`RunStats::duplicate_deliveries`) instead, so
+    /// [`delivery_ratio`](RunStats::delivery_ratio) can never exceed 1.
     pub messages_delivered: u64,
     /// Messages dropped for any reason.
     pub messages_dropped: u64,
-    /// Messages delivered twice due to duplication.
+    /// Messages the network chose to duplicate at send time.
     pub messages_duplicated: u64,
+    /// Extra (second) copies of duplicated messages that reached a
+    /// handler. Kept separate from [`messages_delivered`]
+    /// (`RunStats::messages_delivered`) so `delivered / sent` stays a
+    /// true ratio.
+    pub duplicate_deliveries: u64,
     /// Timer firings delivered to handlers.
     pub timers_fired: u64,
     /// Total handler invocations (start + message + timer + restart).
@@ -29,6 +37,11 @@ pub struct RunStats {
 
 impl RunStats {
     /// Delivery ratio, `delivered / sent`; `1.0` when nothing was sent.
+    ///
+    /// Only first copies count toward `delivered`, so the ratio is
+    /// bounded by `1.0` even when the network duplicates messages
+    /// (extra copies live in
+    /// [`duplicate_deliveries`](RunStats::duplicate_deliveries)).
     pub fn delivery_ratio(&self) -> f64 {
         if self.messages_sent == 0 {
             1.0

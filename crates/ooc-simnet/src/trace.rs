@@ -4,6 +4,12 @@
 //! every send, delivery, drop, crash, restart and decision is recorded with
 //! its simulated timestamp. Message payloads are stored as `Debug` strings
 //! only at [`TraceLevel::Full`] to keep the trace type non-generic.
+//!
+//! Post-hoc analysis (per-process timelines, drop breakdowns, the
+//! decision critical path) lives in [`analyze`], and a whole trace can be
+//! exported as JSON Lines via [`Trace::to_jsonl`] for external tooling.
+
+pub mod analyze;
 
 use crate::time::SimTime;
 use crate::ProcessId;
@@ -46,7 +52,7 @@ pub enum TraceEvent {
         /// Payload (`Debug` format), present at [`TraceLevel::Full`].
         payload: Option<String>,
     },
-    /// A message was dropped (loss, partition, or dead recipient).
+    /// A message was dropped (see [`DropReason`] for the taxonomy).
     Drop {
         /// Time of the drop decision.
         at: SimTime,
@@ -102,6 +108,23 @@ pub enum DropReason {
     DeadSender,
     /// An adversary chose to drop the message.
     Adversary,
+    /// The recipient had decided and halted before the delivery tick.
+    HaltedRecipient,
+}
+
+impl DropReason {
+    /// A stable, lowercase `snake_case` label for this reason, used as a
+    /// metrics key and in JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Partition => "partition",
+            DropReason::DeadRecipient => "dead_recipient",
+            DropReason::DeadSender => "dead_sender",
+            DropReason::Adversary => "adversary",
+            DropReason::HaltedRecipient => "halted_recipient",
+        }
+    }
 }
 
 /// An append-only log of [`TraceEvent`]s.
@@ -177,6 +200,99 @@ impl Trace {
     pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
         self.events.iter().filter(|e| pred(e)).count()
     }
+
+    /// Renders the whole trace as JSON Lines: one JSON object per event,
+    /// in recording order, each terminated by `\n`.
+    ///
+    /// The encoding is hand-rolled (the workspace has no real JSON
+    /// dependency) and deterministic: field order is fixed per event
+    /// kind, so two identical runs produce byte-identical exports.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an optional payload as a JSON fragment (`null` or a string).
+fn json_opt(s: &Option<String>) -> String {
+    match s {
+        Some(p) => format!("\"{}\"", json_escape(p)),
+        None => "null".to_string(),
+    }
+}
+
+impl TraceEvent {
+    /// Renders this event as a single-line JSON object (no trailing
+    /// newline). Field order is fixed, making the output deterministic.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            TraceEvent::Send { at, from, to, payload } => format!(
+                "{{\"kind\":\"send\",\"at\":{},\"from\":{},\"to\":{},\"payload\":{}}}",
+                at.ticks(),
+                from.0,
+                to.0,
+                json_opt(payload)
+            ),
+            TraceEvent::Deliver { at, from, to, payload } => format!(
+                "{{\"kind\":\"deliver\",\"at\":{},\"from\":{},\"to\":{},\"payload\":{}}}",
+                at.ticks(),
+                from.0,
+                to.0,
+                json_opt(payload)
+            ),
+            TraceEvent::Drop { at, from, to, reason } => format!(
+                "{{\"kind\":\"drop\",\"at\":{},\"from\":{},\"to\":{},\"reason\":\"{}\"}}",
+                at.ticks(),
+                from.0,
+                to.0,
+                reason.name()
+            ),
+            TraceEvent::TimerFired { at, process } => format!(
+                "{{\"kind\":\"timer\",\"at\":{},\"process\":{}}}",
+                at.ticks(),
+                process.0
+            ),
+            TraceEvent::Crash { at, process } => format!(
+                "{{\"kind\":\"crash\",\"at\":{},\"process\":{}}}",
+                at.ticks(),
+                process.0
+            ),
+            TraceEvent::Restart { at, process } => format!(
+                "{{\"kind\":\"restart\",\"at\":{},\"process\":{}}}",
+                at.ticks(),
+                process.0
+            ),
+            TraceEvent::Decide { at, process, value } => format!(
+                "{{\"kind\":\"decide\",\"at\":{},\"process\":{},\"value\":{}}}",
+                at.ticks(),
+                process.0,
+                json_opt(value)
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +340,49 @@ mod tests {
         });
         assert_eq!(t.end_time(), Some(SimTime::from_ticks(9)));
         assert_eq!(Trace::default().end_time(), None);
+    }
+
+    #[test]
+    fn jsonl_export_is_deterministic_and_escaped() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.push(TraceEvent::Send {
+            at: SimTime::from_ticks(1),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            payload: Some("say \"hi\"\n".into()),
+        });
+        t.push(TraceEvent::Drop {
+            at: SimTime::from_ticks(2),
+            from: ProcessId(0),
+            to: ProcessId(2),
+            reason: DropReason::HaltedRecipient,
+        });
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"send\",\"at\":1,\"from\":0,\"to\":1,\"payload\":\"say \\\"hi\\\"\\n\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"drop\",\"at\":2,\"from\":0,\"to\":2,\"reason\":\"halted_recipient\"}"
+        );
+        assert_eq!(jsonl, t.to_jsonl(), "export must be deterministic");
+    }
+
+    #[test]
+    fn drop_reason_names_are_stable() {
+        for (r, n) in [
+            (DropReason::Loss, "loss"),
+            (DropReason::Partition, "partition"),
+            (DropReason::DeadRecipient, "dead_recipient"),
+            (DropReason::DeadSender, "dead_sender"),
+            (DropReason::Adversary, "adversary"),
+            (DropReason::HaltedRecipient, "halted_recipient"),
+        ] {
+            assert_eq!(r.name(), n);
+        }
     }
 
     #[test]

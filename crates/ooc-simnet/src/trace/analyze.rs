@@ -1,0 +1,303 @@
+//! Post-hoc trace analysis.
+//!
+//! Turns a recorded [`Trace`] into structured summaries: per-process
+//! timelines, a drop breakdown by [`DropReason`](super::DropReason),
+//! message-complexity
+//! rows over fixed time windows, and the causal critical path behind a
+//! decision. All outputs are plain data over `BTreeMap`s, so they are
+//! deterministic given a deterministic trace.
+//!
+//! Note on rounds: the trace is protocol-agnostic and carries no round
+//! numbers, so message complexity here is bucketed by *time window*;
+//! per-round message counts live protocol-side in
+//! `ooc_core::metrics::RoundMetrics`, which reads the round records
+//! directly.
+
+use super::{Trace, TraceEvent};
+use crate::time::SimTime;
+use crate::ProcessId;
+use std::collections::BTreeMap;
+
+/// Activity summary for one process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessTimeline {
+    /// Messages this process sent.
+    pub sends: u64,
+    /// Messages delivered to this process.
+    pub deliveries: u64,
+    /// Messages addressed to this process that were dropped.
+    pub drops: u64,
+    /// Timer firings at this process.
+    pub timers: u64,
+    /// Crash injections at this process.
+    pub crashes: u64,
+    /// Restarts at this process.
+    pub restarts: u64,
+    /// When this process decided, if it did.
+    pub decided_at: Option<SimTime>,
+    /// Time of the first event touching this process.
+    pub first_activity: Option<SimTime>,
+    /// Time of the last event touching this process.
+    pub last_activity: Option<SimTime>,
+}
+
+impl ProcessTimeline {
+    fn touch(&mut self, at: SimTime) {
+        if self.first_activity.is_none() {
+            self.first_activity = Some(at);
+        }
+        self.last_activity = Some(match self.last_activity {
+            Some(t) if t > at => t,
+            _ => at,
+        });
+    }
+}
+
+/// Message volume within one `[start, start + window)` slice of the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Start of the window.
+    pub start: SimTime,
+    /// Sends inside the window.
+    pub sends: u64,
+    /// Deliveries inside the window.
+    pub deliveries: u64,
+    /// Drops inside the window.
+    pub drops: u64,
+}
+
+/// One hop on a decision's causal critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Sender of the message that enabled the next hop.
+    pub from: ProcessId,
+    /// Recipient (the process whose causal past we were walking).
+    pub to: ProcessId,
+    /// Delivery time of the message.
+    pub at: SimTime,
+}
+
+/// The complete analysis of one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceAnalysis {
+    /// Per-process activity, indexed by process id (`0..n`).
+    pub timelines: Vec<ProcessTimeline>,
+    /// Dropped messages grouped by reason (stable label order).
+    pub drop_breakdown: BTreeMap<&'static str, u64>,
+    /// Message volume per fixed-size time window, in time order.
+    pub windows: Vec<WindowRow>,
+    /// Latency from time zero to each decision, in decision order.
+    pub decision_latencies: Vec<(ProcessId, SimTime)>,
+}
+
+/// Analyzes a trace recorded for `n` processes.
+///
+/// `window` is the bucket width (in ticks) for the message-complexity
+/// rows; it is clamped to at least 1.
+pub fn analyze(trace: &Trace, n: usize, window: u64) -> TraceAnalysis {
+    let window = window.max(1);
+    let mut timelines = vec![ProcessTimeline::default(); n];
+    let mut drop_breakdown: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut windows: BTreeMap<u64, WindowRow> = BTreeMap::new();
+    let mut decision_latencies = Vec::new();
+
+    fn touch(tl: &mut [ProcessTimeline], p: ProcessId, at: SimTime) {
+        if let Some(t) = tl.get_mut(p.0) {
+            t.touch(at);
+        }
+    }
+    fn bucket(
+        windows: &mut BTreeMap<u64, WindowRow>,
+        at: SimTime,
+        window: u64,
+    ) -> &mut WindowRow {
+        let start = (at.ticks() / window) * window;
+        windows.entry(start).or_insert_with(|| WindowRow {
+            start: SimTime::from_ticks(start),
+            ..WindowRow::default()
+        })
+    }
+
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Send { at, from, .. } => {
+                if let Some(t) = timelines.get_mut(from.0) {
+                    t.sends += 1;
+                }
+                touch(&mut timelines, *from, *at);
+                bucket(&mut windows, *at, window).sends += 1;
+            }
+            TraceEvent::Deliver { at, to, .. } => {
+                if let Some(t) = timelines.get_mut(to.0) {
+                    t.deliveries += 1;
+                }
+                touch(&mut timelines, *to, *at);
+                bucket(&mut windows, *at, window).deliveries += 1;
+            }
+            TraceEvent::Drop { at, to, reason, .. } => {
+                if let Some(t) = timelines.get_mut(to.0) {
+                    t.drops += 1;
+                }
+                touch(&mut timelines, *to, *at);
+                *drop_breakdown.entry(reason.name()).or_insert(0) += 1;
+                bucket(&mut windows, *at, window).drops += 1;
+            }
+            TraceEvent::TimerFired { at, process } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    t.timers += 1;
+                }
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::Crash { at, process } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    t.crashes += 1;
+                }
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::Restart { at, process } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    t.restarts += 1;
+                }
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::Decide { at, process, .. } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    if t.decided_at.is_none() {
+                        t.decided_at = Some(*at);
+                    }
+                }
+                touch(&mut timelines, *process, *at);
+                decision_latencies.push((*process, *at));
+            }
+        }
+    }
+
+    TraceAnalysis {
+        timelines,
+        drop_breakdown,
+        windows: windows.into_values().collect(),
+        decision_latencies,
+    }
+}
+
+/// Walks the causal critical path behind `process`'s (first) decision.
+///
+/// Starting from the decision event, repeatedly finds the latest
+/// delivery *to* the current process strictly before the current
+/// position in the trace, then hops to that message's sender. The walk
+/// moves strictly backwards through the trace, so it terminates; the
+/// returned hops are in causal (earliest-first) order. Empty when the
+/// process never decided or decided without receiving anything.
+pub fn decision_critical_path(trace: &Trace, process: ProcessId) -> Vec<CriticalHop> {
+    let events = trace.events();
+    let Some(mut idx) = events.iter().position(
+        |e| matches!(e, TraceEvent::Decide { process: p, .. } if *p == process),
+    ) else {
+        return Vec::new();
+    };
+    let mut current = process;
+    let mut hops = Vec::new();
+    loop {
+        let prev = events[..idx].iter().enumerate().rev().find_map(|(i, e)| {
+            match e {
+                TraceEvent::Deliver { at, from, to, .. } if *to == current => {
+                    Some((i, *from, *to, *at))
+                }
+                _ => None,
+            }
+        });
+        match prev {
+            Some((i, from, to, at)) => {
+                hops.push(CriticalHop { from, to, at });
+                current = from;
+                idx = i;
+            }
+            None => break,
+        }
+    }
+    hops.reverse();
+    hops
+}
+
+/// Total drops recorded in an analysis, across all reasons.
+pub fn total_drops(analysis: &TraceAnalysis) -> u64 {
+    analysis.drop_breakdown.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{DropReason, TraceLevel};
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new(TraceLevel::Events);
+        tr.push(TraceEvent::Send { at: t(1), from: ProcessId(0), to: ProcessId(1), payload: None });
+        tr.push(TraceEvent::Send { at: t(1), from: ProcessId(0), to: ProcessId(2), payload: None });
+        tr.push(TraceEvent::Drop { at: t(2), from: ProcessId(0), to: ProcessId(2), reason: DropReason::Loss });
+        tr.push(TraceEvent::Deliver { at: t(3), from: ProcessId(0), to: ProcessId(1), payload: None });
+        tr.push(TraceEvent::Send { at: t(3), from: ProcessId(1), to: ProcessId(2), payload: None });
+        tr.push(TraceEvent::Deliver { at: t(5), from: ProcessId(1), to: ProcessId(2), payload: None });
+        tr.push(TraceEvent::Decide { at: t(6), process: ProcessId(2), value: None });
+        tr
+    }
+
+    #[test]
+    fn timelines_count_per_process() {
+        let a = analyze(&sample_trace(), 3, 10);
+        assert_eq!(a.timelines[0].sends, 2);
+        assert_eq!(a.timelines[1].deliveries, 1);
+        assert_eq!(a.timelines[1].sends, 1);
+        assert_eq!(a.timelines[2].deliveries, 1);
+        assert_eq!(a.timelines[2].drops, 1);
+        assert_eq!(a.timelines[2].decided_at, Some(t(6)));
+        assert_eq!(a.timelines[0].first_activity, Some(t(1)));
+        assert_eq!(a.timelines[2].last_activity, Some(t(6)));
+    }
+
+    #[test]
+    fn drop_breakdown_by_reason() {
+        let a = analyze(&sample_trace(), 3, 10);
+        assert_eq!(a.drop_breakdown.get("loss"), Some(&1));
+        assert_eq!(total_drops(&a), 1);
+    }
+
+    #[test]
+    fn windows_bucket_by_time() {
+        let a = analyze(&sample_trace(), 3, 4);
+        // Window [0,4): sends at t1,t1,t3; deliver at t3; drop at t2.
+        // Window [4,8): deliver at t5.
+        assert_eq!(a.windows.len(), 2);
+        assert_eq!(a.windows[0].start, t(0));
+        assert_eq!(a.windows[0].sends, 3);
+        assert_eq!(a.windows[0].deliveries, 1);
+        assert_eq!(a.windows[0].drops, 1);
+        assert_eq!(a.windows[1].start, t(4));
+        assert_eq!(a.windows[1].deliveries, 1);
+    }
+
+    #[test]
+    fn critical_path_walks_back_to_origin() {
+        let path = decision_critical_path(&sample_trace(), ProcessId(2));
+        // p2 decided after hearing from p1, who heard from p0.
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].from, ProcessId(0));
+        assert_eq!(path[0].to, ProcessId(1));
+        assert_eq!(path[1].from, ProcessId(1));
+        assert_eq!(path[1].to, ProcessId(2));
+    }
+
+    #[test]
+    fn critical_path_empty_without_decision() {
+        assert!(decision_critical_path(&sample_trace(), ProcessId(0)).is_empty());
+    }
+
+    #[test]
+    fn decision_latencies_recorded() {
+        let a = analyze(&sample_trace(), 3, 10);
+        assert_eq!(a.decision_latencies, vec![(ProcessId(2), t(6))]);
+    }
+}
