@@ -120,7 +120,7 @@ impl BenOrRun {
     pub fn rounds_to_decide(&self) -> Option<u64> {
         self.histories
             .iter()
-            .zip(&self.outcome.decisions)
+            .zip(self.outcome.decisions.iter())
             .filter(|(_, d)| d.is_some())
             .map(|(h, _)| {
                 h.iter()

@@ -6,9 +6,9 @@
 //! cargo run -p ooc-bench --bin tables --release -- t11 --bench-json BENCH_ooc.json
 //! ```
 //!
-//! `--bench-json PATH` writes the T11 observability metrics as a
-//! deterministic JSON document (running T11 first if it was not
-//! requested).
+//! `--bench-json PATH` writes the T11 observability metrics and the T12
+//! campaign-throughput totals as one deterministic JSON document
+//! (running the tables first if they were not requested).
 
 use ooc_bench::tables;
 
@@ -31,11 +31,14 @@ fn main() {
         .map(|(_, a)| a.as_str())
         .collect();
     let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
-        vec!["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11"]
+        vec![
+            "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12",
+        ]
     } else {
         tables_args
     };
     let mut t11_rows: Option<Vec<(String, u64)>> = None;
+    let mut t12_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -71,14 +74,18 @@ fn main() {
             "t11" => {
                 t11_rows = Some(tables::t11());
             }
+            "t12" => {
+                t12_rows = Some(tables::t12());
+            }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t11 or all");
+                eprintln!("unknown table {other:?}; expected t1..t12 or all");
                 std::process::exit(2);
             }
         }
     }
     if let Some(path) = bench_json_path {
-        let rows = t11_rows.unwrap_or_else(tables::t11);
+        let mut rows = t11_rows.unwrap_or_else(tables::t11);
+        rows.extend(t12_rows.unwrap_or_else(tables::t12));
         let doc = tables::bench_json(&rows);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

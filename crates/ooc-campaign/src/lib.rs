@@ -25,6 +25,10 @@
 //! * [`runner`] — replays an artifact under a [`ooc_core::RunBudget`] so
 //!   adversarial stalls become bounded `Termination` violations instead
 //!   of hangs.
+//! * [`parallel`] — the deterministic scoped-thread executor behind
+//!   `--jobs`: workers claim grid indices from an atomic counter and
+//!   results merge in stable grid order, so an `N`-thread sweep is
+//!   byte-identical to a serial one.
 //! * [`sweep`] — the campaign grids (≥ 1000 combinations per algorithm
 //!   at the default target).
 //! * [`report`] — percentile aggregation (p50/p95/p99 rounds-to-decide,
@@ -38,11 +42,14 @@
 //! ## CLI
 //!
 //! ```text
-//! cargo run --release -p ooc-campaign -- sweep [--algorithm A] [--combos N] [--out DIR] [--sabotage]
-//! cargo run --release -p ooc-campaign -- report [--algorithm A] [--combos N] [--out FILE]
-//! cargo run --release -p ooc-campaign -- replay <artifact.json>
+//! cargo run --release -p ooc-campaign -- sweep [--algorithm A] [--combos N] [--jobs N] [--out DIR] [--sabotage]
+//! cargo run --release -p ooc-campaign -- report [--algorithm A] [--combos N] [--jobs N] [--out FILE]
+//! cargo run --release -p ooc-campaign -- replay [--jobs N] <artifact.json>...
 //! cargo run --release -p ooc-campaign -- shrink <artifact.json> [--out FILE]
 //! ```
+//!
+//! `--jobs N` (default: available parallelism) fans the grid out over a
+//! scoped-thread worker pool; output is byte-identical for every `N`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +57,7 @@
 pub mod adversaries;
 pub mod artifact;
 pub mod json;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod shrink;
@@ -60,7 +68,10 @@ pub use artifact::{
     AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
 };
 pub use json::Json;
-pub use report::{collect_reports, report_json, AlgorithmReport, PercentileSummary};
+pub use parallel::{default_jobs, run_all};
+pub use report::{
+    collect_reports, collect_reports_jobs, report_json, AlgorithmReport, PercentileSummary,
+};
 pub use runner::{run_artifact, CampaignOutcome};
 pub use shrink::{shrink, ShrinkReport};
-pub use sweep::{grid, sweep, SweepReport};
+pub use sweep::{grid, sweep, sweep_jobs, SweepReport};

@@ -1,10 +1,10 @@
 //! The campaign CLI: `sweep`, `report`, `replay`, `shrink`.
 
 use ooc_campaign::artifact::{Algorithm, FailureArtifact};
-use ooc_campaign::report::{collect_reports, report_json};
-use ooc_campaign::runner::run_artifact;
+use ooc_campaign::parallel::{default_jobs, run_all};
+use ooc_campaign::report::{collect_reports_jobs, report_json};
 use ooc_campaign::shrink::{shrink, size_of};
-use ooc_campaign::sweep::sweep;
+use ooc_campaign::sweep::sweep_jobs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -28,7 +28,7 @@ usage: ooc-campaign <command> [options]
 
 commands:
   sweep  [--algorithm ben-or|phase-king|raft|all] [--combos N]
-         [--out DIR] [--sabotage] [--shrink]
+         [--jobs N] [--out DIR] [--sabotage] [--shrink]
       Run the fault-injection campaign (default: all algorithms,
       1000 combos each). Violations are written to DIR (default
       campaign-artifacts/) as re-runnable JSON artifacts; --shrink
@@ -38,20 +38,26 @@ commands:
       --sabotage asked for one).
 
   report [--algorithm ben-or|phase-king|raft|all] [--combos N]
-         [--out FILE]
+         [--jobs N] [--out FILE]
       Run the first N grid combinations per algorithm (default: all
       algorithms, 200 combos each) and aggregate them into percentile
       summaries (p50/p95/p99 rounds-to-decide, messages, simulated
       ticks). The JSON output is byte-identical across repeated runs
       with the same inputs; written to FILE or stdout.
 
-  replay <artifact.json>
-      Re-run one artifact and report what the checkers see.
-      Exits 0 iff the recorded violation kind is reproduced.
+  replay [--jobs N] <artifact.json>...
+      Re-run one or more artifacts and report what the checkers see.
+      Exits 0 iff every artifact's recorded violation kind is
+      reproduced. Results print in argument order.
 
   shrink <artifact.json> [--out FILE]
       Minimize an artifact while preserving its violation kind and
-      write the result (default: <artifact>.min.json).";
+      write the result (default: <artifact>.min.json).
+
+--jobs N runs the combo grid on N worker threads (default: the host's
+available parallelism). Output is byte-identical for every N: combos
+derive their seeds from the grid, not the schedule, and results merge
+in stable grid order.";
 
 fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -62,6 +68,34 @@ fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+fn parse_jobs(args: &[String]) -> usize {
+    parse_flag(args, "--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_jobs)
+}
+
+/// Positional arguments: everything that is not a flag or the value of
+/// a value-taking flag.
+fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
@@ -81,10 +115,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let out_dir = PathBuf::from(parse_flag(args, "--out").unwrap_or("campaign-artifacts"));
     let sabotage = has_flag(args, "--sabotage");
     let do_shrink = has_flag(args, "--shrink");
+    let jobs = parse_jobs(args);
 
     let mut any_safety = false;
     for alg in algorithms {
-        let report = sweep(alg, combos, sabotage);
+        let report = sweep_jobs(alg, combos, sabotage, jobs);
         println!("{}", report.summary());
         any_safety |= !report.safety.is_empty();
         for (i, art) in report
@@ -151,7 +186,7 @@ fn cmd_report(args: &[String]) -> ExitCode {
     let combos: usize = parse_flag(args, "--combos")
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let reports = collect_reports(&algorithms, combos);
+    let reports = collect_reports_jobs(&algorithms, combos, parse_jobs(args));
     for r in &reports {
         println!(
             "{}: {} combos, {} fully decided, {} with undecided, p50/p95/p99 rounds {}/{}/{}",
@@ -199,52 +234,62 @@ fn load_artifact(path: &str) -> Result<FailureArtifact, String> {
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let paths = positional_args(args, &["--jobs"]);
+    if paths.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
-    };
-    let art = match load_artifact(path) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    let out = run_artifact(&art);
-    println!(
-        "replayed {} n={} t={} seed={}: {} decided, {} undecided, stopped after {} ({})",
-        art.algorithm.name(),
-        art.n,
-        art.t,
-        art.seed,
-        out.decided,
-        out.undecided,
-        out.spent,
-        out.stop
-    );
-    for v in &out.violations {
-        println!("  violation: {v}");
     }
-    match &art.violation {
-        Some(expected) => {
-            let reproduced = out
-                .violations
-                .iter()
-                .any(|v| ooc_campaign::artifact::kind_name(v.kind) == expected.kind);
-            if reproduced {
-                println!("reproduced the recorded {} violation", expected.kind);
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("did NOT reproduce the recorded {} violation", expected.kind);
-                ExitCode::FAILURE
+    let mut artifacts = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match load_artifact(path) {
+            Ok(a) => artifacts.push(a),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
             }
         }
-        None => {
-            if out.violations.is_empty() {
-                println!("clean run (artifact records no violation)");
-            }
-            ExitCode::SUCCESS
+    }
+    let outcomes = run_all(&artifacts, parse_jobs(args));
+    let mut all_reproduced = true;
+    for ((path, art), out) in paths.iter().zip(&artifacts).zip(&outcomes) {
+        println!(
+            "replayed {path} — {} n={} t={} seed={}: {} decided, {} undecided, stopped after {} ({})",
+            art.algorithm.name(),
+            art.n,
+            art.t,
+            art.seed,
+            out.decided,
+            out.undecided,
+            out.spent,
+            out.stop
+        );
+        for v in &out.violations {
+            println!("  violation: {v}");
         }
+        match &art.violation {
+            Some(expected) => {
+                let reproduced = out
+                    .violations
+                    .iter()
+                    .any(|v| ooc_campaign::artifact::kind_name(v.kind) == expected.kind);
+                if reproduced {
+                    println!("  reproduced the recorded {} violation", expected.kind);
+                } else {
+                    eprintln!("  did NOT reproduce the recorded {} violation", expected.kind);
+                    all_reproduced = false;
+                }
+            }
+            None => {
+                if out.violations.is_empty() {
+                    println!("  clean run (artifact records no violation)");
+                }
+            }
+        }
+    }
+    if all_reproduced {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

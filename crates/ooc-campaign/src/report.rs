@@ -13,7 +13,7 @@
 
 use crate::artifact::{kind_name, Algorithm};
 use crate::json::Json;
-use crate::runner::run_artifact;
+use crate::parallel::run_all;
 use crate::sweep::grid;
 use std::collections::BTreeMap;
 
@@ -114,16 +114,26 @@ impl AlgorithmReport {
     /// Runs the first `combos` entries of the algorithm's campaign grid
     /// and aggregates the outcome of every run.
     pub fn collect(algorithm: Algorithm, combos: usize) -> Self {
+        Self::collect_jobs(algorithm, combos, 1)
+    }
+
+    /// [`collect`](Self::collect) with an explicit worker count.
+    ///
+    /// Executes the grid on up to `jobs` scoped threads (see
+    /// [`crate::parallel`]); aggregation runs over the stable-order
+    /// merged outcomes, so the report — and its rendered JSON — is
+    /// byte-identical for every `jobs` value.
+    pub fn collect_jobs(algorithm: Algorithm, combos: usize, jobs: usize) -> Self {
         let mut artifacts = grid(algorithm, combos);
         artifacts.truncate(combos);
+        let outcomes = run_all(&artifacts, jobs);
         let mut violations: BTreeMap<String, u64> = BTreeMap::new();
         let mut fully_decided = 0u64;
         let mut with_undecided = 0u64;
         let mut rounds = Vec::new();
         let mut messages = Vec::new();
         let mut ticks = Vec::new();
-        for artifact in &artifacts {
-            let out = run_artifact(artifact);
+        for out in &outcomes {
             if out.undecided == 0 {
                 fully_decided += 1;
                 rounds.push(out.spent.rounds);
@@ -174,9 +184,18 @@ impl AlgorithmReport {
 
 /// Collects reports for several algorithms into one document.
 pub fn collect_reports(algorithms: &[Algorithm], combos: usize) -> Vec<AlgorithmReport> {
+    collect_reports_jobs(algorithms, combos, 1)
+}
+
+/// [`collect_reports`] with an explicit worker count per algorithm grid.
+pub fn collect_reports_jobs(
+    algorithms: &[Algorithm],
+    combos: usize,
+    jobs: usize,
+) -> Vec<AlgorithmReport> {
     algorithms
         .iter()
-        .map(|&a| AlgorithmReport::collect(a, combos))
+        .map(|&a| AlgorithmReport::collect_jobs(a, combos, jobs))
         .collect()
 }
 
@@ -246,6 +265,18 @@ mod tests {
         let algs = doc.get("algorithms").and_then(Json::as_arr).unwrap();
         assert_eq!(algs.len(), 2);
         assert_eq!(algs[0].get("combos").and_then(Json::as_u64), Some(12));
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_across_thread_counts() {
+        // The parallel executor must not be observable in the output:
+        // same grid, different worker counts, same bytes.
+        let algorithms = [Algorithm::BenOr, Algorithm::PhaseKing];
+        let serial = report_json(&collect_reports_jobs(&algorithms, 12, 1)).pretty();
+        for jobs in [2, 4] {
+            let parallel = report_json(&collect_reports_jobs(&algorithms, 12, jobs)).pretty();
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report bytes");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::artifact::{
     is_safety, AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
 };
 use crate::adversaries::king_crash_schedule;
-use crate::runner::run_artifact;
+use crate::parallel::run_all;
 use ooc_phase_king::{Attack, PhaseKingConfig};
 use ooc_simnet::{DelayModel, NetworkConfig, PartitionWindow, ProcessId, SimTime};
 
@@ -47,19 +47,29 @@ impl SweepReport {
 /// of `t + 1`) so tests and demos can prove the pipeline catches an
 /// unsafe protocol; it is ignored for the other algorithms.
 pub fn sweep(algorithm: Algorithm, target: usize, sabotage: bool) -> SweepReport {
+    sweep_jobs(algorithm, target, sabotage, 1)
+}
+
+/// [`sweep`] with an explicit worker count.
+///
+/// Executes the grid on up to `jobs` scoped threads (see
+/// [`crate::parallel`]); the returned report is **byte-identical** to a
+/// `jobs = 1` sweep — artifacts are flagged and ordered exactly as a
+/// serial pass over the grid would have flagged them.
+pub fn sweep_jobs(algorithm: Algorithm, target: usize, sabotage: bool, jobs: usize) -> SweepReport {
     let grid = if sabotage && algorithm == Algorithm::BenOr {
         ben_or_grid(target, true)
     } else {
         grid(algorithm, target)
     };
+    let outcomes = run_all(&grid, jobs);
     let mut report = SweepReport {
         algorithm,
         total: 0,
         safety: Vec::new(),
         liveness: Vec::new(),
     };
-    for mut artifact in grid {
-        let out = run_artifact(&artifact);
+    for (mut artifact, out) in grid.into_iter().zip(outcomes) {
         report.total += 1;
         if let Some(v) = out.violations.first() {
             let safety = out.violations.iter().any(|v| is_safety(v.kind));
@@ -321,6 +331,7 @@ fn raft_grid(target: usize) -> Vec<FailureArtifact> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_artifact;
 
     #[test]
     fn grids_reach_their_target_size() {
@@ -348,6 +359,28 @@ mod tests {
             );
             assert!(report.total >= 30);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        // The tentpole guarantee: a multi-worker sweep must flag the
+        // same artifacts, in the same order, with byte-identical JSON,
+        // as a serial pass over the same grid.
+        let serial = sweep_jobs(Algorithm::BenOr, 400, true, 1);
+        let parallel = sweep_jobs(Algorithm::BenOr, 400, true, 4);
+        assert!(
+            !serial.safety.is_empty(),
+            "sabotage must be caught so the comparison is non-vacuous"
+        );
+        assert_eq!(serial.total, parallel.total);
+        let render = |r: &SweepReport| -> Vec<String> {
+            r.safety
+                .iter()
+                .chain(r.liveness.iter())
+                .map(|a| a.to_string_pretty())
+                .collect()
+        };
+        assert_eq!(render(&serial), render(&parallel));
     }
 
     #[test]

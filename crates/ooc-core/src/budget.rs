@@ -113,9 +113,13 @@ impl RunBudget {
         Some(Violation {
             kind: ViolationKind::Termination,
             round: Some(spent.rounds),
+            // Deterministic detail: wall time is deliberately excluded so
+            // a violation's text is a pure function of the run (identical
+            // across replays, hosts and campaign thread counts).
             detail: format!(
                 "liveness: {undecided} obligated process(es) undecided when the \
-                 {dimension} budget ran out ({spent})",
+                 {dimension} budget ran out (rounds={} ticks={} events={})",
+                spent.rounds, spent.ticks, spent.events,
             ),
         })
     }

@@ -17,6 +17,7 @@
 //! |------|-----------------|
 //! | `determinism/wall-clock`    | no `Instant::now` / `SystemTime` in shipped code |
 //! | `determinism/ambient-rng`   | no `thread_rng` / `from_entropy` / `OsRng` anywhere |
+//! | `determinism/host-env`      | no `available_parallelism` / `num_cpus` in deterministic code |
 //! | `determinism/unordered-iter`| no `HashMap`/`HashSet` in deterministic crates |
 //! | `protocol/panic`            | no `unwrap`/`panic!` inside protocol state machines |
 //! | `hygiene/checker-coverage`  | every public protocol object is checker-tested |

@@ -6,6 +6,7 @@ use crate::source::{SourceFile, Workspace};
 
 pub mod ambient_rng;
 pub mod checker_coverage;
+pub mod host_env;
 pub mod protocol_panic;
 pub mod unordered_iter;
 pub mod wall_clock;
@@ -26,6 +27,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(wall_clock::WallClock),
         Box::new(ambient_rng::AmbientRng),
+        Box::new(host_env::HostEnv),
         Box::new(unordered_iter::UnorderedIter),
         Box::new(protocol_panic::ProtocolPanic),
         Box::new(checker_coverage::CheckerCoverage),

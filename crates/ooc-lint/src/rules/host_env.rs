@@ -1,0 +1,64 @@
+//! `determinism/host-env` — no host-environment probes in deterministic
+//! code.
+//!
+//! `available_parallelism` / `num_cpus` answer "what machine am I on?",
+//! and any value derived from them varies between a laptop and a CI
+//! runner. Inside the determinism contract (the simulator, the
+//! protocols, and listed modules such as the parallel campaign
+//! executor) that is exactly the class of input a replayable run must
+//! not read. The one legitimate pattern — choosing a *worker count*
+//! whose value provably never reaches an output — carries a reasoned
+//! `ooc-lint::allow` stating that proof.
+
+use crate::report::Finding;
+use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
+use crate::source::Workspace;
+
+const ITEMS: &[ForbiddenItem] = &[
+    ForbiddenItem {
+        base: "available_parallelism",
+        paths: &["std::thread::available_parallelism"],
+    },
+    ForbiddenItem {
+        base: "num_cpus",
+        paths: &["num_cpus"],
+    },
+];
+
+/// See module docs.
+pub struct HostEnv;
+
+impl Rule for HostEnv {
+    fn id(&self) -> &'static str {
+        "determinism/host-env"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbids available_parallelism / num_cpus in deterministic code; \
+         host topology must never influence a run's observable output"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !file.deterministic() || file.is_test_file {
+                continue;
+            }
+            for (line, path, item) in scan_forbidden(file, ITEMS) {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: file.path.clone(),
+                    line,
+                    snippet: file.snippet(line),
+                    message: format!(
+                        "host-environment probe `{}` ({}) varies across machines; \
+                         deterministic code must not read host topology, or must \
+                         carry an ooc-lint::allow proving the value never reaches \
+                         an output",
+                        item.base, path
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}

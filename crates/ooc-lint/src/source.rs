@@ -25,6 +25,12 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     ROOT_PKG,
 ];
 
+/// Individual modules inside tooling crates that are nevertheless bound
+/// by the determinism contract. The parallel campaign executor promises
+/// byte-identical output for every `--jobs` value, which makes it
+/// deterministic code living in a measurement crate.
+pub const DETERMINISTIC_MODULES: &[&str] = &["crates/ooc-campaign/src/parallel.rs"];
+
 /// One scanned source file, fully lexed and annotated.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -75,9 +81,12 @@ impl SourceFile {
         file
     }
 
-    /// Whether this file belongs to a determinism-contract crate.
+    /// Whether this file is bound by the determinism contract: it belongs
+    /// to a determinism-contract crate, or is one of the individually
+    /// listed [`DETERMINISTIC_MODULES`].
     pub fn deterministic(&self) -> bool {
         DETERMINISTIC_CRATES.contains(&self.crate_name.as_str())
+            || DETERMINISTIC_MODULES.contains(&self.path.as_str())
     }
 
     /// The trimmed source line `line` (1-based), for findings.

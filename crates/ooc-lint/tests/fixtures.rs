@@ -143,6 +143,55 @@ fn ambient_rng_suppressed() {
 }
 
 // ---------------------------------------------------------------------------
+// determinism/host-env
+// ---------------------------------------------------------------------------
+
+#[test]
+fn host_env_positive() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/pool.rs",
+        "ooc-simnet",
+        "fn jobs() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n",
+    );
+    assert!(active_rules(&r).contains(&"determinism/host-env"), "{r:?}");
+}
+
+#[test]
+fn host_env_covers_listed_modules_in_tooling_crates() {
+    // `parallel.rs` is in a measurement crate, but DETERMINISTIC_MODULES
+    // pulls it into the contract: host probes there need an allow.
+    let src = "fn jobs() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+    let r = lint_one("crates/ooc-campaign/src/parallel.rs", "ooc-campaign", src);
+    assert!(active_rules(&r).contains(&"determinism/host-env"));
+    // The same probe elsewhere in the campaign crate is none of this
+    // rule's business.
+    let r = lint_one("crates/ooc-campaign/src/other.rs", "ooc-campaign", src);
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn host_env_negative_own_identifier() {
+    // A workspace-local function of the same name is not a host probe.
+    let r = lint_one(
+        "crates/ooc-simnet/src/pool.rs",
+        "ooc-simnet",
+        "fn available_parallelism() -> usize { 1 }\nfn f() -> usize { available_parallelism() }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn host_env_suppressed() {
+    let r = lint_one(
+        "crates/ooc-campaign/src/parallel.rs",
+        "ooc-campaign",
+        "// ooc-lint::allow(determinism/host-env, \"worker-count default only\")\n\
+         fn jobs() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n",
+    );
+    assert_suppressed(&r, "determinism/host-env", "worker-count default only");
+}
+
+// ---------------------------------------------------------------------------
 // determinism/unordered-iter
 // ---------------------------------------------------------------------------
 

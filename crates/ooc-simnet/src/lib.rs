@@ -69,11 +69,11 @@ pub use adversary::{Adversary, Decision, FnAdversary, NetworkAdversary, SwitchAf
 pub use byzantine::{ByzantineNode, SyncStrategy};
 pub use fault::{CrashSpec, FaultPlan};
 pub use id::{ProcessId, TimerId};
-pub use metrics::{MetricsRegistry, TickHistogram};
+pub use metrics::{CounterId, HistogramId, MetricsRegistry, TickHistogram};
 pub use network::{DelayModel, NetworkConfig, PartitionWindow};
 pub use process::{Context, Process};
 pub use rng::SplitMix64;
-pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason};
+pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT};
 pub use stats::RunStats;
 pub use sync::{SyncContext, SyncProcess, SyncRunOutcome, SyncSim};
 pub use time::{SimDuration, SimTime};

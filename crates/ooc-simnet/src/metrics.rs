@@ -10,6 +10,20 @@
 //! Everything here is a pure function of the run: same processes, same
 //! config, same seed ⇒ byte-identical [`MetricsRegistry::to_json`]
 //! output. No wall-clock values ever enter the registry.
+//!
+//! ## Interned handles
+//!
+//! The by-name API ([`incr`](MetricsRegistry::incr) /
+//! [`observe`](MetricsRegistry::observe)) walks the name index on every
+//! call — a string-compare `BTreeMap` lookup that the simulation engine
+//! used to pay on *every* event. Hot paths should intern each name once
+//! with [`counter_id`](MetricsRegistry::counter_id) /
+//! [`histogram_id`](MetricsRegistry::histogram_id) and then update
+//! through the returned [`CounterId`] / [`HistogramId`] handle, which is
+//! a direct slot index. Slots that were interned but never touched (a
+//! zero counter, an empty histogram) are invisible: they are skipped by
+//! iteration, lookup and JSON output, so pre-interning every engine
+//! metric does not change what a run reports.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -65,6 +79,7 @@ impl TickHistogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
@@ -152,15 +167,31 @@ impl TickHistogram {
     }
 }
 
+/// A pre-resolved handle to a counter slot, obtained from
+/// [`MetricsRegistry::counter_id`]. Updating through the handle is a
+/// direct array index — no name lookup.
+///
+/// Handles are only meaningful for the registry that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// A pre-resolved handle to a histogram slot, obtained from
+/// [`MetricsRegistry::histogram_id`]. See [`CounterId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
 /// An ordered registry of named counters and tick histograms.
 ///
 /// Names are `'static` dotted paths (`"messages.dropped.loss"`); the
-/// `BTreeMap` backing makes iteration — and therefore
-/// [`to_json`](MetricsRegistry::to_json) — deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// `BTreeMap` name index makes iteration — and therefore
+/// [`to_json`](MetricsRegistry::to_json) — deterministic. Values live in
+/// dense slot vectors so interned handles update without a lookup.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, TickHistogram>,
+    counter_index: BTreeMap<&'static str, usize>,
+    counters: Vec<u64>,
+    histogram_index: BTreeMap<&'static str, usize>,
+    histograms: Vec<TickHistogram>,
 }
 
 impl MetricsRegistry {
@@ -169,42 +200,101 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Interns `name` and returns its counter handle, creating the slot
+    /// (at zero) on first use. A zero counter stays invisible to
+    /// iteration and JSON until the first non-zero increment.
+    pub fn counter_id(&mut self, name: &'static str) -> CounterId {
+        let next = self.counters.len();
+        let slot = *self.counter_index.entry(name).or_insert(next);
+        if slot == next {
+            self.counters.push(0);
+        }
+        CounterId(slot)
+    }
+
+    /// Interns `name` and returns its histogram handle, creating an
+    /// empty slot on first use. An empty histogram stays invisible to
+    /// iteration, [`histogram`](Self::histogram) and JSON until its
+    /// first observation.
+    pub fn histogram_id(&mut self, name: &'static str) -> HistogramId {
+        let next = self.histograms.len();
+        let slot = *self.histogram_index.entry(name).or_insert(next);
+        if slot == next {
+            self.histograms.push(TickHistogram::new());
+        }
+        HistogramId(slot)
+    }
+
+    /// Adds `delta` to the counter behind a pre-resolved handle.
+    #[inline]
+    pub fn incr_by_id(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0] += delta;
+    }
+
+    /// Records one observation in the histogram behind a pre-resolved
+    /// handle.
+    #[inline]
+    pub fn observe_by_id(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].record(value);
+    }
+
     /// Adds `delta` to the named counter (creating it at zero).
+    ///
+    /// Convenience path: interns on every call. Hot loops should hold a
+    /// [`CounterId`] and use [`incr_by_id`](Self::incr_by_id).
     pub fn incr(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        let id = self.counter_id(name);
+        self.incr_by_id(id, delta);
     }
 
     /// Records one observation in the named histogram (creating it).
+    ///
+    /// Convenience path: interns on every call. Hot loops should hold a
+    /// [`HistogramId`] and use [`observe_by_id`](Self::observe_by_id).
     pub fn observe(&mut self, name: &'static str, value: u64) {
-        self.histograms.entry(name).or_default().record(value);
+        let id = self.histogram_id(name);
+        self.observe_by_id(id, value);
     }
 
     /// Current value of a counter (`0` if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map(|&i| self.counters[i])
+            .unwrap_or(0)
     }
 
     /// The named histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&TickHistogram> {
-        self.histograms.get(name)
+        self.histogram_index
+            .get(name)
+            .map(|&i| &self.histograms[i])
+            .filter(|h| h.count() > 0)
     }
 
-    /// Iterates counters in name order.
+    /// Iterates non-zero counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        self.counter_index
+            .iter()
+            .map(|(k, &i)| (*k, self.counters[i]))
+            .filter(|(_, v)| *v != 0)
     }
 
-    /// Iterates histograms in name order.
+    /// Iterates non-empty histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &TickHistogram)> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v))
+        self.histogram_index
+            .iter()
+            .map(|(k, &i)| (*k, &self.histograms[i]))
+            .filter(|(_, h)| h.count() > 0)
     }
 
     /// Renders the whole registry as a deterministic JSON object:
     /// `{"counters":{...},"histograms":{...}}` with keys in name order.
+    /// Interned-but-untouched slots are omitted.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
-        for (name, value) in &self.counters {
+        for (name, value) in self.counters() {
             if !first {
                 out.push(',');
             }
@@ -213,7 +303,7 @@ impl MetricsRegistry {
         }
         out.push_str("},\"histograms\":{");
         let mut first = true;
-        for (name, hist) in &self.histograms {
+        for (name, hist) in self.histograms() {
             if !first {
                 out.push(',');
             }
@@ -225,6 +315,18 @@ impl MetricsRegistry {
         out
     }
 }
+
+/// Registries compare by observable content (non-zero counters and
+/// non-empty histograms, in name order), not by interning history: a
+/// registry that pre-interned every engine metric equals one that only
+/// ever touched the metrics the run produced.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters().eq(other.counters()) && self.histograms().eq(other.histograms())
+    }
+}
+
+impl Eq for MetricsRegistry {}
 
 impl fmt::Display for MetricsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -243,6 +345,43 @@ mod tests {
         m.incr("x", 2);
         m.incr("x", 3);
         assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn interned_handles_update_the_same_slots_as_names() {
+        let mut by_id = MetricsRegistry::new();
+        let c = by_id.counter_id("messages.sent");
+        let h = by_id.histogram_id("delay_ticks");
+        for v in [1u64, 2, 3] {
+            by_id.incr_by_id(c, 1);
+            by_id.observe_by_id(h, v);
+        }
+        let mut by_name = MetricsRegistry::new();
+        for v in [1u64, 2, 3] {
+            by_name.incr("messages.sent", 1);
+            by_name.observe("delay_ticks", v);
+        }
+        assert_eq!(by_id, by_name);
+        assert_eq!(by_id.to_json(), by_name.to_json());
+        // Re-interning the same name yields the same handle.
+        assert_eq!(by_id.counter_id("messages.sent"), c);
+        assert_eq!(by_id.histogram_id("delay_ticks"), h);
+    }
+
+    #[test]
+    fn untouched_interned_slots_are_invisible() {
+        let mut m = MetricsRegistry::new();
+        m.counter_id("never.hit");
+        m.histogram_id("never.observed");
+        m.incr("hit", 1);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 0);
+        assert!(m.histogram("never.observed").is_none());
+        assert_eq!(m.to_json(), "{\"counters\":{\"hit\":1},\"histograms\":{}}");
+        // And a registry without the dormant slots compares equal.
+        let mut plain = MetricsRegistry::new();
+        plain.incr("hit", 1);
+        assert_eq!(m, plain);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
 use crate::network::NetworkConfig;
 use crate::process::{Effects, Process};
 use crate::rng::SplitMix64;
@@ -13,6 +13,7 @@ use crate::{ProcessId, TimerId};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt::Debug;
+use std::sync::Arc;
 
 /// Blanket impl so heterogeneous networks can be built from boxed trait
 /// objects while the engine stays generic over a concrete process type.
@@ -145,12 +146,19 @@ pub enum StopReason {
 }
 
 /// The result of a [`Sim::run`] call.
+///
+/// `decisions` and `decision_times` are `Arc`-shared snapshots: handing
+/// them out is O(1) and the engine only copies the underlying vectors
+/// (copy-on-write via [`Arc::make_mut`]) if a process decides *while an
+/// earlier outcome is still alive*. Each outcome therefore keeps showing
+/// exactly the decisions that existed when it was taken, even across
+/// later [`Sim::run`] resumes.
 #[derive(Debug, Clone)]
 pub struct RunOutcome<O> {
     /// Per-process decision (index = process id), `None` if undecided.
-    pub decisions: Vec<Option<O>>,
+    pub decisions: Arc<Vec<Option<O>>>,
     /// Per-process decision time.
-    pub decision_times: Vec<Option<SimTime>>,
+    pub decision_times: Arc<Vec<Option<SimTime>>>,
     /// Aggregate counters.
     pub stats: RunStats,
     /// Why the run stopped.
@@ -195,6 +203,11 @@ impl<O: PartialEq + Clone> RunOutcome<O> {
     }
 }
 
+/// Default `queue_depth` sampling stride: the histogram records the
+/// scheduler queue depth on every 64th pop. See
+/// [`SimBuilder::queue_depth_sampling`].
+pub const QUEUE_DEPTH_SAMPLE_DEFAULT: u64 = 64;
+
 /// Builder for [`Sim`]. Obtained from [`Sim::builder`].
 pub struct SimBuilder<P: Process> {
     processes: Vec<P>,
@@ -203,6 +216,7 @@ pub struct SimBuilder<P: Process> {
     faults: FaultPlan,
     seed: u64,
     trace_level: TraceLevel,
+    queue_depth_every: u64,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -238,6 +252,20 @@ impl<P: Process> SimBuilder<P> {
         self
     }
 
+    /// Sets the sampling stride of the `queue_depth` histogram: the
+    /// scheduler queue depth is recorded on every `every`-th pop.
+    ///
+    /// Default is [`QUEUE_DEPTH_SAMPLE_DEFAULT`] (64) so ordinary runs
+    /// don't pay a histogram insert per event; `1` restores exhaustive
+    /// per-event sampling, `0` disables the histogram entirely. The
+    /// stride persists across [`Sim::run`] resumes (the pop counter is
+    /// engine state), so chunked runs sample the same pops as an
+    /// unbounded run.
+    pub fn queue_depth_sampling(mut self, every: u64) -> Self {
+        self.queue_depth_every = every;
+        self
+    }
+
     /// Finalizes the simulator.
     ///
     /// # Panics
@@ -254,6 +282,8 @@ impl<P: Process> SimBuilder<P> {
         let crash_thresholds = (0..n)
             .map(|i| self.faults.event_crash_threshold(ProcessId(i)))
             .collect();
+        let mut metrics = MetricsRegistry::new();
+        let metric_ids = EngineMetrics::resolve(&mut metrics);
         let mut sim = Sim {
             processes: self.processes,
             adversary,
@@ -267,8 +297,8 @@ impl<P: Process> SimBuilder<P> {
             started: false,
             crashed: vec![false; n],
             halted: vec![false; n],
-            decisions: vec![None; n],
-            decision_times: vec![None; n],
+            decisions: Arc::new(vec![None; n]),
+            decision_times: Arc::new(vec![None; n]),
             events_handled: vec![0; n],
             crash_thresholds,
             live_timers: vec![BTreeSet::new(); n],
@@ -276,7 +306,11 @@ impl<P: Process> SimBuilder<P> {
             fifo_horizon: BTreeMap::new(),
             stats: RunStats::default(),
             trace: Trace::new(self.trace_level),
-            metrics: MetricsRegistry::new(),
+            metrics,
+            metric_ids,
+            pops: 0,
+            queue_depth_every: self.queue_depth_every,
+            scratch: Effects::default(),
         };
         for &(p, spec) in self.faults.crashes() {
             if let CrashSpec::AtTime(t) = spec {
@@ -287,6 +321,50 @@ impl<P: Process> SimBuilder<P> {
             sim.schedule(t, EventKind::Restart { process: p });
         }
         sim
+    }
+}
+
+/// Pre-resolved [`MetricsRegistry`] handles for every metric the engine
+/// feeds, interned once in [`SimBuilder::build`] so the per-event paths
+/// update by slot index instead of a string-keyed map lookup.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetrics {
+    events: CounterId,
+    messages_sent: CounterId,
+    messages_delivered: CounterId,
+    duplicate_deliveries: CounterId,
+    messages_duplicated: CounterId,
+    dropped_dead_recipient: CounterId,
+    dropped_halted_recipient: CounterId,
+    dropped_adversary: CounterId,
+    timers_fired: CounterId,
+    crashes: CounterId,
+    restarts: CounterId,
+    decisions: CounterId,
+    queue_depth: HistogramId,
+    delay_ticks: HistogramId,
+    decision_ticks: HistogramId,
+}
+
+impl EngineMetrics {
+    fn resolve(metrics: &mut MetricsRegistry) -> Self {
+        EngineMetrics {
+            events: metrics.counter_id("events"),
+            messages_sent: metrics.counter_id("messages.sent"),
+            messages_delivered: metrics.counter_id("messages.delivered"),
+            duplicate_deliveries: metrics.counter_id("messages.duplicate_deliveries"),
+            messages_duplicated: metrics.counter_id("messages.duplicated"),
+            dropped_dead_recipient: metrics.counter_id("messages.dropped.dead_recipient"),
+            dropped_halted_recipient: metrics.counter_id("messages.dropped.halted_recipient"),
+            dropped_adversary: metrics.counter_id("messages.dropped.adversary"),
+            timers_fired: metrics.counter_id("timers.fired"),
+            crashes: metrics.counter_id("crashes"),
+            restarts: metrics.counter_id("restarts"),
+            decisions: metrics.counter_id("decisions"),
+            queue_depth: metrics.histogram_id("queue_depth"),
+            delay_ticks: metrics.histogram_id("delay_ticks"),
+            decision_ticks: metrics.histogram_id("decision_ticks"),
+        }
     }
 }
 
@@ -306,8 +384,10 @@ pub struct Sim<P: Process> {
     started: bool,
     crashed: Vec<bool>,
     halted: Vec<bool>,
-    decisions: Vec<Option<P::Output>>,
-    decision_times: Vec<Option<SimTime>>,
+    // Arc-shared so `run()` hands out O(1) snapshots; mutated through
+    // `Arc::make_mut`, which only copies while an outcome is still held.
+    decisions: Arc<Vec<Option<P::Output>>>,
+    decision_times: Arc<Vec<Option<SimTime>>>,
     events_handled: Vec<u64>,
     crash_thresholds: Vec<Option<u64>>,
     // Ordered containers: scheduler state must never iterate in
@@ -318,6 +398,14 @@ pub struct Sim<P: Process> {
     stats: RunStats,
     trace: Trace,
     metrics: MetricsRegistry,
+    metric_ids: EngineMetrics,
+    /// Total pops across all `run` calls; drives queue-depth sampling.
+    pops: u64,
+    queue_depth_every: u64,
+    /// Reused per-invocation effects buffer: the engine drains it after
+    /// every handler, so outbox/timer capacity is allocated once and
+    /// kept for the lifetime of the run.
+    scratch: Effects<P::Msg, P::Output>,
 }
 
 impl<P: Process> Sim<P> {
@@ -330,6 +418,7 @@ impl<P: Process> Sim<P> {
             faults: FaultPlan::default(),
             seed: 0,
             trace_level: TraceLevel::Events,
+            queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
         }
     }
 
@@ -381,6 +470,14 @@ impl<P: Process> Sim<P> {
                 self.invoke(ProcessId(i), Invocation::Start);
             }
         }
+        // Preallocate the trace for the bounded portion of this run so
+        // the event loop appends without growing mid-flight. Each event
+        // records a handful of trace entries; the reservation is capped
+        // so the default (effectively unbounded) limits don't ask for
+        // gigabytes up front.
+        const TRACE_RESERVE_CAP: u64 = 1 << 16;
+        self.trace
+            .reserve(limit.max_events.min(TRACE_RESERVE_CAP) as usize * 2);
         let mut events_this_run: u64 = 0;
         let reason = loop {
             if let Some(r) = self.stop_reason(&limit) {
@@ -401,7 +498,11 @@ impl<P: Process> Sim<P> {
                 self.queue.push(ev);
                 break StopReason::TimeLimit;
             }
-            self.metrics.observe("queue_depth", self.queue.len() as u64);
+            self.pops += 1;
+            if self.queue_depth_every != 0 && self.pops.is_multiple_of(self.queue_depth_every) {
+                self.metrics
+                    .observe_by_id(self.metric_ids.queue_depth, self.queue.len() as u64);
+            }
             self.now = ev.at;
             events_this_run += 1;
             match ev.kind {
@@ -413,8 +514,10 @@ impl<P: Process> Sim<P> {
         };
         self.stats.end_time = self.now;
         RunOutcome {
-            decisions: self.decisions.clone(),
-            decision_times: self.decision_times.clone(),
+            // O(1) shared snapshots; the engine copies-on-write only if
+            // a later decision lands while this outcome is still alive.
+            decisions: Arc::clone(&self.decisions),
+            decision_times: Arc::clone(&self.decision_times),
             stats: self.stats,
             reason,
             trace: self.trace.clone(),
@@ -444,7 +547,8 @@ impl<P: Process> Sim<P> {
     fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg, dup: bool) {
         if self.crashed[to.index()] {
             self.stats.messages_dropped += 1;
-            self.metrics.incr("messages.dropped.dead_recipient", 1);
+            self.metrics
+                .incr_by_id(self.metric_ids.dropped_dead_recipient, 1);
             self.trace.push(TraceEvent::Drop {
                 at: self.now,
                 from,
@@ -458,7 +562,8 @@ impl<P: Process> Sim<P> {
             // (they are "done", not faulty) — but the drop is still
             // traced so `messages_dropped` and the trace agree.
             self.stats.messages_dropped += 1;
-            self.metrics.incr("messages.dropped.halted_recipient", 1);
+            self.metrics
+                .incr_by_id(self.metric_ids.dropped_halted_recipient, 1);
             self.trace.push(TraceEvent::Drop {
                 at: self.now,
                 from,
@@ -471,10 +576,11 @@ impl<P: Process> Sim<P> {
             // Extra copy of a duplicated message: tallied apart from
             // first deliveries so delivery_ratio stays bounded by 1.
             self.stats.duplicate_deliveries += 1;
-            self.metrics.incr("messages.duplicate_deliveries", 1);
+            self.metrics
+                .incr_by_id(self.metric_ids.duplicate_deliveries, 1);
         } else {
             self.stats.messages_delivered += 1;
-            self.metrics.incr("messages.delivered", 1);
+            self.metrics.incr_by_id(self.metric_ids.messages_delivered, 1);
         }
         if self.trace.level() == TraceLevel::Full {
             self.trace.push(TraceEvent::Deliver {
@@ -502,7 +608,7 @@ impl<P: Process> Sim<P> {
             return; // cancelled
         }
         self.stats.timers_fired += 1;
-        self.metrics.incr("timers.fired", 1);
+        self.metrics.incr_by_id(self.metric_ids.timers_fired, 1);
         self.trace.push(TraceEvent::TimerFired {
             at: self.now,
             process,
@@ -517,7 +623,7 @@ impl<P: Process> Sim<P> {
         self.crashed[process.index()] = true;
         self.live_timers[process.index()].clear();
         self.stats.crashes += 1;
-        self.metrics.incr("crashes", 1);
+        self.metrics.incr_by_id(self.metric_ids.crashes, 1);
         self.trace.push(TraceEvent::Crash {
             at: self.now,
             process,
@@ -530,7 +636,7 @@ impl<P: Process> Sim<P> {
         }
         self.crashed[process.index()] = false;
         self.stats.restarts += 1;
-        self.metrics.incr("restarts", 1);
+        self.metrics.incr_by_id(self.metric_ids.restarts, 1);
         self.trace.push(TraceEvent::Restart {
             at: self.now,
             process,
@@ -543,7 +649,10 @@ impl<P: Process> Sim<P> {
         if self.crashed[i] || self.halted[i] {
             return;
         }
-        let mut effects = Effects::default();
+        // Reuse the engine's scratch buffer: apply_effects drains it, so
+        // its vectors keep their capacity across invocations instead of
+        // allocating a fresh outbox per handler.
+        let mut effects = std::mem::take(&mut self.scratch);
         {
             let mut ctx = crate::Context::new(
                 pid,
@@ -563,9 +672,11 @@ impl<P: Process> Sim<P> {
             }
         }
         self.stats.events_processed += 1;
-        self.metrics.incr("events", 1);
+        self.metrics.incr_by_id(self.metric_ids.events, 1);
         self.events_handled[i] += 1;
-        self.apply_effects(pid, effects);
+        self.apply_effects(pid, &mut effects);
+        effects.halted = false;
+        self.scratch = effects;
         if let Some(threshold) = self.crash_thresholds[i] {
             if self.events_handled[i] >= threshold && !self.crashed[i] {
                 self.crash(pid);
@@ -573,21 +684,23 @@ impl<P: Process> Sim<P> {
         }
     }
 
-    fn apply_effects(&mut self, pid: ProcessId, effects: Effects<P::Msg, P::Output>) {
+    /// Applies and *drains* the collected effects; the caller returns the
+    /// emptied buffer to `self.scratch` so its capacity is reused.
+    fn apply_effects(&mut self, pid: ProcessId, effects: &mut Effects<P::Msg, P::Output>) {
         let i = pid.index();
-        for (id, after) in effects.timer_requests {
+        for (id, after) in effects.timer_requests.drain(..) {
             self.live_timers[i].insert(id);
             let at = self.now + after;
             self.schedule(at, EventKind::Timer { process: pid, id });
         }
         // Cancellations apply last so a timer set and cancelled within one
         // handler invocation stays cancelled.
-        for id in effects.cancelled {
+        for id in effects.cancelled.drain(..) {
             self.live_timers[i].remove(&id);
         }
-        for out in effects.outbox {
+        for out in effects.outbox.drain(..) {
             self.stats.messages_sent += 1;
-            self.metrics.incr("messages.sent", 1);
+            self.metrics.incr_by_id(self.metric_ids.messages_sent, 1);
             // Sends are part of the trace contract at every recording
             // level; only the payload string is Full-level extra.
             let payload = if self.trace.level() == TraceLevel::Full {
@@ -604,7 +717,8 @@ impl<P: Process> Sim<P> {
             if out.to == pid {
                 // Self-messages bypass the adversary entirely.
                 let at = self.now + self.self_delay;
-                self.metrics.observe("delay_ticks", self.self_delay.ticks());
+                self.metrics
+                    .observe_by_id(self.metric_ids.delay_ticks, self.self_delay.ticks());
                 self.schedule(
                     at,
                     EventKind::Deliver {
@@ -622,7 +736,7 @@ impl<P: Process> Sim<P> {
             {
                 Decision::Drop => {
                     self.stats.messages_dropped += 1;
-                    self.metrics.incr("messages.dropped.adversary", 1);
+                    self.metrics.incr_by_id(self.metric_ids.dropped_adversary, 1);
                     self.trace.push(TraceEvent::Drop {
                         at: self.now,
                         from: pid,
@@ -632,7 +746,7 @@ impl<P: Process> Sim<P> {
                 }
                 Decision::DeliverAfter(d) => {
                     let d = SimDuration::from_ticks(d.ticks().max(1));
-                    self.metrics.observe("delay_ticks", d.ticks());
+                    self.metrics.observe_by_id(self.metric_ids.delay_ticks, d.ticks());
                     let mut at = self.now + d;
                     if self.fifo_links {
                         let key = (pid, out.to);
@@ -652,7 +766,7 @@ impl<P: Process> Sim<P> {
                     );
                     if dup {
                         self.stats.messages_duplicated += 1;
-                        self.metrics.incr("messages.duplicated", 1);
+                        self.metrics.incr_by_id(self.metric_ids.messages_duplicated, 1);
                         self.schedule(
                             at + SimDuration::from_ticks(1),
                             EventKind::Deliver {
@@ -675,7 +789,7 @@ impl<P: Process> Sim<P> {
                 }
             }
         }
-        if let Some(value) = effects.decision {
+        if let Some(value) = effects.decision.take() {
             if self.decisions[i].is_none() {
                 if self.trace.level() == TraceLevel::Full {
                     self.trace.push(TraceEvent::Decide {
@@ -690,10 +804,13 @@ impl<P: Process> Sim<P> {
                         value: None,
                     });
                 }
-                self.decisions[i] = Some(value);
-                self.decision_times[i] = Some(self.now);
-                self.metrics.incr("decisions", 1);
-                self.metrics.observe("decision_ticks", self.now.ticks());
+                // Copy-on-write: this only clones the vectors if a
+                // previously returned RunOutcome still shares them.
+                Arc::make_mut(&mut self.decisions)[i] = Some(value);
+                Arc::make_mut(&mut self.decision_times)[i] = Some(self.now);
+                self.metrics.incr_by_id(self.metric_ids.decisions, 1);
+                self.metrics
+                    .observe_by_id(self.metric_ids.decision_ticks, self.now.ticks());
             }
         }
         if effects.halted {
@@ -1009,8 +1126,8 @@ mod tests {
     #[test]
     fn run_outcome_helpers() {
         let out: RunOutcome<u64> = RunOutcome {
-            decisions: vec![None, None],
-            decision_times: vec![None, None],
+            decisions: Arc::new(vec![None, None]),
+            decision_times: Arc::new(vec![None, None]),
             stats: RunStats::default(),
             reason: StopReason::Quiescent,
             trace: Trace::default(),
@@ -1023,8 +1140,12 @@ mod tests {
         assert_eq!(out.last_decision_time(), None);
 
         let out: RunOutcome<u64> = RunOutcome {
-            decisions: vec![Some(3), None, Some(4)],
-            decision_times: vec![Some(SimTime::from_ticks(5)), None, Some(SimTime::from_ticks(9))],
+            decisions: Arc::new(vec![Some(3), None, Some(4)]),
+            decision_times: Arc::new(vec![
+                Some(SimTime::from_ticks(5)),
+                None,
+                Some(SimTime::from_ticks(9)),
+            ]),
             stats: RunStats::default(),
             reason: StopReason::TimeLimit,
             trace: Trace::default(),
@@ -1115,6 +1236,113 @@ mod tests {
             expected.trace.events(),
             "chunked run must replay the exact event schedule"
         );
+        // The preallocated trace/outbox buffers and the persistent
+        // queue-depth pop counter must not let chunking skew metrics.
+        assert_eq!(
+            last.metrics, expected.metrics,
+            "chunked run must accumulate identical metrics"
+        );
+    }
+
+    #[test]
+    fn same_tick_events_pop_in_insertion_order() {
+        /// p0 sends two numbered messages with identical delay (same
+        /// arrival tick); p1 records arrival order in its decision.
+        #[derive(Debug, Default)]
+        struct Recorder {
+            got: Vec<u64>,
+        }
+        impl Process for Recorder {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+                if ctx.me().index() == 0 {
+                    ctx.send(ProcessId(1), 10);
+                    ctx.send(ProcessId(1), 20);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _f: ProcessId, m: u64) {
+                self.got.push(m);
+                if self.got.len() == 2 {
+                    ctx.decide(self.got[0] * 100 + self.got[1]);
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, u64, u64>, _t: TimerId) {}
+        }
+        for seed in 0..20 {
+            let mut sim = Sim::builder(NetworkConfig {
+                delay: crate::DelayModel::Uniform { min: 7, max: 7 },
+                ..NetworkConfig::default()
+            })
+            .seed(seed)
+            .processes(vec![Recorder::default(), Recorder::default()])
+            .build();
+            let out = sim.run(RunLimit::until_time(SimTime::from_ticks(1_000)));
+            assert_eq!(
+                out.decisions[1],
+                Some(10 * 100 + 20),
+                "seed {seed}: same-tick events must pop in seq (insertion) order"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_snapshots_survive_resumes() {
+        // Regression for the Arc-shared decision vectors: a resumed run
+        // must see every new decision, while an outcome taken earlier
+        // keeps showing exactly the decisions that existed at snapshot
+        // time (copy-on-write, not shared mutation, not a stale deep
+        // copy).
+        let mut sim = max_id_sim(5, 4, NetworkConfig::default());
+        let first = sim.run(RunLimit::until_decisions(1));
+        let decided_at_snapshot = first.decided_count();
+        assert!((1..4).contains(&decided_at_snapshot));
+        let rest = sim.run(RunLimit::default());
+        assert!(rest.all_decided());
+        assert_eq!(rest.decided_count(), 4);
+        assert_eq!(
+            first.decided_count(),
+            decided_at_snapshot,
+            "earlier snapshot must not be mutated by the resume"
+        );
+        for i in 0..4 {
+            assert_eq!(rest.decisions[i].as_ref(), sim.decision(ProcessId(i)));
+        }
+        // Without live snapshots the resume path is clone-free: dropping
+        // the outcomes and resuming again keeps the accessor coherent.
+        drop(first);
+        drop(rest);
+        let idle = sim.run(RunLimit::default());
+        assert_eq!(idle.decided_count(), 4);
+    }
+
+    #[test]
+    fn queue_depth_sampling_knob() {
+        let run_with = |every: u64| {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(3)
+                .processes((0..4).map(|_| MaxId::default()))
+                .queue_depth_sampling(every)
+                .build();
+            let out = sim.run(RunLimit::default());
+            (
+                out.metrics.histogram("queue_depth").map(|h| h.count()),
+                out.stats,
+            )
+        };
+        let (dense, stats_dense) = run_with(1);
+        let (sampled, stats_sampled) = run_with(QUEUE_DEPTH_SAMPLE_DEFAULT);
+        let (off, stats_off) = run_with(0);
+        // The knob is observability-only: the schedule is untouched.
+        assert_eq!(stats_dense, stats_sampled);
+        assert_eq!(stats_dense, stats_off);
+        let dense = dense.expect("stride 1 must record every pop");
+        assert!(dense >= 1);
+        assert!(
+            sampled.unwrap_or(0) < dense,
+            "default stride must record strictly fewer pops than stride 1"
+        );
+        assert_eq!(off, None, "stride 0 must disable the histogram");
     }
 
     #[test]

@@ -155,6 +155,18 @@ impl Trace {
         }
     }
 
+    /// Reserves capacity for at least `additional` further events.
+    ///
+    /// No-op at [`TraceLevel::Off`], where nothing is ever stored. The
+    /// engine calls this once per [`Sim::run`](crate::Sim::run) with an
+    /// estimate derived from the [`RunLimit`](crate::RunLimit), so the
+    /// event loop appends without reallocating mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.level != TraceLevel::Off {
+            self.events.reserve(additional);
+        }
+    }
+
     /// All recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

@@ -171,7 +171,7 @@ fn run_oracle_consensus(n: usize, seed: u64) -> (Vec<Option<bool>>, Vec<Vec<Roun
     let histories = (0..n)
         .map(|i| sim.process(ProcessId(i)).history().to_vec())
         .collect();
-    (out.decisions, histories)
+    (out.decisions.to_vec(), histories)
 }
 
 #[test]
