@@ -199,7 +199,10 @@ fn template_config(cfg: &BenOrConfig) -> TemplateConfig {
 /// out.
 ///
 /// # Panics
-/// Panics if `inputs.len() != cfg.n`.
+/// Panics if `inputs.len() != cfg.n`, or if `cfg.faults` schedules
+/// restarts — Ben-Or is analyzed under **crash-stop**, and a restarted
+/// process would silently resume with its full pre-crash state (see
+/// [`FaultPlan::assert_crash_stop`]).
 pub fn run_decomposed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
     run_decomposed_with(cfg, inputs, seed, None)
 }
@@ -212,6 +215,7 @@ pub fn run_decomposed_with(
     adversary: Option<Box<dyn Adversary<BenOrWire>>>,
 ) -> BenOrRun {
     assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    cfg.faults.assert_crash_stop("Ben-Or");
     let (n, t) = (cfg.n, cfg.t);
     let threshold = cfg.commit_threshold.unwrap_or(t + 1);
     let mut builder = Sim::builder(cfg.network.clone())
@@ -248,6 +252,7 @@ pub fn run_decomposed_with(
 /// price the composition.
 pub fn run_composed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
     assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    cfg.faults.assert_crash_stop("Ben-Or");
     let (n, t) = (cfg.n, cfg.t);
     type ComposedVac = TwoAcVac<VacAsAc<BenOrVac>>;
     let mut sim = Sim::builder(cfg.network.clone())
@@ -284,6 +289,7 @@ pub fn run_composed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
 /// highest round any processor reached.
 pub fn run_monolithic(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> (RunOutcome<bool>, u64) {
     assert_eq!(inputs.len(), cfg.n, "one input per processor");
+    cfg.faults.assert_crash_stop("Ben-Or");
     let mut sim = Sim::builder(cfg.network.clone())
         .seed(seed)
         .faults(cfg.faults.clone())
@@ -326,6 +332,42 @@ pub fn balanced_inputs(n: usize) -> Vec<bool> {
 mod tests {
     use super::*;
     use ooc_simnet::SimTime;
+
+    #[test]
+    #[should_panic(expected = "crash-stop protocol")]
+    fn decomposed_rejects_restart_plans() {
+        use ooc_simnet::{FaultPlan, ProcessId};
+        let cfg = BenOrConfig::new(5, 2).with_faults(
+            FaultPlan::new()
+                .crash_at(ProcessId(4), SimTime::from_ticks(10))
+                .restart_at(ProcessId(4), SimTime::from_ticks(50)),
+        );
+        let _ = run_decomposed(&cfg, &balanced_inputs(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-stop protocol")]
+    fn composed_rejects_restart_plans() {
+        use ooc_simnet::{FaultPlan, ProcessId};
+        let cfg = BenOrConfig::new(5, 2).with_faults(
+            FaultPlan::new()
+                .crash_at(ProcessId(4), SimTime::from_ticks(10))
+                .restart_at(ProcessId(4), SimTime::from_ticks(50)),
+        );
+        let _ = run_composed(&cfg, &balanced_inputs(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-stop protocol")]
+    fn monolithic_rejects_restart_plans() {
+        use ooc_simnet::{FaultPlan, ProcessId};
+        let cfg = BenOrConfig::new(5, 2).with_faults(
+            FaultPlan::new()
+                .crash_at(ProcessId(4), SimTime::from_ticks(10))
+                .restart_at(ProcessId(4), SimTime::from_ticks(50)),
+        );
+        let _ = run_monolithic(&cfg, &balanced_inputs(5), 0);
+    }
 
     #[test]
     fn decomposed_ben_or_is_correct_across_seeds() {

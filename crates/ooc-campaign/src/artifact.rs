@@ -13,6 +13,7 @@ use ooc_core::checker::{Violation, ViolationKind};
 use ooc_phase_king::Attack;
 use ooc_simnet::{
     DelayModel, FaultPlan, NetworkConfig, PartitionWindow, ProcessId, SimDuration, SimTime,
+    StoragePolicy,
 };
 
 /// Which decomposition the artifact drives.
@@ -229,6 +230,11 @@ pub struct FailureArtifact {
     /// Ben-Or only: a deliberately broken VAC commit threshold, proving
     /// the campaign catches unsafe protocols.
     pub sabotage_commit_threshold: Option<usize>,
+    /// Raft only: a uniform stable-storage crash policy for every node
+    /// (`None` ⇒ the engine default, `sync-always`). Lossy policies make
+    /// restarts forget persisted state, which is how the campaign
+    /// manufactures real double-vote Election Safety violations.
+    pub storage_policy: Option<StoragePolicy>,
     /// The violation this artifact reproduces (filled in by the sweep).
     pub violation: Option<ViolationSummary>,
 }
@@ -289,6 +295,9 @@ impl FailureArtifact {
         fields.push(("adversary".into(), adversary_to_json(self.adversary)));
         if let Some(th) = self.sabotage_commit_threshold {
             fields.push(("sabotage_commit_threshold".into(), Json::U64(th as u64)));
+        }
+        if let Some(policy) = self.storage_policy {
+            fields.push(("storage_policy".into(), Json::Str(policy.name().into())));
         }
         if let Some(v) = &self.violation {
             fields.push((
@@ -359,6 +368,13 @@ impl FailureArtifact {
         let adversary = adversary_from_json(json.get("adversary"))?;
         let sabotage_commit_threshold =
             json.get("sabotage_commit_threshold").and_then(Json::as_usize);
+        let storage_policy = match json.get("storage_policy").and_then(Json::as_str) {
+            Some(name) => Some(
+                StoragePolicy::from_name(name)
+                    .ok_or_else(|| format!("unknown storage_policy {name:?}"))?,
+            ),
+            None => None,
+        };
         let violation = json.get("violation").map(|v| {
             ViolationSummary {
                 kind: v
@@ -388,6 +404,7 @@ impl FailureArtifact {
             faults,
             adversary,
             sabotage_commit_threshold,
+            storage_policy,
             violation,
         })
     }
@@ -695,6 +712,7 @@ mod tests {
                 slow_ticks: 40,
             },
             sabotage_commit_threshold: Some(2),
+            storage_policy: Some(StoragePolicy::Amnesia),
             violation: Some(ViolationSummary {
                 kind: "agreement".into(),
                 round: Some(3),
@@ -729,11 +747,36 @@ mod tests {
             faults: vec![FaultSpec::CrashAtRound { p: 3, round: 4 }],
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
+            storage_policy: None,
             violation: None,
         };
         let back = FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
         assert_eq!(back, art);
         assert_eq!(back.parse_attack(), Attack::Fixed(1));
+    }
+
+    #[test]
+    fn storage_policy_round_trips_and_rejects_unknown_names() {
+        for policy in StoragePolicy::ALL {
+            let mut art = sample();
+            art.storage_policy = Some(policy);
+            let back = FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
+            assert_eq!(back.storage_policy, Some(policy));
+        }
+        // An artifact written before storage faults existed has no
+        // "storage_policy" field and must still parse (backward compat).
+        let mut art = sample();
+        art.storage_policy = None;
+        let text = art.to_string_pretty();
+        assert!(!text.contains("storage_policy"));
+        assert_eq!(
+            FailureArtifact::from_json_str(&text).expect("parse").storage_policy,
+            None
+        );
+        let bad = text.replace("\"sabotage_commit_threshold\": 2", "\"storage_policy\": \"fsync-maybe\", \"sabotage_commit_threshold\": 2");
+        assert!(FailureArtifact::from_json_str(&bad)
+            .unwrap_err()
+            .contains("unknown storage_policy"));
     }
 
     #[test]

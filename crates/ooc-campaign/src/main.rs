@@ -4,7 +4,8 @@ use ooc_campaign::artifact::{Algorithm, FailureArtifact};
 use ooc_campaign::parallel::{default_jobs, run_all};
 use ooc_campaign::report::{collect_reports_jobs, report_json};
 use ooc_campaign::shrink::{shrink, size_of};
-use ooc_campaign::sweep::sweep_jobs;
+use ooc_campaign::sweep::{sweep_jobs, sweep_storage_jobs, SweepReport};
+use ooc_simnet::StoragePolicy;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,6 +30,7 @@ usage: ooc-campaign <command> [options]
 commands:
   sweep  [--algorithm ben-or|phase-king|raft|all] [--combos N]
          [--jobs N] [--out DIR] [--sabotage] [--shrink]
+         [--storage sync-always|lose-unsynced|torn-last-write|amnesia]
       Run the fault-injection campaign (default: all algorithms,
       1000 combos each). Violations are written to DIR (default
       campaign-artifacts/) as re-runnable JSON artifacts; --shrink
@@ -36,6 +38,13 @@ commands:
       off-by-one commit threshold to prove the pipeline catches it.
       Exits non-zero if any SAFETY violation was found (unless
       --sabotage asked for one).
+      --storage POLICY instead sweeps the Raft durability grid
+      (crash-a-voter schedules) with every node's stable storage
+      under POLICY. Policies that can lose a synced-in-spirit
+      hardstate record (amnesia, lose-unsynced) are EXPECTED to
+      produce double-vote safety violations; sync-always and
+      torn-last-write must stay clean. The exit code asserts that
+      expectation in both directions.
 
   report [--algorithm ben-or|phase-king|raft|all] [--combos N]
          [--jobs N] [--out FILE]
@@ -117,46 +126,24 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let do_shrink = has_flag(args, "--shrink");
     let jobs = parse_jobs(args);
 
+    if let Some(name) = parse_flag(args, "--storage") {
+        let Some(policy) = StoragePolicy::from_name(name) else {
+            eprintln!(
+                "unknown storage policy {name:?} \
+                 (sync-always|lose-unsynced|torn-last-write|amnesia)"
+            );
+            return ExitCode::from(2);
+        };
+        return cmd_sweep_storage(policy, combos, &out_dir, do_shrink, jobs);
+    }
+
     let mut any_safety = false;
     for alg in algorithms {
         let report = sweep_jobs(alg, combos, sabotage, jobs);
         println!("{}", report.summary());
         any_safety |= !report.safety.is_empty();
-        for (i, art) in report
-            .safety
-            .iter()
-            .chain(report.liveness.iter())
-            .enumerate()
-        {
-            let art = if do_shrink {
-                match shrink(art) {
-                    Some(r) => {
-                        println!(
-                            "  shrunk artifact {} in {} steps ({} probe runs), size {} -> {}",
-                            i,
-                            r.steps,
-                            r.runs,
-                            size_of(art),
-                            size_of(&r.artifact)
-                        );
-                        r.artifact
-                    }
-                    None => art.clone(),
-                }
-            } else {
-                art.clone()
-            };
-            let path = out_dir.join(format!("{}-{:04}.json", alg.name(), i));
-            if let Err(e) = write_artifact(&path, &art) {
-                eprintln!("  failed to write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-            let what = art
-                .violation
-                .as_ref()
-                .map(|v| v.kind.clone())
-                .unwrap_or_else(|| "unknown".into());
-            println!("  wrote {} ({what})", path.display());
+        if let Err(code) = write_flagged(&report, &out_dir, do_shrink, alg.name()) {
+            return code;
         }
     }
     // With sabotage we *expect* safety violations; without, any safety
@@ -170,6 +157,94 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The `sweep --storage POLICY` path: run the Raft durability grid and
+/// hold the outcome against what the policy is *supposed* to do.
+fn cmd_sweep_storage(
+    policy: StoragePolicy,
+    combos: usize,
+    out_dir: &Path,
+    do_shrink: bool,
+    jobs: usize,
+) -> ExitCode {
+    let report = sweep_storage_jobs(combos, policy, jobs);
+    println!("storage={}: {}", policy.name(), report.summary());
+    let prefix = format!("raft-storage-{}", policy.name());
+    if let Err(code) = write_flagged(&report, out_dir, do_shrink, &prefix) {
+        return code;
+    }
+    // Only policies that can drop the hardstate record entirely make a
+    // recovered node forget which term it voted in; torn-last-write
+    // truncates the final record but recovery falls back to the earlier
+    // term-adoption record, so the node re-campaigns in a *fresh* term.
+    let expect_dirty = matches!(
+        policy,
+        StoragePolicy::Amnesia | StoragePolicy::LoseUnsynced
+    );
+    let dirty = !report.safety.is_empty();
+    if dirty != expect_dirty {
+        if expect_dirty {
+            eprintln!(
+                "storage sweep under {} failed to surface a double-vote",
+                policy.name()
+            );
+        } else {
+            eprintln!(
+                "SAFETY VIOLATION under {} — artifacts written above",
+                policy.name()
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes every flagged artifact of `report` (shrunk first when asked)
+/// into `out_dir` as `<prefix>-NNNN.json`.
+fn write_flagged(
+    report: &SweepReport,
+    out_dir: &Path,
+    do_shrink: bool,
+    prefix: &str,
+) -> Result<(), ExitCode> {
+    for (i, art) in report
+        .safety
+        .iter()
+        .chain(report.liveness.iter())
+        .enumerate()
+    {
+        let art = if do_shrink {
+            match shrink(art) {
+                Some(r) => {
+                    println!(
+                        "  shrunk artifact {} in {} steps ({} probe runs), size {} -> {}",
+                        i,
+                        r.steps,
+                        r.runs,
+                        size_of(art),
+                        size_of(&r.artifact)
+                    );
+                    r.artifact
+                }
+                None => art.clone(),
+            }
+        } else {
+            art.clone()
+        };
+        let path = out_dir.join(format!("{prefix}-{i:04}.json"));
+        if let Err(e) = write_artifact(&path, &art) {
+            eprintln!("  failed to write {}: {e}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        let what = art
+            .violation
+            .as_ref()
+            .map(|v| v.kind.clone())
+            .unwrap_or_else(|| "unknown".into());
+        println!("  wrote {} ({what})", path.display());
+    }
+    Ok(())
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {

@@ -6,13 +6,14 @@
 use crate::adversaries::{LeaderFlapAdversary, SplitVoteAdversary};
 use crate::artifact::{
     faults_to_plan, faults_to_round_crashes, AdversarySpec, Algorithm, FailureArtifact,
+    FaultSpec,
 };
 use ooc_ben_or::{run_decomposed_with, BenOrConfig, BenOrWire};
 use ooc_core::checker::Violation;
 use ooc_core::{BudgetSpent, RunBudget};
 use ooc_phase_king::{run_phase_king_with_crashes, PhaseKingConfig};
 use ooc_raft::{run_raft_with, RaftClusterConfig, RaftMsg};
-use ooc_simnet::{Adversary, NetworkConfig, RunLimit, SimTime};
+use ooc_simnet::{Adversary, NetworkConfig, RunLimit, SimTime, StorageFaultPlan};
 // ooc-lint::allow(determinism/wall-clock, "measures host-side campaign wall time, not simulated time")
 use std::time::Instant;
 
@@ -135,6 +136,12 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
 }
 
 fn run_phase_king_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
+    // Phase-King is analyzed under crash-stop: a revived process makes no
+    // sense in the synchronous model, so reject artifacts that try.
+    assert!(
+        artifact.faults.iter().all(FaultSpec::is_crash),
+        "Phase-King is a crash-stop protocol: artifact restart-at faults are not supported"
+    );
     // ooc-lint::allow(determinism/wall-clock, "campaign duration reporting only; never feeds the schedule")
     let started = Instant::now();
     let byzantine = artifact.byzantine.unwrap_or(artifact.t);
@@ -178,12 +185,15 @@ fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
     // ooc-lint::allow(determinism/wall-clock, "campaign duration reporting only; never feeds the schedule")
     let started = Instant::now();
     let budget = artifact_budget(artifact);
-    let cfg = RaftClusterConfig {
+    let mut cfg = RaftClusterConfig {
         max_time: SimTime::from_ticks(artifact.max_ticks.max(1)),
         ..RaftClusterConfig::new(artifact.n)
     }
     .with_network(network_of(artifact))
     .with_faults(faults_to_plan(&artifact.faults));
+    if let Some(policy) = artifact.storage_policy {
+        cfg = cfg.with_storage(StorageFaultPlan::uniform(policy));
+    }
     let adversary: Option<Box<dyn Adversary<RaftMsg>>> = match artifact.adversary {
         AdversarySpec::LeaderFlap {
             isolation_ticks,
@@ -252,6 +262,7 @@ mod tests {
             faults: vec![],
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
+            storage_policy: None,
             violation: None,
         }
     }
@@ -334,10 +345,37 @@ mod tests {
             ],
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
+            storage_policy: None,
             violation: None,
         };
         let out = run_artifact(&art);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-stop protocol")]
+    fn phase_king_artifact_rejects_restarts() {
+        let art = FailureArtifact {
+            algorithm: Algorithm::PhaseKing,
+            n: 7,
+            t: 2,
+            byzantine: Some(0),
+            attack: None,
+            seed: 3,
+            inputs: vec![0, 1, 0, 1, 0, 1, 0],
+            max_rounds: 6,
+            max_ticks: 0,
+            network: None,
+            faults: vec![
+                FaultSpec::CrashAtRound { p: 0, round: 1 },
+                FaultSpec::RestartAt { p: 0, tick: 50 },
+            ],
+            adversary: AdversarySpec::None,
+            sabotage_commit_threshold: None,
+            storage_policy: None,
+            violation: None,
+        };
+        let _ = run_artifact(&art);
     }
 
     #[test]
@@ -359,6 +397,7 @@ mod tests {
                 max_flaps: 3,
             },
             sabotage_commit_threshold: None,
+            storage_policy: None,
             violation: None,
         };
         let out = run_artifact(&art);

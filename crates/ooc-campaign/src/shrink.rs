@@ -109,6 +109,16 @@ fn candidates(art: &FailureArtifact) -> Vec<FailureArtifact> {
         out.push(c);
     }
 
+    // Drop the storage-fault policy (revert to implicit sync-always).
+    // For genuine durability violations this candidate is rejected —
+    // with synced storage the recovered node cannot double-vote — so
+    // the minimal artifact keeps the lossy policy that caused it.
+    if art.storage_policy.is_some() {
+        let mut c = art.clone();
+        c.storage_policy = None;
+        out.push(c);
+    }
+
     // Partitions: drop each window, then halve each window's length.
     if let Some(net) = &art.network {
         for i in 0..net.partitions.len() {
@@ -206,6 +216,7 @@ pub fn size_of(art: &FailureArtifact) -> usize {
             .map(|net| net.partitions.len())
             .unwrap_or(0)
         + usize::from(art.adversary != crate::artifact::AdversarySpec::None)
+        + usize::from(art.storage_policy.is_some())
 }
 
 #[cfg(test)]
@@ -235,6 +246,7 @@ mod tests {
                     slow_ticks: 25,
                 },
                 sabotage_commit_threshold: Some(3),
+                storage_policy: None,
                 violation: None,
             };
             let out = run_artifact(&art);
@@ -243,6 +255,35 @@ mod tests {
             }
         }
         panic!("no sabotaged failure found in 300 seeds");
+    }
+
+    #[test]
+    fn shrunk_durability_artifact_keeps_its_lossy_policy() {
+        use ooc_simnet::StoragePolicy;
+        let report = crate::sweep::sweep_storage_jobs(96, StoragePolicy::Amnesia, 2);
+        let art = report.safety.first().expect("amnesia grid finds a double-vote");
+        let shrunk = shrink(art).expect("reproduces, so it shrinks");
+        assert_eq!(
+            shrunk.artifact.storage_policy,
+            Some(StoragePolicy::Amnesia),
+            "the drop-policy candidate must be rejected: under sync-always \
+             the revived node remembers its ballot and cannot double-vote"
+        );
+        assert!(size_of(&shrunk.artifact) <= size_of(art));
+        let kind = shrunk
+            .artifact
+            .violation
+            .as_ref()
+            .expect("summary refreshed")
+            .kind
+            .clone();
+        assert!(
+            run_artifact(&shrunk.artifact)
+                .violations
+                .iter()
+                .any(|v| kind_name(v.kind) == kind),
+            "minimized durability artifact must still reproduce"
+        );
     }
 
     #[test]
@@ -261,6 +302,7 @@ mod tests {
             faults: vec![],
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
+            storage_policy: None,
             violation: None,
         };
         assert!(shrink(&art).is_none());

@@ -12,7 +12,7 @@ use crate::artifact::{
 use crate::adversaries::king_crash_schedule;
 use crate::parallel::run_all;
 use ooc_phase_king::{Attack, PhaseKingConfig};
-use ooc_simnet::{DelayModel, NetworkConfig, PartitionWindow, ProcessId, SimTime};
+use ooc_simnet::{DelayModel, NetworkConfig, PartitionWindow, ProcessId, SimTime, StoragePolicy};
 
 /// Everything a sweep over one algorithm produced.
 #[derive(Debug)]
@@ -62,6 +62,12 @@ pub fn sweep_jobs(algorithm: Algorithm, target: usize, sabotage: bool, jobs: usi
     } else {
         grid(algorithm, target)
     };
+    collect_report(algorithm, grid, jobs)
+}
+
+/// Executes a materialized grid and sorts the outcomes into a report —
+/// the shared tail of every sweep entry point.
+fn collect_report(algorithm: Algorithm, grid: Vec<FailureArtifact>, jobs: usize) -> SweepReport {
     let outcomes = run_all(&grid, jobs);
     let mut report = SweepReport {
         algorithm,
@@ -158,20 +164,16 @@ fn ben_or_grid(target: usize, sabotage: bool) -> Vec<FailureArtifact> {
     let mut seed = 0u64;
     while grid.len() < target {
         for &(n, t) in &sizes {
+            // Crash-only plans: Ben-Or is crash-stop and its harness
+            // rejects restart schedules (FaultPlan::assert_crash_stop).
             let fault_menu: [Vec<FaultSpec>; 4] = [
                 vec![],
                 crash_tail_specs(n, 1, 60),
                 crash_tail_specs(n, t, 60),
-                vec![
-                    FaultSpec::CrashAt {
-                        p: n - 1,
-                        tick: 40,
-                    },
-                    FaultSpec::RestartAt {
-                        p: n - 1,
-                        tick: 400,
-                    },
-                ],
+                vec![FaultSpec::CrashAfterEvents {
+                    p: n - 1,
+                    events: 9,
+                }],
             ];
             for network in &networks {
                 for faults in &fault_menu {
@@ -190,6 +192,7 @@ fn ben_or_grid(target: usize, sabotage: bool) -> Vec<FailureArtifact> {
                             faults: faults.clone(),
                             adversary,
                             sabotage_commit_threshold: sabotage.then_some(t),
+                            storage_policy: None,
                             violation: None,
                         });
                     }
@@ -256,6 +259,7 @@ fn phase_king_grid(target: usize) -> Vec<FailureArtifact> {
                         faults,
                         adversary: AdversarySpec::None,
                         sabotage_commit_threshold: None,
+                        storage_policy: None,
                         violation: None,
                     });
                 }
@@ -317,6 +321,7 @@ fn raft_grid(target: usize) -> Vec<FailureArtifact> {
                             faults: faults.clone(),
                             adversary,
                             sabotage_commit_threshold: None,
+                            storage_policy: None,
                             violation: None,
                         });
                     }
@@ -326,6 +331,98 @@ fn raft_grid(target: usize) -> Vec<FailureArtifact> {
         seed += 1;
     }
     grid
+}
+
+/// The Raft **durability grid**: crash-a-voter schedules with every node
+/// under the given uniform [`StoragePolicy`].
+///
+/// Each combination permanently crashes the tail `t` nodes (so no quorum
+/// can commit — and end the run — while the victim is down), crashes one
+/// early node a few handler invocations after it casts its first-term
+/// ballot, revives it later, and *isolates the revived node* so its
+/// election timer must fire before it hears the cluster's current term.
+/// Under `sync-always` the revived node remembers its term and ballot, so
+/// its forced candidacy moves to a fresh term and the grid stays clean;
+/// under a lossy policy the hardstate record is gone, the node restarts
+/// at term zero, and its candidacy re-votes in a term it already voted
+/// in — a genuine double-vote the [`ooc_raft::DurabilityChecker`] flags.
+/// Once the isolation window lifts, the revived victim restores the
+/// quorum and every live node still decides.
+pub fn raft_durability_grid(target: usize, policy: StoragePolicy) -> Vec<FailureArtifact> {
+    let sizes = [3usize, 5];
+    let networks = [
+        NetworkConfig::reliable(2),
+        NetworkConfig::lossy(1, 10, 0.1),
+        uniform_net(1, 25),
+    ];
+    // Callback #1 is `on_start` and #2 is typically the first
+    // `RequestVote`, so a threshold of 2 kills a granter right after its
+    // ballot and *before* it acks the new leader's first log entry —
+    // otherwise that ack lets the survivors commit and the run can end
+    // before the victim's restart tick.
+    let events_menu = [2u64, 3, 4, 6];
+    let restart_ticks = [420u64, 650];
+    /// How long the revived victim stays partitioned away — long enough
+    /// for at least one post-restart election timeout to fire.
+    const ISOLATION_TICKS: u64 = 600;
+    let mut grid = Vec::new();
+    while grid.len() < target {
+        for &n in &sizes {
+            for network in &networks {
+                for &events in &events_menu {
+                    for &restart in &restart_ticks {
+                        // Crash the two lowest ids in turn: with fresh
+                        // timers everywhere, low ids are as likely as any
+                        // to be the first voters. Every combination gets
+                        // its own seed so a single pass already samples
+                        // many first-candidate orderings.
+                        for victim in [0usize, 1] {
+                            let t = (n - 1) / 2;
+                            let mut net = network.clone();
+                            net.partitions.push(PartitionWindow {
+                                from: SimTime::from_ticks(restart),
+                                until: SimTime::from_ticks(restart + ISOLATION_TICKS),
+                                groups: vec![
+                                    (0..n - t)
+                                        .filter(|&p| p != victim)
+                                        .map(ProcessId)
+                                        .collect(),
+                                ],
+                            });
+                            let mut faults = crash_tail_specs(n, t, 5);
+                            faults.push(FaultSpec::CrashAfterEvents { p: victim, events });
+                            faults.push(FaultSpec::RestartAt { p: victim, tick: restart });
+                            grid.push(FailureArtifact {
+                                algorithm: Algorithm::Raft,
+                                n,
+                                t,
+                                byzantine: None,
+                                attack: None,
+                                seed: grid.len() as u64,
+                                inputs: (1..=n as u64).collect(),
+                                max_rounds: 10_000,
+                                max_ticks: 2_000_000,
+                                network: Some(net),
+                                faults,
+                                adversary: AdversarySpec::None,
+                                sabotage_commit_threshold: None,
+                                storage_policy: Some(policy),
+                                violation: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Sweeps the [`raft_durability_grid`] under `policy` on up to `jobs`
+/// workers; the report inherits the byte-identity guarantee of
+/// [`sweep_jobs`].
+pub fn sweep_storage_jobs(target: usize, policy: StoragePolicy, jobs: usize) -> SweepReport {
+    collect_report(Algorithm::Raft, raft_durability_grid(target, policy), jobs)
 }
 
 #[cfg(test)]
@@ -404,4 +501,73 @@ mod tests {
             replay.violations
         );
     }
+
+    #[test]
+    fn amnesia_durability_sweep_surfaces_double_votes() {
+        let report = sweep_storage_jobs(96, StoragePolicy::Amnesia, 2);
+        assert!(
+            !report.safety.is_empty(),
+            "the amnesia grid must manufacture at least one double-vote"
+        );
+        for art in &report.safety {
+            let summary = art.violation.as_ref().expect("summary recorded");
+            assert!(
+                summary.detail.contains("durability"),
+                "expected a durability double-vote, got {summary:?}"
+            );
+            assert_eq!(art.storage_policy, Some(StoragePolicy::Amnesia));
+        }
+        // Every flagged artifact replays to the same violation,
+        // deterministically.
+        let art = &report.safety[0];
+        let summary = art.violation.clone().expect("summary recorded");
+        for _ in 0..2 {
+            let replay = run_artifact(art);
+            assert!(
+                replay.violations.iter().any(|v| {
+                    crate::artifact::kind_name(v.kind) == summary.kind
+                        && v.detail == summary.detail
+                }),
+                "replay must reproduce {summary:?}, got {:?}",
+                replay.violations
+            );
+        }
+    }
+
+    #[test]
+    fn sync_always_durability_sweep_is_clean() {
+        // The identical crash/restart/isolation schedules, with storage
+        // that honors every write: no double-votes, no stalls.
+        let report = sweep_storage_jobs(96, StoragePolicy::SyncAlways, 2);
+        assert!(
+            report.safety.is_empty(),
+            "synced storage must survive the durability grid: {:?}",
+            report.safety.first().map(|a| &a.violation)
+        );
+        assert!(
+            report.liveness.is_empty(),
+            "the durability grid must still terminate under sync-always: {:?}",
+            report.liveness.first().map(|a| &a.violation)
+        );
+    }
+
+    #[test]
+    fn parallel_storage_sweep_is_byte_identical_to_serial() {
+        let serial = sweep_storage_jobs(96, StoragePolicy::Amnesia, 1);
+        let parallel = sweep_storage_jobs(96, StoragePolicy::Amnesia, 4);
+        assert!(
+            !serial.safety.is_empty(),
+            "amnesia must be caught so the comparison is non-vacuous"
+        );
+        assert_eq!(serial.total, parallel.total);
+        let render = |r: &SweepReport| -> Vec<String> {
+            r.safety
+                .iter()
+                .chain(r.liveness.iter())
+                .map(|a| a.to_string_pretty())
+                .collect()
+        };
+        assert_eq!(render(&serial), render(&parallel));
+    }
 }
+

@@ -8,7 +8,8 @@
 //! a test that speaks the checker vocabulary: the implementor's name must
 //! appear in some file under `tests/` or `crates/*/tests/` that also
 //! references the checker pipeline (`check_*`, `RoundOutcomes`,
-//! `AcOutcome`, `VacOutcome`, or `Violation`).
+//! `AcOutcome`, `VacOutcome`, `Violation`, or the crash-recovery
+//! `DurabilityChecker`).
 
 use crate::report::Finding;
 use crate::rules::{impl_heads, Rule};
@@ -106,7 +107,11 @@ fn speaks_checker(file: &SourceFile) -> bool {
             name.starts_with("check_")
                 || matches!(
                     name,
-                    "RoundOutcomes" | "AcOutcome" | "VacOutcome" | "Violation"
+                    "RoundOutcomes"
+                        | "AcOutcome"
+                        | "VacOutcome"
+                        | "Violation"
+                        | "DurabilityChecker"
                 )
         }
         None => false,

@@ -28,8 +28,14 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// Individual modules inside tooling crates that are nevertheless bound
 /// by the determinism contract. The parallel campaign executor promises
 /// byte-identical output for every `--jobs` value, which makes it
-/// deterministic code living in a measurement crate.
-pub const DETERMINISTIC_MODULES: &[&str] = &["crates/ooc-campaign/src/parallel.rs"];
+/// deterministic code living in a measurement crate. The stable-storage
+/// model is listed explicitly too: it is already covered via
+/// [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but pinning the path keeps
+/// crash-recovery semantics in scope even if the crate list changes.
+pub const DETERMINISTIC_MODULES: &[&str] = &[
+    "crates/ooc-campaign/src/parallel.rs",
+    "crates/ooc-simnet/src/storage.rs",
+];
 
 /// One scanned source file, fully lexed and annotated.
 #[derive(Debug)]

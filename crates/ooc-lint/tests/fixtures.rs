@@ -347,6 +347,23 @@ fn checker_coverage_negative_when_checker_tested() {
 }
 
 #[test]
+fn checker_coverage_accepts_the_durability_checker_vocabulary() {
+    // A tests/ file that exercises the type through the crash-recovery
+    // `DurabilityChecker` speaks the checker vocabulary just as the §2
+    // round checkers do.
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source("crates/ooc-core/src/o.rs", "ooc-core", PUBLIC_OBJECT),
+        SourceFile::from_source(
+            "crates/ooc-core/tests/o.rs",
+            "ooc-core",
+            "#[test]\nfn durable() { let o = Orphan; \
+             assert!(DurabilityChecker::check(&events).is_empty()); }\n",
+        ),
+    ]));
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
 fn checker_coverage_suppressed() {
     let src = PUBLIC_OBJECT.replace(
         "impl AcObject for Orphan {",

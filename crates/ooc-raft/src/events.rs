@@ -6,6 +6,7 @@
 
 use crate::types::{LogIndex, Term};
 use ooc_core::Confidence;
+use ooc_simnet::ProcessId;
 use serde::{Deserialize, Serialize};
 
 /// One observable step of a node's execution.
@@ -27,6 +28,17 @@ pub enum RaftEvent {
     SteppedDown {
         /// The newer term observed.
         term: Term,
+    },
+    /// The node granted its vote — the observable write of `VotedFor`.
+    ///
+    /// The [`DurabilityChecker`](crate::DurabilityChecker) folds these
+    /// per node: two grants to *different* candidates in one term mean
+    /// the `VotedFor` record did not survive a crash.
+    VoteGranted {
+        /// The term the vote belongs to.
+        term: Term,
+        /// The candidate the vote went to.
+        candidate: ProcessId,
     },
     /// The node's commit index advanced.
     Committed {

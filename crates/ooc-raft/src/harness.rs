@@ -1,6 +1,7 @@
 //! Seeded experiment runners for Raft — shared by the integration tests
 //! and the `ooc-bench` tables (T1, T6).
 
+use crate::durable::DurabilityChecker;
 use crate::events::RaftEvent;
 use crate::message::RaftMsg;
 use crate::node::{RaftConfig, RaftNode};
@@ -9,6 +10,7 @@ use crate::vac_view;
 use ooc_core::checker::{check_consensus, Violation, ViolationKind};
 use ooc_simnet::{
     Adversary, FaultPlan, NetworkConfig, ProcessId, RunLimit, RunOutcome, Sim, SimTime,
+    StorageFaultPlan,
 };
 use std::collections::BTreeMap;
 
@@ -23,6 +25,8 @@ pub struct RaftClusterConfig {
     pub network: NetworkConfig,
     /// Crash/restart schedule.
     pub faults: FaultPlan,
+    /// Per-node stable-storage crash policies.
+    pub storage: StorageFaultPlan,
     /// Simulated-time budget.
     pub max_time: SimTime,
 }
@@ -35,6 +39,7 @@ impl RaftClusterConfig {
             raft: RaftConfig::default(),
             network: NetworkConfig::reliable(5),
             faults: FaultPlan::default(),
+            storage: StorageFaultPlan::default(),
             max_time: SimTime::from_ticks(1_000_000),
         }
     }
@@ -54,6 +59,12 @@ impl RaftClusterConfig {
     /// Replaces the fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replaces the storage-fault plan.
+    pub fn with_storage(mut self, storage: StorageFaultPlan) -> Self {
+        self.storage = storage;
         self
     }
 }
@@ -89,8 +100,9 @@ impl RaftRun {
 /// consensus agreement + validity, **Election Safety** (≤ 1 leader per
 /// term), **Log Matching** over final logs, **Leader Completeness**
 /// (committed entries appear in later leaders' logs), **State Machine
-/// Safety** (applied index/value pairs agree), and the paper's VAC
-/// coherence laws over the Algorithm-10 records.
+/// Safety** (applied index/value pairs agree), the paper's VAC
+/// coherence laws over the Algorithm-10 records, and the
+/// [`DurabilityChecker`]'s no-double-vote contract.
 ///
 /// # Panics
 /// Panics if `inputs.len() != cfg.n`.
@@ -111,6 +123,7 @@ pub fn run_raft_with(
     let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
         .faults(cfg.faults.clone())
+        .storage(cfg.storage.clone())
         .processes(inputs.iter().map(|&v| RaftNode::new(v, cfg.raft)));
     if let Some(adv) = adversary {
         builder = builder.adversary(adv);
@@ -249,6 +262,10 @@ pub fn run_raft_with(
     violations.extend(vac_view::check_vac_coherence(&outcomes));
     violations.extend(vac_view::check_commit_agreement(&outcomes));
 
+    // Durability: no node granted its vote to two candidates in one term
+    // (possible only when a lossy StoragePolicy erased VotedFor).
+    violations.extend(DurabilityChecker::check(&events));
+
     // Election latency metrics, from per-node instrumentation.
     let first_leader_at = (0..cfg.n)
         .filter_map(|i| sim.process(ProcessId(i)).first_led_at())
@@ -344,6 +361,26 @@ mod tests {
             // one of its own values.
             let v = run.outcome.decided_value().unwrap();
             assert!([3, 4, 5].contains(&v), "seed {seed}: majority value, got {v}");
+        }
+    }
+
+    #[test]
+    fn explicit_sync_always_plan_matches_default_run() {
+        use ooc_simnet::StoragePolicy;
+        let base = RaftClusterConfig::new(3).with_faults(
+            FaultPlan::new()
+                .crash_at(ProcessId(2), SimTime::from_ticks(400))
+                .restart_at(ProcessId(2), SimTime::from_ticks(1200)),
+        );
+        let explicit = base
+            .clone()
+            .with_storage(StorageFaultPlan::uniform(StoragePolicy::SyncAlways));
+        for seed in 0..3 {
+            let a = run_raft(&base, &[1, 2, 3], seed);
+            let b = run_raft(&explicit, &[1, 2, 3], seed);
+            assert_eq!(a.outcome.decisions, b.outcome.decisions, "seed {seed}");
+            assert_eq!(a.events, b.events, "seed {seed}");
+            assert!(a.violations.is_empty(), "seed {seed}: {:?}", a.violations);
         }
     }
 

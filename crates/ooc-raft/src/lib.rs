@@ -12,6 +12,11 @@
 //!   ([`message`]), node state exactly as **Figure 2** ([`state`]), log
 //!   replication with `NextIndex`/`MatchIndex` backtracking, commit-index
 //!   advancement, crash/restart with persistent state — Algorithms 7–9.
+//! * [`durable`] — the on-"disk" encoding of that persistent state over
+//!   the simulator's [`StableStore`](ooc_simnet::StableStore), WAL-style
+//!   recovery that tolerates torn final records, and the
+//!   [`DurabilityChecker`] that flags double votes when a lossy
+//!   [`StoragePolicy`](ooc_simnet::StoragePolicy) erases `VotedFor`.
 //! * [`vac_view`] — the decomposition: every node records its per-term
 //!   `(X, σ)` transitions per **Algorithm 10** (vacillate on election,
 //!   adopt on first-kind `AppendEntries` / on winning an election, commit
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod decentralized;
+pub mod durable;
 pub mod events;
 pub mod harness;
 pub mod log;
@@ -53,6 +59,7 @@ pub mod state;
 pub mod types;
 pub mod vac_view;
 
+pub use durable::DurabilityChecker;
 pub use events::RaftEvent;
 pub use harness::{run_raft, run_raft_with, RaftClusterConfig, RaftRun};
 pub use log::RaftLog;

@@ -8,6 +8,7 @@
 //! everything after it. Terms play the role of template rounds; the
 //! randomized election timer is the reconciliator (Algorithm 11).
 
+use crate::durable;
 use crate::events::RaftEvent;
 use crate::message::{AckAppendEntries, AckRequestVote, AppendEntries, RaftMsg, RequestVote};
 use crate::state::{LeaderState, PersistentState, Role, VolatileState};
@@ -49,6 +50,17 @@ impl RaftConfig {
 type Ctx<'a, 'b> = Context<'b, RaftMsg, u64>;
 
 /// A Raft processor proposing `input` through the `D&S` reduction.
+///
+/// Persistence: every mutation of [`PersistentState`] is written through
+/// the [`durable`] codecs to the process's simulated stable storage, but
+/// the node never issues an explicit
+/// [`sync_storage`](ooc_simnet::Context::sync_storage) — it models a
+/// deployment that trusts the OS to flush. Under the default
+/// [`SyncAlways`](ooc_simnet::StoragePolicy::SyncAlways) policy that
+/// trust is justified and restarts recover full state; under a lossy
+/// policy the `VotedFor` record can vanish in a crash, re-enabling the
+/// double-vote that breaks Election Safety (see
+/// [`DurabilityChecker`](crate::DurabilityChecker)).
 #[derive(Debug)]
 pub struct RaftNode {
     config: RaftConfig,
@@ -176,6 +188,7 @@ impl RaftNode {
     fn step_down(&mut self, term: Term, ctx: &mut Ctx<'_, '_>) {
         self.persistent.current_term = term;
         self.persistent.voted_for = None;
+        durable::persist_hardstate(ctx, &self.persistent);
         if self.volatile.role != Role::Follower {
             self.events.push(RaftEvent::SteppedDown { term });
         }
@@ -193,11 +206,19 @@ impl RaftNode {
     fn start_election(&mut self, ctx: &mut Ctx<'_, '_>) {
         self.persistent.current_term = self.persistent.current_term.next();
         self.persistent.voted_for = Some(ctx.me());
+        durable::persist_hardstate(ctx, &self.persistent);
         self.volatile.role = Role::Candidate;
         self.votes.clear();
         self.votes.insert(ctx.me());
         self.events.push(RaftEvent::ElectionStarted {
             term: self.persistent.current_term,
+        });
+        // A candidacy casts a VotedFor=self ballot; record it like any
+        // other grant so the `DurabilityChecker` can compare it against
+        // ballots the node cast before a crash.
+        self.events.push(RaftEvent::VoteGranted {
+            term: self.persistent.current_term,
+            candidate: ctx.me(),
         });
         self.record_vac(Confidence::Vacillate);
         self.reset_election_timer(ctx);
@@ -238,6 +259,7 @@ impl RaftNode {
                 term: self.persistent.current_term,
                 command: DecideAndStop(v_star),
             });
+            durable::persist_log(ctx, &self.persistent);
         }
         let me = ctx.me().index();
         self.leader.match_index[me] = self.persistent.log.last_index();
@@ -355,6 +377,11 @@ impl RaftNode {
             && up_to_date;
         if grant {
             self.persistent.voted_for = Some(rv.candidate_id);
+            durable::persist_hardstate(ctx, &self.persistent);
+            self.events.push(RaftEvent::VoteGranted {
+                term: self.persistent.current_term,
+                candidate: rv.candidate_id,
+            });
             self.reset_election_timer(ctx);
         }
         ctx.send(
@@ -425,6 +452,7 @@ impl RaftNode {
         let had_entries = !ae.entries.is_empty();
         let last_new = self.persistent.log.install(ae.prev_log_index, &ae.entries);
         if had_entries {
+            durable::persist_log(ctx, &self.persistent);
             // §4.3 amendment 1: accepting a first-kind AppendEntries sets
             // (X, v) ← (adopt, log[last].value).
             self.record_vac(Confidence::Adopt);
@@ -527,6 +555,7 @@ impl Process for RaftNode {
                         term: self.persistent.current_term,
                         command: DecideAndStop(cmd),
                     });
+                    durable::persist_log(ctx, &self.persistent);
                     let me = ctx.me().index();
                     self.leader.match_index[me] = idx;
                     self.leader.next_index[me] = idx.next();
@@ -538,8 +567,12 @@ impl Process for RaftNode {
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, '_>) {
-        // Persistent state survives; volatile state is rebuilt
-        // (Figure 2's split). Pending timers died with the crash.
+        // Figure 2's split, taken literally: persistent state is whatever
+        // stable storage still holds (under SyncAlways that is everything
+        // ever persisted; under a lossy policy possibly much less — the
+        // node may even come back with a forgotten vote). Volatile state
+        // is rebuilt from defaults and pending timers died with the crash.
+        self.persistent = durable::recover(ctx.storage());
         self.volatile = VolatileState::default();
         self.leader = LeaderState::default();
         self.votes.clear();

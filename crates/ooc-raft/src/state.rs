@@ -17,7 +17,11 @@ pub enum Role {
     Leader,
 }
 
-/// State that survives crashes (would be written to stable storage).
+/// State that survives crashes. [`RaftNode`](crate::RaftNode) writes it
+/// to the simulator's stable storage through the
+/// [`durable`](crate::durable) codecs on every mutation and rebuilds it
+/// from whatever survived on restart; how much survives is the
+/// [`StoragePolicy`](ooc_simnet::StoragePolicy)'s call.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PersistentState {
     /// `CurrentTerm`.

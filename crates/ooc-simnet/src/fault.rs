@@ -11,6 +11,15 @@ pub enum CrashSpec {
     AtTime(SimTime),
     /// Crash immediately after handling the given number of events
     /// (start / message / timer callbacks), counted per process.
+    ///
+    /// Crash atomicity: the threshold is checked only *after* the
+    /// crossing invocation's effects have been applied, so the crashing
+    /// event's outgoing messages, timer updates, decision **and storage
+    /// writes** all land before the crash. Handler invocations are
+    /// atomic — a crash never tears one in half. Storage-fault semantics
+    /// ([`StoragePolicy`](crate::StoragePolicy)) are defined relative to
+    /// this boundary: the crash's storage loss applies to a store that
+    /// already contains the final invocation's writes.
     AfterEvents(u64),
 }
 
@@ -91,6 +100,26 @@ impl FaultPlan {
     /// `true` when the plan schedules nothing at all.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty() && self.restarts.is_empty()
+    }
+
+    /// Asserts that this plan fits the **crash-stop** failure model:
+    /// crashed processes never come back.
+    ///
+    /// Protocols analyzed under crash-stop (Ben-Or, Phase-King) have no
+    /// recovery story — their `on_restart` default would silently resume
+    /// with full pre-crash state, which is a model violation, not a
+    /// scenario. Harnesses for such protocols call this before running.
+    ///
+    /// # Panics
+    /// Panics when the plan contains restarts, naming `protocol`.
+    pub fn assert_crash_stop(&self, protocol: &str) {
+        assert!(
+            self.restarts.is_empty(),
+            "{protocol} is a crash-stop protocol: FaultPlan restarts are not \
+             supported (a restarted process would silently keep its full \
+             pre-crash state); remove the restarts or use a crash-recovery \
+             protocol such as Raft"
+        );
     }
 
     /// Total number of scheduled crashes.
@@ -229,6 +258,23 @@ mod tests {
         let small = plan.restricted_to(3);
         assert_eq!(small.crash_count(), 1);
         assert!(small.restarts().is_empty());
+    }
+
+    #[test]
+    fn assert_crash_stop_accepts_crash_only_plans() {
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .assert_crash_stop("test-protocol");
+        FaultPlan::new().assert_crash_stop("test-protocol");
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-stop protocol")]
+    fn assert_crash_stop_rejects_restarts() {
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .restart_at(ProcessId(0), SimTime::from_ticks(9))
+            .assert_crash_stop("test-protocol");
     }
 
     #[test]

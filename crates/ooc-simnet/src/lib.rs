@@ -59,6 +59,7 @@ pub mod process;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod storage;
 pub mod sync;
 pub mod time;
 pub mod trace;
@@ -75,6 +76,7 @@ pub use process::{Context, Process};
 pub use rng::SplitMix64;
 pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT};
 pub use stats::RunStats;
+pub use storage::{StableStore, StorageFaultPlan, StoragePolicy, StorageRecord};
 pub use sync::{SyncContext, SyncProcess, SyncRunOutcome, SyncSim};
 pub use time::{SimDuration, SimTime};
 pub use trace::analyze::{

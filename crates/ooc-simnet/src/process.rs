@@ -1,6 +1,7 @@
 //! The asynchronous process model: [`Process`] and its [`Context`].
 
 use crate::rng::SplitMix64;
+use crate::storage::StableStore;
 use crate::time::{SimDuration, SimTime};
 use crate::{ProcessId, TimerId};
 use std::collections::BTreeSet;
@@ -36,9 +37,12 @@ pub trait Process {
 
     /// Invoked when the process recovers from a crash.
     ///
-    /// All state set before the crash is still present (the process value
-    /// itself survives); implementations model *volatile* state loss here.
-    /// Pending timers set before the crash are cancelled by the engine.
+    /// In-memory state set before the crash is still present (the process
+    /// value itself survives); implementations must treat it as *volatile*
+    /// and rebuild anything durable from [`Context::storage`], which holds
+    /// exactly the records that survived the crash under the process's
+    /// [`StoragePolicy`](crate::StoragePolicy). Pending timers set before
+    /// the crash are cancelled by the engine.
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         let _ = ctx;
     }
@@ -51,12 +55,23 @@ pub(crate) struct Outgoing<M> {
     pub msg: M,
 }
 
+/// A buffered storage operation, applied by the engine after the handler
+/// returns (before the invocation's sends become visible).
+#[derive(Debug, Clone)]
+pub(crate) enum StorageOp {
+    /// Append one key/value record to the process's [`StableStore`].
+    Put { key: String, value: Vec<u8> },
+    /// Move the store's synced watermark to the end of the log.
+    Sync,
+}
+
 /// Effects collected from one handler invocation; drained by the engine.
 #[derive(Debug)]
 pub(crate) struct Effects<M, O> {
     pub outbox: Vec<Outgoing<M>>,
     pub timer_requests: Vec<(TimerId, SimDuration)>,
     pub cancelled: Vec<TimerId>,
+    pub storage: Vec<StorageOp>,
     pub decision: Option<O>,
     pub halted: bool,
 }
@@ -67,6 +82,7 @@ impl<M, O> Default for Effects<M, O> {
             outbox: Vec::new(),
             timer_requests: Vec::new(),
             cancelled: Vec::new(),
+            storage: Vec::new(),
             decision: None,
             halted: false,
         }
@@ -85,6 +101,7 @@ pub struct Context<'a, M, O> {
     rng: &'a mut SplitMix64,
     next_timer: &'a mut u64,
     live_timers: &'a BTreeSet<TimerId>,
+    store: &'a StableStore,
     effects: &'a mut Effects<M, O>,
 }
 
@@ -97,6 +114,7 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
         rng: &'a mut SplitMix64,
         next_timer: &'a mut u64,
         live_timers: &'a BTreeSet<TimerId>,
+        store: &'a StableStore,
         effects: &'a mut Effects<M, O>,
     ) -> Self {
         Context {
@@ -106,6 +124,7 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
             rng,
             next_timer,
             live_timers,
+            store,
             effects,
         }
     }
@@ -180,6 +199,36 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
             && !self.effects.cancelled.contains(&id)
     }
 
+    /// This process's stable storage, as it stood when this handler was
+    /// invoked. Writes issued through [`persist`](Context::persist) during
+    /// the current invocation are buffered as effects and are *not* yet
+    /// visible here; they land after the handler returns.
+    pub fn storage(&self) -> &StableStore {
+        self.store
+    }
+
+    /// Appends a key/value record to this process's stable storage.
+    ///
+    /// The write is buffered like a send and applied by the engine after
+    /// the handler returns — *before* any of the invocation's outgoing
+    /// messages become visible, so a process never tells the network
+    /// something its storage does not know. Whether the record survives a
+    /// crash before the next [`sync_storage`](Context::sync_storage)
+    /// depends on the process's [`StoragePolicy`](crate::StoragePolicy).
+    pub fn persist(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.effects.storage.push(StorageOp::Put {
+            key: key.into(),
+            value,
+        });
+    }
+
+    /// Forces all records persisted so far to stable storage. After the
+    /// sync lands, those records survive any crash short of
+    /// [`Amnesia`](crate::StoragePolicy::Amnesia).
+    pub fn sync_storage(&mut self) {
+        self.effects.storage.push(StorageOp::Sync);
+    }
+
     /// Records this process's decision. Only the first decision of a run is
     /// kept; later calls are ignored (processes such as Phase-King keep
     /// participating after deciding).
@@ -199,14 +248,22 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
 mod tests {
     use super::*;
 
-    fn ctx_fixture() -> (SplitMix64, u64, BTreeSet<TimerId>, Effects<u32, u32>) {
-        (SplitMix64::new(1), 0, BTreeSet::new(), Effects::default())
+    use crate::storage::StoragePolicy;
+
+    fn ctx_fixture() -> (SplitMix64, u64, BTreeSet<TimerId>, StableStore, Effects<u32, u32>) {
+        (
+            SplitMix64::new(1),
+            0,
+            BTreeSet::new(),
+            StableStore::new(StoragePolicy::SyncAlways),
+            Effects::default(),
+        )
     }
 
     #[test]
     fn broadcast_includes_self() {
-        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
-        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
         ctx.broadcast(7);
         let tos: Vec<_> = fx.outbox.iter().map(|o| o.to.index()).collect();
         assert_eq!(tos, vec![0, 1, 2]);
@@ -214,8 +271,8 @@ mod tests {
 
     #[test]
     fn broadcast_others_excludes_self() {
-        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
-        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
         ctx.broadcast_others(7);
         let tos: Vec<_> = fx.outbox.iter().map(|o| o.to.index()).collect();
         assert_eq!(tos, vec![0, 2]);
@@ -223,8 +280,8 @@ mod tests {
 
     #[test]
     fn first_decision_wins() {
-        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
-        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
         ctx.decide(1);
         ctx.decide(2);
         assert_eq!(fx.decision, Some(1));
@@ -232,8 +289,8 @@ mod tests {
 
     #[test]
     fn timer_ids_are_unique() {
-        let (mut rng, mut nt, live, mut fx) = ctx_fixture();
-        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
         let a = ctx.set_timer(SimDuration::from_ticks(1));
         let b = ctx.set_timer(SimDuration::from_ticks(1));
         assert_ne!(a, b);
@@ -242,12 +299,25 @@ mod tests {
 
     #[test]
     fn timer_pending_reflects_live_set_and_cancellations() {
-        let (mut rng, mut nt, mut live, mut fx) = ctx_fixture();
+        let (mut rng, mut nt, mut live, store, mut fx) = ctx_fixture();
         live.insert(TimerId(5));
-        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &mut fx);
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
         assert!(ctx.timer_pending(TimerId(5)));
         assert!(!ctx.timer_pending(TimerId(6)));
         ctx.cancel_timer(TimerId(5));
         assert!(!ctx.timer_pending(TimerId(5)));
+    }
+
+    #[test]
+    fn persist_and_sync_are_buffered_as_effects() {
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 1, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
+        ctx.persist("k", vec![1, 2]);
+        ctx.sync_storage();
+        // Reads see the pre-invocation store, not the buffered write.
+        assert!(ctx.storage().is_empty());
+        assert_eq!(fx.storage.len(), 2);
+        assert!(matches!(&fx.storage[0], StorageOp::Put { key, value } if key == "k" && value == &[1, 2]));
+        assert!(matches!(&fx.storage[1], StorageOp::Sync));
     }
 }

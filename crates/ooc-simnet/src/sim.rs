@@ -4,9 +4,10 @@ use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
 use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
 use crate::network::NetworkConfig;
-use crate::process::{Effects, Process};
+use crate::process::{Effects, Process, StorageOp};
 use crate::rng::SplitMix64;
 use crate::stats::RunStats;
+use crate::storage::{StableStore, StorageFaultPlan};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel};
 use crate::{ProcessId, TimerId};
@@ -214,6 +215,7 @@ pub struct SimBuilder<P: Process> {
     config: NetworkConfig,
     adversary: Option<Box<dyn Adversary<P::Msg>>>,
     faults: FaultPlan,
+    storage: StorageFaultPlan,
     seed: u64,
     trace_level: TraceLevel,
     queue_depth_every: u64,
@@ -243,6 +245,14 @@ impl<P: Process> SimBuilder<P> {
     /// Installs a fault plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs a storage-fault plan (default: every process under
+    /// [`StoragePolicy::SyncAlways`](crate::StoragePolicy::SyncAlways),
+    /// i.e. crashes never lose persisted records).
+    pub fn storage(mut self, storage: StorageFaultPlan) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -302,6 +312,9 @@ impl<P: Process> SimBuilder<P> {
             events_handled: vec![0; n],
             crash_thresholds,
             live_timers: vec![BTreeSet::new(); n],
+            stores: (0..n)
+                .map(|i| StableStore::new(self.storage.policy_for(ProcessId(i))))
+                .collect(),
             next_timer: 0,
             fifo_horizon: BTreeMap::new(),
             stats: RunStats::default(),
@@ -341,6 +354,9 @@ struct EngineMetrics {
     crashes: CounterId,
     restarts: CounterId,
     decisions: CounterId,
+    storage_writes: CounterId,
+    storage_syncs: CounterId,
+    storage_lost: CounterId,
     queue_depth: HistogramId,
     delay_ticks: HistogramId,
     decision_ticks: HistogramId,
@@ -361,6 +377,9 @@ impl EngineMetrics {
             crashes: metrics.counter_id("crashes"),
             restarts: metrics.counter_id("restarts"),
             decisions: metrics.counter_id("decisions"),
+            storage_writes: metrics.counter_id("storage.writes"),
+            storage_syncs: metrics.counter_id("storage.syncs"),
+            storage_lost: metrics.counter_id("storage.lost_records"),
             queue_depth: metrics.histogram_id("queue_depth"),
             delay_ticks: metrics.histogram_id("delay_ticks"),
             decision_ticks: metrics.histogram_id("decision_ticks"),
@@ -393,6 +412,9 @@ pub struct Sim<P: Process> {
     // Ordered containers: scheduler state must never iterate in
     // RandomState order (determinism/unordered-iter).
     live_timers: Vec<BTreeSet<TimerId>>,
+    /// Per-process simulated stable storage; crash losses are governed by
+    /// each store's [`StoragePolicy`](crate::StoragePolicy).
+    stores: Vec<StableStore>,
     next_timer: u64,
     fifo_horizon: BTreeMap<(ProcessId, ProcessId), SimTime>,
     stats: RunStats,
@@ -416,6 +438,7 @@ impl<P: Process> Sim<P> {
             config,
             adversary: None,
             faults: FaultPlan::default(),
+            storage: StorageFaultPlan::default(),
             seed: 0,
             trace_level: TraceLevel::Events,
             queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
@@ -446,6 +469,12 @@ impl<P: Process> Sim<P> {
     /// Whether the process is currently crashed.
     pub fn is_crashed(&self, id: ProcessId) -> bool {
         self.crashed[id.index()]
+    }
+
+    /// A process's stable storage, e.g. to inspect surviving records
+    /// after a run.
+    pub fn store(&self, id: ProcessId) -> &StableStore {
+        &self.stores[id.index()]
     }
 
     /// The decision of a process so far, if any.
@@ -628,6 +657,18 @@ impl<P: Process> Sim<P> {
             at: self.now,
             process,
         });
+        // Storage faults bite at the moment of the crash: the store's
+        // policy decides what the unsynced (or, for Amnesia, the whole)
+        // suffix of the record log is worth.
+        let lost = self.stores[process.index()].apply_crash();
+        if lost > 0 {
+            self.metrics.incr_by_id(self.metric_ids.storage_lost, lost);
+            self.trace.push(TraceEvent::SyncLost {
+                at: self.now,
+                process,
+                lost,
+            });
+        }
     }
 
     fn restart(&mut self, process: ProcessId) {
@@ -640,6 +681,11 @@ impl<P: Process> Sim<P> {
         self.trace.push(TraceEvent::Restart {
             at: self.now,
             process,
+        });
+        self.trace.push(TraceEvent::Recover {
+            at: self.now,
+            process,
+            records: self.stores[process.index()].len() as u64,
         });
         self.invoke(process, Invocation::Restart);
     }
@@ -661,6 +707,7 @@ impl<P: Process> Sim<P> {
                 &mut self.rngs[i],
                 &mut self.next_timer,
                 &self.live_timers[i],
+                &self.stores[i],
                 &mut effects,
             );
             let p = &mut self.processes[i];
@@ -679,6 +726,10 @@ impl<P: Process> Sim<P> {
         self.scratch = effects;
         if let Some(threshold) = self.crash_thresholds[i] {
             if self.events_handled[i] >= threshold && !self.crashed[i] {
+                // One-shot: a cleared threshold cannot re-kill the process
+                // on its first post-restart invocation (the handled-events
+                // count survives the crash and would still be over it).
+                self.crash_thresholds[i] = None;
                 self.crash(pid);
             }
         }
@@ -688,6 +739,34 @@ impl<P: Process> Sim<P> {
     /// emptied buffer to `self.scratch` so its capacity is reused.
     fn apply_effects(&mut self, pid: ProcessId, effects: &mut Effects<P::Msg, P::Output>) {
         let i = pid.index();
+        // Storage lands first: a record is persisted before any of the
+        // invocation's outgoing messages become visible, so a process
+        // never tells the network something its storage does not know.
+        for op in effects.storage.drain(..) {
+            match op {
+                StorageOp::Put { key, value } => {
+                    self.metrics.incr_by_id(self.metric_ids.storage_writes, 1);
+                    let traced_key = (self.trace.level() == TraceLevel::Full)
+                        .then(|| key.clone());
+                    self.trace.push(TraceEvent::Persist {
+                        at: self.now,
+                        process: pid,
+                        key: traced_key,
+                        bytes: value.len() as u64,
+                    });
+                    self.stores[i].append(key, value);
+                }
+                StorageOp::Sync => {
+                    self.metrics.incr_by_id(self.metric_ids.storage_syncs, 1);
+                    let records = self.stores[i].sync() as u64;
+                    self.trace.push(TraceEvent::SyncOk {
+                        at: self.now,
+                        process: pid,
+                        records,
+                    });
+                }
+            }
+        }
         for (id, after) in effects.timer_requests.drain(..) {
             self.live_timers[i].insert(id);
             let at = self.now + after;
@@ -911,6 +990,199 @@ mod tests {
         // never received, so it cannot have decided.
         assert!(out.decisions[2].is_none());
         assert_eq!(out.stats.crashes, 1);
+    }
+
+    #[test]
+    fn crash_after_events_boundary_preserves_outgoing_effects() {
+        // Crash-atomicity regression (see CrashSpec::AfterEvents): the
+        // threshold is checked after apply_effects, so the messages sent
+        // in the crossing invocation must survive the crash. p0 crashes
+        // after its very first invocation (on_start) — its broadcast must
+        // still reach everyone, letting the survivors count n messages.
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(5)
+            .processes((0..3).map(|_| MaxId::default()))
+            .faults(FaultPlan::new().crash_after_events(ProcessId(0), 1))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+        assert_eq!(out.stats.crashes, 1);
+        assert_eq!(
+            out.decisions[1],
+            Some(2),
+            "p0's dying broadcast must be delivered"
+        );
+        assert_eq!(out.decisions[2], Some(2));
+    }
+
+    #[test]
+    fn crash_after_events_is_one_shot_across_restart() {
+        // The handled-events count survives a crash, so a restarted
+        // process is permanently over its AfterEvents threshold. The
+        // threshold must be cleared when it fires — otherwise the very
+        // first post-restart invocation would re-kill the process.
+        #[derive(Debug)]
+        struct RestartTimer;
+        impl Process for RestartTimer {
+            type Msg = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, (), u64>) {
+                ctx.set_timer(SimDuration::from_ticks(5));
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, (), u64>, _f: ProcessId, _m: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, (), u64>, _t: TimerId) {
+                ctx.decide(7);
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_, (), u64>) {
+                ctx.set_timer(SimDuration::from_ticks(5));
+            }
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![RestartTimer])
+            .faults(
+                FaultPlan::new()
+                    .crash_after_events(ProcessId(0), 1)
+                    .restart_at(ProcessId(0), SimTime::from_ticks(10)),
+            )
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(100)));
+        assert_eq!(out.stats.crashes, 1, "the threshold fires exactly once");
+        assert_eq!(out.stats.restarts, 1);
+        assert_eq!(
+            out.decisions[0],
+            Some(7),
+            "the restarted process must live on to its timer"
+        );
+    }
+
+    /// Persists "a", syncs, persists "b" — then waits to be crashed.
+    #[derive(Debug, Default)]
+    struct Persister;
+    impl Process for Persister {
+        type Msg = ();
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, (), u64>) {
+            ctx.persist("a", vec![1, 2, 3, 4]);
+            ctx.sync_storage();
+            ctx.persist("b", vec![5, 6, 7, 8]);
+        }
+        fn on_message(&mut self, _c: &mut Context<'_, (), u64>, _f: ProcessId, _m: ()) {}
+        fn on_timer(&mut self, _c: &mut Context<'_, (), u64>, _t: TimerId) {}
+        fn on_restart(&mut self, ctx: &mut Context<'_, (), u64>) {
+            ctx.decide(ctx.storage().len() as u64);
+        }
+    }
+
+    fn crash_persister(policy: crate::StoragePolicy) -> (RunOutcome<u64>, Sim<Persister>) {
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![Persister])
+            .storage(StorageFaultPlan::uniform(policy))
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(5))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(10)),
+            )
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(100)));
+        (out, sim)
+    }
+
+    #[test]
+    fn storage_policies_decide_what_survives_a_crash() {
+        use crate::StoragePolicy;
+        // SyncAlways (default): both records survive, nothing lost.
+        let (out, sim) = crash_persister(StoragePolicy::SyncAlways);
+        assert_eq!(out.decisions[0], Some(2), "on_restart sees both records");
+        assert_eq!(sim.store(ProcessId(0)).get("b"), Some(&[5u8, 6, 7, 8][..]));
+        assert_eq!(out.metrics.counter("storage.lost_records"), 0);
+
+        // LoseUnsynced: the synced prefix survives, the suffix is gone.
+        let (out, sim) = crash_persister(StoragePolicy::LoseUnsynced);
+        assert_eq!(out.decisions[0], Some(1), "only the synced record survives");
+        assert_eq!(sim.store(ProcessId(0)).get("a"), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(sim.store(ProcessId(0)).get("b"), None);
+        assert_eq!(out.metrics.counter("storage.lost_records"), 1);
+
+        // TornLastWrite: "b" survives torn to half its bytes.
+        let (out, sim) = crash_persister(StoragePolicy::TornLastWrite);
+        assert_eq!(out.decisions[0], Some(2));
+        assert_eq!(sim.store(ProcessId(0)).get("b"), Some(&[5u8, 6][..]));
+        assert_eq!(out.metrics.counter("storage.lost_records"), 1);
+
+        // Amnesia: everything is gone, synced or not.
+        let (out, sim) = crash_persister(StoragePolicy::Amnesia);
+        assert_eq!(out.decisions[0], Some(0), "on_restart sees an empty store");
+        assert!(sim.store(ProcessId(0)).is_empty());
+        assert_eq!(out.metrics.counter("storage.lost_records"), 2);
+    }
+
+    #[test]
+    fn storage_events_join_trace_and_metrics() {
+        let (out, _) = crash_persister(crate::StoragePolicy::LoseUnsynced);
+        assert_eq!(out.metrics.counter("storage.writes"), 2);
+        assert_eq!(out.metrics.counter("storage.syncs"), 1);
+        let persists = out.trace.count(|e| matches!(e, TraceEvent::Persist { .. }));
+        let syncs = out.trace.count(|e| matches!(e, TraceEvent::SyncOk { .. }));
+        let losses = out.trace.count(|e| matches!(e, TraceEvent::SyncLost { .. }));
+        let recovers = out.trace.count(|e| matches!(e, TraceEvent::Recover { .. }));
+        assert_eq!((persists, syncs, losses, recovers), (2, 1, 1, 1));
+        // The SyncOk reports exactly the records made durable by the sync.
+        assert!(out
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SyncOk { records: 1, .. })));
+        // Keys are payload-level detail: absent below TraceLevel::Full.
+        assert!(out
+            .trace
+            .events()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Persist { key: Some(_), .. })));
+        // Recovery reports the store as on_restart saw it (1 survivor).
+        assert!(out
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Recover { records: 1, .. })));
+    }
+
+    #[test]
+    fn persistence_precedes_sends_within_an_invocation() {
+        /// Persists then broadcasts in the same handler.
+        #[derive(Debug)]
+        struct WriteThenTell;
+        impl Process for WriteThenTell {
+            type Msg = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, (), u64>) {
+                ctx.broadcast_others(());
+                ctx.persist("vote", vec![1]);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, (), u64>, _f: ProcessId, _m: ()) {}
+            fn on_timer(&mut self, _c: &mut Context<'_, (), u64>, _t: TimerId) {}
+        }
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![WriteThenTell, WriteThenTell])
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(100)));
+        let first_persist = out
+            .trace
+            .events()
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Persist { .. }))
+            .expect("persist traced");
+        let first_send = out
+            .trace
+            .events()
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Send { .. }))
+            .expect("send traced");
+        assert!(
+            first_persist < first_send,
+            "storage effects must land before the invocation's sends"
+        );
     }
 
     #[test]

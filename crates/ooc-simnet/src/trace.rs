@@ -93,6 +93,45 @@ pub enum TraceEvent {
         /// The decision (`Debug` format), present at [`TraceLevel::Full`].
         value: Option<String>,
     },
+    /// A record was appended to a process's stable storage.
+    Persist {
+        /// Time of the write.
+        at: SimTime,
+        /// The writing process.
+        process: ProcessId,
+        /// The record key, present at [`TraceLevel::Full`].
+        key: Option<String>,
+        /// Size of the record value in bytes.
+        bytes: u64,
+    },
+    /// A process synced its storage; the unsynced suffix became durable.
+    SyncOk {
+        /// Time of the sync.
+        at: SimTime,
+        /// The syncing process.
+        process: ProcessId,
+        /// How many records became durable with this sync.
+        records: u64,
+    },
+    /// A crash destroyed stored records under a lossy
+    /// [`StoragePolicy`](crate::StoragePolicy).
+    SyncLost {
+        /// Time of the crash.
+        at: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+        /// How many records were lost (a torn record counts as one).
+        lost: u64,
+    },
+    /// A restarting process recovered its surviving storage contents.
+    Recover {
+        /// Time of the recovery.
+        at: SimTime,
+        /// The recovering process.
+        process: ProcessId,
+        /// How many records survived the crash.
+        records: u64,
+    },
 }
 
 /// Why a message never reached its recipient.
@@ -203,7 +242,11 @@ impl Trace {
                 | TraceEvent::TimerFired { at, .. }
                 | TraceEvent::Crash { at, .. }
                 | TraceEvent::Restart { at, .. }
-                | TraceEvent::Decide { at, .. } => *at,
+                | TraceEvent::Decide { at, .. }
+                | TraceEvent::Persist { at, .. }
+                | TraceEvent::SyncOk { at, .. }
+                | TraceEvent::SyncLost { at, .. }
+                | TraceEvent::Recover { at, .. } => *at,
             })
             .max()
     }
@@ -303,6 +346,31 @@ impl TraceEvent {
                 process.0,
                 json_opt(value)
             ),
+            TraceEvent::Persist { at, process, key, bytes } => format!(
+                "{{\"kind\":\"persist\",\"at\":{},\"process\":{},\"key\":{},\"bytes\":{}}}",
+                at.ticks(),
+                process.0,
+                json_opt(key),
+                bytes
+            ),
+            TraceEvent::SyncOk { at, process, records } => format!(
+                "{{\"kind\":\"sync_ok\",\"at\":{},\"process\":{},\"records\":{}}}",
+                at.ticks(),
+                process.0,
+                records
+            ),
+            TraceEvent::SyncLost { at, process, lost } => format!(
+                "{{\"kind\":\"sync_lost\",\"at\":{},\"process\":{},\"lost\":{}}}",
+                at.ticks(),
+                process.0,
+                lost
+            ),
+            TraceEvent::Recover { at, process, records } => format!(
+                "{{\"kind\":\"recover\",\"at\":{},\"process\":{},\"records\":{}}}",
+                at.ticks(),
+                process.0,
+                records
+            ),
         }
     }
 }
@@ -395,6 +463,42 @@ mod tests {
         ] {
             assert_eq!(r.name(), n);
         }
+    }
+
+    #[test]
+    fn storage_events_export_and_end_time() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.push(TraceEvent::Persist {
+            at: SimTime::from_ticks(1),
+            process: ProcessId(0),
+            key: Some("hardstate".into()),
+            bytes: 17,
+        });
+        t.push(TraceEvent::SyncOk {
+            at: SimTime::from_ticks(2),
+            process: ProcessId(0),
+            records: 1,
+        });
+        t.push(TraceEvent::SyncLost {
+            at: SimTime::from_ticks(3),
+            process: ProcessId(0),
+            lost: 2,
+        });
+        t.push(TraceEvent::Recover {
+            at: SimTime::from_ticks(4),
+            process: ProcessId(0),
+            records: 0,
+        });
+        let export = t.to_jsonl();
+        let lines: Vec<&str> = export.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"persist\",\"at\":1,\"process\":0,\"key\":\"hardstate\",\"bytes\":17}"
+        );
+        assert_eq!(lines[1], "{\"kind\":\"sync_ok\",\"at\":2,\"process\":0,\"records\":1}");
+        assert_eq!(lines[2], "{\"kind\":\"sync_lost\",\"at\":3,\"process\":0,\"lost\":2}");
+        assert_eq!(lines[3], "{\"kind\":\"recover\",\"at\":4,\"process\":0,\"records\":0}");
+        assert_eq!(t.end_time(), Some(SimTime::from_ticks(4)));
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct ProcessTimeline {
     pub crashes: u64,
     /// Restarts at this process.
     pub restarts: u64,
+    /// Stable-storage writes by this process.
+    pub persists: u64,
+    /// Stored records this process lost to crashes.
+    pub storage_lost: u64,
     /// When this process decided, if it did.
     pub decided_at: Option<SimTime>,
     /// Time of the first event touching this process.
@@ -157,6 +161,22 @@ pub fn analyze(trace: &Trace, n: usize, window: u64) -> TraceAnalysis {
             TraceEvent::Restart { at, process } => {
                 if let Some(t) = timelines.get_mut(process.0) {
                     t.restarts += 1;
+                }
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::Persist { at, process, .. } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    t.persists += 1;
+                }
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::SyncOk { at, process, .. }
+            | TraceEvent::Recover { at, process, .. } => {
+                touch(&mut timelines, *process, *at);
+            }
+            TraceEvent::SyncLost { at, process, lost } => {
+                if let Some(t) = timelines.get_mut(process.0) {
+                    t.storage_lost += lost;
                 }
                 touch(&mut timelines, *process, *at);
             }
