@@ -10,8 +10,8 @@ use ooc_core::compose::{TwoAcVac, VacAsAc};
 use ooc_core::confidence::Confidence;
 use ooc_core::template::{RoundRecord, Template, TemplateConfig};
 use ooc_simnet::{
-    Adversary, Decision, FaultPlan, FnAdversary, NetworkConfig, ProcessId, RunLimit, RunOutcome,
-    Sim, SimDuration,
+    Adversary, ClockModel, Decision, FaultPlan, FnAdversary, NetworkConfig, ProcessId, RunLimit,
+    RunOutcome, Sim, SimDuration, StateAdversary, StorageFaultPlan,
 };
 
 /// Parameters of a Ben-Or experiment.
@@ -214,6 +214,41 @@ pub fn run_decomposed_with(
     seed: u64,
     adversary: Option<Box<dyn Adversary<BenOrWire>>>,
 ) -> BenOrRun {
+    run_decomposed_gray(
+        cfg,
+        inputs,
+        seed,
+        GrayOptions {
+            adversary,
+            ..GrayOptions::default()
+        },
+    )
+}
+
+/// Gray-failure knobs for [`run_decomposed_gray`]: at most one adversary
+/// (message-adaptive *or* state-adaptive), per-process clock drift, and
+/// slow-disk injection.
+#[derive(Default)]
+pub struct GrayOptions {
+    /// A message-scheduling adversary (sees payloads, not state).
+    pub adversary: Option<Box<dyn Adversary<BenOrWire>>>,
+    /// A state-adaptive adversary (sees live protocol observables).
+    pub state_adversary: Option<Box<dyn StateAdversary<BenOrWire>>>,
+    /// Per-process timer-rate model (default: every clock nominal).
+    pub clocks: ClockModel,
+    /// Storage fault policy, including `sync()` latency injection.
+    pub storage: StorageFaultPlan,
+}
+
+/// Like [`run_decomposed`] but under the full gray-failure model: drifting
+/// clocks, slow disks, and optionally a state-adaptive adversary with a
+/// read-only view of live votes, rounds, and decisions.
+pub fn run_decomposed_gray(
+    cfg: &BenOrConfig,
+    inputs: &[bool],
+    seed: u64,
+    opts: GrayOptions,
+) -> BenOrRun {
     assert_eq!(inputs.len(), cfg.n, "one input per processor");
     cfg.faults.assert_crash_stop("Ben-Or");
     let (n, t) = (cfg.n, cfg.t);
@@ -221,6 +256,8 @@ pub fn run_decomposed_with(
     let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
         .faults(cfg.faults.clone())
+        .clocks(opts.clocks)
+        .storage(opts.storage)
         .processes(inputs.iter().map(|&v| -> BenOrProcess {
             Template::vac(
                 v,
@@ -229,8 +266,11 @@ pub fn run_decomposed_with(
                 template_config(cfg),
             )
         }));
-    if let Some(adv) = adversary {
+    if let Some(adv) = opts.adversary {
         builder = builder.adversary(adv);
+    }
+    if let Some(adv) = opts.state_adversary {
+        builder = builder.state_adversary(adv);
     }
     let mut sim = builder.build();
     let outcome = sim.run(cfg.run_limit);

@@ -41,7 +41,8 @@ pub mod reconciliator;
 pub mod vac;
 
 pub use harness::{
-    balanced_inputs, run_decomposed, run_decomposed_with, split_adversary, BenOrConfig, BenOrRun,
+    balanced_inputs, run_decomposed, run_decomposed_gray, run_decomposed_with, split_adversary,
+    BenOrConfig, BenOrRun, GrayOptions,
 };
 pub use monolithic::{MonolithicBenOr, MonolithicMsg};
 pub use msg::BenOrMsg;

@@ -6,9 +6,10 @@
 //! cargo run -p ooc-bench --bin tables --release -- t11 --bench-json BENCH_ooc.json
 //! ```
 //!
-//! `--bench-json PATH` writes the T11 observability metrics and the T12
-//! campaign-throughput totals as one deterministic JSON document
-//! (running the tables first if they were not requested).
+//! `--bench-json PATH` writes the T11 observability metrics, the T12
+//! campaign-throughput totals and the T14 gray-failure degradation
+//! totals as one deterministic JSON document (running the tables first
+//! if they were not requested).
 
 use ooc_bench::tables;
 
@@ -32,13 +33,14 @@ fn main() {
         .collect();
     let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
         vec![
-            "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12",
+            "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t14",
         ]
     } else {
         tables_args
     };
     let mut t11_rows: Option<Vec<(String, u64)>> = None;
     let mut t12_rows: Option<Vec<(String, u64)>> = None;
+    let mut t14_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -77,8 +79,11 @@ fn main() {
             "t12" => {
                 t12_rows = Some(tables::t12());
             }
+            "t14" => {
+                t14_rows = Some(tables::t14());
+            }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t12 or all");
+                eprintln!("unknown table {other:?}; expected t1..t12, t14, or all");
                 std::process::exit(2);
             }
         }
@@ -86,6 +91,7 @@ fn main() {
     if let Some(path) = bench_json_path {
         let mut rows = t11_rows.unwrap_or_else(tables::t11);
         rows.extend(t12_rows.unwrap_or_else(tables::t12));
+        rows.extend(t14_rows.unwrap_or_else(tables::t14));
         let doc = tables::bench_json(&rows);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

@@ -723,11 +723,56 @@ pub fn t12() -> Vec<(String, u64)> {
     ]
 }
 
-/// Serializes T11/T12 rows as the `BENCH_ooc.json` document: a schema
+/// T14 — gray-failure degradation: the `ooc-campaign` scenario zoo
+/// (clean, asymmetric loss, flapping partitions, heavy-tailed delays with
+/// clock drift and slow disks) against the adversary ladder (oblivious →
+/// message-adaptive split-vote → state-adaptive split-vote →
+/// quorum-starve), Ben-Or n=7 t=3.
+///
+/// Every returned value is a simulated, machine-independent total:
+/// eventual-agreement probability in permille plus the p50/p95
+/// rounds-to-decide of the runs that agreed. The degradation report
+/// itself guarantees `jobs`-independence, so the rows are byte-stable.
+pub fn t14() -> Vec<(String, u64)> {
+    use ooc_campaign::degradation_report_jobs;
+
+    hr("T14  gray-failure degradation (adversary ladder × scenario zoo)");
+    const DEG_SEEDS: usize = 24;
+    let report = degradation_report_jobs(DEG_SEEDS, 4);
+
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    println!(
+        "{:<18} {:<18} {:>10} {:>8} {:>8}",
+        "regime", "adversary", "agree ‰", "rnd p50", "rnd p95"
+    );
+    for regime in &report.regimes {
+        for cell in &regime.cells {
+            assert_eq!(
+                cell.safety_violations, 0,
+                "t14: {}/{} broke safety",
+                regime.regime, cell.adversary
+            );
+            println!(
+                "{:<18} {:<18} {:>10} {:>8} {:>8}",
+                regime.regime,
+                cell.adversary,
+                cell.agreement_permille,
+                cell.rounds_to_decide.p50,
+                cell.rounds_to_decide.p95
+            );
+            let key = format!("degradation/{}/{}", regime.regime, cell.adversary);
+            rows.push((format!("{key}/agreement_permille"), cell.agreement_permille));
+            rows.push((format!("{key}/rounds_p95"), cell.rounds_to_decide.p95));
+        }
+    }
+    rows
+}
+
+/// Serializes T11/T12/T14 rows as the `BENCH_ooc.json` document: a schema
 /// tag plus `{name, value}` metric records, in row order. Deterministic
 /// because the rows are.
 pub fn bench_json(rows: &[(String, u64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"ooc-bench/v1\",\n  \"source\": \"tables t11 t12\",\n  \"metrics\": [");
+    let mut out = String::from("{\n  \"schema\": \"ooc-bench/v1\",\n  \"source\": \"tables t11 t12 t14\",\n  \"metrics\": [");
     for (i, (name, value)) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -781,6 +826,29 @@ mod tests {
         assert!(get("ben-or/wire_sent") > 0);
         assert!(get("ben-or/delivery_permille") <= 1000);
         assert!(get("phase-king/rounds_committed") > 0);
+    }
+
+    #[test]
+    fn t14_rows_are_deterministic_and_show_degradation() {
+        let a = t14();
+        let b = t14();
+        assert_eq!(a, b, "t14 must be bit-for-bit reproducible");
+        let json = bench_json(&a);
+        assert!(json.contains("\"tables t11 t12 t14\""));
+        assert!(json.contains("\"degradation/clean/oblivious/agreement_permille\""));
+        let get = |name: &str| a.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+        // The acceptance criterion: the state-adaptive split-vote must
+        // sit measurably below the oblivious baseline.
+        for regime in ["clean", "asym-loss", "flapping", "heavy-tail-drift"] {
+            let oblivious = get(&format!("degradation/{regime}/oblivious/agreement_permille"));
+            let state = get(&format!(
+                "degradation/{regime}/state-split-vote/agreement_permille"
+            ));
+            assert!(
+                state < oblivious,
+                "{regime}: state-split-vote {state}‰ must degrade below oblivious {oblivious}‰"
+            );
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl Adversary<BenOrWire> for SplitVoteAdversary {
         rng: &mut SplitMix64,
     ) -> Decision {
         let base = self.base.route(at, from, to, msg, rng);
-        if at >= self.until || base == Decision::Drop {
+        if at >= self.until || base.is_drop() {
             return base;
         }
         let payload = match msg {

@@ -12,8 +12,8 @@ use crate::json::{Json, JsonError};
 use ooc_core::checker::{Violation, ViolationKind};
 use ooc_phase_king::Attack;
 use ooc_simnet::{
-    DelayModel, FaultPlan, NetworkConfig, PartitionWindow, ProcessId, SimDuration, SimTime,
-    StoragePolicy,
+    ClockModel, DelayModel, FaultPlan, FlappingPartition, LinkOverride, NetworkConfig,
+    PartitionWindow, ProcessId, SimDuration, SimTime, StoragePolicy,
 };
 
 /// Which decomposition the artifact drives.
@@ -156,6 +156,33 @@ pub enum AdversarySpec {
         /// Attack budget; afterwards the scheduler plays fair.
         max_flaps: u64,
     },
+    /// State-adaptive vote splitter (Ben-Or): reads live preferences and
+    /// cuts cross-camp links to keep the network split, until
+    /// `until_ticks`, then plays fair.
+    StateSplitVote {
+        /// Tick at which the attack yields to a fair scheduler.
+        until_ticks: u64,
+    },
+    /// State-adaptive quorum starver (Ben-Or): alternately starves
+    /// whichever camp is closest to quorum at the frontier round.
+    QuorumFlap {
+        /// Tick at which the attack yields to a fair scheduler.
+        until_ticks: u64,
+        /// Starve/heal alternation period in ticks.
+        period: u64,
+    },
+}
+
+impl AdversarySpec {
+    /// Whether this spec names a *state-adaptive* adversary (installed
+    /// via [`ooc_simnet::StateAdversary`] rather than a message
+    /// adversary).
+    pub fn is_state_adaptive(self) -> bool {
+        matches!(
+            self,
+            AdversarySpec::StateSplitVote { .. } | AdversarySpec::QuorumFlap { .. }
+        )
+    }
 }
 
 /// A compact record of the violation the artifact reproduces.
@@ -235,11 +262,25 @@ pub struct FailureArtifact {
     /// restarts forget persisted state, which is how the campaign
     /// manufactures real double-vote Election Safety violations.
     pub storage_policy: Option<StoragePolicy>,
+    /// Per-process clock rates in percent (empty ⇒ every clock nominal).
+    /// `(p, 150)` makes `p`'s timers fire 1.5× late — a slow clock.
+    pub clock_rates: Vec<(usize, u32)>,
+    /// Uniform `sync()` latency in ticks (0 ⇒ instantaneous fsync).
+    pub sync_latency: u64,
     /// The violation this artifact reproduces (filled in by the sweep).
     pub violation: Option<ViolationSummary>,
 }
 
 impl FailureArtifact {
+    /// The engine [`ClockModel`] described by `clock_rates`.
+    pub fn clock_model(&self) -> ClockModel {
+        let mut clocks = ClockModel::nominal();
+        for &(p, rate) in &self.clock_rates {
+            clocks = clocks.with_rate(ProcessId(p), rate);
+        }
+        clocks
+    }
+
     /// Parses the Phase-King attack string ("silent", "equivocate",
     /// "random", "fixed:K").
     pub fn parse_attack(&self) -> Attack {
@@ -298,6 +339,25 @@ impl FailureArtifact {
         }
         if let Some(policy) = self.storage_policy {
             fields.push(("storage_policy".into(), Json::Str(policy.name().into())));
+        }
+        if !self.clock_rates.is_empty() {
+            fields.push((
+                "clock_rates".into(),
+                Json::Arr(
+                    self.clock_rates
+                        .iter()
+                        .map(|&(p, rate)| {
+                            Json::Obj(vec![
+                                ("p".into(), Json::U64(p as u64)),
+                                ("rate_percent".into(), Json::U64(rate as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if self.sync_latency > 0 {
+            fields.push(("sync_latency".into(), Json::U64(self.sync_latency)));
         }
         if let Some(v) = &self.violation {
             fields.push((
@@ -375,6 +435,26 @@ impl FailureArtifact {
             ),
             None => None,
         };
+        // Pre-gray-failure artifacts carry neither field: default to
+        // nominal clocks and instantaneous fsync (backward compat).
+        let clock_rates = match json.get("clock_rates").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(|c| {
+                    Ok((
+                        c.get("p")
+                            .and_then(Json::as_usize)
+                            .ok_or("clock_rates entry missing \"p\"")?,
+                        c.get("rate_percent")
+                            .and_then(Json::as_u64)
+                            .ok_or("clock_rates entry missing \"rate_percent\"")?
+                            as u32,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        let sync_latency = json.get("sync_latency").and_then(Json::as_u64).unwrap_or(0);
         let violation = json.get("violation").map(|v| {
             ViolationSummary {
                 kind: v
@@ -405,6 +485,8 @@ impl FailureArtifact {
             adversary,
             sabotage_commit_threshold,
             storage_policy,
+            clock_rates,
+            sync_latency,
             violation,
         })
     }
@@ -421,8 +503,8 @@ impl FailureArtifact {
     }
 }
 
-fn network_to_json(net: &NetworkConfig) -> Json {
-    let delay = match net.delay {
+fn delay_to_json(delay: &DelayModel) -> Json {
+    match *delay {
         DelayModel::Fixed(ticks) => Json::Obj(vec![
             ("model".into(), Json::Str("fixed".into())),
             ("ticks".into(), Json::U64(ticks)),
@@ -436,7 +518,84 @@ fn network_to_json(net: &NetworkConfig) -> Json {
             ("model".into(), Json::Str("exponential".into())),
             ("mean".into(), Json::U64(mean)),
         ]),
-    };
+        DelayModel::HeavyTailed {
+            floor,
+            alpha_milli,
+            cap,
+        } => Json::Obj(vec![
+            ("model".into(), Json::Str("heavy-tailed".into())),
+            ("floor".into(), Json::U64(floor)),
+            ("alpha_milli".into(), Json::U64(alpha_milli)),
+            ("cap".into(), Json::U64(cap)),
+        ]),
+    }
+}
+
+fn delay_from_json(delay_json: &Json) -> Result<DelayModel, String> {
+    match delay_json.get("model").and_then(Json::as_str) {
+        Some("fixed") => Ok(DelayModel::Fixed(
+            delay_json
+                .get("ticks")
+                .and_then(Json::as_u64)
+                .ok_or("fixed delay missing \"ticks\"")?,
+        )),
+        Some("uniform") => Ok(DelayModel::Uniform {
+            min: delay_json
+                .get("min")
+                .and_then(Json::as_u64)
+                .ok_or("uniform delay missing \"min\"")?,
+            max: delay_json
+                .get("max")
+                .and_then(Json::as_u64)
+                .ok_or("uniform delay missing \"max\"")?,
+        }),
+        Some("exponential") => Ok(DelayModel::Exponential {
+            mean: delay_json
+                .get("mean")
+                .and_then(Json::as_u64)
+                .ok_or("exponential delay missing \"mean\"")?,
+        }),
+        Some("heavy-tailed") => Ok(DelayModel::HeavyTailed {
+            floor: delay_json
+                .get("floor")
+                .and_then(Json::as_u64)
+                .ok_or("heavy-tailed delay missing \"floor\"")?,
+            alpha_milli: delay_json
+                .get("alpha_milli")
+                .and_then(Json::as_u64)
+                .ok_or("heavy-tailed delay missing \"alpha_milli\"")?,
+            cap: delay_json
+                .get("cap")
+                .and_then(Json::as_u64)
+                .ok_or("heavy-tailed delay missing \"cap\"")?,
+        }),
+        _ => Err("unknown delay model".to_string()),
+    }
+}
+
+fn groups_to_json(groups: &[Vec<ProcessId>]) -> Json {
+    Json::Arr(
+        groups
+            .iter()
+            .map(|g| Json::Arr(g.iter().map(|p| Json::U64(p.index() as u64)).collect()))
+            .collect(),
+    )
+}
+
+fn groups_from_json(json: &Json) -> Result<Vec<Vec<ProcessId>>, String> {
+    json.as_arr()
+        .ok_or("\"groups\" must be an array")?
+        .iter()
+        .map(|g| {
+            g.as_arr()
+                .ok_or_else(|| "partition group must be an array".to_string())
+                .map(|ids| ids.iter().filter_map(Json::as_usize).map(ProcessId).collect())
+        })
+        .collect()
+}
+
+fn network_to_json(net: &NetworkConfig) -> Json {
+    let delay = delay_to_json(&net.delay);
     let partitions = net
         .partitions
         .iter()
@@ -444,23 +603,11 @@ fn network_to_json(net: &NetworkConfig) -> Json {
             Json::Obj(vec![
                 ("from".into(), Json::U64(w.from.ticks())),
                 ("until".into(), Json::U64(w.until.ticks())),
-                (
-                    "groups".into(),
-                    Json::Arr(
-                        w.groups
-                            .iter()
-                            .map(|g| {
-                                Json::Arr(
-                                    g.iter().map(|p| Json::U64(p.index() as u64)).collect(),
-                                )
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("groups".into(), groups_to_json(&w.groups)),
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("delay".into(), delay),
         ("drop_probability".into(), Json::F64(net.drop_probability)),
         (
@@ -470,36 +617,57 @@ fn network_to_json(net: &NetworkConfig) -> Json {
         ("fifo_links".into(), Json::Bool(net.fifo_links)),
         ("self_delay".into(), Json::U64(net.self_delay.ticks())),
         ("partitions".into(), Json::Arr(partitions)),
-    ])
+    ];
+    // Gray-failure extensions are emitted only when present so artifacts
+    // written by older tools stay byte-identical on round-trip.
+    if !net.link_overrides.is_empty() {
+        fields.push((
+            "link_overrides".into(),
+            Json::Arr(
+                net.link_overrides
+                    .iter()
+                    .map(|l| {
+                        let mut o = vec![
+                            ("from".into(), Json::U64(l.from.index() as u64)),
+                            ("to".into(), Json::U64(l.to.index() as u64)),
+                        ];
+                        if let Some(p) = l.drop_probability {
+                            o.push(("drop_probability".into(), Json::F64(p)));
+                        }
+                        if let Some(d) = &l.delay {
+                            o.push(("delay".into(), delay_to_json(d)));
+                        }
+                        Json::Obj(o)
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !net.flapping.is_empty() {
+        fields.push((
+            "flapping".into(),
+            Json::Arr(
+                net.flapping
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("from".into(), Json::U64(f.from.ticks())),
+                            ("until".into(), Json::U64(f.until.ticks())),
+                            ("period".into(), Json::U64(f.period)),
+                            ("partitioned".into(), Json::U64(f.partitioned)),
+                            ("groups".into(), groups_to_json(&f.groups)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn network_from_json(json: &Json) -> Result<NetworkConfig, String> {
     let delay_json = json.get("delay").ok_or("network missing \"delay\"")?;
-    let delay = match delay_json.get("model").and_then(Json::as_str) {
-        Some("fixed") => DelayModel::Fixed(
-            delay_json
-                .get("ticks")
-                .and_then(Json::as_u64)
-                .ok_or("fixed delay missing \"ticks\"")?,
-        ),
-        Some("uniform") => DelayModel::Uniform {
-            min: delay_json
-                .get("min")
-                .and_then(Json::as_u64)
-                .ok_or("uniform delay missing \"min\"")?,
-            max: delay_json
-                .get("max")
-                .and_then(Json::as_u64)
-                .ok_or("uniform delay missing \"max\"")?,
-        },
-        Some("exponential") => DelayModel::Exponential {
-            mean: delay_json
-                .get("mean")
-                .and_then(Json::as_u64)
-                .ok_or("exponential delay missing \"mean\"")?,
-        },
-        _ => return Err("unknown delay model".to_string()),
-    };
+    let delay = delay_from_json(delay_json)?;
     let partitions = match json.get("partitions").and_then(Json::as_arr) {
         Some(items) => items
             .iter()
@@ -515,22 +683,65 @@ fn network_from_json(json: &Json) -> Result<NetworkConfig, String> {
                             .and_then(Json::as_u64)
                             .ok_or("partition missing \"until\"")?,
                     ),
-                    groups: w
-                        .get("groups")
-                        .and_then(Json::as_arr)
-                        .ok_or("partition missing \"groups\"")?
-                        .iter()
-                        .map(|g| {
-                            g.as_arr()
-                                .ok_or("partition group must be an array")
-                                .map(|ids| {
-                                    ids.iter()
-                                        .filter_map(Json::as_usize)
-                                        .map(ProcessId)
-                                        .collect()
-                                })
-                        })
-                        .collect::<Result<Vec<Vec<ProcessId>>, &str>>()?,
+                    groups: groups_from_json(
+                        w.get("groups").ok_or("partition missing \"groups\"")?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    let link_overrides = match json.get("link_overrides").and_then(Json::as_arr) {
+        Some(items) => items
+            .iter()
+            .map(|l| {
+                Ok(LinkOverride {
+                    from: ProcessId(
+                        l.get("from")
+                            .and_then(Json::as_usize)
+                            .ok_or("link override missing \"from\"")?,
+                    ),
+                    to: ProcessId(
+                        l.get("to")
+                            .and_then(Json::as_usize)
+                            .ok_or("link override missing \"to\"")?,
+                    ),
+                    drop_probability: l.get("drop_probability").and_then(Json::as_f64),
+                    delay: match l.get("delay") {
+                        Some(d) => Some(delay_from_json(d)?),
+                        None => None,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    let flapping = match json.get("flapping").and_then(Json::as_arr) {
+        Some(items) => items
+            .iter()
+            .map(|f| {
+                Ok(FlappingPartition {
+                    from: SimTime::from_ticks(
+                        f.get("from")
+                            .and_then(Json::as_u64)
+                            .ok_or("flapping missing \"from\"")?,
+                    ),
+                    until: SimTime::from_ticks(
+                        f.get("until")
+                            .and_then(Json::as_u64)
+                            .ok_or("flapping missing \"until\"")?,
+                    ),
+                    period: f
+                        .get("period")
+                        .and_then(Json::as_u64)
+                        .ok_or("flapping missing \"period\"")?,
+                    partitioned: f
+                        .get("partitioned")
+                        .and_then(Json::as_u64)
+                        .ok_or("flapping missing \"partitioned\"")?,
+                    groups: groups_from_json(
+                        f.get("groups").ok_or("flapping missing \"groups\"")?,
+                    )?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?,
@@ -554,6 +765,8 @@ fn network_from_json(json: &Json) -> Result<NetworkConfig, String> {
             json.get("self_delay").and_then(Json::as_u64).unwrap_or(0),
         ),
         partitions,
+        link_overrides,
+        flapping,
     })
 }
 
@@ -639,6 +852,18 @@ fn adversary_to_json(spec: AdversarySpec) -> Json {
             ("isolation_ticks".into(), Json::U64(isolation_ticks)),
             ("max_flaps".into(), Json::U64(max_flaps)),
         ]),
+        AdversarySpec::StateSplitVote { until_ticks } => Json::Obj(vec![
+            ("kind".into(), Json::Str("state-split-vote".into())),
+            ("until_ticks".into(), Json::U64(until_ticks)),
+        ]),
+        AdversarySpec::QuorumFlap {
+            until_ticks,
+            period,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("quorum-flap".into())),
+            ("until_ticks".into(), Json::U64(until_ticks)),
+            ("period".into(), Json::U64(period)),
+        ]),
     }
 }
 
@@ -667,6 +892,22 @@ fn adversary_from_json(json: Option<&Json>) -> Result<AdversarySpec, String> {
                 .get("max_flaps")
                 .and_then(Json::as_u64)
                 .ok_or("leader-flap missing \"max_flaps\"")?,
+        }),
+        Some("state-split-vote") => Ok(AdversarySpec::StateSplitVote {
+            until_ticks: json
+                .get("until_ticks")
+                .and_then(Json::as_u64)
+                .ok_or("state-split-vote missing \"until_ticks\"")?,
+        }),
+        Some("quorum-flap") => Ok(AdversarySpec::QuorumFlap {
+            until_ticks: json
+                .get("until_ticks")
+                .and_then(Json::as_u64)
+                .ok_or("quorum-flap missing \"until_ticks\"")?,
+            period: json
+                .get("period")
+                .and_then(Json::as_u64)
+                .ok_or("quorum-flap missing \"period\"")?,
         }),
         Some(other) => Err(format!("unknown adversary kind {other:?}")),
     }
@@ -701,6 +942,8 @@ mod tests {
                         vec![ProcessId(2), ProcessId(3), ProcessId(4)],
                     ],
                 }],
+                link_overrides: Vec::new(),
+                flapping: Vec::new(),
             }),
             faults: vec![
                 FaultSpec::CrashAt { p: 4, tick: 120 },
@@ -713,6 +956,8 @@ mod tests {
             },
             sabotage_commit_threshold: Some(2),
             storage_policy: Some(StoragePolicy::Amnesia),
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: Some(ViolationSummary {
                 kind: "agreement".into(),
                 round: Some(3),
@@ -748,6 +993,8 @@ mod tests {
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         };
         let back = FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
@@ -777,6 +1024,66 @@ mod tests {
         assert!(FailureArtifact::from_json_str(&bad)
             .unwrap_err()
             .contains("unknown storage_policy"));
+    }
+
+    #[test]
+    fn gray_failure_artifact_round_trips() {
+        let mut art = sample();
+        let net = art.network.as_mut().unwrap();
+        net.delay = DelayModel::HeavyTailed {
+            floor: 2,
+            alpha_milli: 1500,
+            cap: 200,
+        };
+        net.link_overrides = vec![LinkOverride {
+            from: ProcessId(0),
+            to: ProcessId(3),
+            drop_probability: Some(0.5),
+            delay: Some(DelayModel::Fixed(30)),
+        }];
+        net.flapping = vec![FlappingPartition {
+            from: SimTime::from_ticks(0),
+            until: SimTime::from_ticks(2_000),
+            period: 80,
+            partitioned: 40,
+            groups: vec![vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]],
+        }];
+        art.adversary = AdversarySpec::QuorumFlap {
+            until_ticks: 4_000,
+            period: 60,
+        };
+        art.clock_rates = vec![(0, 150), (4, 75)];
+        art.sync_latency = 5;
+        let text = art.to_string_pretty();
+        let back = FailureArtifact::from_json_str(&text).expect("parse");
+        assert_eq!(back, art);
+        assert_eq!(back.to_string_pretty(), text);
+        assert!(back.adversary.is_state_adaptive());
+        assert_eq!(back.clock_model().rate_percent(ProcessId(0)), 150);
+        assert_eq!(back.clock_model().rate_percent(ProcessId(1)), 100);
+        // Old artifacts (no gray-failure fields) keep parsing: the sample
+        // artifact itself never mentions them.
+        let legacy = sample().to_string_pretty();
+        for absent in ["clock_rates", "sync_latency", "link_overrides", "flapping"] {
+            assert!(!legacy.contains(absent), "{absent} leaked into legacy form");
+        }
+    }
+
+    #[test]
+    fn state_adversary_specs_round_trip() {
+        for adv in [
+            AdversarySpec::StateSplitVote { until_ticks: 777 },
+            AdversarySpec::QuorumFlap {
+                until_ticks: 888,
+                period: 50,
+            },
+        ] {
+            let mut art = sample();
+            art.adversary = adv;
+            let back =
+                FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
+            assert_eq!(back.adversary, adv);
+        }
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! The degradation report: adversary strength × gray-failure intensity.
+//!
+//! Where [`sweep`](crate::sweep::sweep) hunts for violations and
+//! [`report`](crate::report) summarizes the classic grids, `degradation`
+//! measures *how gracefully Ben-Or limps*: for every combination of a
+//! gray-failure regime (asymmetric loss, flapping partitions, heavy-tailed
+//! delays with clock drift and slow disks) and a rung of the adversary
+//! ladder (oblivious → message-adaptive → state-adaptive), it runs a batch
+//! of seeded executions under a fixed round/tick budget and reports
+//!
+//! * the **eventual-agreement probability** — the fraction of runs in
+//!   which every live process decided within the budget, in permille so
+//!   the report stays integer-only and byte-identical, and
+//! * **rounds-to-decide percentiles** over the runs that did decide.
+//!
+//! Every cell is materialized as ordinary [`FailureArtifact`]s and
+//! executed through [`run_all`], so the report inherits the campaign's
+//! byte-identity guarantee: `--jobs 1` and `--jobs N` produce the same
+//! bytes, and any interesting cell can be replayed artifact-by-artifact.
+
+use crate::artifact::{is_safety, AdversarySpec, Algorithm, FailureArtifact};
+use crate::json::Json;
+use crate::parallel::run_all;
+use crate::report::PercentileSummary;
+use crate::sweep::{asym_lossy_net, flapping_net, heavy_tailed_net, inputs_for};
+use ooc_simnet::NetworkConfig;
+
+/// Cluster size for every degradation cell.
+const N: usize = 7;
+/// Fault tolerance for every degradation cell.
+const T: usize = 3;
+/// Round budget per run; runs that exceed it count as *not agreed*.
+const MAX_ROUNDS: u64 = 40;
+/// Tick budget per run.
+const MAX_TICKS: u64 = 60_000;
+/// Adversary budget: attacks stay live for the whole tick budget, so the
+/// agreement probability measures what the protocol salvages *under*
+/// attack, not after it relents.
+const ATTACK_TICKS: u64 = 60_000;
+
+/// One gray-failure regime: name, network model, per-process clock rates
+/// (percent of nominal), and slow-disk `sync()` latency in ticks.
+type Regime = (&'static str, NetworkConfig, Vec<(usize, u32)>, u64);
+
+/// The gray-failure regimes, weakest first.
+fn regimes() -> Vec<Regime> {
+    vec![
+        ("clean", NetworkConfig::reliable(1), Vec::new(), 0),
+        ("asym-loss", asym_lossy_net(N), Vec::new(), 0),
+        ("flapping", flapping_net(N), vec![(0, 140)], 2),
+        (
+            "heavy-tail-drift",
+            heavy_tailed_net(),
+            vec![(0, 150), (N - 1, 70)],
+            4,
+        ),
+    ]
+}
+
+/// The adversary ladder, weakest first.
+fn ladder() -> Vec<(&'static str, AdversarySpec)> {
+    vec![
+        ("oblivious", AdversarySpec::None),
+        (
+            "split-vote",
+            AdversarySpec::SplitVote {
+                until_ticks: ATTACK_TICKS,
+                slow_ticks: 25,
+            },
+        ),
+        (
+            "state-split-vote",
+            AdversarySpec::StateSplitVote {
+                until_ticks: ATTACK_TICKS,
+            },
+        ),
+        (
+            "quorum-starve",
+            AdversarySpec::QuorumFlap {
+                until_ticks: ATTACK_TICKS,
+                period: 60,
+            },
+        ),
+    ]
+}
+
+/// One (regime × adversary) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationCell {
+    /// Adversary rung name.
+    pub adversary: &'static str,
+    /// Runs executed.
+    pub runs: u64,
+    /// Runs in which every live process decided within the budget.
+    pub agreed: u64,
+    /// `agreed / runs` in permille (integer floor).
+    pub agreement_permille: u64,
+    /// Runs that broke a safety property (must stay 0 — gray failures and
+    /// adaptive adversaries may stall Ben-Or but never fork it).
+    pub safety_violations: u64,
+    /// Rounds consumed, over the runs that agreed.
+    pub rounds_to_decide: PercentileSummary,
+}
+
+/// All cells of one gray-failure regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationRegime {
+    /// Regime name.
+    pub regime: &'static str,
+    /// One cell per adversary rung, ladder order.
+    pub cells: Vec<DegradationCell>,
+}
+
+/// The full degradation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Cluster size.
+    pub n: usize,
+    /// Fault tolerance.
+    pub t: usize,
+    /// Seeds per cell.
+    pub seeds: usize,
+    /// One entry per regime, weakest first.
+    pub regimes: Vec<DegradationRegime>,
+}
+
+/// The artifacts of one (regime, adversary) cell, in seed order.
+fn cell_artifacts(
+    network: &NetworkConfig,
+    clock_rates: &[(usize, u32)],
+    sync_latency: u64,
+    adversary: AdversarySpec,
+    seeds: usize,
+) -> Vec<FailureArtifact> {
+    (0..seeds as u64)
+        .map(|seed| FailureArtifact {
+            algorithm: Algorithm::BenOr,
+            n: N,
+            t: T,
+            byzantine: None,
+            attack: None,
+            seed,
+            inputs: inputs_for(N, seed),
+            max_rounds: MAX_ROUNDS,
+            max_ticks: MAX_TICKS,
+            network: Some(network.clone()),
+            faults: vec![],
+            adversary,
+            sabotage_commit_threshold: None,
+            storage_policy: None,
+            clock_rates: clock_rates.to_vec(),
+            sync_latency,
+            violation: None,
+        })
+        .collect()
+}
+
+/// Every artifact of the degradation sweep, regime-major then ladder
+/// order then seed order. Exposed so the CLI can dump the artifacts for
+/// replay.
+pub fn degradation_artifacts(seeds: usize) -> Vec<FailureArtifact> {
+    let mut all = Vec::new();
+    for (_, network, clock_rates, sync_latency) in regimes() {
+        for (_, adversary) in ladder() {
+            all.extend(cell_artifacts(
+                &network,
+                &clock_rates,
+                sync_latency,
+                adversary,
+                seeds,
+            ));
+        }
+    }
+    all
+}
+
+/// Runs the degradation sweep: `seeds` runs per (regime × adversary)
+/// cell on up to `jobs` workers. The report — and its rendered JSON — is
+/// byte-identical for every `jobs` value.
+pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
+    let artifacts = degradation_artifacts(seeds);
+    let outcomes = run_all(&artifacts, jobs);
+    let mut it = outcomes.chunks(seeds.max(1));
+    let mut report = DegradationReport {
+        n: N,
+        t: T,
+        seeds,
+        regimes: Vec::new(),
+    };
+    for (regime, ..) in regimes() {
+        let mut cells = Vec::new();
+        for (adversary, _) in ladder() {
+            let outs = it.next().expect("one chunk per cell");
+            let mut agreed = 0u64;
+            let mut safety_violations = 0u64;
+            let mut rounds = Vec::new();
+            for out in outs {
+                if out.undecided == 0 {
+                    agreed += 1;
+                    rounds.push(out.spent.rounds);
+                }
+                if out.violations.iter().any(|v| is_safety(v.kind)) {
+                    safety_violations += 1;
+                }
+            }
+            let runs = outs.len() as u64;
+            cells.push(DegradationCell {
+                adversary,
+                runs,
+                agreed,
+                agreement_permille: (agreed * 1000).checked_div(runs).unwrap_or(0),
+                safety_violations,
+                rounds_to_decide: PercentileSummary::of(&rounds),
+            });
+        }
+        report.regimes.push(DegradationRegime { regime, cells });
+    }
+    report
+}
+
+impl DegradationCell {
+    /// Renders as a JSON object with a fixed field order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("adversary".into(), Json::Str(self.adversary.into())),
+            ("runs".into(), Json::U64(self.runs)),
+            ("agreed".into(), Json::U64(self.agreed)),
+            (
+                "agreement_permille".into(),
+                Json::U64(self.agreement_permille),
+            ),
+            (
+                "safety_violations".into(),
+                Json::U64(self.safety_violations),
+            ),
+            ("rounds_to_decide".into(), self.rounds_to_decide.to_json()),
+        ])
+    }
+}
+
+/// Renders the full report document. Byte-identical across repeated runs
+/// and worker counts: every value is an exact integer derived from the
+/// deterministic grid, never from the wall clock or the host.
+pub fn degradation_json(report: &DegradationReport) -> Json {
+    Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("ooc-campaign-degradation/v1".into()),
+        ),
+        ("algorithm".into(), Json::Str("ben-or".into())),
+        ("n".into(), Json::U64(report.n as u64)),
+        ("t".into(), Json::U64(report.t as u64)),
+        ("seeds".into(), Json::U64(report.seeds as u64)),
+        ("max_rounds".into(), Json::U64(MAX_ROUNDS)),
+        ("max_ticks".into(), Json::U64(MAX_TICKS)),
+        ("attack_ticks".into(), Json::U64(ATTACK_TICKS)),
+        (
+            "regimes".into(),
+            Json::Arr(
+                report
+                    .regimes
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("regime".into(), Json::Str(r.regime.into())),
+                            (
+                                "cells".into(),
+                                Json::Arr(r.cells.iter().map(DegradationCell::to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_report_is_byte_identical_across_thread_counts() {
+        let serial = degradation_json(&degradation_report_jobs(6, 1)).pretty();
+        for jobs in [2, 4] {
+            let parallel = degradation_json(&degradation_report_jobs(6, jobs)).pretty();
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report bytes");
+        }
+        let doc = Json::parse(&serial).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ooc-campaign-degradation/v1")
+        );
+        assert_eq!(doc.get("regimes").and_then(Json::as_arr).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn gray_failures_never_break_safety() {
+        let report = degradation_report_jobs(8, 4);
+        for regime in &report.regimes {
+            for cell in &regime.cells {
+                assert_eq!(
+                    cell.safety_violations, 0,
+                    "{}/{} broke safety",
+                    regime.regime, cell.adversary
+                );
+                assert_eq!(cell.runs, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn state_adaptive_adversary_degrades_agreement_below_the_oblivious_baseline() {
+        // The acceptance criterion: across the regimes, the state-adaptive
+        // split-vote must push eventual-agreement probability measurably
+        // below the oblivious baseline. Deterministic, so exact totals.
+        let report = degradation_report_jobs(10, 4);
+        let total = |name: &str| -> u64 {
+            report
+                .regimes
+                .iter()
+                .flat_map(|r| &r.cells)
+                .filter(|c| c.adversary == name)
+                .map(|c| c.agreed)
+                .sum()
+        };
+        let oblivious = total("oblivious");
+        let state_split = total("state-split-vote");
+        let starve = total("quorum-starve");
+        assert!(
+            state_split < oblivious,
+            "state-split-vote must degrade agreement: {state_split} vs {oblivious}"
+        );
+        assert!(
+            starve <= oblivious,
+            "quorum-starve must not beat the baseline: {starve} vs {oblivious}"
+        );
+    }
+}

@@ -34,6 +34,11 @@
 //! * [`report`] — percentile aggregation (p50/p95/p99 rounds-to-decide,
 //!   messages, simulated time) over the same grids, rendered as
 //!   byte-identical deterministic JSON.
+//! * [`degradation`] — the gray-failure scenario zoo: adversary strength
+//!   (oblivious → message-adaptive → state-adaptive) × gray-failure
+//!   intensity (asymmetric loss, flapping partitions, heavy-tailed
+//!   delays, clock drift, slow disks), reporting eventual-agreement
+//!   probability and rounds-to-decide percentiles per regime.
 //! * [`shrink`] — greedy delta-debugging minimization preserving the
 //!   violation kind.
 //! * [`json`] — a small dependency-free JSON value/parser/printer with
@@ -44,6 +49,7 @@
 //! ```text
 //! cargo run --release -p ooc-campaign -- sweep [--algorithm A] [--combos N] [--jobs N] [--out DIR] [--sabotage]
 //! cargo run --release -p ooc-campaign -- report [--algorithm A] [--combos N] [--jobs N] [--out FILE]
+//! cargo run --release -p ooc-campaign -- degradation [--seeds N] [--jobs N] [--out FILE] [--artifacts DIR]
 //! cargo run --release -p ooc-campaign -- replay [--jobs N] <artifact.json>...
 //! cargo run --release -p ooc-campaign -- shrink <artifact.json> [--out FILE]
 //! ```
@@ -56,6 +62,7 @@
 
 pub mod adversaries;
 pub mod artifact;
+pub mod degradation;
 pub mod json;
 pub mod parallel;
 pub mod report;
@@ -66,6 +73,10 @@ pub mod sweep;
 pub use adversaries::{king_crash_schedule, LeaderFlapAdversary, SplitVoteAdversary};
 pub use artifact::{
     AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
+};
+pub use degradation::{
+    degradation_json, degradation_report_jobs, DegradationCell, DegradationRegime,
+    DegradationReport,
 };
 pub use json::Json;
 pub use parallel::{default_jobs, run_all};

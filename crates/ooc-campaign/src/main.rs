@@ -1,6 +1,7 @@
-//! The campaign CLI: `sweep`, `report`, `replay`, `shrink`.
+//! The campaign CLI: `sweep`, `report`, `degradation`, `replay`, `shrink`.
 
 use ooc_campaign::artifact::{Algorithm, FailureArtifact};
+use ooc_campaign::degradation::{degradation_artifacts, degradation_json, degradation_report_jobs};
 use ooc_campaign::parallel::{default_jobs, run_all};
 use ooc_campaign::report::{collect_reports_jobs, report_json};
 use ooc_campaign::shrink::{shrink, size_of};
@@ -15,6 +16,7 @@ fn main() -> ExitCode {
     match it.next() {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("degradation") => cmd_degradation(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         _ => {
@@ -53,6 +55,18 @@ commands:
       summaries (p50/p95/p99 rounds-to-decide, messages, simulated
       ticks). The JSON output is byte-identical across repeated runs
       with the same inputs; written to FILE or stdout.
+
+  degradation [--seeds N] [--jobs N] [--out FILE] [--artifacts DIR]
+      Sweep adversary strength (oblivious, message-adaptive split-vote,
+      state-adaptive split-vote, quorum-starve) against the gray-failure
+      scenario zoo (clean, asymmetric loss, flapping partitions,
+      heavy-tailed delays with clock drift and slow disks) with N seeds
+      per cell (default 40). Emits eventual-agreement probability (in
+      permille) and rounds-to-decide percentiles per regime as
+      byte-identical deterministic JSON, to FILE or stdout.
+      --artifacts DIR additionally writes every cell's runs as
+      re-runnable artifact JSON. Exits non-zero if any cell broke
+      safety.
 
   replay [--jobs N] <artifact.json>...
       Re-run one or more artifacts and report what the checkers see.
@@ -291,6 +305,69 @@ fn cmd_report(args: &[String]) -> ExitCode {
             println!("wrote {}", path.display());
         }
         None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_degradation(args: &[String]) -> ExitCode {
+    let seeds: usize = parse_flag(args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let jobs = parse_jobs(args);
+    let report = degradation_report_jobs(seeds, jobs);
+    for regime in &report.regimes {
+        for cell in &regime.cells {
+            println!(
+                "{}/{}: agreement {}‰ ({}/{} runs), rounds p50/p95 {}/{}",
+                regime.regime,
+                cell.adversary,
+                cell.agreement_permille,
+                cell.agreed,
+                cell.runs,
+                cell.rounds_to_decide.p50,
+                cell.rounds_to_decide.p95,
+            );
+        }
+    }
+    let text = degradation_json(&report).pretty();
+    match parse_flag(args, "--out") {
+        Some(path) => {
+            let path = Path::new(path);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("failed to create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        None => print!("{text}"),
+    }
+    if let Some(dir) = parse_flag(args, "--artifacts") {
+        let dir = Path::new(dir);
+        let artifacts = degradation_artifacts(seeds);
+        for (i, art) in artifacts.iter().enumerate() {
+            let path = dir.join(format!("degradation-{i:04}.json"));
+            if let Err(e) = write_artifact(&path, art) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("wrote {} artifacts to {}", artifacts.len(), dir.display());
+    }
+    let safety: u64 = report
+        .regimes
+        .iter()
+        .flat_map(|r| &r.cells)
+        .map(|c| c.safety_violations)
+        .sum();
+    if safety > 0 {
+        eprintln!("SAFETY VIOLATION in {safety} degradation runs");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -8,12 +8,15 @@ use crate::artifact::{
     faults_to_plan, faults_to_round_crashes, AdversarySpec, Algorithm, FailureArtifact,
     FaultSpec,
 };
-use ooc_ben_or::{run_decomposed_with, BenOrConfig, BenOrWire};
+use ooc_ben_or::{run_decomposed_gray, BenOrConfig, BenOrWire, GrayOptions};
 use ooc_core::checker::Violation;
 use ooc_core::{BudgetSpent, RunBudget};
 use ooc_phase_king::{run_phase_king_with_crashes, PhaseKingConfig};
 use ooc_raft::{run_raft_with, RaftClusterConfig, RaftMsg};
-use ooc_simnet::{Adversary, NetworkConfig, RunLimit, SimTime, StorageFaultPlan};
+use ooc_simnet::{
+    Adversary, NetworkConfig, QuorumStarveAdversary, RunLimit, SimTime, StateAdversary,
+    StorageFaultPlan, VoteSplitStateAdversary,
+};
 // ooc-lint::allow(determinism/wall-clock, "measures host-side campaign wall time, not simulated time")
 use std::time::Instant;
 
@@ -104,7 +107,36 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
         ))),
         _ => None,
     };
-    let run = run_decomposed_with(&cfg, &inputs, artifact.seed, adversary);
+    let state_adversary: Option<Box<dyn StateAdversary<BenOrWire>>> = match artifact.adversary {
+        AdversarySpec::StateSplitVote { until_ticks } => Some(Box::new(
+            VoteSplitStateAdversary::new(SimTime::from_ticks(until_ticks), network_of(artifact)),
+        )),
+        AdversarySpec::QuorumFlap {
+            until_ticks,
+            period,
+        } => Some(Box::new(QuorumStarveAdversary::new(
+            SimTime::from_ticks(until_ticks),
+            period,
+            network_of(artifact),
+        ))),
+        _ => None,
+    };
+    let storage = if artifact.sync_latency > 0 {
+        StorageFaultPlan::default().with_sync_latency(artifact.sync_latency)
+    } else {
+        StorageFaultPlan::default()
+    };
+    let run = run_decomposed_gray(
+        &cfg,
+        &inputs,
+        artifact.seed,
+        GrayOptions {
+            adversary,
+            state_adversary,
+            clocks: artifact.clock_model(),
+            storage,
+        },
+    );
 
     let spent = BudgetSpent {
         rounds: run.max_round,
@@ -263,6 +295,8 @@ mod tests {
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         }
     }
@@ -290,6 +324,35 @@ mod tests {
                 "seed {seed}: {:?}",
                 out.violations
             );
+        }
+    }
+
+    #[test]
+    fn state_adaptive_artifacts_stay_safe_and_replay_identically() {
+        for adversary in [
+            AdversarySpec::StateSplitVote { until_ticks: 2_000 },
+            AdversarySpec::QuorumFlap {
+                until_ticks: 2_000,
+                period: 60,
+            },
+        ] {
+            let mut art = ben_or_artifact();
+            art.adversary = adversary;
+            art.clock_rates = vec![(0, 130), (3, 80)];
+            art.sync_latency = 3;
+            for seed in 0..4 {
+                art.seed = seed;
+                let out = run_artifact(&art);
+                assert!(
+                    !out.has_safety_violation(),
+                    "{adversary:?} seed {seed}: {:?}",
+                    out.violations
+                );
+                let replay = run_artifact(&art);
+                assert_eq!(out.decided, replay.decided);
+                assert_eq!(out.messages, replay.messages);
+                assert_eq!(out.stop, replay.stop);
+            }
         }
     }
 
@@ -346,6 +409,8 @@ mod tests {
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         };
         let out = run_artifact(&art);
@@ -373,6 +438,8 @@ mod tests {
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         };
         let _ = run_artifact(&art);
@@ -398,6 +465,8 @@ mod tests {
             },
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         };
         let out = run_artifact(&art);

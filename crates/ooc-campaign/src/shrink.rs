@@ -95,11 +95,15 @@ fn candidates(art: &FailureArtifact) -> Vec<FailureArtifact> {
         out.push(smaller);
     }
 
-    // Drop each scheduled fault.
+    // Drop each scheduled fault. Dropping a crash can orphan a restart
+    // (the engine rejects restart-without-crash plans), so only offer
+    // candidates whose fault plan still validates.
     for i in 0..art.faults.len() {
         let mut c = art.clone();
         c.faults.remove(i);
-        out.push(c);
+        if crate::artifact::faults_to_plan(&c.faults).validate().is_ok() {
+            out.push(c);
+        }
     }
 
     // Remove the adversary.
@@ -135,6 +139,28 @@ fn candidates(art: &FailureArtifact) -> Vec<FailureArtifact> {
                 out.push(c);
             }
         }
+        // Gray-failure dimensions: drop each asymmetric link override and
+        // each flapping schedule, then clear each family wholesale.
+        for i in 0..net.link_overrides.len() {
+            let mut c = art.clone();
+            c.network.as_mut().unwrap().link_overrides.remove(i);
+            out.push(c);
+        }
+        if !net.link_overrides.is_empty() {
+            let mut c = art.clone();
+            c.network.as_mut().unwrap().link_overrides.clear();
+            out.push(c);
+        }
+        for i in 0..net.flapping.len() {
+            let mut c = art.clone();
+            c.network.as_mut().unwrap().flapping.remove(i);
+            out.push(c);
+        }
+        if !net.flapping.is_empty() {
+            let mut c = art.clone();
+            c.network.as_mut().unwrap().flapping.clear();
+            out.push(c);
+        }
         // Simplify the stochastic network to a deterministic one.
         let simple = ooc_simnet::NetworkConfig {
             partitions: net.partitions.clone(),
@@ -145,6 +171,33 @@ fn candidates(art: &FailureArtifact) -> Vec<FailureArtifact> {
             c.network = Some(simple);
             out.push(c);
         }
+    }
+
+    // Restore nominal clocks.
+    if !art.clock_rates.is_empty() {
+        let mut c = art.clone();
+        c.clock_rates.clear();
+        out.push(c);
+    }
+
+    // Remove the slow disk.
+    if art.sync_latency > 0 {
+        let mut c = art.clone();
+        c.sync_latency = 0;
+        out.push(c);
+    }
+
+    // Downgrade a state-adaptive adversary to its message-adaptive
+    // analogue: a counterexample that survives the downgrade needs no
+    // protocol-state oracle, which is a strictly weaker (and easier to
+    // reason about) attacker.
+    if let crate::artifact::AdversarySpec::StateSplitVote { until_ticks } = art.adversary {
+        let mut c = art.clone();
+        c.adversary = crate::artifact::AdversarySpec::SplitVote {
+            until_ticks,
+            slow_ticks: 25,
+        };
+        out.push(c);
     }
 
     // Tighten the budgets.
@@ -213,10 +266,13 @@ pub fn size_of(art: &FailureArtifact) -> usize {
         + art
             .network
             .as_ref()
-            .map(|net| net.partitions.len())
+            .map(|net| net.partitions.len() + net.link_overrides.len() + net.flapping.len())
             .unwrap_or(0)
         + usize::from(art.adversary != crate::artifact::AdversarySpec::None)
+        + usize::from(art.adversary.is_state_adaptive())
         + usize::from(art.storage_policy.is_some())
+        + usize::from(!art.clock_rates.is_empty())
+        + usize::from(art.sync_latency > 0)
 }
 
 #[cfg(test)]
@@ -247,6 +303,8 @@ mod tests {
                 },
                 sabotage_commit_threshold: Some(3),
                 storage_policy: None,
+                clock_rates: Vec::new(),
+                sync_latency: 0,
                 violation: None,
             };
             let out = run_artifact(&art);
@@ -303,6 +361,8 @@ mod tests {
             adversary: AdversarySpec::None,
             sabotage_commit_threshold: None,
             storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
             violation: None,
         };
         assert!(shrink(&art).is_none());

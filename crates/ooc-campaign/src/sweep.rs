@@ -12,7 +12,10 @@ use crate::artifact::{
 use crate::adversaries::king_crash_schedule;
 use crate::parallel::run_all;
 use ooc_phase_king::{Attack, PhaseKingConfig};
-use ooc_simnet::{DelayModel, NetworkConfig, PartitionWindow, ProcessId, SimTime, StoragePolicy};
+use ooc_simnet::{
+    DelayModel, FlappingPartition, LinkOverride, NetworkConfig, PartitionWindow, ProcessId,
+    SimTime, StoragePolicy,
+};
 
 /// Everything a sweep over one algorithm produced.
 #[derive(Debug)]
@@ -110,7 +113,7 @@ pub fn grid(algorithm: Algorithm, target: usize) -> Vec<FailureArtifact> {
 }
 
 /// The alternating / all-zero / all-one input patterns, cycled by seed.
-fn inputs_for(len: usize, seed: u64) -> Vec<u64> {
+pub(crate) fn inputs_for(len: usize, seed: u64) -> Vec<u64> {
     match seed % 3 {
         0 => (0..len).map(|i| (i % 2) as u64).collect(),
         1 => vec![0; len],
@@ -193,6 +196,8 @@ fn ben_or_grid(target: usize, sabotage: bool) -> Vec<FailureArtifact> {
                             adversary,
                             sabotage_commit_threshold: sabotage.then_some(t),
                             storage_policy: None,
+                            clock_rates: Vec::new(),
+                            sync_latency: 0,
                             violation: None,
                         });
                     }
@@ -260,6 +265,8 @@ fn phase_king_grid(target: usize) -> Vec<FailureArtifact> {
                         adversary: AdversarySpec::None,
                         sabotage_commit_threshold: None,
                         storage_policy: None,
+                        clock_rates: Vec::new(),
+                        sync_latency: 0,
                         violation: None,
                     });
                 }
@@ -322,6 +329,8 @@ fn raft_grid(target: usize) -> Vec<FailureArtifact> {
                             adversary,
                             sabotage_commit_threshold: None,
                             storage_policy: None,
+                            clock_rates: Vec::new(),
+                            sync_latency: 0,
                             violation: None,
                         });
                     }
@@ -407,6 +416,8 @@ pub fn raft_durability_grid(target: usize, policy: StoragePolicy) -> Vec<Failure
                                 adversary: AdversarySpec::None,
                                 sabotage_commit_threshold: None,
                                 storage_policy: Some(policy),
+                                clock_rates: Vec::new(),
+                                sync_latency: 0,
                                 violation: None,
                             });
                         }
@@ -423,6 +434,136 @@ pub fn raft_durability_grid(target: usize, policy: StoragePolicy) -> Vec<Failure
 /// [`sweep_jobs`].
 pub fn sweep_storage_jobs(target: usize, policy: StoragePolicy, jobs: usize) -> SweepReport {
     collect_report(Algorithm::Raft, raft_durability_grid(target, policy), jobs)
+}
+
+/// A network with one gray *directed* link: `p0 → p(n−1)` loses 30 % of
+/// its traffic and crawls, while the reverse direction — and every other
+/// link — stays healthy. A second override slows `p1 → p0` without extra
+/// loss, so the grid also exercises delay-only asymmetry.
+pub(crate) fn asym_lossy_net(n: usize) -> NetworkConfig {
+    NetworkConfig::lossy(1, 5, 0.02)
+        .with_link_override(LinkOverride {
+            from: ProcessId(0),
+            to: ProcessId(n - 1),
+            drop_probability: Some(0.3),
+            delay: Some(DelayModel::Uniform { min: 10, max: 30 }),
+        })
+        .with_link_override(LinkOverride {
+            from: ProcessId(1),
+            to: ProcessId(0),
+            drop_probability: None,
+            delay: Some(DelayModel::Fixed(20)),
+        })
+}
+
+/// A network that flaps between a split and full connectivity on a fixed
+/// cadence: 10 of every 80 ticks partitioned, starting healed, for the
+/// first 2 000 ticks. The split makes two ⌊n/2⌋ camps and (for odd `n`)
+/// isolates the last process, so *neither* camp reaches the `n − t`
+/// quorum alone.
+///
+/// Even a 12.5 % duty cycle is brutal for a protocol built on reliable
+/// channels: Ben-Or never retransmits, so a round whose message burst
+/// lands in a partitioned window is starved forever and the run goes
+/// quiescent. The cadence is tuned so *most* rounds thread the heal
+/// windows — the regime degrades agreement instead of flooring it.
+pub(crate) fn flapping_net(n: usize) -> NetworkConfig {
+    let split = n / 2;
+    NetworkConfig::reliable(2).with_flapping(FlappingPartition {
+        from: SimTime::from_ticks(40),
+        until: SimTime::from_ticks(2_040),
+        period: 80,
+        partitioned: 10,
+        groups: vec![
+            (0..split).map(ProcessId).collect(),
+            (split..2 * split).map(ProcessId).collect(),
+        ],
+    })
+}
+
+/// A bounded-Pareto delay network: mostly fast, with a heavy tail deep
+/// into the 60-tick cap.
+pub(crate) fn heavy_tailed_net() -> NetworkConfig {
+    NetworkConfig {
+        delay: DelayModel::HeavyTailed {
+            floor: 1,
+            alpha_milli: 1100,
+            cap: 60,
+        },
+        ..NetworkConfig::reliable(1)
+    }
+}
+
+/// The Ben-Or **gray-failure grid**: every combination of the three gray
+/// networks ([`asym_lossy_net`], [`flapping_net`], [`heavy_tailed_net`])
+/// with the full adversary ladder — oblivious, message-adaptive
+/// split-vote, state-adaptive split-vote, quorum-starving flapper — plus
+/// per-process clock drift and slow-disk `sync()` latency cycled by seed.
+///
+/// This grid is deliberately **separate** from [`grid`]: the classic
+/// grids feed the pinned `BENCH_ooc.json` campaign rows and must not
+/// change shape.
+pub fn ben_or_gray_grid(target: usize) -> Vec<FailureArtifact> {
+    let sizes = [(5usize, 2usize), (7, 3)];
+    let adversaries = [
+        AdversarySpec::None,
+        AdversarySpec::SplitVote {
+            until_ticks: 2_000,
+            slow_ticks: 25,
+        },
+        AdversarySpec::StateSplitVote { until_ticks: 2_000 },
+        AdversarySpec::QuorumFlap {
+            until_ticks: 2_000,
+            period: 60,
+        },
+    ];
+    let mut grid = Vec::new();
+    let mut seed = 0u64;
+    while grid.len() < target {
+        for &(n, t) in &sizes {
+            let networks = [asym_lossy_net(n), flapping_net(n), heavy_tailed_net()];
+            // Clock drift and slow-disk intensity cycle with the seed so
+            // every network × adversary cell eventually sees every timing
+            // regime.
+            let drift: Vec<(usize, u32)> = match seed % 3 {
+                0 => Vec::new(),
+                1 => vec![(0, 140)],
+                _ => vec![(0, 150), (n - 1, 70)],
+            };
+            let sync_latency = [0u64, 4][(seed % 2) as usize];
+            for network in &networks {
+                for &adversary in &adversaries {
+                    grid.push(FailureArtifact {
+                        algorithm: Algorithm::BenOr,
+                        n,
+                        t,
+                        byzantine: None,
+                        attack: None,
+                        seed,
+                        inputs: inputs_for(n, seed),
+                        max_rounds: 300,
+                        max_ticks: 600_000,
+                        network: Some(network.clone()),
+                        faults: vec![],
+                        adversary,
+                        sabotage_commit_threshold: None,
+                        storage_policy: None,
+                        clock_rates: drift.clone(),
+                        sync_latency,
+                        violation: None,
+                    });
+                }
+            }
+        }
+        seed += 1;
+    }
+    grid
+}
+
+/// Sweeps the [`ben_or_gray_grid`] on up to `jobs` workers; the report
+/// inherits the byte-identity guarantee of [`sweep_jobs`].
+pub fn sweep_gray_jobs(target: usize, jobs: usize) -> SweepReport {
+    collect_report(Algorithm::BenOr, ben_or_gray_grid(target), jobs)
 }
 
 #[cfg(test)]
@@ -549,6 +690,59 @@ mod tests {
             "the durability grid must still terminate under sync-always: {:?}",
             report.liveness.first().map(|a| &a.violation)
         );
+    }
+
+    #[test]
+    fn gray_grid_is_deterministic_and_reaches_its_target() {
+        assert!(ben_or_gray_grid(200).len() >= 200);
+        assert_eq!(ben_or_gray_grid(100), ben_or_gray_grid(100));
+        // The grid exercises the full adversary ladder and all three
+        // gray networks.
+        let grid = ben_or_gray_grid(24);
+        for adversary in [
+            AdversarySpec::None,
+            AdversarySpec::SplitVote {
+                until_ticks: 2_000,
+                slow_ticks: 25,
+            },
+            AdversarySpec::StateSplitVote { until_ticks: 2_000 },
+            AdversarySpec::QuorumFlap {
+                until_ticks: 2_000,
+                period: 60,
+            },
+        ] {
+            assert!(grid.iter().any(|a| a.adversary == adversary));
+        }
+        assert!(grid
+            .iter()
+            .any(|a| !a.network.as_ref().unwrap().link_overrides.is_empty()));
+        assert!(grid
+            .iter()
+            .any(|a| !a.network.as_ref().unwrap().flapping.is_empty()));
+        assert!(grid.iter().any(|a| matches!(
+            a.network.as_ref().unwrap().delay,
+            DelayModel::HeavyTailed { .. }
+        )));
+    }
+
+    #[test]
+    fn gray_sweep_stays_safe_and_parallel_matches_serial() {
+        let serial = sweep_gray_jobs(48, 1);
+        assert!(
+            serial.safety.is_empty(),
+            "gray failures may stall Ben-Or but must never break safety: {:?}",
+            serial.safety.first().map(|a| &a.violation)
+        );
+        let parallel = sweep_gray_jobs(48, 4);
+        assert_eq!(serial.total, parallel.total);
+        let render = |r: &SweepReport| -> Vec<String> {
+            r.safety
+                .iter()
+                .chain(r.liveness.iter())
+                .map(|a| a.to_string_pretty())
+                .collect()
+        };
+        assert_eq!(render(&serial), render(&parallel));
     }
 
     #[test]

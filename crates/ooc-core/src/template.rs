@@ -20,7 +20,9 @@
 
 use crate::confidence::{Confidence, VacOutcome};
 use crate::objects::{AcObject, ConciliatorObject, ObjectNet, ReconciliatorObject, VacObject};
-use ooc_simnet::{Context, Process, ProcessId, SimDuration, SimTime, SplitMix64, TimerId};
+use ooc_simnet::{
+    Context, Process, ProcessId, ProtocolObservation, SimDuration, SimTime, SplitMix64, TimerId,
+};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 
@@ -610,6 +612,27 @@ where
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, timer: TimerId) {
         self.timer(timer, ctx);
+    }
+
+    fn observe(&self) -> ProtocolObservation {
+        // Values are generic, but the paper's binary instantiations all
+        // Debug-print as `true`/`false`; anything else observes as None,
+        // which state adversaries treat as "preference unknown".
+        let as_bool = |v: &Self::Output| match format!("{v:?}").as_str() {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        };
+        ProtocolObservation {
+            round: self.round,
+            phase: match &self.stage {
+                Stage::InDetector(_) => 0,
+                Stage::InShaker(_) => 1,
+                Stage::Halted => 2,
+            },
+            preference: as_bool(&self.v),
+            decided: self.decided.as_ref().and_then(as_bool),
+        }
     }
 }
 

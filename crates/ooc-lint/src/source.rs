@@ -33,6 +33,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but pinning the path keeps
 /// crash-recovery semantics in scope even if the crate list changes.
 pub const DETERMINISTIC_MODULES: &[&str] = &[
+    "crates/ooc-campaign/src/degradation.rs",
     "crates/ooc-campaign/src/parallel.rs",
     "crates/ooc-simnet/src/storage.rs",
 ];

@@ -13,13 +13,31 @@ use crate::time::{SimDuration, SimTime};
 use crate::ProcessId;
 
 /// What to do with a message in flight.
+///
+/// The three drop variants all kill the message; they differ only in the
+/// *cause* recorded against the run's `messages.dropped.<reason>` metrics
+/// and trace, so gray-failure reports can distinguish an active partition
+/// from stochastic loss from a deliberate attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// Deliver after the given transit delay (clamped to ≥ 1 tick for
     /// messages between distinct processes).
     DeliverAfter(SimDuration),
-    /// Silently drop the message.
+    /// Deliberately drop the message (recorded as an adversary drop).
     Drop,
+    /// Drop because the link crosses an active partition (recorded under
+    /// `messages.dropped.partition`).
+    DropPartition,
+    /// Drop by stochastic link loss (recorded under
+    /// `messages.dropped.loss`).
+    DropLoss,
+}
+
+impl Decision {
+    /// Whether the message is dropped, regardless of the recorded cause.
+    pub fn is_drop(&self) -> bool {
+        !matches!(self, Decision::DeliverAfter(_))
+    }
 }
 
 /// Chooses transit fates for messages. Implementations must be
@@ -77,12 +95,13 @@ impl<M> Adversary<M> for NetworkAdversary {
         rng: &mut SplitMix64,
     ) -> Decision {
         if self.config.partition_blocks(at, from, to) {
-            return Decision::Drop;
+            return Decision::DropPartition;
         }
-        if self.config.drop_probability > 0.0 && rng.chance(self.config.drop_probability) {
-            return Decision::Drop;
+        let drop_p = self.config.drop_probability_for(from, to);
+        if drop_p > 0.0 && rng.chance(drop_p) {
+            return Decision::DropLoss;
         }
-        Decision::DeliverAfter(self.config.delay.sample(rng))
+        Decision::DeliverAfter(self.config.delay_for(from, to).sample(rng))
     }
 
     fn duplicate(
@@ -271,9 +290,10 @@ mod tests {
         };
         let mut adv = NetworkAdversary::new(cfg);
         let mut rng = SplitMix64::new(1);
+        // Partition drops carry the partition cause, not a generic drop.
         assert_eq!(
             Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
-            Decision::Drop
+            Decision::DropPartition
         );
         assert!(matches!(
             Adversary::<u32>::route(
@@ -295,9 +315,51 @@ mod tests {
             ..NetworkConfig::default()
         });
         let mut rng = SplitMix64::new(1);
+        // Stochastic loss carries the loss cause.
         assert_eq!(
             Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
-            Decision::Drop
+            Decision::DropLoss
+        );
+    }
+
+    #[test]
+    fn decision_is_drop_covers_every_cause() {
+        assert!(Decision::Drop.is_drop());
+        assert!(Decision::DropPartition.is_drop());
+        assert!(Decision::DropLoss.is_drop());
+        assert!(!Decision::DeliverAfter(SimDuration::from_ticks(1)).is_drop());
+    }
+
+    #[test]
+    fn network_adversary_honours_link_overrides() {
+        use crate::network::LinkOverride;
+        let cfg = NetworkConfig::reliable(2)
+            .with_link_override(LinkOverride {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                drop_probability: Some(1.0),
+                delay: None,
+            })
+            .with_link_override(LinkOverride {
+                from: ProcessId(1),
+                to: ProcessId(0),
+                drop_probability: None,
+                delay: Some(DelayModel::Fixed(30)),
+            });
+        let mut adv = NetworkAdversary::new(cfg);
+        let mut rng = SplitMix64::new(1);
+        // 0 → 1 is black-holed; 1 → 0 limps at 30 ticks; 1 → 2 is healthy.
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(0), ProcessId(1), &0, &mut rng),
+            Decision::DropLoss
+        );
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(1), ProcessId(0), &0, &mut rng),
+            Decision::DeliverAfter(SimDuration::from_ticks(30))
+        );
+        assert_eq!(
+            Adversary::<u32>::route(&mut adv, SimTime::ZERO, ProcessId(1), ProcessId(2), &0, &mut rng),
+            Decision::DeliverAfter(SimDuration::from_ticks(2))
         );
     }
 

@@ -127,6 +127,66 @@ impl FaultPlan {
         self.crashes.len()
     }
 
+    /// Checks the plan for restarts that can never take effect.
+    ///
+    /// Rejected shapes:
+    ///
+    /// * a restart for a process with **no crash scheduled at all** — the
+    ///   engine's restart handler would be invoked on a live process (a
+    ///   silent no-op today, pinned by tests, but always a plan bug);
+    /// * a restart scheduled **strictly before** every time-scheduled crash
+    ///   of its process, with no event-count crash that could fire earlier.
+    ///
+    /// A restart at the *same tick* as a crash stays valid: the engine
+    /// schedules crash events before restarts, so the tie resolves
+    /// crash-first and the process ends the tick alive (pinned by
+    /// `overlapping_crash_and_restart_at_same_tick_are_both_kept`).
+    /// Restarts paired with [`CrashSpec::AfterEvents`] are always accepted
+    /// — the crash tick is not knowable from the plan alone.
+    ///
+    /// [`Sim`](crate::Sim) construction calls this and panics on `Err`, so
+    /// invalid plans fail fast instead of silently dropping their faults.
+    pub fn validate(&self) -> Result<(), String> {
+        for &(p, t) in &self.restarts {
+            let mut has_crash = false;
+            let mut has_event_crash = false;
+            let mut earliest_at_time: Option<SimTime> = None;
+            for &(q, spec) in &self.crashes {
+                if q != p {
+                    continue;
+                }
+                has_crash = true;
+                match spec {
+                    CrashSpec::AfterEvents(_) => has_event_crash = true,
+                    CrashSpec::AtTime(ct) => {
+                        earliest_at_time =
+                            Some(earliest_at_time.map_or(ct, |cur: SimTime| cur.min(ct)));
+                    }
+                }
+            }
+            if !has_crash {
+                return Err(format!(
+                    "FaultPlan: restart of process {} at {t} but no crash is \
+                     scheduled for it — the restart could never take effect",
+                    p.index()
+                ));
+            }
+            if !has_event_crash {
+                if let Some(ct) = earliest_at_time {
+                    if t < ct {
+                        return Err(format!(
+                            "FaultPlan: restart of process {} at {t} precedes its \
+                             earliest crash at {ct} — the restart could never take \
+                             effect",
+                            p.index()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ---- shrink hooks -------------------------------------------------
     //
     // The campaign engine's delta-debugging shrinker works by deleting one
@@ -136,12 +196,18 @@ impl FaultPlan {
 
     /// A copy of the plan with crash number `idx` removed; `None` when
     /// `idx` is out of range.
+    ///
+    /// Restarts orphaned by the removal (their process no longer has any
+    /// scheduled crash) are pruned too, so shrink candidates stay
+    /// [valid](FaultPlan::validate) by construction.
     pub fn without_crash(&self, idx: usize) -> Option<FaultPlan> {
         if idx >= self.crashes.len() {
             return None;
         }
         let mut plan = self.clone();
         plan.crashes.remove(idx);
+        plan.restarts
+            .retain(|&(p, _)| plan.crashes.iter().any(|&(q, _)| q == p));
         Some(plan)
     }
 
@@ -275,6 +341,84 @@ mod tests {
             .crash_at(ProcessId(0), SimTime::from_ticks(5))
             .restart_at(ProcessId(0), SimTime::from_ticks(9))
             .assert_crash_stop("test-protocol");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        FaultPlan::new().validate().unwrap();
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .restart_at(ProcessId(0), SimTime::from_ticks(9))
+            .validate()
+            .unwrap();
+        // Same-tick crash+restart is pinned valid (engine resolves
+        // crash-first; the process ends the tick alive).
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(7))
+            .restart_at(ProcessId(0), SimTime::from_ticks(7))
+            .validate()
+            .unwrap();
+        // Event-count crashes have no knowable tick: any restart time is
+        // accepted.
+        FaultPlan::new()
+            .crash_after_events(ProcessId(1), 3)
+            .restart_at(ProcessId(1), SimTime::from_ticks(1))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_restart_without_any_crash() {
+        let err = FaultPlan::new()
+            .restart_at(ProcessId(2), SimTime::from_ticks(9))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("no crash is"), "unexpected message: {err}");
+        // A crash for a *different* process does not help.
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .restart_at(ProcessId(2), SimTime::from_ticks(9))
+            .validate()
+            .unwrap_err();
+    }
+
+    #[test]
+    fn validate_rejects_restart_before_earliest_crash() {
+        let err = FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(10))
+            .restart_at(ProcessId(0), SimTime::from_ticks(9))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("precedes"), "unexpected message: {err}");
+        // The *earliest* of several crashes is what counts.
+        FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(10))
+            .crash_at(ProcessId(0), SimTime::from_ticks(4))
+            .restart_at(ProcessId(0), SimTime::from_ticks(6))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn without_crash_prunes_orphaned_restarts() {
+        let plan = FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .crash_at(ProcessId(1), SimTime::from_ticks(5))
+            .restart_at(ProcessId(0), SimTime::from_ticks(9))
+            .restart_at(ProcessId(1), SimTime::from_ticks(9));
+        // Removing p0's only crash also removes p0's restart.
+        let shrunk = plan.without_crash(0).unwrap();
+        assert_eq!(shrunk.crash_count(), 1);
+        assert_eq!(shrunk.restarts(), &[(ProcessId(1), SimTime::from_ticks(9))]);
+        shrunk.validate().unwrap();
+        // With a second crash for p0, the restart survives.
+        let two = FaultPlan::new()
+            .crash_at(ProcessId(0), SimTime::from_ticks(5))
+            .crash_after_events(ProcessId(0), 3)
+            .restart_at(ProcessId(0), SimTime::from_ticks(9));
+        let kept = two.without_crash(0).unwrap();
+        assert_eq!(kept.restarts().len(), 1);
+        kept.validate().unwrap();
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod network;
 pub mod process;
 pub mod rng;
 pub mod sim;
+pub mod state_adversary;
 pub mod stats;
 pub mod storage;
 pub mod sync;
@@ -71,14 +72,17 @@ pub use byzantine::{ByzantineNode, SyncStrategy};
 pub use fault::{CrashSpec, FaultPlan};
 pub use id::{ProcessId, TimerId};
 pub use metrics::{CounterId, HistogramId, MetricsRegistry, TickHistogram};
-pub use network::{DelayModel, NetworkConfig, PartitionWindow};
-pub use process::{Context, Process};
+pub use network::{DelayModel, FlappingPartition, LinkOverride, NetworkConfig, PartitionWindow};
+pub use process::{Context, Process, ProtocolObservation};
 pub use rng::SplitMix64;
 pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT};
+pub use state_adversary::{
+    QuorumStarveAdversary, StateAdversary, StateView, VoteSplitStateAdversary,
+};
 pub use stats::RunStats;
 pub use storage::{StableStore, StorageFaultPlan, StoragePolicy, StorageRecord};
 pub use sync::{SyncContext, SyncProcess, SyncRunOutcome, SyncSim};
-pub use time::{SimDuration, SimTime};
+pub use time::{ClockModel, SimDuration, SimTime};
 pub use trace::analyze::{
     analyze, decision_critical_path, CriticalHop, ProcessTimeline, TraceAnalysis, WindowRow,
 };

@@ -46,6 +46,39 @@ pub trait Process {
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         let _ = ctx;
     }
+
+    /// Reports a read-only snapshot of this process's protocol observables
+    /// for state-adaptive adversaries
+    /// ([`StateAdversary`](crate::StateAdversary)).
+    ///
+    /// The default reports nothing, which makes every protocol opaque to
+    /// state adversaries unless it opts in. Implementations must only
+    /// *read* state — the engine may call this at any point between
+    /// handler invocations.
+    fn observe(&self) -> ProtocolObservation {
+        ProtocolObservation::default()
+    }
+}
+
+/// A read-only snapshot of one process's protocol state, as reported by
+/// [`Process::observe`].
+///
+/// The fields mirror the observables failure-detector-style adversary
+/// analyses assume: the round/phase a process has reached, its current
+/// leaning in a binary consensus, and whether it has decided. Protocols
+/// with non-binary values simply leave `preference`/`decided` as `None`
+/// (the adversary then only sees round structure).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolObservation {
+    /// The protocol round the process is currently executing.
+    pub round: u64,
+    /// A protocol-specific phase tag within the round (for the paper's
+    /// template: 0 = agreement detector, 1 = shaker, 2 = halted).
+    pub phase: u8,
+    /// The process's current binary preference, if it exposes one.
+    pub preference: Option<bool>,
+    /// The process's decided binary value, if it has decided one.
+    pub decided: Option<bool>,
 }
 
 /// An outgoing message collected during a handler invocation.

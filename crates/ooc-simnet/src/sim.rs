@@ -4,11 +4,12 @@ use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
 use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
 use crate::network::NetworkConfig;
-use crate::process::{Effects, Process, StorageOp};
+use crate::process::{Effects, Process, ProtocolObservation, StorageOp};
 use crate::rng::SplitMix64;
+use crate::state_adversary::{StateAdversary, StateView};
 use crate::stats::RunStats;
 use crate::storage::{StableStore, StorageFaultPlan};
-use crate::time::{SimDuration, SimTime};
+use crate::time::{ClockModel, SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel};
 use crate::{ProcessId, TimerId};
 use std::cmp::Ordering;
@@ -37,6 +38,17 @@ impl<M: Clone + Debug, O: Clone + Debug + PartialEq> Process for Box<dyn Process
     fn on_restart(&mut self, ctx: &mut crate::Context<'_, M, O>) {
         (**self).on_restart(ctx)
     }
+
+    fn observe(&self) -> ProtocolObservation {
+        (**self).observe()
+    }
+}
+
+/// How the engine routes messages: through a message-level [`Adversary`]
+/// or a [`StateAdversary`] that additionally sees live protocol state.
+enum RoutingAdversary<M> {
+    Message(Box<dyn Adversary<M>>),
+    State(Box<dyn StateAdversary<M>>),
 }
 
 #[derive(Debug)]
@@ -214,8 +226,10 @@ pub struct SimBuilder<P: Process> {
     processes: Vec<P>,
     config: NetworkConfig,
     adversary: Option<Box<dyn Adversary<P::Msg>>>,
+    state_adversary: Option<Box<dyn StateAdversary<P::Msg>>>,
     faults: FaultPlan,
     storage: StorageFaultPlan,
+    clocks: ClockModel,
     seed: u64,
     trace_level: TraceLevel,
     queue_depth_every: u64,
@@ -239,6 +253,23 @@ impl<P: Process> SimBuilder<P> {
     /// applied if the adversary chooses to apply them).
     pub fn adversary(mut self, adversary: Box<dyn Adversary<P::Msg>>) -> Self {
         self.adversary = Some(adversary);
+        self
+    }
+
+    /// Installs a state-adaptive adversary
+    /// ([`StateAdversary`]): it replaces the routing model like
+    /// [`adversary`](SimBuilder::adversary), but additionally receives a
+    /// read-only [`StateView`] of live protocol observables on every
+    /// decision. Mutually exclusive with a message adversary.
+    pub fn state_adversary(mut self, adversary: Box<dyn StateAdversary<P::Msg>>) -> Self {
+        self.state_adversary = Some(adversary);
+        self
+    }
+
+    /// Installs per-process clock drift/skew; see [`ClockModel`]. The
+    /// default is nominal clocks everywhere.
+    pub fn clocks(mut self, clocks: ClockModel) -> Self {
+        self.clocks = clocks;
         self
     }
 
@@ -279,16 +310,30 @@ impl<P: Process> SimBuilder<P> {
     /// Finalizes the simulator.
     ///
     /// # Panics
-    /// Panics if no processes were added.
+    /// Panics if no processes were added, if the fault plan fails
+    /// [`FaultPlan::validate`], or if both a message adversary and a state
+    /// adversary were installed.
     pub fn build(self) -> Sim<P> {
         assert!(!self.processes.is_empty(), "simulation needs processes");
+        if let Err(e) = self.faults.validate() {
+            // ooc-lint::allow(protocol/panic, "builder misconfiguration at construction time, not a protocol state machine")
+            panic!("invalid fault plan: {e}");
+        }
+        assert!(
+            !(self.adversary.is_some() && self.state_adversary.is_some()),
+            "install either an adversary or a state_adversary, not both"
+        );
         let n = self.processes.len();
         let master = SplitMix64::new(self.seed);
         let rngs = (0..n).map(|i| master.derive(i as u64)).collect();
         let route_rng = master.derive(u64::MAX);
-        let adversary = self
-            .adversary
-            .unwrap_or_else(|| Box::new(NetworkAdversary::new(self.config.clone())));
+        let adversary = match (self.adversary, self.state_adversary) {
+            (_, Some(state)) => RoutingAdversary::State(state),
+            (Some(msg), None) => RoutingAdversary::Message(msg),
+            (None, None) => RoutingAdversary::Message(Box::new(NetworkAdversary::new(
+                self.config.clone(),
+            ))),
+        };
         let crash_thresholds = (0..n)
             .map(|i| self.faults.event_crash_threshold(ProcessId(i)))
             .collect();
@@ -299,6 +344,10 @@ impl<P: Process> SimBuilder<P> {
             adversary,
             self_delay: self.config.self_delay,
             fifo_links: self.config.fifo_links,
+            clocks: self.clocks,
+            sync_latency: (0..n)
+                .map(|i| self.storage.sync_latency_for(ProcessId(i)))
+                .collect(),
             rngs,
             route_rng,
             queue: BinaryHeap::new(),
@@ -309,6 +358,8 @@ impl<P: Process> SimBuilder<P> {
             halted: vec![false; n],
             decisions: Arc::new(vec![None; n]),
             decision_times: Arc::new(vec![None; n]),
+            decided_flags: vec![false; n],
+            observations: vec![ProtocolObservation::default(); n],
             events_handled: vec![0; n],
             crash_thresholds,
             live_timers: vec![BTreeSet::new(); n],
@@ -350,6 +401,8 @@ struct EngineMetrics {
     dropped_dead_recipient: CounterId,
     dropped_halted_recipient: CounterId,
     dropped_adversary: CounterId,
+    dropped_partition: CounterId,
+    dropped_loss: CounterId,
     timers_fired: CounterId,
     crashes: CounterId,
     restarts: CounterId,
@@ -360,6 +413,7 @@ struct EngineMetrics {
     queue_depth: HistogramId,
     delay_ticks: HistogramId,
     decision_ticks: HistogramId,
+    sync_stall_ticks: HistogramId,
 }
 
 impl EngineMetrics {
@@ -373,6 +427,8 @@ impl EngineMetrics {
             dropped_dead_recipient: metrics.counter_id("messages.dropped.dead_recipient"),
             dropped_halted_recipient: metrics.counter_id("messages.dropped.halted_recipient"),
             dropped_adversary: metrics.counter_id("messages.dropped.adversary"),
+            dropped_partition: metrics.counter_id("messages.dropped.partition"),
+            dropped_loss: metrics.counter_id("messages.dropped.loss"),
             timers_fired: metrics.counter_id("timers.fired"),
             crashes: metrics.counter_id("crashes"),
             restarts: metrics.counter_id("restarts"),
@@ -383,6 +439,7 @@ impl EngineMetrics {
             queue_depth: metrics.histogram_id("queue_depth"),
             delay_ticks: metrics.histogram_id("delay_ticks"),
             decision_ticks: metrics.histogram_id("decision_ticks"),
+            sync_stall_ticks: metrics.histogram_id("sync_stall_ticks"),
         }
     }
 }
@@ -392,9 +449,14 @@ impl EngineMetrics {
 /// See the [crate-level documentation](crate) for an end-to-end example.
 pub struct Sim<P: Process> {
     processes: Vec<P>,
-    adversary: Box<dyn Adversary<P::Msg>>,
+    adversary: RoutingAdversary<P::Msg>,
     self_delay: SimDuration,
     fifo_links: bool,
+    /// Per-process clock drift; scales timer durations at arming time.
+    clocks: ClockModel,
+    /// Per-process slow-disk injection: ticks a `sync()` stalls the
+    /// issuing process's subsequent effects.
+    sync_latency: Vec<u64>,
     rngs: Vec<SplitMix64>,
     route_rng: SplitMix64,
     queue: BinaryHeap<Scheduled<P::Msg>>,
@@ -407,6 +469,12 @@ pub struct Sim<P: Process> {
     // `Arc::make_mut`, which only copies while an outcome is still held.
     decisions: Arc<Vec<Option<P::Output>>>,
     decision_times: Arc<Vec<Option<SimTime>>>,
+    /// Plain per-process decided flags, kept in lockstep with `decisions`
+    /// so state adversaries can borrow them without touching the `Arc`.
+    decided_flags: Vec<bool>,
+    /// Per-process [`Process::observe`] snapshots, refreshed before each
+    /// state-adversary routing batch.
+    observations: Vec<ProtocolObservation>,
     events_handled: Vec<u64>,
     crash_thresholds: Vec<Option<u64>>,
     // Ordered containers: scheduler state must never iterate in
@@ -437,8 +505,10 @@ impl<P: Process> Sim<P> {
             processes: Vec::new(),
             config,
             adversary: None,
+            state_adversary: None,
             faults: FaultPlan::default(),
             storage: StorageFaultPlan::default(),
+            clocks: ClockModel::nominal(),
             seed: 0,
             trace_level: TraceLevel::Events,
             queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
@@ -735,10 +805,65 @@ impl<P: Process> Sim<P> {
         }
     }
 
+    /// Routes one outgoing message through whichever adversary is
+    /// installed, building the [`StateView`] on demand for state
+    /// adversaries.
+    fn route_decision(&mut self, from: ProcessId, to: ProcessId, msg: &P::Msg) -> Decision {
+        match &mut self.adversary {
+            RoutingAdversary::Message(a) => a.route(self.now, from, to, msg, &mut self.route_rng),
+            RoutingAdversary::State(a) => a.route(
+                self.now,
+                from,
+                to,
+                msg,
+                &StateView {
+                    now: self.now,
+                    observations: &self.observations,
+                    crashed: &self.crashed,
+                    decided: &self.decided_flags,
+                },
+                &mut self.route_rng,
+            ),
+        }
+    }
+
+    /// Duplication hook, mirroring [`Sim::route_decision`].
+    fn route_duplicate(&mut self, from: ProcessId, to: ProcessId, msg: &P::Msg) -> bool {
+        match &mut self.adversary {
+            RoutingAdversary::Message(a) => {
+                a.duplicate(self.now, from, to, msg, &mut self.route_rng)
+            }
+            RoutingAdversary::State(a) => a.duplicate(
+                self.now,
+                from,
+                to,
+                msg,
+                &StateView {
+                    now: self.now,
+                    observations: &self.observations,
+                    crashed: &self.crashed,
+                    decided: &self.decided_flags,
+                },
+                &mut self.route_rng,
+            ),
+        }
+    }
+
     /// Applies and *drains* the collected effects; the caller returns the
     /// emptied buffer to `self.scratch` so its capacity is reused.
     fn apply_effects(&mut self, pid: ProcessId, effects: &mut Effects<P::Msg, P::Output>) {
         let i = pid.index();
+        // A state adversary sees the observables as they stand *after*
+        // the invocation that produced these effects; one snapshot per
+        // batch suffices since state only changes inside invocations.
+        if matches!(self.adversary, RoutingAdversary::State(_)) && !effects.outbox.is_empty() {
+            for (j, p) in self.processes.iter().enumerate() {
+                self.observations[j] = p.observe();
+            }
+        }
+        // Slow-disk injection: every sync in this batch stalls the issuing
+        // process, pushing the whole invocation's sends and timers late.
+        let mut stall = SimDuration::ZERO;
         // Storage lands first: a record is persisted before any of the
         // invocation's outgoing messages become visible, so a process
         // never tells the network something its storage does not know.
@@ -758,6 +883,12 @@ impl<P: Process> Sim<P> {
                 }
                 StorageOp::Sync => {
                     self.metrics.incr_by_id(self.metric_ids.storage_syncs, 1);
+                    let latency = self.sync_latency[i];
+                    if latency > 0 {
+                        stall = stall + SimDuration::from_ticks(latency);
+                        self.metrics
+                            .observe_by_id(self.metric_ids.sync_stall_ticks, latency);
+                    }
                     let records = self.stores[i].sync() as u64;
                     self.trace.push(TraceEvent::SyncOk {
                         at: self.now,
@@ -769,7 +900,9 @@ impl<P: Process> Sim<P> {
         }
         for (id, after) in effects.timer_requests.drain(..) {
             self.live_timers[i].insert(id);
-            let at = self.now + after;
+            // Clock drift scales the requested duration at arming time;
+            // a pending fsync stall delays the start of the countdown.
+            let at = self.now + stall + self.clocks.scale(pid, after);
             self.schedule(at, EventKind::Timer { process: pid, id });
         }
         // Cancellations apply last so a timer set and cancelled within one
@@ -794,8 +927,9 @@ impl<P: Process> Sim<P> {
                 payload,
             });
             if out.to == pid {
-                // Self-messages bypass the adversary entirely.
-                let at = self.now + self.self_delay;
+                // Self-messages bypass the adversary entirely; the fsync
+                // stall still applies since the sender is the one stalled.
+                let at = self.now + stall + self.self_delay;
                 self.metrics
                     .observe_by_id(self.metric_ids.delay_ticks, self.self_delay.ticks());
                 self.schedule(
@@ -809,10 +943,7 @@ impl<P: Process> Sim<P> {
                 );
                 continue;
             }
-            match self
-                .adversary
-                .route(self.now, pid, out.to, &out.msg, &mut self.route_rng)
-            {
+            match self.route_decision(pid, out.to, &out.msg) {
                 Decision::Drop => {
                     self.stats.messages_dropped += 1;
                     self.metrics.incr_by_id(self.metric_ids.dropped_adversary, 1);
@@ -823,8 +954,28 @@ impl<P: Process> Sim<P> {
                         reason: DropReason::Adversary,
                     });
                 }
+                Decision::DropPartition => {
+                    self.stats.messages_dropped += 1;
+                    self.metrics.incr_by_id(self.metric_ids.dropped_partition, 1);
+                    self.trace.push(TraceEvent::Drop {
+                        at: self.now,
+                        from: pid,
+                        to: out.to,
+                        reason: DropReason::Partition,
+                    });
+                }
+                Decision::DropLoss => {
+                    self.stats.messages_dropped += 1;
+                    self.metrics.incr_by_id(self.metric_ids.dropped_loss, 1);
+                    self.trace.push(TraceEvent::Drop {
+                        at: self.now,
+                        from: pid,
+                        to: out.to,
+                        reason: DropReason::Loss,
+                    });
+                }
                 Decision::DeliverAfter(d) => {
-                    let d = SimDuration::from_ticks(d.ticks().max(1));
+                    let d = SimDuration::from_ticks(d.ticks().max(1)) + stall;
                     self.metrics.observe_by_id(self.metric_ids.delay_ticks, d.ticks());
                     let mut at = self.now + d;
                     if self.fifo_links {
@@ -836,13 +987,7 @@ impl<P: Process> Sim<P> {
                         }
                         self.fifo_horizon.insert(key, at);
                     }
-                    let dup = self.adversary.duplicate(
-                        self.now,
-                        pid,
-                        out.to,
-                        &out.msg,
-                        &mut self.route_rng,
-                    );
+                    let dup = self.route_duplicate(pid, out.to, &out.msg);
                     if dup {
                         self.stats.messages_duplicated += 1;
                         self.metrics.incr_by_id(self.metric_ids.messages_duplicated, 1);
@@ -887,6 +1032,7 @@ impl<P: Process> Sim<P> {
                 // previously returned RunOutcome still shares them.
                 Arc::make_mut(&mut self.decisions)[i] = Some(value);
                 Arc::make_mut(&mut self.decision_times)[i] = Some(self.now);
+                self.decided_flags[i] = true;
                 self.metrics.incr_by_id(self.metric_ids.decisions, 1);
                 self.metrics
                     .observe_by_id(self.metric_ids.decision_ticks, self.now.ticks());
@@ -909,6 +1055,7 @@ enum Invocation<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state_adversary::VoteSplitStateAdversary;
     use crate::Context;
 
     /// Broadcasts own id once; decides on the max id seen after hearing
@@ -1695,5 +1842,176 @@ mod tests {
         let mut sim2 = max_id_sim(3, 4, NetworkConfig::default());
         let out2 = sim2.run(RunLimit::default());
         assert_eq!(m.to_json(), out2.metrics.to_json());
+    }
+
+    #[test]
+    fn restart_on_live_process_is_a_noop() {
+        // An AfterEvents crash far beyond the run's horizon never fires,
+        // so the scheduled restart lands on a live process: the engine
+        // must ignore it (no stats, no trace, no second on_start).
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(9)
+            .processes((0..3).map(|_| MaxId::default()))
+            .faults(
+                FaultPlan::new()
+                    .crash_after_events(ProcessId(0), 1_000_000)
+                    .restart_at(ProcessId(0), SimTime::from_ticks(5)),
+            )
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert!(out.all_decided());
+        assert_eq!(out.stats.restarts, 0, "live restart must not count");
+        assert_eq!(out.metrics.counter("restarts"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn build_rejects_restart_without_crash() {
+        let _ = Sim::builder(NetworkConfig::default())
+            .seed(1)
+            .processes((0..3).map(|_| MaxId::default()))
+            .faults(FaultPlan::new().restart_at(ProcessId(1), SimTime::from_ticks(10)))
+            .build();
+    }
+
+    #[test]
+    fn drop_reasons_split_and_sum_to_total() {
+        // Loss, partition, and adversary drops land in distinct counters
+        // whose sum (plus recipient-state drops) equals messages_dropped.
+        let cfg = NetworkConfig {
+            drop_probability: 0.4,
+            partitions: vec![crate::PartitionWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_ticks(50),
+                groups: vec![
+                    vec![ProcessId(0)],
+                    vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+                ],
+            }],
+            ..NetworkConfig::default()
+        };
+        let mut base = NetworkAdversary::new(cfg);
+        let adv = crate::FnAdversary::new(move |at, from, to, msg: &u64, rng| {
+            // Promote some deliveries to adversary drops to exercise the
+            // third cause.
+            match base.route(at, from, to, msg, rng) {
+                Decision::DeliverAfter(_) if rng.chance(0.25) => Decision::Drop,
+                other => other,
+            }
+        });
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(11)
+            .processes((0..4).map(|_| MaxId::default()))
+            .adversary(Box::new(adv))
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(5_000)));
+        let m = &out.metrics;
+        let partition = m.counter("messages.dropped.partition");
+        let loss = m.counter("messages.dropped.loss");
+        let adversary = m.counter("messages.dropped.adversary");
+        assert!(partition > 0, "partition window must account for drops");
+        assert!(loss > 0, "stochastic loss must account for drops");
+        assert!(adversary > 0, "adversary drops must account for drops");
+        let dead = m.counter("messages.dropped.dead_recipient");
+        let halted = m.counter("messages.dropped.halted_recipient");
+        assert_eq!(
+            partition + loss + adversary + dead + halted,
+            out.stats.messages_dropped,
+            "split drop counters must sum to the total"
+        );
+    }
+
+    /// Arms one timer at start, decides when it fires.
+    #[derive(Debug, Default)]
+    struct OneTimer {
+        sync_first: bool,
+    }
+
+    impl Process for OneTimer {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            if self.sync_first {
+                ctx.persist("boot", vec![1]);
+                ctx.sync_storage();
+            }
+            ctx.set_timer(SimDuration::from_ticks(100));
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64, u64>, _from: ProcessId, _msg: u64) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64, u64>, _t: TimerId) {
+            ctx.decide(ctx.now().ticks());
+        }
+    }
+
+    #[test]
+    fn clock_drift_scales_timer_arming() {
+        let run = |clocks: ClockModel| {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(2)
+                .processes((0..2).map(|_| OneTimer::default()))
+                .clocks(clocks)
+                .build();
+            let out = sim.run(RunLimit::default());
+            (out.decisions[0], out.decisions[1])
+        };
+        assert_eq!(run(ClockModel::nominal()), (Some(100), Some(100)));
+        // p0 runs a 150% (slow) clock, p1 a 75% (fast) clock.
+        let drifted = ClockModel::nominal()
+            .with_rate(ProcessId(0), 150)
+            .with_rate(ProcessId(1), 75);
+        assert_eq!(run(drifted), (Some(150), Some(75)));
+    }
+
+    #[test]
+    fn sync_latency_stalls_the_invocation() {
+        let run = |storage: StorageFaultPlan| {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(2)
+                .processes((0..2).map(|_| OneTimer { sync_first: true }))
+                .storage(storage)
+                .build();
+            let out = sim.run(RunLimit::default());
+            out.decisions[0]
+        };
+        assert_eq!(run(StorageFaultPlan::default()), Some(100));
+        // A 7-tick fsync stall pushes the same invocation's timer late.
+        assert_eq!(
+            run(StorageFaultPlan::default().with_sync_latency(7)),
+            Some(107)
+        );
+    }
+
+    #[test]
+    fn state_adversary_runs_deterministically() {
+        let run = || {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(17)
+                .processes((0..4).map(|_| MaxId::default()))
+                .state_adversary(Box::new(VoteSplitStateAdversary::new(
+                    SimTime::from_ticks(40),
+                    NetworkConfig::default(),
+                )))
+                .build();
+            let out = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+            (out.stats, out.metrics.to_json())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn build_rejects_two_adversaries() {
+        let _ = Sim::builder(NetworkConfig::default())
+            .seed(1)
+            .processes((0..2).map(|_| MaxId::default()))
+            .adversary(Box::new(NetworkAdversary::new(NetworkConfig::default())))
+            .state_adversary(Box::new(VoteSplitStateAdversary::new(
+                SimTime::from_ticks(10),
+                NetworkConfig::default(),
+            )))
+            .build();
     }
 }

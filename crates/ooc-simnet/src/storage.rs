@@ -216,6 +216,11 @@ impl StableStore {
 pub struct StorageFaultPlan {
     default_policy: StoragePolicy,
     overrides: Vec<(ProcessId, StoragePolicy)>,
+    /// Slow-disk injection: ticks a `sync()` stalls the issuing process.
+    #[serde(default)]
+    default_sync_latency: u64,
+    #[serde(default)]
+    latency_overrides: Vec<(ProcessId, u64)>,
 }
 
 impl StorageFaultPlan {
@@ -230,6 +235,8 @@ impl StorageFaultPlan {
         StorageFaultPlan {
             default_policy: policy,
             overrides: Vec::new(),
+            default_sync_latency: 0,
+            latency_overrides: Vec::new(),
         }
     }
 
@@ -265,10 +272,47 @@ impl StorageFaultPlan {
         self.default_policy.is_lossy() || self.overrides.iter().any(|(_, p)| p.is_lossy())
     }
 
+    /// Slow-disk injection: every `sync()` stalls the issuing process for
+    /// `ticks` simulated ticks (its subsequent sends and timers from that
+    /// invocation land late). Applies to all processes without a
+    /// per-process latency override.
+    pub fn with_sync_latency(mut self, ticks: u64) -> StorageFaultPlan {
+        self.default_sync_latency = ticks;
+        self
+    }
+
+    /// Overrides the sync latency for one process (the last override for
+    /// a process wins).
+    pub fn with_sync_latency_for(mut self, p: ProcessId, ticks: u64) -> StorageFaultPlan {
+        self.latency_overrides.push((p, ticks));
+        self
+    }
+
+    /// The `sync()` stall in effect for process `p`, in ticks.
+    pub fn sync_latency_for(&self, p: ProcessId) -> u64 {
+        self.latency_overrides
+            .iter()
+            .rev()
+            .find(|(q, _)| *q == p)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.default_sync_latency)
+    }
+
+    /// The plan-wide default sync latency, in ticks.
+    pub fn default_sync_latency(&self) -> u64 {
+        self.default_sync_latency
+    }
+
+    /// Whether any process has a non-zero sync latency.
+    pub fn has_sync_latency(&self) -> bool {
+        self.default_sync_latency > 0 || self.latency_overrides.iter().any(|&(_, t)| t > 0)
+    }
+
     /// Drops overrides referring to processes outside `0..n` (shrinking
     /// hook, mirroring [`FaultPlan::restricted_to`](crate::FaultPlan)).
     pub fn restricted_to(mut self, n: usize) -> StorageFaultPlan {
         self.overrides.retain(|(p, _)| p.0 < n);
+        self.latency_overrides.retain(|(p, _)| p.0 < n);
         self
     }
 }
@@ -373,5 +417,24 @@ mod tests {
         assert_eq!(small.overrides().len(), 2, "both p1 overrides survive");
         assert_eq!(small.policy_for(ProcessId(7)), StoragePolicy::LoseUnsynced);
         assert!(!StorageFaultPlan::new().is_lossy());
+    }
+
+    #[test]
+    fn plan_sync_latency_overrides_and_restriction() {
+        let plan = StorageFaultPlan::new()
+            .with_sync_latency(5)
+            .with_sync_latency_for(ProcessId(1), 20)
+            .with_sync_latency_for(ProcessId(1), 30)
+            .with_sync_latency_for(ProcessId(7), 50);
+        assert_eq!(plan.sync_latency_for(ProcessId(0)), 5);
+        assert_eq!(plan.sync_latency_for(ProcessId(1)), 30, "last override wins");
+        assert_eq!(plan.default_sync_latency(), 5);
+        assert!(plan.has_sync_latency());
+        let small = plan.restricted_to(3);
+        assert_eq!(small.sync_latency_for(ProcessId(7)), 5, "override dropped");
+        assert!(!StorageFaultPlan::new().has_sync_latency());
+        assert!(StorageFaultPlan::new()
+            .with_sync_latency_for(ProcessId(0), 1)
+            .has_sync_latency());
     }
 }
