@@ -1,0 +1,636 @@
+//! Cross-crate call graph over the parsed items.
+//!
+//! Nodes are every `fn` item in the workspace; edges are call sites,
+//! resolved through the file's `use` map ([`crate::resolve`]) where a
+//! path is written, and conservatively where it is not: a bare method
+//! call `.m(...)` links to every method named `m` in the crates the
+//! calling file can see (its own crate plus every crate its imports
+//! mention). Over-approximation is the right failure mode here — the
+//! graph exists to prove *absence* of paths from deterministic entry
+//! points to banned APIs, so a spurious edge can only produce a finding
+//! a human reviews, never hide one.
+
+use crate::lexer::{Tok, Token};
+use crate::source::Workspace;
+use std::collections::{HashMap, HashSet};
+
+/// One function node: indices into `ws.files` / `file.items.fns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnNode {
+    /// Index of the file in `Workspace::files`.
+    pub file: usize,
+    /// Index of the fn in that file's `FileItems::fns`.
+    pub item: usize,
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Call {
+    /// Callee node id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All fn nodes, in deterministic (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Outgoing edges per node, deduplicated by callee (first call site
+    /// wins), in source order.
+    pub calls: Vec<Vec<Call>>,
+    node_index: HashMap<(usize, usize), usize>,
+}
+
+/// Multi-source BFS result: shortest call chains from a set of entries.
+#[derive(Debug)]
+pub struct Reach {
+    /// Per node: hop distance from the nearest entry, or `None`.
+    pub dist: Vec<Option<u32>>,
+    /// Per node: the `(caller, call-site line)` edge the BFS arrived by;
+    /// `None` for entries and unreached nodes.
+    pub parent: Vec<Option<(usize, u32)>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for a scanned workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for ii in 0..file.items.fns.len() {
+                g.node_index.insert((fi, ii), g.nodes.len());
+                g.nodes.push(FnNode { file: fi, item: ii });
+            }
+        }
+        g.calls = vec![Vec::new(); g.nodes.len()];
+        let idx = Indexes::build(ws, &g);
+        for (fi, file) in ws.files.iter().enumerate() {
+            let toks = &file.tokens;
+            let mut seen: HashSet<(usize, usize)> = HashSet::new();
+            for i in 0..toks.len() {
+                if !is_call_site(toks, i) {
+                    continue;
+                }
+                let Some(caller_item) = file.items.enclosing_fn(i) else {
+                    continue;
+                };
+                let caller = g.node_index[&(fi, caller_item)];
+                let line = toks[i].line;
+                for callee in idx.resolve(ws, &g, fi, caller_item, i) {
+                    if seen.insert((caller, callee)) {
+                        g.calls[caller].push(Call { callee, line });
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The node id of a `(file, fn-item)` pair.
+    pub fn node_id(&self, file: usize, item: usize) -> Option<usize> {
+        self.node_index.get(&(file, item)).copied()
+    }
+
+    /// `Type::name` (or bare `name`) of a node, for findings.
+    pub fn display(&self, ws: &Workspace, node: usize) -> String {
+        let n = self.nodes[node];
+        ws.files[n.file].items.fns[n.item].display_name()
+    }
+
+    /// Multi-source BFS from `entries`; shortest-hop parents give minimal
+    /// witness chains. Cycles (recursion) are handled by the visited set.
+    pub fn reach(&self, entries: &[usize]) -> Reach {
+        let mut dist = vec![None; self.nodes.len()];
+        let mut parent = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if dist[e].is_none() {
+                dist[e] = Some(0);
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let d = dist[n].unwrap();
+            for call in &self.calls[n] {
+                if dist[call.callee].is_none() {
+                    dist[call.callee] = Some(d + 1);
+                    parent[call.callee] = Some((n, call.line));
+                    queue.push_back(call.callee);
+                }
+            }
+        }
+        Reach { dist, parent }
+    }
+
+    /// The minimal chain from an entry to `node`:
+    /// `[(node_id, call-site line of the edge *into* the node)]`, entry
+    /// first (its line is `None`).
+    pub fn chain_to(&self, reach: &Reach, mut node: usize) -> Vec<(usize, Option<u32>)> {
+        let mut rev = Vec::new();
+        let mut line_into = None;
+        loop {
+            rev.push((node, line_into));
+            match reach.parent[node] {
+                Some((caller, line)) => {
+                    line_into = Some(line);
+                    node = caller;
+                }
+                None => break,
+            }
+        }
+        // The walk recorded, per node, the line into its *callee*; shift
+        // so each element carries the line of the edge arriving at it.
+        let mut chain: Vec<(usize, Option<u32>)> = Vec::with_capacity(rev.len());
+        for k in (0..rev.len()).rev() {
+            chain.push(rev[k]);
+        }
+        let mut prev_line = None;
+        for item in chain.iter_mut() {
+            std::mem::swap(&mut item.1, &mut prev_line);
+        }
+        chain
+    }
+}
+
+/// Rust keywords (and call-shaped non-calls) that precede `(` without
+/// being a function name.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "in", "return", "loop", "as", "move", "ref", "let", "else",
+    "unsafe", "fn", "impl", "where", "pub", "use", "mod", "crate", "dyn", "box",
+];
+
+/// Whether the token at `i` is the name position of a call: `ident (`
+/// that is not a keyword, a declaration, or an attribute head.
+fn is_call_site(toks: &[Token], i: usize) -> bool {
+    let Some(name) = toks[i].ident() else {
+        return false;
+    };
+    if !toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false) {
+        return false;
+    }
+    if NON_CALL_IDENTS.contains(&name) {
+        return false;
+    }
+    if i > 0 {
+        let prev = &toks[i - 1];
+        // `fn name(` is a declaration; `#[cfg(` / `#[derive(` etc. are
+        // attribute heads, not calls.
+        if prev.is_ident("fn") || prev.is_punct('[') || prev.is_punct('#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Name → node lookup tables, all keyed deterministically at build time.
+struct Indexes {
+    /// Workspace crate names (hyphenated directory form).
+    crates: HashSet<String>,
+    /// Free fns by (crate, name).
+    free_by_crate: HashMap<(String, String), Vec<usize>>,
+    /// Free fns by (file index, name) — same-file shadowing wins.
+    free_by_file: HashMap<(usize, String), Vec<usize>>,
+    /// Free fns by bare name, workspace-wide (re-export fallback).
+    free_by_name: HashMap<String, Vec<usize>>,
+    /// Methods by (crate, type, name).
+    method_by_crate_type: HashMap<(String, String, String), Vec<usize>>,
+    /// Methods by (type, name), workspace-wide (re-export fallback).
+    method_by_type: HashMap<(String, String), Vec<usize>>,
+    /// Methods by bare name, for `.m(...)` dispatch fallback.
+    method_by_name: HashMap<String, Vec<usize>>,
+    /// Per file: workspace crates its `use` declarations mention, for
+    /// scoping the dispatch fallback.
+    visible_crates: Vec<HashSet<String>>,
+}
+
+/// `ooc_simnet` (path form) → `ooc-simnet` (crate-dir form).
+fn normalize_crate(seg: &str) -> String {
+    seg.replace('_', "-")
+}
+
+impl Indexes {
+    fn build(ws: &Workspace, g: &CallGraph) -> Indexes {
+        let mut idx = Indexes {
+            crates: ws.files.iter().map(|f| f.crate_name.clone()).collect(),
+            free_by_crate: HashMap::new(),
+            free_by_file: HashMap::new(),
+            free_by_name: HashMap::new(),
+            method_by_crate_type: HashMap::new(),
+            method_by_type: HashMap::new(),
+            method_by_name: HashMap::new(),
+            visible_crates: Vec::with_capacity(ws.files.len()),
+        };
+        for (id, node) in g.nodes.iter().enumerate() {
+            let file = &ws.files[node.file];
+            let f = &file.items.fns[node.item];
+            let krate = file.crate_name.clone();
+            if f.impl_type.is_empty() {
+                idx.free_by_crate
+                    .entry((krate, f.name.clone()))
+                    .or_default()
+                    .push(id);
+                idx.free_by_file
+                    .entry((node.file, f.name.clone()))
+                    .or_default()
+                    .push(id);
+                idx.free_by_name.entry(f.name.clone()).or_default().push(id);
+            } else {
+                idx.method_by_crate_type
+                    .entry((krate, f.impl_type.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                idx.method_by_type
+                    .entry((f.impl_type.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                idx.method_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        for file in &ws.files {
+            let mut vis: HashSet<String> = HashSet::new();
+            vis.insert(file.crate_name.clone());
+            for (_, path) in file.uses.aliases() {
+                if let Some(head) = path.split("::").next() {
+                    let c = normalize_crate(head);
+                    if idx.crates.contains(&c) {
+                        vis.insert(c);
+                    }
+                }
+            }
+            idx.visible_crates.push(vis);
+        }
+        idx
+    }
+
+    /// Resolves the call at token `i` of file `fi` to candidate node ids.
+    fn resolve(
+        &self,
+        ws: &Workspace,
+        g: &CallGraph,
+        fi: usize,
+        caller_item: usize,
+        i: usize,
+    ) -> Vec<usize> {
+        let file = &ws.files[fi];
+        let toks = &file.tokens;
+        let name = toks[i].ident().unwrap_or_default().to_string();
+        let krate = file.crate_name.clone();
+
+        // Method call: `receiver.name(...)`.
+        if i > 0 && toks[i - 1].is_punct('.') {
+            // `self.name(...)` resolves precisely through the enclosing
+            // impl when that impl defines the method.
+            if i >= 2 && toks[i - 2].is_ident("self") {
+                let impl_type = &file.items.fns[caller_item].impl_type;
+                if !impl_type.is_empty() {
+                    if let Some(v) = self.method_by_crate_type.get(&(
+                        krate.clone(),
+                        impl_type.clone(),
+                        name.clone(),
+                    )) {
+                        return v.clone();
+                    }
+                }
+            }
+            // Dispatch fallback: every method of that name in the crates
+            // this file can see (conservative over trait dispatch).
+            return self
+                .method_by_name
+                .get(&name)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&id| {
+                            let c = &ws.files[g.nodes[id].file].crate_name;
+                            self.visible_crates[fi].contains(c)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+
+        // Path or bare call: collect the `a::b::name` segments ending here.
+        let segs = path_segments(toks, i);
+        if segs.len() == 1 {
+            // Bare `name(...)`: same file wins, then an explicit import,
+            // then the rest of the crate, then visible workspace crates.
+            if let Some(v) = self.free_by_file.get(&(fi, name.clone())) {
+                return v.clone();
+            }
+            if file.uses.lookup(&name).is_some() {
+                let v = self.resolve_imported(file, &segs, &name);
+                if !v.is_empty() {
+                    return v;
+                }
+            }
+            if let Some(v) = self.free_by_crate.get(&(krate, name.clone())) {
+                return v.clone();
+            }
+            return self
+                .free_by_name
+                .get(&name)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&id| {
+                            let c = &ws.files[g.nodes[id].file].crate_name;
+                            *c != file.crate_name && self.visible_crates[fi].contains(c)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+
+        let head = segs[0].clone();
+        // `Self::name(...)` → the enclosing impl's type.
+        if head == "Self" {
+            let impl_type = file.items.fns[caller_item].impl_type.clone();
+            if impl_type.is_empty() {
+                return Vec::new();
+            }
+            return self.type_method(&krate, &impl_type, &name);
+        }
+        // Crate-relative paths stay in this crate.
+        if head == "crate" || head == "self" || head == "super" {
+            return self.in_crate(&krate, &segs, &name);
+        }
+        if head == "std" || head == "core" || head == "alloc" {
+            return Vec::new();
+        }
+        // Resolve the head through the file's imports.
+        if file.uses.lookup(&head).is_some() {
+            return self.resolve_imported(file, &segs, &name);
+        }
+        // Unimported `Type::method(...)` (same-file type or glob import).
+        self.in_crate(&krate, &segs, &name)
+    }
+
+    /// Resolves a call whose leading segment is an explicit import:
+    /// expands the import path and resolves inside the crate it names
+    /// (nothing if the path leaves the workspace, e.g. `std`).
+    fn resolve_imported(
+        &self,
+        file: &crate::source::SourceFile,
+        segs: &[String],
+        name: &str,
+    ) -> Vec<usize> {
+        let Some(base) = file.uses.lookup(&segs[0]) else {
+            return Vec::new();
+        };
+        let mut full: Vec<String> = base.split("::").map(String::from).collect();
+        full.extend(segs[1..].iter().cloned());
+        while matches!(full.first().map(|s| s.as_str()), Some("crate" | "self" | "super")) {
+            full.remove(0);
+        }
+        let Some(h) = full.first() else {
+            return Vec::new();
+        };
+        let target = normalize_crate(h);
+        if target == normalize_crate(&file.crate_name) || self.crates.contains(&target) {
+            let target = if self.crates.contains(&target) {
+                target
+            } else {
+                file.crate_name.clone()
+            };
+            return self.in_crate(&target, &full, name);
+        }
+        Vec::new()
+    }
+
+    /// Resolves a multi-segment path call inside a known crate: prefer
+    /// `Type::method`, then a free fn of the final name; each falls back
+    /// workspace-wide to follow `pub use` re-export chains.
+    fn in_crate(&self, krate: &str, segs: &[String], name: &str) -> Vec<usize> {
+        if segs.len() >= 2 {
+            let ty = &segs[segs.len() - 2];
+            if !matches!(ty.as_str(), "crate" | "self" | "super") {
+                let v = self.type_method(krate, ty, name);
+                if !v.is_empty() {
+                    return v;
+                }
+            }
+        }
+        if let Some(v) = self.free_by_crate.get(&(krate.to_string(), name.to_string())) {
+            return v.clone();
+        }
+        self.free_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// `Type::method` in `krate`, falling back workspace-wide (the type
+    /// may be re-exported from another crate).
+    fn type_method(&self, krate: &str, ty: &str, name: &str) -> Vec<usize> {
+        if let Some(v) =
+            self.method_by_crate_type
+                .get(&(krate.to_string(), ty.to_string(), name.to_string()))
+        {
+            return v.clone();
+        }
+        self.method_by_type
+            .get(&(ty.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// The `a::b::c` segments of the path ending at the ident token `i`
+/// (walking `::` chains backwards), innermost-first order reversed to
+/// source order. A lone ident yields one segment.
+fn path_segments(toks: &[Token], i: usize) -> Vec<String> {
+    let mut first = i;
+    while first >= 3
+        && toks[first - 1].is_punct(':')
+        && toks[first - 2].is_punct(':')
+        && matches!(toks[first - 3].tok, Tok::Ident(_))
+    {
+        first -= 3;
+    }
+    let mut segs = Vec::new();
+    let mut j = first;
+    while j <= i {
+        if let Some(s) = toks[j].ident() {
+            segs.push(s.to_string());
+        }
+        j += 1;
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws(files: &[(&str, &str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(p, c, s)| SourceFile::from_source(p, c, s))
+                .collect(),
+        )
+    }
+
+    fn id_of(ws: &Workspace, g: &CallGraph, display: &str) -> usize {
+        (0..g.nodes.len())
+            .find(|&n| g.display(ws, n) == display)
+            .unwrap_or_else(|| panic!("no fn named {display}"))
+    }
+
+    #[test]
+    fn direct_and_method_calls_link() {
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "fn top() { helper(); W::assoc(); }\n\
+             fn helper() {}\n\
+             struct W;\n\
+             impl W { fn assoc() {} fn method(&self) { self.other() } fn other(&self) {} }",
+        )]);
+        let g = CallGraph::build(&w);
+        let top = id_of(&w, &g, "top");
+        let callees: Vec<String> = g.calls[top]
+            .iter()
+            .map(|c| g.display(&w, c.callee))
+            .collect();
+        assert_eq!(callees, vec!["helper", "W::assoc"]);
+        let method = id_of(&w, &g, "W::method");
+        assert_eq!(g.calls[method].len(), 1);
+        assert_eq!(g.display(&w, g.calls[method][0].callee), "W::other");
+    }
+
+    #[test]
+    fn recursion_and_mutual_recursion_terminate() {
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "fn rec(n: u32) { if n > 0 { rec(n - 1) } }\n\
+             fn ping() { pong() }\n\
+             fn pong() { ping() }",
+        )]);
+        let g = CallGraph::build(&w);
+        let rec = id_of(&w, &g, "rec");
+        let ping = id_of(&w, &g, "ping");
+        let r = g.reach(&[rec, ping]);
+        // BFS visits each node once despite the cycles.
+        assert_eq!(r.dist[rec], Some(0));
+        assert_eq!(r.dist[id_of(&w, &g, "pong")], Some(1));
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_through_imports() {
+        let w = ws(&[
+            (
+                "crates/ooc-simnet/src/sim.rs",
+                "ooc-simnet",
+                "pub struct Sim;\nimpl Sim { pub fn run(&self) {} }",
+            ),
+            (
+                "crates/ooc-campaign/src/runner.rs",
+                "ooc-campaign",
+                "use ooc_simnet::Sim;\nfn drive(s: &Sim) { Sim::run(s); }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let drive = id_of(&w, &g, "drive");
+        assert_eq!(g.calls[drive].len(), 1);
+        assert_eq!(g.display(&w, g.calls[drive][0].callee), "Sim::run");
+    }
+
+    #[test]
+    fn pub_use_reexports_fall_back_to_the_defining_crate() {
+        let w = ws(&[
+            (
+                "crates/ooc-core/src/util.rs",
+                "ooc-core",
+                "pub fn spin() {}",
+            ),
+            (
+                "crates/ooc-simnet/src/lib.rs",
+                "ooc-simnet",
+                "pub use ooc_core::util::spin;",
+            ),
+            (
+                "crates/ooc-campaign/src/a.rs",
+                "ooc-campaign",
+                "use ooc_simnet::spin;\nfn go() { spin(); }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let go = id_of(&w, &g, "go");
+        assert_eq!(g.calls[go].len(), 1);
+        assert_eq!(g.display(&w, g.calls[go][0].callee), "spin");
+    }
+
+    #[test]
+    fn trait_dispatch_falls_back_to_all_visible_impls() {
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "trait T { fn go(&self); }\n\
+             struct A; struct B;\n\
+             impl T for A { fn go(&self) {} }\n\
+             impl T for B { fn go(&self) {} }\n\
+             fn drive(x: &A) { x.go() }",
+        )]);
+        let g = CallGraph::build(&w);
+        let drive = id_of(&w, &g, "drive");
+        let mut callees: Vec<String> = g.calls[drive]
+            .iter()
+            .map(|c| g.display(&w, c.callee))
+            .collect();
+        callees.sort();
+        // Conservative: both impls are assumed reachable.
+        assert_eq!(callees, vec!["A::go", "B::go"]);
+    }
+
+    #[test]
+    fn dispatch_fallback_is_scoped_to_visible_crates() {
+        let w = ws(&[
+            (
+                "crates/ooc-core/src/a.rs",
+                "ooc-core",
+                "struct A;\nimpl A { fn run(&self) {} }\nfn drive(a: &A) { a.run() }",
+            ),
+            (
+                "crates/ooc-campaign/src/b.rs",
+                "ooc-campaign",
+                "pub struct R;\nimpl R { pub fn run(&self) {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&w);
+        let drive = id_of(&w, &g, "drive");
+        let callees: Vec<String> = g.calls[drive]
+            .iter()
+            .map(|c| g.display(&w, c.callee))
+            .collect();
+        // ooc-core does not import ooc-campaign, so `R::run` is not a
+        // candidate for its `.run(` call.
+        assert_eq!(callees, vec!["A::run"]);
+    }
+
+    #[test]
+    fn chains_are_minimal_and_carry_call_lines() {
+        let w = ws(&[(
+            "crates/ooc-core/src/a.rs",
+            "ooc-core",
+            "fn entry() {\n  long();\n  sink();\n}\n\
+             fn long() { mid(); }\n\
+             fn mid() { sink(); }\n\
+             fn sink() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let entry = id_of(&w, &g, "entry");
+        let sink = id_of(&w, &g, "sink");
+        let r = g.reach(&[entry]);
+        // Direct edge (1 hop) beats the long()->mid()->sink() route.
+        assert_eq!(r.dist[sink], Some(1));
+        let chain = g.chain_to(&r, sink);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0], (entry, None));
+        // sink is reached from entry's line-3 call site.
+        assert_eq!(chain[1], (sink, Some(3)));
+    }
+}

@@ -20,7 +20,10 @@ pub enum Tok {
     /// consecutive tokens: `::` is `:`, `:`).
     Punct(char),
     /// Any literal: string, raw string, byte string, char, or number.
-    Literal,
+    /// Plain integer literals keep their value (the quorum-arithmetic
+    /// rule evaluates threshold expressions like `n / 2 + 1`); every
+    /// other literal carries `None`.
+    Literal(Option<i64>),
 }
 
 /// A token with its 1-based source line.
@@ -49,6 +52,14 @@ impl Token {
     /// Whether this token is the punctuation `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.tok == Tok::Punct(c)
+    }
+
+    /// The integer value, if this token is a plain integer literal.
+    pub fn int_value(&self) -> Option<i64> {
+        match self.tok {
+            Tok::Literal(v) => v,
+            _ => None,
+        }
     }
 }
 
@@ -143,7 +154,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 i = skip_string(&chars, i, &mut line);
-                push_tok!(Tok::Literal, start_line);
+                push_tok!(Tok::Literal(None), start_line);
             }
             '\'' => {
                 // Lifetime or char literal?
@@ -171,7 +182,7 @@ pub fn lex(src: &str) -> Lexed {
                         }
                     }
                     i = j;
-                    push_tok!(Tok::Literal, start_line);
+                    push_tok!(Tok::Literal(None), start_line);
                 } else if matches!(next, Some(n) if is_ident_start(n)) {
                     // A lifetime: skip the quote and the identifier.
                     let mut j = i + 1;
@@ -189,11 +200,13 @@ pub fn lex(src: &str) -> Lexed {
                 while j < chars.len() && (is_ident_char(chars[j])) {
                     j += 1;
                 }
+                let mut is_float = false;
                 // Fractional part only when followed by a digit, so `4u64.pow`
                 // and `0..n` keep their dots.
                 if chars.get(j) == Some(&'.')
                     && matches!(chars.get(j + 1), Some(d) if d.is_ascii_digit())
                 {
+                    is_float = true;
                     j += 2;
                     while j < chars.len() && chars[j].is_ascii_digit() {
                         j += 1;
@@ -211,12 +224,17 @@ pub fn lex(src: &str) -> Lexed {
                         }
                     }
                 }
+                let value = if is_float {
+                    None
+                } else {
+                    parse_int(&chars[i..j])
+                };
                 i = j;
-                push_tok!(Tok::Literal, start_line);
+                push_tok!(Tok::Literal(value), start_line);
             }
             'r' | 'b' if is_raw_or_byte_literal(&chars, i) => {
                 i = skip_raw_or_byte_literal(&chars, i, &mut line);
-                push_tok!(Tok::Literal, start_line);
+                push_tok!(Tok::Literal(None), start_line);
             }
             'r' if chars.get(i + 1) == Some(&'#')
                 && matches!(chars.get(i + 2), Some(n) if is_ident_start(*n)) =>
@@ -246,6 +264,29 @@ pub fn lex(src: &str) -> Lexed {
         }
     }
     out
+}
+
+/// Parses the integer value of a numeric literal's characters: decimal
+/// (`42`, `1_000`, `42u64`) and hex/octal/binary prefixes. Returns `None`
+/// for floats, overflow, or anything else exotic.
+fn parse_int(chars: &[char]) -> Option<i64> {
+    let text: String = chars.iter().filter(|&&c| c != '_').collect();
+    let digits = text
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .to_string();
+    // The suffix trim above eats hex digits (`0xff` → `0x`), so radix
+    // prefixes are parsed from the untrimmed text instead.
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        let hex = hex.trim_end_matches("u64").trim_end_matches("u32").trim_end_matches("usize");
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = text.strip_prefix("0o") {
+        return i64::from_str_radix(oct.trim_end_matches(|c: char| !c.is_digit(8)), 8).ok();
+    }
+    if let Some(bin) = text.strip_prefix("0b") {
+        return i64::from_str_radix(bin.trim_end_matches(|c: char| !c.is_digit(2)), 2).ok();
+    }
+    digits.parse().ok()
 }
 
 /// Whether position `i` (at `r` or `b`) starts a raw/byte literal rather

@@ -29,7 +29,9 @@
 //!
 //! Run it as `cargo run -p ooc-lint -- check [--json]`.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod resolve;
 pub mod rules;
@@ -51,13 +53,23 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
 /// Runs every rule over an already-built workspace model, applies
 /// suppressions, and audits the suppressions themselves.
 pub fn lint(ws: &Workspace) -> Report {
+    let ctx = rules::LintContext::new(ws);
     let mut findings = Vec::new();
+    let mut rule_stats = Vec::new();
     for rule in rules::all() {
-        rule.check(ws, &mut findings);
+        let before = findings.len();
+        let work_ticks = rule.check(&ctx, &mut findings);
+        rule_stats.push(report::RuleStat {
+            id: rule.id(),
+            findings: findings.len() - before,
+            work_ticks,
+        });
     }
     let known = rules::known_ids();
     let mut hygiene = Vec::new();
+    let mut audit_ticks = 0u64;
     for file in &ws.files {
+        audit_ticks += file.allows.len() as u64;
         for allow in &file.allows {
             if let Some(err) = &allow.error {
                 hygiene.push(suppression_finding(file, allow.line, err));
@@ -97,10 +109,16 @@ pub fn lint(ws: &Workspace) -> Report {
             }
         }
     }
+    rule_stats.push(report::RuleStat {
+        id: rules::SUPPRESSION_RULE,
+        findings: hygiene.len(),
+        work_ticks: audit_ticks,
+    });
     findings.extend(hygiene);
     let mut report = Report {
         findings,
         files_scanned: ws.files.len(),
+        rule_stats,
     };
     report.sort();
     report
@@ -113,6 +131,7 @@ fn suppression_finding(file: &SourceFile, line: u32, message: &str) -> Finding {
         line,
         snippet: file.snippet(line),
         message: message.to_string(),
+        witness: Vec::new(),
         suppressed: None,
     }
 }

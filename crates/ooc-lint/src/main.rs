@@ -5,6 +5,7 @@
 //! cargo run -p ooc-lint -- check --json     # machine-readable (all findings,
 //! cargo run -p ooc-lint -- check --root X   #   incl. suppressed, for diffing)
 //! cargo run -p ooc-lint -- rules            # list the rule catalogue
+//! cargo run -p ooc-lint -- rules --json     # machine-readable catalogue
 //! ```
 
 use std::path::PathBuf;
@@ -29,13 +30,13 @@ fn main() -> ExitCode {
     }
     match cmd {
         Some("rules") => {
-            for rule in ooc_lint::rules::all() {
-                println!("{:28} {}", rule.id(), rule.describe());
+            if json {
+                print!("{}", ooc_lint::rules::catalog_json());
+            } else {
+                for info in ooc_lint::rules::catalog() {
+                    println!("{:28} [{}] {}", info.id, info.severity, info.doc);
+                }
             }
-            println!(
-                "{:28} engine: malformed / unknown / stale ooc-lint::allow annotations",
-                ooc_lint::rules::SUPPRESSION_RULE
-            );
             ExitCode::SUCCESS
         }
         Some("check") => {
@@ -72,6 +73,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("ooc-lint: {err}");
-    eprintln!("usage: ooc-lint check [--json] [--root <dir>] | ooc-lint rules");
+    eprintln!("usage: ooc-lint check [--json] [--root <dir>] | ooc-lint rules [--json]");
     ExitCode::from(2)
 }

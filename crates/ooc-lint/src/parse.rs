@@ -1,0 +1,570 @@
+//! Item-level parsing on top of the lexer.
+//!
+//! The cross-file rules (call graph, taint, effect exhaustiveness) need to
+//! know *which function* a token belongs to, what that function's
+//! parameters are, and which type/trait an `impl` block gives it — but
+//! nothing deeper. So this is a structural scan, not a grammar: `fn`,
+//! `struct`, `enum` and `impl` items are located by keyword, their bodies
+//! are kept as token index ranges (brace-matched), and everything inside a
+//! body stays raw tokens for the rules to walk.
+//!
+//! Like the lexer, the pass is lossy and total: token sequences it cannot
+//! classify are skipped, never fatal. It only has to be right for code
+//! `rustc` already accepts.
+
+use crate::lexer::{Tok, Token};
+use crate::source::SourceFile;
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, `""` for free functions.
+    pub impl_type: String,
+    /// Trait of the enclosing `impl`, `""` for inherent impls/free fns.
+    pub trait_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter names, including `self` when present.
+    pub params: Vec<String>,
+    /// Token index range of the body **including** its braces
+    /// (`tokens[body.0]` is `{`, `tokens[body.1]` is the matching `}`);
+    /// `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the `fn` keyword sits inside `#[cfg(test)]`-gated code.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` for free functions.
+    pub fn display_name(&self) -> String {
+        if self.impl_type.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.impl_type, self.name)
+        }
+    }
+}
+
+/// One named field of a struct.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// Identifiers appearing in the field's type (for locating effect
+    /// enums like `storage: Vec<StorageOp>` → `["Vec", "StorageOp"]`).
+    pub type_idents: Vec<String>,
+}
+
+/// One `struct` item with named fields (tuple/unit structs keep an empty
+/// field list).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldItem>,
+    /// Whether the item is `#[cfg(test)]`-gated.
+    pub is_test: bool,
+}
+
+/// One `enum` item.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+    /// Whether the item is `#[cfg(test)]`-gated.
+    pub is_test: bool,
+}
+
+/// Every item parsed out of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// All `fn` items, in source order (nested fns appear after their
+    /// enclosing fn).
+    pub fns: Vec<FnItem>,
+    /// All `struct` items with named fields.
+    pub structs: Vec<StructItem>,
+    /// All `enum` items.
+    pub enums: Vec<EnumItem>,
+}
+
+impl FileItems {
+    /// The innermost function whose body contains token index `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                if open < idx && idx < close {
+                    best = match best {
+                        Some(b) => {
+                            let (bo, _) = self.fns[b].body.unwrap_or((0, usize::MAX));
+                            if open > bo {
+                                Some(i)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                        None => Some(i),
+                    };
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Parses the items of one lexed file.
+pub fn parse_items(file: &SourceFile) -> FileItems {
+    let toks = &file.tokens;
+    let mut out = FileItems::default();
+    // Impl regions first, so each fn can look up its enclosing impl.
+    let impls = impl_regions(toks);
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].ident() {
+            Some("fn") => {
+                if let Some((item, next)) = parse_fn(file, i, &impls) {
+                    out.fns.push(item);
+                    // Continue right after the signature so nested fns in
+                    // the body are themselves discovered.
+                    i = next;
+                    continue;
+                }
+            }
+            Some("struct") => {
+                if let Some((item, next)) = parse_struct(file, i) {
+                    out.structs.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            Some("enum") => {
+                if let Some((item, next)) = parse_enum(file, i) {
+                    out.enums.push(item);
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(open_brace_idx, close_brace_idx, type_name, trait_name)` for every
+/// `impl` block in the file.
+fn impl_regions(toks: &[Token]) -> Vec<(usize, usize, String, String)> {
+    let mut regions = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        let mut j = i + 1;
+        // Generic parameter list.
+        if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let (first, j2, at_for) = scan_head_path(toks, j);
+        let (trait_name, type_name, mut k) = if at_for {
+            let (ty, k2, _) = scan_head_path(toks, j2 + 1);
+            (first, ty, k2)
+        } else {
+            (String::new(), first, j2)
+        };
+        // Skip a where clause to the opening brace.
+        while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+            k += 1;
+        }
+        if k < toks.len() && toks[k].is_punct('{') {
+            if let Some(close) = match_brace(toks, k) {
+                regions.push((k, close, type_name, trait_name));
+            }
+        }
+    }
+    regions
+}
+
+/// Scans a trait/type path from `j`: returns (last depth-0 ident, stop
+/// index, whether stopped at `for`).
+fn scan_head_path(toks: &[Token], mut j: usize) -> (String, usize, bool) {
+    let mut depth = 0i32;
+    let mut last = String::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        if depth == 0 {
+            if t.is_ident("for") {
+                return (last, j, true);
+            }
+            if t.is_ident("where") || t.is_punct('{') || t.is_punct(';') {
+                return (last, j, false);
+            }
+            if let Some(name) = t.ident() {
+                last = name.to_string();
+            }
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    (last, j, false)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Parses one `fn` item starting at the `fn` keyword index; returns the
+/// item and the index to resume scanning from (just past the signature,
+/// so nested items are still visited).
+fn parse_fn(
+    file: &SourceFile,
+    fn_idx: usize,
+    impls: &[(usize, usize, String, String)],
+) -> Option<(FnItem, usize)> {
+    let toks = &file.tokens;
+    let name = toks.get(fn_idx + 1)?.ident()?.to_string();
+    let line = toks[fn_idx].line;
+    let mut j = fn_idx + 2;
+    // Generic parameter list on the fn itself.
+    if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !toks.get(j)?.is_punct('(') {
+        return None;
+    }
+    // Parameter list: names are depth-1 idents directly followed by `:`
+    // (not `::`), plus `self`.
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                k += 1;
+                break;
+            }
+        } else if depth == 1 {
+            if t.is_ident("self") {
+                params.push("self".to_string());
+            } else if let Some(p) = t.ident() {
+                let colon = toks.get(k + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                    && !toks.get(k + 2).map(|t| t.is_punct(':')).unwrap_or(false);
+                let after_colon = k > 0 && toks[k - 1].is_punct(':');
+                if colon && !after_colon && p != "mut" && p != "ref" {
+                    params.push(p.to_string());
+                }
+            }
+        }
+        k += 1;
+    }
+    // Scan to the body brace or the trait-declaration semicolon.
+    let mut b = k;
+    while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+        b += 1;
+    }
+    let body = if b < toks.len() && toks[b].is_punct('{') {
+        match_brace(toks, b).map(|close| (b, close))
+    } else {
+        None
+    };
+    let (impl_type, trait_name) = impls
+        .iter()
+        .filter(|(open, close, _, _)| *open < fn_idx && fn_idx < *close)
+        .max_by_key(|(open, _, _, _)| *open)
+        .map(|(_, _, ty, tr)| (ty.clone(), tr.clone()))
+        .unwrap_or_default();
+    let is_test = !file.non_test.get(fn_idx).copied().unwrap_or(true);
+    Some((
+        FnItem {
+            name,
+            impl_type,
+            trait_name,
+            line,
+            params,
+            body,
+            is_test,
+        },
+        k,
+    ))
+}
+
+/// Parses one `struct` item starting at the `struct` keyword index.
+fn parse_struct(file: &SourceFile, s_idx: usize) -> Option<(StructItem, usize)> {
+    let toks = &file.tokens;
+    let name = toks.get(s_idx + 1)?.ident()?.to_string();
+    let line = toks[s_idx].line;
+    let mut j = s_idx + 2;
+    // Skip to `{`, `;` (unit) or `(` (tuple — no named fields).
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            angle -= 1;
+        } else if angle == 0 && (t.is_punct(';') || t.is_punct('(')) {
+            return Some((
+                StructItem {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                    is_test: !file.non_test.get(s_idx).copied().unwrap_or(true),
+                },
+                j,
+            ));
+        } else if angle == 0 && t.is_punct('{') {
+            break;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let close = match_brace(toks, j)?;
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut k = j;
+    while k <= close {
+        let t = &toks[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 1 {
+            if let Some(f) = t.ident() {
+                let colon = toks.get(k + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                    && !toks.get(k + 2).map(|t| t.is_punct(':')).unwrap_or(false);
+                let after_colon = k > 0 && toks[k - 1].is_punct(':');
+                if colon && !after_colon && f != "pub" && f != "crate" {
+                    // Collect the field type's identifiers up to the
+                    // field-terminating comma (angle-depth aware).
+                    let mut type_idents = Vec::new();
+                    let mut m = k + 2;
+                    let mut ang = 0i32;
+                    while m < close {
+                        let tt = &toks[m];
+                        if tt.is_punct('<') {
+                            ang += 1;
+                        } else if tt.is_punct('>') && !toks[m - 1].is_punct('-') {
+                            ang -= 1;
+                        } else if ang <= 0 && tt.is_punct(',') {
+                            break;
+                        } else if let Some(id) = tt.ident() {
+                            type_idents.push(id.to_string());
+                        }
+                        m += 1;
+                    }
+                    fields.push(FieldItem {
+                        name: f.to_string(),
+                        line: t.line,
+                        type_idents,
+                    });
+                }
+            }
+        }
+        k += 1;
+    }
+    Some((
+        StructItem {
+            name,
+            line,
+            fields,
+            is_test: !file.non_test.get(s_idx).copied().unwrap_or(true),
+        },
+        close + 1,
+    ))
+}
+
+/// Parses one `enum` item starting at the `enum` keyword index.
+fn parse_enum(file: &SourceFile, e_idx: usize) -> Option<(EnumItem, usize)> {
+    let toks = &file.tokens;
+    let name = toks.get(e_idx + 1)?.ident()?.to_string();
+    let line = toks[e_idx].line;
+    let mut j = e_idx + 2;
+    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct('{') {
+        return None;
+    }
+    let close = match_brace(toks, j)?;
+    let mut variants = Vec::new();
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    // A variant name is a depth-1 ident whose previous significant token
+    // is the opening `{`, a `,`, or an attribute's closing `]`.
+    let mut prev_sig: Option<char> = None;
+    let mut k = j;
+    while k <= close {
+        let t = &toks[k];
+        match &t.tok {
+            Tok::Punct('{') => {
+                brace += 1;
+                prev_sig = Some('{');
+            }
+            Tok::Punct('}') => {
+                brace -= 1;
+                prev_sig = Some('}');
+            }
+            Tok::Punct('(') => {
+                paren += 1;
+                prev_sig = Some('(');
+            }
+            Tok::Punct(')') => {
+                paren -= 1;
+                prev_sig = Some(')');
+            }
+            Tok::Punct(c) => prev_sig = Some(*c),
+            Tok::Ident(id) => {
+                if brace == 1
+                    && paren == 0
+                    && matches!(prev_sig, Some('{') | Some(',') | Some(']'))
+                {
+                    variants.push(id.clone());
+                }
+                prev_sig = Some('i');
+            }
+            Tok::Literal(_) => prev_sig = Some('l'),
+        }
+        k += 1;
+    }
+    Some((
+        EnumItem {
+            name,
+            line,
+            variants,
+            is_test: !file.non_test.get(e_idx).copied().unwrap_or(true),
+        },
+        close + 1,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&SourceFile::from_source("src/x.rs", "ooc-core", src))
+    }
+
+    #[test]
+    fn free_fns_methods_and_bodies() {
+        let fi = items(
+            "fn free(a: u32, b: &str) -> u32 { helper(a) }\n\
+             impl Widget { fn method(&self, x: u64) {} }\n\
+             impl Clone for Widget { fn clone(&self) -> Widget { Widget }\n }\n\
+             trait T { fn decl(&self); fn dflt(&self) { self.decl() } }",
+        );
+        let names: Vec<_> = fi.fns.iter().map(|f| f.display_name()).collect();
+        assert_eq!(
+            names,
+            vec!["free", "Widget::method", "Widget::clone", "decl", "dflt"]
+        );
+        assert_eq!(fi.fns[0].params, vec!["a", "b"]);
+        assert_eq!(fi.fns[1].params, vec!["self", "x"]);
+        assert_eq!(fi.fns[2].trait_name, "Clone");
+        assert!(fi.fns[3].body.is_none(), "trait declaration has no body");
+        assert!(fi.fns[4].body.is_some(), "default method has a body");
+    }
+
+    #[test]
+    fn generic_fns_and_fn_bounds() {
+        let fi = items("fn g<T: Fn(u32) -> u64>(f: T, n: usize) -> u64 { f(n as u32) }");
+        assert_eq!(fi.fns.len(), 1);
+        assert_eq!(fi.fns[0].params, vec!["f", "n"]);
+        assert!(fi.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_attributed() {
+        let fi = items("fn outer() { fn inner(q: u8) { let _ = q; } inner(3); }");
+        let names: Vec<_> = fi.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // The innermost enclosing fn of a token inside inner's body is inner.
+        let (open, _) = fi.fns[1].body.unwrap();
+        assert_eq!(fi.enclosing_fn(open + 1), Some(1));
+    }
+
+    #[test]
+    fn structs_fields_and_types() {
+        let fi = items(
+            "pub struct Effects<M> { pub outbox: Vec<Outgoing<M>>, storage: Vec<StorageOp>, halted: bool }\n\
+             struct Unit;\nstruct Tup(u32);",
+        );
+        assert_eq!(fi.structs.len(), 3);
+        let e = &fi.structs[0];
+        let fields: Vec<_> = e.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, vec!["outbox", "storage", "halted"]);
+        assert!(e.fields[1].type_idents.contains(&"StorageOp".to_string()));
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let fi = items(
+            "pub enum StorageOp { Put { key: String, value: Vec<u8> }, Sync, Mark(u32, bool) }",
+        );
+        assert_eq!(fi.enums.len(), 1);
+        assert_eq!(fi.enums[0].variants, vec!["Put", "Sync", "Mark"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let fi = items("fn live() {}\n#[cfg(test)]\nmod t { fn gated() {} }");
+        assert!(!fi.fns[0].is_test);
+        assert!(fi.fns[1].is_test);
+    }
+}

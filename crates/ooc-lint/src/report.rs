@@ -6,6 +6,18 @@
 
 use std::fmt::Write as _;
 
+/// One step of a transitive-reach witness call chain.
+#[derive(Debug, Clone)]
+pub struct WitnessStep {
+    /// `Type::name` (or bare `name`) of the function.
+    pub func: String,
+    /// Workspace-relative path of the file defining it.
+    pub file: String,
+    /// The line the chain enters the function at: the call site in the
+    /// previous step's file, or the definition line for the first step.
+    pub line: u32,
+}
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -19,9 +31,24 @@ pub struct Finding {
     pub snippet: String,
     /// Why this is a problem, with the fix direction.
     pub message: String,
+    /// The minimal call chain proving a transitive finding (empty for
+    /// token-local rules).
+    pub witness: Vec<WitnessStep>,
     /// The suppression reason when an `ooc-lint::allow` covers this
     /// finding; `None` means the finding is active (fails the build).
     pub suppressed: Option<String>,
+}
+
+/// Per-rule execution statistics for the report `meta` block.
+#[derive(Debug, Clone)]
+pub struct RuleStat {
+    /// Rule id.
+    pub id: &'static str,
+    /// Findings emitted (suppressed included).
+    pub findings: usize,
+    /// Deterministic work performed (see `Rule::check`). Ticks, not
+    /// seconds: the measure must itself obey the determinism contract.
+    pub work_ticks: u64,
 }
 
 /// The outcome of a full lint pass.
@@ -31,6 +58,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-rule statistics, in registration order.
+    pub rule_stats: Vec<RuleStat>,
 }
 
 impl Report {
@@ -56,9 +85,20 @@ impl Report {
         for f in self.active() {
             let _ = writeln!(
                 out,
-                "error[{}]: {}\n  --> {}:{}\n   | {}\n",
+                "error[{}]: {}\n  --> {}:{}\n   | {}",
                 f.rule, f.message, f.path, f.line, f.snippet
             );
+            for (i, step) in f.witness.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "   {} {} ({}:{})",
+                    if i == 0 { "chain:" } else { "    ->" },
+                    step.func,
+                    step.file,
+                    step.line
+                );
+            }
+            out.push('\n');
         }
         let suppressed = self.findings.len() - self.active_count();
         let _ = writeln!(
@@ -73,9 +113,27 @@ impl Report {
 
     /// Machine-readable report (stable field order, findings pre-sorted).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let mut out = String::from("{\n  \"version\": 2,\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"active_findings\": {},", self.active_count());
+        out.push_str("  \"meta\": {\n");
+        let _ = writeln!(out, "    \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "    \"total_findings\": {},", self.findings.len());
+        let _ = writeln!(out, "    \"active_findings\": {},", self.active_count());
+        out.push_str("    \"rules\": [");
+        for (i, s) in self.rule_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"id\": {}, \"findings\": {}, \"work_ticks\": {}}}",
+                json_str(s.id),
+                s.findings,
+                s.work_ticks
+            );
+        }
+        out.push_str("\n    ]\n  },\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -87,6 +145,22 @@ impl Report {
             let _ = write!(out, "\"line\": {}, ", f.line);
             let _ = write!(out, "\"snippet\": {}, ", json_str(&f.snippet));
             let _ = write!(out, "\"message\": {}, ", json_str(&f.message));
+            if !f.witness.is_empty() {
+                out.push_str("\"witness\": [");
+                for (k, step) in f.witness.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"fn\": {}, \"file\": {}, \"line\": {}}}",
+                        json_str(&step.func),
+                        json_str(&step.file),
+                        step.line
+                    );
+                }
+                out.push_str("], ");
+            }
             match &f.suppressed {
                 Some(reason) => {
                     let _ = write!(
@@ -107,7 +181,7 @@ impl Report {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -141,6 +215,7 @@ mod tests {
                     line: 3,
                     snippet: "let t = Instant::now(); // \"quoted\"".into(),
                     message: "m".into(),
+                    witness: Vec::new(),
                     suppressed: None,
                 },
                 Finding {
@@ -149,10 +224,16 @@ mod tests {
                     line: 1,
                     snippet: "s".into(),
                     message: "m".into(),
+                    witness: Vec::new(),
                     suppressed: Some("checked invariant".into()),
                 },
             ],
             files_scanned: 2,
+            rule_stats: vec![RuleStat {
+                id: "determinism/wall-clock",
+                findings: 1,
+                work_ticks: 42,
+            }],
         };
         r.sort();
         assert_eq!(r.findings[0].line, 1);
@@ -162,5 +243,43 @@ mod tests {
         assert!(json.contains("\"suppressed\": true"));
         assert!(json.contains("\"suppression_reason\": \"checked invariant\""));
         assert!(json.contains("\"active_findings\": 1"));
+        assert!(json.contains("\"meta\""));
+        assert!(json.contains("\"work_ticks\": 42"));
+    }
+
+    #[test]
+    fn witness_chains_serialize_and_render() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "determinism/transitive-reach",
+                path: "crates/x/src/a.rs".into(),
+                line: 5,
+                snippet: "run_artifact(&a)".into(),
+                message: "m".into(),
+                witness: vec![
+                    WitnessStep {
+                        func: "run_all".into(),
+                        file: "crates/x/src/a.rs".into(),
+                        line: 4,
+                    },
+                    WitnessStep {
+                        func: "run_artifact".into(),
+                        file: "crates/x/src/b.rs".into(),
+                        line: 5,
+                    },
+                ],
+                suppressed: None,
+            }],
+            files_scanned: 1,
+            rule_stats: Vec::new(),
+        };
+        let json = r.render_json();
+        assert!(json.contains(
+            "\"witness\": [{\"fn\": \"run_all\", \"file\": \"crates/x/src/a.rs\", \"line\": 4}, \
+             {\"fn\": \"run_artifact\", \"file\": \"crates/x/src/b.rs\", \"line\": 5}]"
+        ));
+        let text = r.render_text();
+        assert!(text.contains("chain: run_all (crates/x/src/a.rs:4)"));
+        assert!(text.contains("-> run_artifact (crates/x/src/b.rs:5)"));
     }
 }

@@ -1,25 +1,61 @@
 //! The pluggable rule engine and shared analysis helpers.
 
+use crate::callgraph::CallGraph;
 use crate::report::Finding;
 use crate::resolve::canonical_path;
 use crate::source::{SourceFile, Workspace};
 
 pub mod ambient_rng;
 pub mod checker_coverage;
+pub mod effect_exhaustiveness;
 pub mod host_env;
 pub mod protocol_panic;
+pub mod quorum_arith;
+pub mod rng_provenance;
+pub mod transitive_reach;
 pub mod unordered_iter;
 pub mod wall_clock;
 
-/// A lint rule. Rules see the whole workspace so they can be cross-file
-/// (e.g. checker coverage) as well as token-local.
+/// Everything a rule may look at: the workspace model plus the shared
+/// cross-crate analyses built once per lint pass.
+pub struct LintContext<'a> {
+    /// The scanned workspace.
+    pub ws: &'a Workspace,
+    /// The cross-crate call graph (see [`crate::callgraph`]).
+    pub graph: CallGraph,
+}
+
+impl<'a> LintContext<'a> {
+    /// Builds the shared analyses for a workspace.
+    pub fn new(ws: &'a Workspace) -> LintContext<'a> {
+        LintContext {
+            ws,
+            graph: CallGraph::build(ws),
+        }
+    }
+}
+
+/// A lint rule. Rules see the whole workspace (and the call graph) so
+/// they can be cross-file and cross-crate as well as token-local.
 pub trait Rule {
     /// Stable id used in reports and `ooc-lint::allow(...)`.
     fn id(&self) -> &'static str;
     /// One-line description for `--help`-style listings.
     fn describe(&self) -> &'static str;
-    /// Appends findings for the workspace.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    /// What happens to an active finding. Everything registered today is
+    /// `deny` (fails the build); the field exists so the catalog is
+    /// explicit about it.
+    fn severity(&self) -> &'static str {
+        "deny"
+    }
+    /// Which part of the workspace the rule examines.
+    fn scope(&self) -> &'static str;
+    /// Appends findings for the workspace. Returns the work performed in
+    /// deterministic ticks (tokens walked, graph nodes visited, grid
+    /// points evaluated — anything monotone in effort), surfaced in the
+    /// report's `meta` block so a rule that quietly goes quadratic shows
+    /// up in CI before it shows up in wall time.
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64;
 }
 
 /// The registered rule set, in report order.
@@ -29,7 +65,11 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(ambient_rng::AmbientRng),
         Box::new(host_env::HostEnv),
         Box::new(unordered_iter::UnorderedIter),
+        Box::new(transitive_reach::TransitiveReach),
+        Box::new(rng_provenance::RngProvenance),
         Box::new(protocol_panic::ProtocolPanic),
+        Box::new(effect_exhaustiveness::EffectExhaustiveness),
+        Box::new(quorum_arith::QuorumArith),
         Box::new(checker_coverage::CheckerCoverage),
     ]
 }
@@ -41,6 +81,61 @@ pub const SUPPRESSION_RULE: &str = "hygiene/suppression";
 /// Every id an `ooc-lint::allow` may name.
 pub fn known_ids() -> Vec<&'static str> {
     all().iter().map(|r| r.id()).collect()
+}
+
+/// One catalog row, mirroring the [`Rule`] accessors.
+pub struct RuleInfo {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// `deny` (active findings fail the build).
+    pub severity: &'static str,
+    /// Which part of the workspace the rule examines.
+    pub scope: &'static str,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+/// The machine-readable rule catalog (`ooc-lint rules --json`), including
+/// the engine-level suppression-hygiene pseudo-rule.
+pub fn catalog() -> Vec<RuleInfo> {
+    let mut rows: Vec<RuleInfo> = all()
+        .iter()
+        .map(|r| RuleInfo {
+            id: r.id(),
+            severity: r.severity(),
+            scope: r.scope(),
+            doc: r.describe(),
+        })
+        .collect();
+    rows.push(RuleInfo {
+        id: SUPPRESSION_RULE,
+        severity: "deny",
+        scope: "every ooc-lint::allow annotation",
+        doc: "allows must name a known rule, carry a reason, and suppress a \
+              real finding; not itself suppressible",
+    });
+    rows
+}
+
+/// Renders [`catalog`] as JSON.
+pub fn catalog_json() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": [");
+    for (i, r) in catalog().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": {}, \"severity\": {}, \"scope\": {}, \"doc\": {}}}",
+            crate::report::json_str(r.id),
+            crate::report::json_str(r.severity),
+            crate::report::json_str(r.scope),
+            crate::report::json_str(r.doc)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -57,14 +152,24 @@ pub struct ForbiddenItem {
     pub paths: &'static [&'static str],
 }
 
+/// One forbidden-item hit: the token index, its line, the resolved path
+/// (or bare name), and the matched item.
+pub struct ForbiddenHit<'a> {
+    /// Index of the offending token in `file.tokens`.
+    pub idx: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Resolved canonical path, or the bare name when unresolvable.
+    pub path: String,
+    /// The matched forbidden item.
+    pub item: &'a ForbiddenItem,
+}
+
 /// Scans a file's non-test tokens for forbidden items, honoring the
 /// file's `use` declarations: an identifier that resolves to a different
 /// origin than the forbidden paths is *not* flagged, and a rename of a
 /// forbidden item *is*.
-pub fn scan_forbidden<'a>(
-    file: &SourceFile,
-    items: &'a [ForbiddenItem],
-) -> Vec<(u32, String, &'a ForbiddenItem)> {
+pub fn scan_forbidden<'a>(file: &SourceFile, items: &'a [ForbiddenItem]) -> Vec<ForbiddenHit<'a>> {
     let mut hits = Vec::new();
     // Renames: `use std::time::Instant as Clock` makes `Clock` a target.
     let aliases: Vec<(String, &ForbiddenItem)> = file
@@ -98,13 +203,23 @@ pub fn scan_forbidden<'a>(
                         .iter()
                         .any(|p| path.starts_with(p) || p.starts_with(path.as_str()));
                 if confirmed {
-                    hits.push((token.line, path, item));
+                    hits.push(ForbiddenHit {
+                        idx,
+                        line: token.line,
+                        path,
+                        item,
+                    });
                 }
             }
             // Unresolvable: a bare method call, a glob import, or prelude
             // leakage. Flag it — the determinism gate errs conservative,
             // and a justified use can carry an allow.
-            None => hits.push((token.line, name.to_string(), item)),
+            None => hits.push(ForbiddenHit {
+                idx,
+                line: token.line,
+                path: name.to_string(),
+                item,
+            }),
         }
     }
     hits

@@ -8,10 +8,11 @@
 //! ambient dice is a test that cannot be rerun.
 
 use crate::report::Finding;
-use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
-use crate::source::Workspace;
+use crate::rules::{scan_forbidden, ForbiddenItem, LintContext, Rule};
 
-const ITEMS: &[ForbiddenItem] = &[
+/// The ambient-entropy banned-API set (also consumed by
+/// `determinism/transitive-reach` as a sink set).
+pub const ITEMS: &[ForbiddenItem] = &[
     ForbiddenItem {
         base: "thread_rng",
         paths: &["rand::thread_rng"],
@@ -48,22 +49,30 @@ impl Rule for AmbientRng {
          every RNG must derive from the run's seed"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
-            for (line, path, item) in scan_forbidden(file, ITEMS) {
+    fn scope(&self) -> &'static str {
+        "every file, tests included"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
+            ticks += file.tokens.len() as u64;
+            for hit in scan_forbidden(file, ITEMS) {
                 out.push(Finding {
                     rule: self.id(),
                     path: file.path.clone(),
-                    line,
-                    snippet: file.snippet(line),
+                    line: hit.line,
+                    snippet: file.snippet(hit.line),
                     message: format!(
                         "ambient entropy source `{}` ({}) makes runs unreplayable; \
                          derive a SplitMix64 from the run seed instead",
-                        item.base, path
+                        hit.item.base, hit.path
                     ),
+                    witness: Vec::new(),
                     suppressed: None,
                 });
             }
         }
+        ticks
     }
 }

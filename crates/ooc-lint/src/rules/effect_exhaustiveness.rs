@@ -1,0 +1,206 @@
+//! `protocol/effect-exhaustiveness` — every effect a handler can emit is
+//! applied by the engine.
+//!
+//! Handlers communicate with the simulator exclusively through the
+//! `Effects` accumulator; `apply_effects` drains it. The pairing is
+//! structural, not type-checked: adding a field to `Effects` (or a
+//! variant to an effect enum like `StorageOp`) compiles cleanly even if
+//! `apply_effects` never looks at it — the new effect silently no-ops
+//! and every protocol built on it is subtly broken. This rule closes the
+//! loop: for every struct named `Effects` in a deterministic crate, each
+//! field must be read by an `apply_effects` fn in the same crate, and
+//! every constructed variant of each same-crate enum appearing in a
+//! field's type must have a handling arm there too.
+
+use crate::report::Finding;
+use crate::rules::{LintContext, Rule};
+use crate::source::SourceFile;
+
+/// Name of the effect-accumulator struct the engine drains.
+const EFFECTS_STRUCT: &str = "Effects";
+
+/// Name of the engine fn that must handle every effect.
+const APPLY_FN: &str = "apply_effects";
+
+/// See module docs.
+pub struct EffectExhaustiveness;
+
+impl Rule for EffectExhaustiveness {
+    fn id(&self) -> &'static str {
+        "protocol/effect-exhaustiveness"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every Effects field and every constructed variant of its effect \
+         enums must be handled by apply_effects in the same crate"
+    }
+
+    fn scope(&self) -> &'static str {
+        "Effects structs in deterministic crates"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let ws = ctx.ws;
+        let mut ticks = 0u64;
+        for file in &ws.files {
+            if !file.deterministic() || file.is_test_file {
+                continue;
+            }
+            for s in &file.items.structs {
+                if s.name != EFFECTS_STRUCT || s.is_test {
+                    continue;
+                }
+                // Every apply_effects body in the same crate, as token
+                // ident sets.
+                let appliers = applier_idents(ws, &file.crate_name);
+                ticks += appliers.len() as u64;
+                if appliers.is_empty() {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        s.line,
+                        format!(
+                            "struct `{}` has no `{}` handler anywhere in crate \
+                             `{}`: every effect it accumulates silently no-ops",
+                            EFFECTS_STRUCT, APPLY_FN, file.crate_name
+                        ),
+                    ));
+                    continue;
+                }
+                for field in &s.fields {
+                    ticks += 1;
+                    if !appliers.iter().any(|a| a.contains(&field.name)) {
+                        out.push(finding(
+                            self.id(),
+                            file,
+                            field.line,
+                            format!(
+                                "`{}` field `{}` is never touched by `{}`: \
+                                 effects accumulated there are dropped on \
+                                 the floor; drain it in the engine or remove \
+                                 the field",
+                                EFFECTS_STRUCT, field.name, APPLY_FN
+                            ),
+                        ));
+                    }
+                    // Effect enums named in the field's type: every
+                    // constructed variant needs a handling arm.
+                    for ty in &field.type_idents {
+                        let Some((ef_file, variants, line)) =
+                            find_enum(ws, &file.crate_name, ty)
+                        else {
+                            continue;
+                        };
+                        for variant in &variants {
+                            ticks += 1;
+                            if !constructed(ws, ty, variant) {
+                                continue;
+                            }
+                            if !appliers.iter().any(|a| a.contains(variant)) {
+                                out.push(finding(
+                                    self.id(),
+                                    &ws.files[ef_file],
+                                    line,
+                                    format!(
+                                        "effect variant `{ty}::{variant}` is \
+                                         constructed but `{APPLY_FN}` has no \
+                                         arm for it: the effect silently \
+                                         no-ops at the engine"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ticks
+    }
+}
+
+fn finding(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message,
+        witness: Vec::new(),
+        suppressed: None,
+    }
+}
+
+/// The ident sets of every `apply_effects` body in `crate_name`.
+fn applier_idents(ws: &crate::source::Workspace, crate_name: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name != crate_name || file.is_test_file {
+            continue;
+        }
+        for f in &file.items.fns {
+            if f.name != APPLY_FN || f.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            out.push(
+                file.tokens[open..=close]
+                    .iter()
+                    .filter_map(|t| t.ident().map(String::from))
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Finds a non-test enum named `name` in `crate_name`:
+/// `(file index, variants, decl line)`.
+fn find_enum(
+    ws: &crate::source::Workspace,
+    crate_name: &str,
+    name: &str,
+) -> Option<(usize, Vec<String>, u32)> {
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.crate_name != crate_name || file.is_test_file {
+            continue;
+        }
+        for e in &file.items.enums {
+            if e.name == name && !e.is_test {
+                return Some((fi, e.variants.clone(), e.line));
+            }
+        }
+    }
+    None
+}
+
+/// Whether `Enum::Variant` is constructed (path-referenced) anywhere in
+/// non-test workspace code outside an `apply_effects` body.
+fn constructed(ws: &crate::source::Workspace, ty: &str, variant: &str) -> bool {
+    for file in &ws.files {
+        if file.is_test_file {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !file.non_test[i]
+                || !toks[i].is_ident(ty)
+                || !toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                || !toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+                || !toks.get(i + 3).map(|t| t.is_ident(variant)).unwrap_or(false)
+            {
+                continue;
+            }
+            // A mention inside an apply_effects body is a handling arm,
+            // not a construction.
+            let in_applier = file
+                .items
+                .enclosing_fn(i)
+                .map(|fid| file.items.fns[fid].name == APPLY_FN)
+                .unwrap_or(false);
+            if !in_applier {
+                return true;
+            }
+        }
+    }
+    false
+}

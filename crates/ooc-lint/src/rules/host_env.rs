@@ -11,10 +11,11 @@
 //! `ooc-lint::allow` stating that proof.
 
 use crate::report::Finding;
-use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
-use crate::source::Workspace;
+use crate::rules::{scan_forbidden, ForbiddenItem, LintContext, Rule};
 
-const ITEMS: &[ForbiddenItem] = &[
+/// The host-environment banned-API set (also consumed by
+/// `determinism/transitive-reach` as a sink set).
+pub const ITEMS: &[ForbiddenItem] = &[
     ForbiddenItem {
         base: "available_parallelism",
         paths: &["std::thread::available_parallelism"],
@@ -38,27 +39,35 @@ impl Rule for HostEnv {
          host topology must never influence a run's observable output"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
+    fn scope(&self) -> &'static str {
+        "deterministic crates and listed modules"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
             if !file.deterministic() || file.is_test_file {
                 continue;
             }
-            for (line, path, item) in scan_forbidden(file, ITEMS) {
+            ticks += file.tokens.len() as u64;
+            for hit in scan_forbidden(file, ITEMS) {
                 out.push(Finding {
                     rule: self.id(),
                     path: file.path.clone(),
-                    line,
-                    snippet: file.snippet(line),
+                    line: hit.line,
+                    snippet: file.snippet(hit.line),
                     message: format!(
                         "host-environment probe `{}` ({}) varies across machines; \
                          deterministic code must not read host topology, or must \
                          carry an ooc-lint::allow proving the value never reaches \
                          an output",
-                        item.base, path
+                        hit.item.base, hit.path
                     ),
+                    witness: Vec::new(),
                     suppressed: None,
                 });
             }
         }
+        ticks
     }
 }

@@ -11,8 +11,7 @@
 
 use crate::lexer::Tok;
 use crate::report::Finding;
-use crate::rules::{is_state_machine_file, Rule};
-use crate::source::Workspace;
+use crate::rules::{is_state_machine_file, LintContext, Rule};
 
 /// See module docs.
 pub struct ProtocolPanic;
@@ -27,11 +26,17 @@ impl Rule for ProtocolPanic {
          where a crash escapes the fault-budget accounting"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
+    fn scope(&self) -> &'static str {
+        "protocol state-machine files in deterministic crates"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
             if !file.deterministic() || file.is_test_file || !is_state_machine_file(file) {
                 continue;
             }
+            ticks += file.tokens.len() as u64;
             let toks = &file.tokens;
             for (i, t) in toks.iter().enumerate() {
                 if !file.non_test[i] {
@@ -60,10 +65,12 @@ impl Rule for ProtocolPanic {
                              fault budget; return a protocol error / default, or allow \
                              with the invariant that makes this unreachable"
                         ),
+                        witness: Vec::new(),
                         suppressed: None,
                     });
                 }
             }
         }
+        ticks
     }
 }

@@ -1,0 +1,778 @@
+//! `protocol/quorum-arithmetic` — threshold expressions must be
+//! satisfiable under the module's declared resilience bound.
+//!
+//! Quorum thresholds (`count >= n - t`, `2 * cnt > n + 2 * t`,
+//! `votes * 2 > n`) encode the protocol's liveness argument: with `t`
+//! processors silent, the `n - t` that remain must still be able to
+//! cross the threshold. An off-by-one here (or a threshold copied from a
+//! protocol with a different fault model — Phase-King's `3t < n` vs
+//! Raft's minority) type-checks, passes small happy-path tests, and
+//! deadlocks only under a full fault budget. This rule re-derives the
+//! check mechanically: every file with quorum-shaped comparisons must
+//! declare its resilience bound — a constructor `assert!(3 * t < n)` or
+//! an `// ooc-lint::resilience(3 * t < n)` comment — and each comparison
+//! is evaluated over every admissible `(n, t)` grid point with the live
+//! count pinned to `n - t` (integer arithmetic, Rust division
+//! semantics). A threshold the survivors cannot reach at some admissible
+//! point is a finding, with the counterexample in the message.
+//!
+//! Comparisons that are not quorum-shaped — index checks like `i < n`,
+//! comparisons between two opaque locals, anything mentioning a variable
+//! the evaluator cannot bind — are skipped, not guessed at.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::report::Finding;
+use crate::rules::{LintContext, Rule};
+use crate::source::SourceFile;
+
+/// Crates whose comparisons are checked: the protocol implementations.
+const ALGORITHM_CRATES: &[&str] = &["ooc-ben-or", "ooc-phase-king", "ooc-raft", "ooc-sharedmem"];
+
+/// Comment marker declaring a file's resilience bound, e.g.
+/// `// ooc-lint::resilience(3 * t < n)`.
+pub const RESILIENCE_PREFIX: &str = "ooc-lint::resilience";
+
+/// Grid bounds: all `(n, t)` with `2 <= n <= MAX_N`, `0 <= t <= n`
+/// admitted by the declared bound are checked.
+const MAX_N: i64 = 33;
+
+/// See module docs.
+pub struct QuorumArith;
+
+impl Rule for QuorumArith {
+    fn id(&self) -> &'static str {
+        "protocol/quorum-arithmetic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "quorum thresholds in algorithm crates must be reachable by the \
+         n - t live processors at every (n, t) admitted by the file's \
+         declared resilience bound (assert! or ooc-lint::resilience)"
+    }
+
+    fn scope(&self) -> &'static str {
+        "comparisons in algorithm crates"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let ws = ctx.ws;
+        let mut ticks = 0u64;
+
+        // Per-file declared bounds, and per-crate unions for files
+        // without their own declaration.
+        let mut file_bounds: Vec<Vec<Expr>> = Vec::new();
+        for file in &ws.files {
+            if ALGORITHM_CRATES.contains(&file.crate_name.as_str()) && !file.is_test_file {
+                file_bounds.push(declared_bounds(file));
+            } else {
+                file_bounds.push(Vec::new());
+            }
+        }
+
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !ALGORITHM_CRATES.contains(&file.crate_name.as_str()) || file.is_test_file {
+                continue;
+            }
+            ticks += file.tokens.len() as u64;
+            let comparisons = quorum_comparisons(file);
+            if comparisons.is_empty() {
+                continue;
+            }
+            // Bounds in scope: the file's own, else every declaration in
+            // the crate (the comparison must hold under each — a file
+            // that needs a stricter regime than a sibling declares its
+            // own).
+            let own = &file_bounds[fi];
+            let scope_bounds: Vec<&Vec<Expr>> = if !own.is_empty() {
+                vec![own]
+            } else {
+                ws.files
+                    .iter()
+                    .enumerate()
+                    .filter(|(fj, f)| f.crate_name == file.crate_name && !file_bounds[*fj].is_empty())
+                    .map(|(fj, _)| &file_bounds[fj])
+                    .collect()
+            };
+            if scope_bounds.is_empty() {
+                for cmp in &comparisons {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        cmp.line,
+                        format!(
+                            "quorum-shaped comparison but no resilience bound \
+                             declared in `{}` (or its crate): add the \
+                             constructor assert!, or declare \
+                             `// {}(<bound>)`, so the threshold can be \
+                             checked against it",
+                            file.path, RESILIENCE_PREFIX
+                        ),
+                    ));
+                }
+                continue;
+            }
+            for cmp in &comparisons {
+                for bounds in &scope_bounds {
+                    let mut checked = 0u64;
+                    if let Some((n, t)) = counterexample(cmp, bounds, &mut checked) {
+                        out.push(finding(
+                            self.id(),
+                            file,
+                            cmp.line,
+                            format!(
+                                "quorum threshold unreachable by the n - t \
+                                 live processors: at n={n}, t={t} (admitted \
+                                 by the declared bound) a count of {} cannot \
+                                 satisfy the comparison; the threshold and \
+                                 the resilience bound disagree",
+                                n - t
+                            ),
+                        ));
+                        ticks += checked;
+                        break;
+                    }
+                    ticks += checked;
+                }
+            }
+        }
+        ticks
+    }
+}
+
+fn finding(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message,
+        witness: Vec::new(),
+        suppressed: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions over (n, t, count).
+// ---------------------------------------------------------------------------
+
+/// Variables an expression atom can bind to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Var {
+    /// Ring size: atoms whose significant ident is `n`.
+    N,
+    /// Fault budget: atoms whose significant ident is `t`.
+    T,
+    /// The one unknown atom of a comparison — the live count.
+    Count,
+}
+
+/// A tiny arithmetic AST.
+#[derive(Debug, Clone)]
+enum Expr {
+    Int(i64),
+    Var(Var),
+    Bin(char, Box<Expr>, Box<Expr>),
+    /// Comparison node (only at the root of bounds/checks).
+    Cmp(&'static str, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, n: i64, t: i64, count: i64) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Var(Var::N) => Some(n),
+            Expr::Var(Var::T) => Some(t),
+            Expr::Var(Var::Count) => Some(count),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(n, t, count)?, b.eval(n, t, count)?);
+                match op {
+                    '+' => a.checked_add(b),
+                    '-' => a.checked_sub(b),
+                    '*' => a.checked_mul(b),
+                    '/' => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(a / b)
+                        }
+                    }
+                    '%' => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(a % b)
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(n, t, count)?, b.eval(n, t, count)?);
+                let v = match *op {
+                    "<" => a < b,
+                    "<=" => a <= b,
+                    ">" => a > b,
+                    ">=" => a >= b,
+                    _ => return None,
+                };
+                Some(v as i64)
+            }
+        }
+    }
+
+    fn mentions(&self, var: Var) -> bool {
+        match self {
+            Expr::Int(_) => false,
+            Expr::Var(v) => *v == var,
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => a.mentions(var) || b.mentions(var),
+        }
+    }
+
+    fn has_op(&self, wanted: char) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => false,
+            Expr::Bin(op, a, b) => *op == wanted || a.has_op(wanted) || b.has_op(wanted),
+            Expr::Cmp(_, a, b) => a.has_op(wanted) || b.has_op(wanted),
+        }
+    }
+}
+
+/// One quorum-shaped comparison found in a file, normalized so the
+/// requirement is `count OP threshold` with `OP ∈ {>=, >}`.
+struct QuorumCheck {
+    line: u32,
+    /// `true` → `count >= threshold`, else `count > threshold`.
+    at_least: bool,
+    /// Count-side expression (contains the `Count` var).
+    count: Expr,
+    /// Threshold-side expression (pure in n, t, constants).
+    threshold: Expr,
+}
+
+/// The first admissible `(n, t)` where the survivors' count `n - t`
+/// cannot satisfy the comparison, if any.
+fn counterexample(cmp: &QuorumCheck, bounds: &[Expr], checked: &mut u64) -> Option<(i64, i64)> {
+    for n in 2..=MAX_N {
+        for t in 0..=n {
+            let admitted = bounds
+                .iter()
+                .all(|b| b.eval(n, t, 0).map(|v| v != 0).unwrap_or(false));
+            if !admitted {
+                continue;
+            }
+            *checked += 1;
+            let live = n - t;
+            let (Some(c), Some(thr)) = (
+                cmp.count.eval(n, t, live),
+                cmp.threshold.eval(n, t, live),
+            ) else {
+                continue;
+            };
+            let ok = if cmp.at_least { c >= thr } else { c > thr };
+            if !ok {
+                return Some((n, t));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Harvesting declared bounds.
+// ---------------------------------------------------------------------------
+
+/// The file's declared resilience bounds: constructor
+/// `assert!(3 * t < n)`-style comparisons pure in (n, t), plus
+/// `// ooc-lint::resilience(...)` comments.
+fn declared_bounds(file: &SourceFile) -> Vec<Expr> {
+    let mut bounds = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !file.non_test[i] {
+            continue;
+        }
+        let is_assert = toks[i]
+            .ident()
+            .map(|n| n == "assert" || n == "debug_assert")
+            .unwrap_or(false)
+            && toks.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_punct('(')).unwrap_or(false);
+        if !is_assert {
+            continue;
+        }
+        // First argument: to the matching `)` or a depth-1 `,`.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let start = i + 3;
+        let mut end = start;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(b) = parse_pure_comparison(&toks[start..end]) {
+            bounds.push(b);
+        }
+    }
+    for comment in &file.comments {
+        let text = comment.text.trim_start_matches('/').trim();
+        if let Some(rest) = text.strip_prefix(RESILIENCE_PREFIX) {
+            let inner = rest.trim().trim_start_matches('(').trim_end_matches(')');
+            let lexed = lex(inner);
+            if let Some(b) = parse_pure_comparison(&lexed.tokens) {
+                bounds.push(b);
+            }
+        }
+    }
+    bounds
+}
+
+/// Parses `lhs OP rhs` where both sides are pure in (n, t, constants);
+/// used for resilience bounds.
+fn parse_pure_comparison(toks: &[Token]) -> Option<Expr> {
+    let (op_at, op) = find_comparison(toks, 0, toks.len())?;
+    let (op_len, _) = op_span(op);
+    let lhs = parse_expr_slice(toks, 0, op_at)?;
+    let rhs = parse_expr_slice(toks, op_at + op_len, toks.len())?;
+    if lhs.mentions(Var::Count) || rhs.mentions(Var::Count) {
+        return None;
+    }
+    // A bound must actually relate t to n (or at least mention t).
+    if !(lhs.mentions(Var::T) || rhs.mentions(Var::T)) {
+        return None;
+    }
+    Some(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+}
+
+// ---------------------------------------------------------------------------
+// Harvesting comparisons.
+// ---------------------------------------------------------------------------
+
+/// Every quorum-shaped comparison in the file's non-test code.
+fn quorum_comparisons(file: &SourceFile) -> Vec<QuorumCheck> {
+    let toks = &file.tokens;
+    let assert_ranges = assert_spans(toks);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !file.non_test[i] {
+            i += 1;
+            continue;
+        }
+        let Some((op_at, op)) = find_comparison(toks, i, toks.len()) else {
+            break;
+        };
+        let (op_len, _) = op_span(op);
+        i = op_at + op_len;
+        if !file.non_test[op_at] {
+            continue;
+        }
+        // Declaration asserts are bounds, not quorum checks.
+        if assert_ranges.iter().any(|&(s, e)| s <= op_at && op_at < e) {
+            continue;
+        }
+        let lhs_start = side_start(toks, op_at);
+        let rhs_end = side_end(toks, op_at + op_len);
+        let (Some(lhs), Some(rhs)) = (
+            parse_expr_slice(toks, lhs_start, op_at),
+            parse_expr_slice(toks, op_at + op_len, rhs_end),
+        ) else {
+            continue;
+        };
+        // Exactly one side may hold the count.
+        let (count, threshold, count_on_left) =
+            match (lhs.mentions(Var::Count), rhs.mentions(Var::Count)) {
+                (true, false) => (lhs, rhs, true),
+                (false, true) => (rhs, lhs, false),
+                _ => continue,
+            };
+        if threshold.mentions(Var::Count) {
+            continue;
+        }
+        // Quorum shape: the threshold speaks the fault model — it uses t,
+        // or it uses n non-trivially (division, or a scaled count side).
+        let shaped = threshold.mentions(Var::T)
+            || (threshold.mentions(Var::N) && (threshold.has_op('/') || count.has_op('*')));
+        if !shaped {
+            continue;
+        }
+        // Normalize to "count must reach threshold": a negative-polarity
+        // test (`count < thr` = not-yet-quorate) implies the same
+        // requirement with the complementary operator.
+        let op_towards_count = if count_on_left { op } else { mirror(op) };
+        let at_least = match op_towards_count {
+            ">=" | "<" => true,
+            ">" | "<=" => false,
+            _ => continue,
+        };
+        out.push(QuorumCheck {
+            line: toks[op_at].line,
+            at_least,
+            count,
+            threshold,
+        });
+    }
+    out
+}
+
+/// Token spans (start, end) of `assert!(...)` / `debug_assert!(...)`
+/// argument lists.
+fn assert_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        let is_assert = toks[i]
+            .ident()
+            .map(|n| n == "assert" || n == "debug_assert" || n == "assert_eq" || n == "assert_ne")
+            .unwrap_or(false)
+            && toks.get(i + 1).map(|t| t.is_punct('!')).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_punct('(')).unwrap_or(false);
+        if !is_assert {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((i + 2, j));
+    }
+    spans
+}
+
+/// The next comparison operator at or after `from`: `(index, op)`.
+/// Excludes arrows (`->`, `=>`), shifts, turbofish, and generic-looking
+/// positions the expression parser would reject anyway.
+fn find_comparison(toks: &[Token], from: usize, to: usize) -> Option<(usize, &'static str)> {
+    let mut i = from;
+    while i < to {
+        let c = match &toks[i].tok {
+            Tok::Punct(c @ ('<' | '>')) => *c,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.tok);
+        let next = toks.get(i + 1).map(|t| &t.tok);
+        let prev_punct = match prev {
+            Some(Tok::Punct(p)) => Some(*p),
+            _ => None,
+        };
+        // `->`, `=>`, `::<`, `<<`, `>>`.
+        if matches!(prev_punct, Some('-' | '=' | ':' | '<' | '>')) {
+            i += 1;
+            continue;
+        }
+        if matches!(next, Some(Tok::Punct(n)) if *n == c) {
+            i += 2;
+            continue;
+        }
+        let op: &'static str = match (c, next) {
+            ('<', Some(Tok::Punct('='))) => "<=",
+            ('>', Some(Tok::Punct('='))) => ">=",
+            ('<', _) => "<",
+            ('>', _) => ">",
+            _ => unreachable!(),
+        };
+        return Some((i, op));
+    }
+    None
+}
+
+/// `(token length, str)` of a comparison operator.
+fn op_span(op: &str) -> (usize, &str) {
+    (op.len(), op)
+}
+
+/// Mirrors a comparison operator across its operands.
+fn mirror(op: &'static str) -> &'static str {
+    match op {
+        "<" => ">",
+        ">" => "<",
+        "<=" => ">=",
+        ">=" => "<=",
+        _ => op,
+    }
+}
+
+/// Walks back from the operator to the start of its left operand:
+/// stops at statement/expression boundaries at bracket depth 0.
+fn side_start(toks: &[Token], op_at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = op_at;
+    while i > 0 {
+        let t = &toks[i - 1];
+        match &t.tok {
+            Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(c) if depth == 0 => {
+                if matches!(c, '{' | '}' | ';' | ',' | '=' | '&' | '|' | '<' | '>' | '!' | '?') {
+                    return i;
+                }
+            }
+            Tok::Ident(name) if depth == 0 => {
+                if matches!(
+                    name.as_str(),
+                    "if" | "while" | "return" | "match" | "let" | "in" | "else"
+                ) {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    i
+}
+
+/// Walks forward from just past the operator to the end of its right
+/// operand (exclusive), symmetric to [`side_start`].
+fn side_end(toks: &[Token], mut i: usize) -> usize {
+    let start = i;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(c) if depth == 0 => {
+                if matches!(c, '{' | '}' | ';' | ',' | '=' | '&' | '|' | '<' | '>' | '?') {
+                    return i;
+                }
+            }
+            Tok::Ident(name) if depth == 0 && i > start => {
+                if matches!(name.as_str(), "if" | "while" | "return" | "match" | "else") {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    end: usize,
+    /// The single unknown atom name bound to `Count` (a second distinct
+    /// unknown makes the expression opaque).
+    unknown: Option<String>,
+}
+
+/// Parses the token slice `[start, end)` as an arithmetic expression over
+/// n / t / one unknown count atom. `None` when opaque (two distinct
+/// unknowns, unsupported syntax, empty).
+fn parse_expr_slice(toks: &[Token], start: usize, end: usize) -> Option<Expr> {
+    if start >= end {
+        return None;
+    }
+    let mut p = Parser {
+        toks,
+        pos: start,
+        end,
+        unknown: None,
+    };
+    let e = p.expr()?;
+    if p.pos != p.end {
+        return None;
+    }
+    Some(e)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        if self.pos < self.end {
+            Some(&self.toks[self.pos].tok)
+        } else {
+            None
+        }
+    }
+
+    fn expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.term()?;
+        while let Some(Tok::Punct(op @ ('+' | '-'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Some(lhs)
+    }
+
+    fn term(&mut self) -> Option<Expr> {
+        let mut lhs = self.factor()?;
+        while let Some(Tok::Punct(op @ ('*' | '/' | '%'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Some(lhs)
+    }
+
+    fn factor(&mut self) -> Option<Expr> {
+        match self.peek()? {
+            Tok::Literal(_) => {
+                let v = self.toks[self.pos].int_value()?;
+                self.pos += 1;
+                // Numeric casts (`as u64`) are transparent.
+                self.skip_cast();
+                Some(Expr::Int(v))
+            }
+            Tok::Punct('(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if !matches!(self.peek(), Some(Tok::Punct(')'))) {
+                    return None;
+                }
+                self.pos += 1;
+                self.skip_cast();
+                Some(e)
+            }
+            Tok::Ident(_) => self.atom(),
+            _ => None,
+        }
+    }
+
+    /// One path/field/call atom: `self.votes.len()`, `ctx.n()`, `d[k]`,
+    /// `n`. Classified by its significant ident: `n` → N, `t` → T,
+    /// anything else → the single Count unknown.
+    fn atom(&mut self) -> Option<Expr> {
+        let mut name_parts: Vec<String> = Vec::new();
+        let mut significant = String::new();
+        while let Some(Tok::Ident(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            // An empty call `()` marks the previous ident as a getter;
+            // `n()`/`t()` still mean n/t, `.len()` is opaque.
+            if s != "self" {
+                significant = s.clone();
+            }
+            name_parts.push(s);
+            match self.peek() {
+                Some(Tok::Punct('.')) => self.pos += 1,
+                Some(Tok::Punct(':'))
+                    if matches!(
+                        self.toks.get(self.pos + 1).map(|t| &t.tok),
+                        Some(Tok::Punct(':'))
+                    ) =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+        if name_parts.is_empty() {
+            return None;
+        }
+        // Optional call arguments and/or subscript: fold into the atom.
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('(')) => {
+                    self.skip_bracketed('(', ')')?;
+                    // A call makes the ident a getter; keep `significant`.
+                    if let Some(Tok::Punct('.')) = self.peek() {
+                        // Chained `.a().b()`: the last segment wins.
+                        self.pos += 1;
+                        if let Some(Tok::Ident(s)) = self.peek() {
+                            significant = s.clone();
+                            name_parts.push(s.clone());
+                            self.pos += 1;
+                            continue;
+                        }
+                        return None;
+                    }
+                }
+                Some(Tok::Punct('[')) => {
+                    self.skip_bracketed('[', ']')?;
+                }
+                _ => break,
+            }
+        }
+        self.skip_cast();
+        let var = match significant.as_str() {
+            "n" => Var::N,
+            "t" => Var::T,
+            _ => {
+                let full = name_parts.join(".");
+                match &self.unknown {
+                    Some(u) if *u == full => Var::Count,
+                    Some(_) => return None, // second distinct unknown
+                    None => {
+                        self.unknown = Some(full);
+                        Var::Count
+                    }
+                }
+            }
+        };
+        Some(Expr::Var(var))
+    }
+
+    fn skip_bracketed(&mut self, open: char, close: char) -> Option<()> {
+        let mut depth = 0i32;
+        while self.pos < self.end {
+            match &self.toks[self.pos].tok {
+                Tok::Punct(c) if *c == open => depth += 1,
+                Tok::Punct(c) if *c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return Some(());
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    /// Skips `as <type>` casts (the grid works in mathematical integers).
+    fn skip_cast(&mut self) {
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "as") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(Tok::Ident(_))) {
+                self.pos += 1;
+            }
+        }
+    }
+}

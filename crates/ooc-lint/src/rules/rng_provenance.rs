@@ -1,0 +1,202 @@
+//! `determinism/rng-provenance` — every RNG must flow from a seed.
+//!
+//! The ambient-RNG rule bans OS entropy; this rule closes the remaining
+//! gap: a `SplitMix64` built inside deterministic code from *nothing* —
+//! a constant, a counter, an address — is replayable but not
+//! seed-controlled, so two campaigns with different master seeds would
+//! share its stream and "re-run the failing seed" would not reproduce
+//! the RNG-dependent schedule. Inside every non-test function of a
+//! deterministic file, each RNG construction
+//! (`SplitMix64::new` / `seed_from_u64` / `from_seed` / `derive`) must be
+//! fed from tainted data: a parameter (including `self`, hence any field
+//! of the state the seed was threaded into) or a local binding derived
+//! from one. Construction from fresh, seed-independent values is a
+//! finding. Test code is exempt — a constant seed in a test *is* the
+//! seed.
+
+use crate::lexer::Tok;
+use crate::parse::FnItem;
+use crate::report::Finding;
+use crate::rules::{LintContext, Rule};
+use crate::source::SourceFile;
+
+/// RNG type whose constructions are checked.
+const RNG_TYPE: &str = "SplitMix64";
+
+/// Constructor/derivation method names on [`RNG_TYPE`].
+const CONSTRUCTORS: &[&str] = &["new", "seed_from_u64", "from_seed", "derive"];
+
+/// See module docs.
+pub struct RngProvenance;
+
+impl Rule for RngProvenance {
+    fn id(&self) -> &'static str {
+        "determinism/rng-provenance"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every SplitMix64 in deterministic code must be constructed from a \
+         seed parameter/field (tainted data); fresh seed-independent \
+         construction is a finding"
+    }
+
+    fn scope(&self) -> &'static str {
+        "fn bodies in deterministic crates and listed modules"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
+            if !file.deterministic() || file.is_test_file {
+                continue;
+            }
+            for f in &file.items.fns {
+                if f.is_test || f.body.is_none() {
+                    continue;
+                }
+                ticks += check_fn(self.id(), file, f, out);
+            }
+        }
+        ticks
+    }
+}
+
+/// Checks one function body; returns tokens walked.
+fn check_fn(
+    rule: &'static str,
+    file: &SourceFile,
+    f: &FnItem,
+    out: &mut Vec<Finding>,
+) -> u64 {
+    let (open, close) = f.body.unwrap();
+    let toks = &file.tokens;
+    let mut ticks = 0u64;
+
+    // Taint: parameters (incl. `self`) seed the set; a `let` binding whose
+    // right-hand side mentions tainted data joins it. Iterate to a
+    // fixpoint so `let a = seed; let b = a;` taints `b` regardless of
+    // declaration order quirks.
+    let mut tainted: Vec<String> = f.params.clone();
+    loop {
+        let mut grew = false;
+        let mut i = open;
+        while i < close {
+            ticks += 1;
+            if toks[i].is_ident("let") {
+                // Binding names: idents between `let` and `=` (covers
+                // plain bindings and tuple/struct patterns), skipping the
+                // type ascription after `:`.
+                let mut names = Vec::new();
+                let mut j = i + 1;
+                let mut in_type = false;
+                while j < close && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                    if toks[j].is_punct(':') {
+                        in_type = true;
+                    } else if toks[j].is_punct(',') {
+                        in_type = false;
+                    } else if !in_type {
+                        if let Some(n) = toks[j].ident() {
+                            if n != "mut" && n != "ref" {
+                                names.push(n.to_string());
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if j < close && toks[j].is_punct('=') {
+                    // RHS: to the statement-terminating `;` at depth 0.
+                    let mut depth = 0i32;
+                    let mut k = j + 1;
+                    let mut rhs_tainted = false;
+                    while k < close {
+                        match &toks[k].tok {
+                            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                            Tok::Punct(';') if depth == 0 => break,
+                            Tok::Ident(n) if tainted.iter().any(|t| t == n) => {
+                                rhs_tainted = true;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if rhs_tainted {
+                        for n in names {
+                            if !tainted.contains(&n) {
+                                tainted.push(n);
+                                grew = true;
+                            }
+                        }
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Every RNG construction must take at least one tainted argument.
+    let mut i = open;
+    while i < close {
+        ticks += 1;
+        let is_ctor = toks[i].is_ident(RNG_TYPE)
+            && toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+            && toks
+                .get(i + 3)
+                .and_then(|t| t.ident())
+                .map(|n| CONSTRUCTORS.contains(&n))
+                .unwrap_or(false)
+            && toks.get(i + 4).map(|t| t.is_punct('(')).unwrap_or(false);
+        if !is_ctor {
+            i += 1;
+            continue;
+        }
+        // Walk the argument list.
+        let mut depth = 0i32;
+        let mut k = i + 4;
+        let mut arg_tainted = false;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(n) if tainted.iter().any(|t| t == n) => {
+                    arg_tainted = true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if !arg_tainted {
+            let line = toks[i].line;
+            out.push(Finding {
+                rule,
+                path: file.path.clone(),
+                line,
+                snippet: file.snippet(line),
+                message: format!(
+                    "`{}::{}` in `{}` takes no seed-derived argument: the \
+                     stream is independent of the run seed, so replaying \
+                     the seed cannot reproduce it; thread the seed (or a \
+                     SplitMix64 derived from it) into this construction",
+                    RNG_TYPE,
+                    toks[i + 3].ident().unwrap_or_default(),
+                    f.display_name(),
+                ),
+                witness: Vec::new(),
+                suppressed: None,
+            });
+        }
+        i = k.max(i + 1);
+    }
+    ticks
+}

@@ -1,0 +1,150 @@
+//! `determinism/transitive-reach` — banned APIs must not be reachable
+//! from deterministic code, even through other crates.
+//!
+//! The per-file rules (`determinism/wall-clock`, `determinism/ambient-rng`,
+//! `determinism/host-env`) stop a deterministic file from *containing* a
+//! banned call; this rule stops it from *reaching* one: a helper in a
+//! measurement crate that calls `Instant::now` and is then invoked from
+//! `Sim::run`, a `Template` handler, or the campaign sweep path would
+//! otherwise sail straight through. Every non-test function in a
+//! deterministic file is an entry point; every function in a
+//! non-deterministic file that directly touches a banned API is a sink
+//! (even when the touch itself carries a local allow — justifying a
+//! measurement inside `ooc-campaign` does not justify calling it from
+//! deterministic code). A finding is reported at the *boundary* call site
+//! — the first edge of the chain that leaves the determinism contract —
+//! so one allow at the boundary covers every sink behind it, and the
+//! minimal witness call chain is printed and serialized in `--json`.
+
+use crate::report::{Finding, WitnessStep};
+use crate::rules::{ambient_rng, host_env, scan_forbidden, wall_clock, LintContext, Rule};
+
+/// See module docs.
+pub struct TransitiveReach;
+
+impl Rule for TransitiveReach {
+    fn id(&self) -> &'static str {
+        "determinism/transitive-reach"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no wall-clock / ambient-RNG / host-env API may be transitively \
+         reachable from deterministic code through the call graph; findings \
+         carry the minimal witness call chain"
+    }
+
+    fn scope(&self) -> &'static str {
+        "call graph from deterministic entry points"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let ws = ctx.ws;
+        let g = &ctx.graph;
+        let mut ticks = 0u64;
+
+        // Sinks: fns in non-deterministic, non-test files that directly
+        // touch a banned API. (Direct touches in deterministic files are
+        // already findings of the per-file rules.)
+        let banned: Vec<&crate::rules::ForbiddenItem> = wall_clock::ITEMS
+            .iter()
+            .chain(ambient_rng::ITEMS.iter())
+            .chain(host_env::ITEMS.iter())
+            .collect();
+        let mut sink_hits: Vec<Option<(String, u32)>> = vec![None; g.nodes.len()];
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.deterministic() || file.is_test_file {
+                continue;
+            }
+            ticks += file.tokens.len() as u64;
+            for item in &banned {
+                for hit in scan_forbidden(file, std::slice::from_ref(*item)) {
+                    let Some(fn_item) = file.items.enclosing_fn(hit.idx) else {
+                        continue;
+                    };
+                    let Some(node) = g.node_id(fi, fn_item) else {
+                        continue;
+                    };
+                    if sink_hits[node].is_none() {
+                        sink_hits[node] = Some((hit.path.clone(), hit.line));
+                    }
+                }
+            }
+        }
+
+        // Entries: every non-test fn defined in a deterministic file.
+        let mut entries = Vec::new();
+        for (id, node) in g.nodes.iter().enumerate() {
+            let file = &ws.files[node.file];
+            if file.deterministic() && !file.is_test_file && !file.items.fns[node.item].is_test {
+                entries.push(id);
+            }
+        }
+
+        let reach = g.reach(&entries);
+        ticks += g.nodes.len() as u64;
+        ticks += g.calls.iter().map(|c| c.len() as u64).sum::<u64>();
+
+        for (sink, hit) in sink_hits.iter().enumerate() {
+            let Some((banned_path, hit_line)) = hit else {
+                continue;
+            };
+            if reach.dist[sink].is_none() {
+                continue;
+            }
+            let chain = g.chain_to(&reach, sink);
+            // The boundary: the first chain step whose file leaves the
+            // determinism contract. The finding lands on the call site in
+            // the last deterministic file, where the justification (or
+            // fix) belongs.
+            let Some(boundary) = chain
+                .iter()
+                .position(|&(n, _)| !ws.files[g.nodes[n].file].deterministic())
+            else {
+                continue;
+            };
+            if boundary == 0 {
+                // Cannot happen (entries are deterministic files), but
+                // never index below the chain start.
+                continue;
+            }
+            let caller = chain[boundary - 1].0;
+            let caller_file = &ws.files[g.nodes[caller].file];
+            let call_line = chain[boundary].1.unwrap_or(0);
+            let witness: Vec<WitnessStep> = chain
+                .iter()
+                .map(|&(n, line)| {
+                    let node = g.nodes[n];
+                    let f = &ws.files[node.file].items.fns[node.item];
+                    WitnessStep {
+                        func: f.display_name(),
+                        file: ws.files[node.file].path.clone(),
+                        line: line.unwrap_or(f.line),
+                    }
+                })
+                .collect();
+            let sink_file = &ws.files[g.nodes[sink].file];
+            out.push(Finding {
+                rule: self.id(),
+                path: caller_file.path.clone(),
+                line: call_line,
+                snippet: caller_file.snippet(call_line),
+                message: format!(
+                    "deterministic code reaches banned API `{}`: `{}` \
+                     ({}:{}) is {} call(s) away via `{}`; route the value \
+                     through the seed/simulated clock, or allow at this \
+                     boundary with the reason the host reading never \
+                     influences a deterministic output",
+                    banned_path,
+                    g.display(ws, sink),
+                    sink_file.path,
+                    hit_line,
+                    chain.len() - 1,
+                    g.display(ws, chain[boundary].0),
+                ),
+                witness,
+                suppressed: None,
+            });
+        }
+        ticks
+    }
+}

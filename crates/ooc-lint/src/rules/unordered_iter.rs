@@ -11,8 +11,7 @@
 //! exactly that.
 
 use crate::report::Finding;
-use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
-use crate::source::Workspace;
+use crate::rules::{scan_forbidden, ForbiddenItem, LintContext, Rule};
 
 const ITEMS: &[ForbiddenItem] = &[
     ForbiddenItem {
@@ -38,28 +37,36 @@ impl Rule for UnorderedIter {
          so iteration order is a function of the data, not of RandomState"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
+    fn scope(&self) -> &'static str {
+        "deterministic crates and listed modules"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
             if !file.deterministic() || file.is_test_file {
                 continue;
             }
-            for (line, path, item) in scan_forbidden(file, ITEMS) {
+            ticks += file.tokens.len() as u64;
+            for hit in scan_forbidden(file, ITEMS) {
                 out.push(Finding {
                     rule: self.id(),
                     path: file.path.clone(),
-                    line,
-                    snippet: file.snippet(line),
+                    line: hit.line,
+                    snippet: file.snippet(hit.line),
                     message: format!(
                         "`{}` ({}) has seed-independent iteration order; use \
                          BTree{} in deterministic crates, or allow with a \
                          reason proving the use is membership-only",
-                        item.base,
-                        path,
-                        &item.base[4..]
+                        hit.item.base,
+                        hit.path,
+                        &hit.item.base[4..]
                     ),
+                    witness: Vec::new(),
                     suppressed: None,
                 });
             }
         }
+        ticks
     }
 }

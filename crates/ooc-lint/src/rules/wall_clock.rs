@@ -7,10 +7,11 @@
 //! that reports *real* elapsed wall time carries explicit allows.
 
 use crate::report::Finding;
-use crate::rules::{scan_forbidden, ForbiddenItem, Rule};
-use crate::source::Workspace;
+use crate::rules::{scan_forbidden, ForbiddenItem, LintContext, Rule};
 
-const ITEMS: &[ForbiddenItem] = &[
+/// The wall-clock banned-API set (also consumed by
+/// `determinism/transitive-reach` as a sink set).
+pub const ITEMS: &[ForbiddenItem] = &[
     ForbiddenItem {
         base: "Instant",
         paths: &["std::time::Instant"],
@@ -38,26 +39,34 @@ impl Rule for WallClock {
          simulated time must come from ooc_simnet::SimTime"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
+    fn scope(&self) -> &'static str {
+        "every non-test file"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Finding>) -> u64 {
+        let mut ticks = 0u64;
+        for file in &ctx.ws.files {
             if file.is_test_file {
                 continue;
             }
-            for (line, path, item) in scan_forbidden(file, ITEMS) {
+            ticks += file.tokens.len() as u64;
+            for hit in scan_forbidden(file, ITEMS) {
                 out.push(Finding {
                     rule: self.id(),
                     path: file.path.clone(),
-                    line,
-                    snippet: file.snippet(line),
+                    line: hit.line,
+                    snippet: file.snippet(hit.line),
                     message: format!(
                         "wall-clock time source `{}` ({}) breaks seed-replayability; \
                          use ooc_simnet::SimTime, or justify with an \
                          ooc-lint::allow for measurement-only code",
-                        item.base, path
+                        hit.item.base, hit.path
                     ),
+                    witness: Vec::new(),
                     suppressed: None,
                 });
             }
         }
+        ticks
     }
 }

@@ -2,6 +2,7 @@
 //! to, and which tokens sit inside `#[cfg(test)]` items.
 
 use crate::lexer::{lex, LineComment, Tok, Token};
+use crate::parse::FileItems;
 use crate::resolve::UseMap;
 use crate::suppress::Allow;
 use std::fs;
@@ -59,6 +60,8 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// The file's `use` declarations.
     pub uses: UseMap,
+    /// Item-level structure (fns, structs, enums) parsed from the tokens.
+    pub items: FileItems,
     /// Whether the file lives under a `tests/` or `benches/` directory
     /// (integration tests and benchmarks, not shipped code).
     pub is_test_file: bool,
@@ -82,9 +85,11 @@ impl SourceFile {
             comments: lexed.comments,
             allows: Vec::new(),
             uses,
+            items: FileItems::default(),
             is_test_file,
         };
         file.allows = crate::suppress::parse_allows(&file);
+        file.items = crate::parse::parse_items(&file);
         file
     }
 

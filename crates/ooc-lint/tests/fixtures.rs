@@ -126,7 +126,7 @@ fn ambient_rng_negative_seeded() {
     let r = lint_one(
         "crates/ooc-simnet/src/r.rs",
         "ooc-simnet",
-        "fn f() -> u64 { let mut rng = SplitMix64::new(42); rng.next_u64() }\n",
+        "fn f(seed: u64) -> u64 { let mut rng = SplitMix64::new(seed); rng.next_u64() }\n",
     );
     assert_eq!(active_rules(&r), Vec::<&str>::new());
 }
@@ -380,6 +380,335 @@ fn checker_coverage_suppressed() {
         "hygiene/checker-coverage",
         "exercised indirectly via TwoAcVac",
     );
+}
+
+// ---------------------------------------------------------------------------
+// determinism/transitive-reach
+// ---------------------------------------------------------------------------
+
+/// A measurement-crate helper that touches the wall clock; calling it from
+/// deterministic code is a transitive-reach finding even though the direct
+/// touch lives outside the determinism contract.
+const CLOCKY_HELPER: (&str, &str, &str) = (
+    "crates/ooc-campaign/src/measure.rs",
+    "ooc-campaign",
+    "// ooc-lint::allow(determinism/wall-clock, \"duration reporting only\")\n\
+     pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+);
+
+#[test]
+fn transitive_reach_positive_with_witness_chain() {
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source(
+            "crates/ooc-simnet/src/sweep.rs",
+            "ooc-simnet",
+            "use ooc_campaign::stamp;\nfn run() { let _ = stamp(); }\n",
+        ),
+        SourceFile::from_source(CLOCKY_HELPER.0, CLOCKY_HELPER.1, CLOCKY_HELPER.2),
+    ]));
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active_rules(&r), vec!["determinism/transitive-reach"]);
+    let f = active[0];
+    // The finding lands at the boundary call site in the deterministic
+    // file, not at the Instant::now touch.
+    assert_eq!(f.path, "crates/ooc-simnet/src/sweep.rs");
+    assert_eq!(f.line, 2);
+    // Minimal witness: entry (the boundary caller) then the sink — no
+    // detour through other nodes.
+    let chain: Vec<&str> = f.witness.iter().map(|s| s.func.as_str()).collect();
+    assert_eq!(chain, vec!["run", "stamp"]);
+    assert_eq!(f.witness[1].file, "crates/ooc-campaign/src/measure.rs");
+    // And the chain survives into the machine-readable report.
+    assert!(r.render_json().contains("\"witness\": ["), "{}", r.render_json());
+}
+
+#[test]
+fn transitive_reach_negative_when_unreached() {
+    // The helper exists but deterministic code never calls it.
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source(
+            "crates/ooc-simnet/src/sweep.rs",
+            "ooc-simnet",
+            "fn run() -> u64 { 7 }\n",
+        ),
+        SourceFile::from_source(CLOCKY_HELPER.0, CLOCKY_HELPER.1, CLOCKY_HELPER.2),
+    ]));
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn transitive_reach_suppressed_at_the_boundary() {
+    let r = lint(&Workspace::from_files(vec![
+        SourceFile::from_source(
+            "crates/ooc-simnet/src/sweep.rs",
+            "ooc-simnet",
+            "use ooc_campaign::stamp;\n\
+             // ooc-lint::allow(determinism/transitive-reach, \"timing never feeds a schedule\")\n\
+             fn run() { let _ = stamp(); }\n",
+        ),
+        SourceFile::from_source(CLOCKY_HELPER.0, CLOCKY_HELPER.1, CLOCKY_HELPER.2),
+    ]));
+    assert_suppressed(
+        &r,
+        "determinism/transitive-reach",
+        "timing never feeds a schedule",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// determinism/rng-provenance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rng_provenance_positive_fresh_seed() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/g.rs",
+        "ooc-simnet",
+        "fn fresh() -> SplitMix64 { SplitMix64::new(0xDEAD_BEEF) }\n",
+    );
+    assert_eq!(active_rules(&r), vec!["determinism/rng-provenance"]);
+}
+
+#[test]
+fn rng_provenance_negative_seed_flows_through_locals() {
+    // Taint propagates through let bindings, so a seed reshaped before
+    // construction still counts as seed-derived.
+    let r = lint_one(
+        "crates/ooc-simnet/src/g.rs",
+        "ooc-simnet",
+        "fn derived(seed: u64, stream: u64) -> SplitMix64 {\n\
+         \x20   let mixed = seed ^ stream.wrapping_mul(0x9E37);\n\
+         \x20   let salted = mixed.rotate_left(17);\n\
+         \x20   SplitMix64::new(salted)\n\
+         }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn rng_provenance_exempts_tests_and_nondeterministic_crates() {
+    // A constant seed in a #[cfg(test)] item *is* the seed.
+    let r = lint_one(
+        "crates/ooc-simnet/src/g.rs",
+        "ooc-simnet",
+        "#[cfg(test)]\nmod tests {\n    fn fixed() -> SplitMix64 { SplitMix64::new(42) }\n}\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // Measurement tooling may pick seeds however it likes.
+    let r = lint_one(
+        "crates/ooc-campaign/src/pick.rs",
+        "ooc-campaign",
+        "fn fresh() -> SplitMix64 { SplitMix64::new(1) }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn rng_provenance_suppressed() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/g.rs",
+        "ooc-simnet",
+        "// ooc-lint::allow(determinism/rng-provenance, \"golden-stream vector, compared not replayed\")\n\
+         fn golden() -> SplitMix64 { SplitMix64::new(7) }\n",
+    );
+    assert_suppressed(
+        &r,
+        "determinism/rng-provenance",
+        "golden-stream vector, compared not replayed",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// protocol/effect-exhaustiveness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn effect_exhaustiveness_positive_unhandled_field() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/fx.rs",
+        "ooc-simnet",
+        "pub struct Effects { sends: Vec<u64>, timers: Vec<u64> }\n\
+         fn apply_effects(fx: &mut Effects) { for s in &fx.sends { let _ = s; } }\n",
+    );
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active_rules(&r), vec!["protocol/effect-exhaustiveness"]);
+    assert!(active[0].message.contains("timers"), "{}", active[0].message);
+}
+
+#[test]
+fn effect_exhaustiveness_positive_unhandled_constructed_variant() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/fx.rs",
+        "ooc-simnet",
+        "pub enum StorageOp { Persist, Forget }\n\
+         pub struct Effects { storage: Vec<StorageOp> }\n\
+         fn emit(fx: &mut Effects) { fx.storage.push(StorageOp::Forget); }\n\
+         fn apply_effects(fx: &mut Effects) {\n\
+         \x20   for op in &fx.storage { if let StorageOp::Persist = op {} }\n\
+         }\n",
+    );
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active_rules(&r), vec!["protocol/effect-exhaustiveness"]);
+    assert!(
+        active[0].message.contains("StorageOp::Forget"),
+        "{}",
+        active[0].message
+    );
+}
+
+#[test]
+fn effect_exhaustiveness_negative_all_handled() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/fx.rs",
+        "ooc-simnet",
+        "pub enum StorageOp { Persist, Forget }\n\
+         pub struct Effects { sends: Vec<u64>, storage: Vec<StorageOp> }\n\
+         fn emit(fx: &mut Effects) { fx.storage.push(StorageOp::Forget); }\n\
+         fn apply_effects(fx: &mut Effects) {\n\
+         \x20   for s in &fx.sends { let _ = s; }\n\
+         \x20   for op in &fx.storage {\n\
+         \x20       match op { StorageOp::Persist => {} StorageOp::Forget => {} }\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // An unconstructed variant needs no arm: Persist-only emission with a
+    // Persist-only applier is exhaustive for the program that exists.
+    let r = lint_one(
+        "crates/ooc-simnet/src/fx.rs",
+        "ooc-simnet",
+        "pub enum StorageOp { Persist, Forget }\n\
+         pub struct Effects { storage: Vec<StorageOp> }\n\
+         fn emit(fx: &mut Effects) { fx.storage.push(StorageOp::Persist); }\n\
+         fn apply_effects(fx: &mut Effects) {\n\
+         \x20   for op in &fx.storage { if let StorageOp::Persist = op {} }\n\
+         }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn effect_exhaustiveness_suppressed() {
+    let r = lint_one(
+        "crates/ooc-simnet/src/fx.rs",
+        "ooc-simnet",
+        "pub struct Effects {\n\
+         \x20   sends: Vec<u64>,\n\
+         \x20   // ooc-lint::allow(protocol/effect-exhaustiveness, \"drained by the typed engine in the next PR\")\n\
+         \x20   timers: Vec<u64>,\n\
+         }\n\
+         fn apply_effects(fx: &mut Effects) { for s in &fx.sends { let _ = s; } }\n",
+    );
+    assert_suppressed(
+        &r,
+        "protocol/effect-exhaustiveness",
+        "drained by the typed engine in the next PR",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// protocol/quorum-arithmetic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quorum_arith_positive_threshold_exceeds_bound() {
+    // A Queen-style threshold (needs 4t < n) under a Phase-King bound
+    // (3t < n): already at n=4, t=1 the 3 live processors cannot reach
+    // 2*cnt > n + 2t = 6.
+    let r = lint_one(
+        "crates/ooc-phase-king/src/q.rs",
+        "ooc-phase-king",
+        "impl Q {\n\
+         \x20   fn new(n: u64, t: u64) -> Self { assert!(3 * t < n); Q { n, t } }\n\
+         \x20   fn decide(&self, cnt: u64) -> bool { 2 * cnt > self.n + 2 * self.t }\n\
+         }\n",
+    );
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active_rules(&r), vec!["protocol/quorum-arithmetic"]);
+    assert_eq!(active[0].line, 3);
+    assert!(active[0].message.contains("n=4, t=1"), "{}", active[0].message);
+}
+
+#[test]
+fn quorum_arith_positive_missing_resilience_declaration() {
+    let r = lint_one(
+        "crates/ooc-ben-or/src/q.rs",
+        "ooc-ben-or",
+        "fn quorate(count: usize, n: usize, t: usize) -> bool { count >= n - t }\n",
+    );
+    let active: Vec<_> = r.active().collect();
+    assert_eq!(active_rules(&r), vec!["protocol/quorum-arithmetic"]);
+    assert!(
+        active[0].message.contains("no resilience bound"),
+        "{}",
+        active[0].message
+    );
+}
+
+#[test]
+fn quorum_arith_negative_thresholds_match_their_bounds() {
+    // n - t survivors meet an n - t threshold under 3t < n.
+    let r = lint_one(
+        "crates/ooc-phase-king/src/q.rs",
+        "ooc-phase-king",
+        "impl Q {\n\
+         \x20   fn new(n: u64, t: u64) -> Self { assert!(3 * t < n); Q { n, t } }\n\
+         \x20   fn strong(&self, cnt: u64) -> bool { cnt >= self.n - self.t }\n\
+         \x20   fn king(&self, d: &[u64], k: u64) -> bool { d[k as usize] > self.t }\n\
+         }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+    // A majority quorum under a comment-declared minority bound; index
+    // checks like `i < n` are not quorum-shaped and stay out of scope.
+    let r = lint_one(
+        "crates/ooc-raft/src/q.rs",
+        "ooc-raft",
+        "// ooc-lint::resilience(2 * t < n)\n\
+         fn elected(votes: usize, n: usize) -> bool { votes * 2 > n }\n\
+         fn in_range(i: usize, n: usize) -> bool { i < n }\n",
+    );
+    assert_eq!(active_rules(&r), Vec::<&str>::new());
+}
+
+#[test]
+fn quorum_arith_suppressed() {
+    let r = lint_one(
+        "crates/ooc-phase-king/src/q.rs",
+        "ooc-phase-king",
+        "impl Q {\n\
+         \x20   fn new(n: u64, t: u64) -> Self { assert!(3 * t < n); Q { n, t } }\n\
+         \x20   // ooc-lint::allow(protocol/quorum-arithmetic, \"deliberately sabotaged threshold for the adversary zoo\")\n\
+         \x20   fn decide(&self, cnt: u64) -> bool { 2 * cnt > self.n + 2 * self.t }\n\
+         }\n",
+    );
+    assert_suppressed(
+        &r,
+        "protocol/quorum-arithmetic",
+        "deliberately sabotaged threshold for the adversary zoo",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// the rule catalog is the registry, not a hand-maintained copy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rules_catalog_matches_registry() {
+    let infos = ooc_lint::rules::catalog();
+    let mut expected: Vec<&str> = ooc_lint::rules::all().iter().map(|r| r.id()).collect();
+    expected.push(ooc_lint::rules::SUPPRESSION_RULE);
+    let ids: Vec<&str> = infos.iter().map(|i| i.id).collect();
+    assert_eq!(ids, expected, "catalog rows must mirror the registry, in order");
+    for info in &infos {
+        assert!(!info.doc.is_empty(), "{} has no doc line", info.id);
+        assert!(!info.scope.is_empty(), "{} has no scope", info.id);
+        assert_eq!(info.severity, "deny");
+    }
+    // The machine-readable form carries every id.
+    let json = ooc_lint::rules::catalog_json();
+    for id in ids {
+        assert!(json.contains(id), "catalog json misses {id}:\n{json}");
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,11 @@
 //! everything after it. Terms play the role of template rounds; the
 //! randomized election timer is the reconciliator (Algorithm 11).
 
+// Raft tolerates a crash-stop minority: every quorum below is a strict
+// majority, so two quorums always intersect in a live node. Declared for
+// ooc-lint's quorum-arithmetic check (contrast 3t < n in ooc-phase-king).
+// ooc-lint::resilience(2 * t < n)
+
 use crate::durable;
 use crate::events::RaftEvent;
 use crate::message::{AckAppendEntries, AckRequestVote, AppendEntries, RaftMsg, RequestVote};
