@@ -34,6 +34,11 @@ pub struct BenOrConfig {
     /// Test-only sabotage: overrides the VAC commit threshold (the
     /// paper's rule is `t + 1`). See [`BenOrVac::with_commit_threshold`].
     pub commit_threshold: Option<usize>,
+    /// Bounds engine trace capture to a ring of the most recent events
+    /// (`None` = unbounded, keep everything). Campaign sweeps that never
+    /// read happy-path traces set a small capacity; a failure is then
+    /// replayed from its seed artifact with the default unbounded capture.
+    pub trace_capacity: Option<usize>,
 }
 
 impl BenOrConfig {
@@ -48,6 +53,7 @@ impl BenOrConfig {
             max_rounds: 10_000,
             run_limit: RunLimit::default(),
             commit_threshold: None,
+            trace_capacity: None,
         }
     }
 
@@ -81,6 +87,14 @@ impl BenOrConfig {
     /// Replaces the fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Bounds engine trace capture to a ring of the most recent
+    /// `capacity` events. Observability-only: stats, metrics and
+    /// decisions are byte-identical to an unbounded run.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -271,6 +285,9 @@ pub fn run_decomposed_gray(
     }
     if let Some(adv) = opts.state_adversary {
         builder = builder.state_adversary(adv);
+    }
+    if let Some(cap) = cfg.trace_capacity {
+        builder = builder.trace_capacity(cap);
     }
     let mut sim = builder.build();
     let outcome = sim.run(cfg.run_limit);

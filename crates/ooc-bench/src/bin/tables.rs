@@ -7,9 +7,9 @@
 //! ```
 //!
 //! `--bench-json PATH` writes the T11 observability metrics, the T12
-//! campaign-throughput totals and the T14 gray-failure degradation
-//! totals as one deterministic JSON document (running the tables first
-//! if they were not requested).
+//! campaign-throughput totals, the T14 gray-failure degradation totals
+//! and the T15 raw-engine throughput totals as one deterministic JSON
+//! document (running the tables first if they were not requested).
 
 use ooc_bench::tables;
 
@@ -34,6 +34,7 @@ fn main() {
     let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
         vec![
             "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t14",
+            "t15",
         ]
     } else {
         tables_args
@@ -41,6 +42,7 @@ fn main() {
     let mut t11_rows: Option<Vec<(String, u64)>> = None;
     let mut t12_rows: Option<Vec<(String, u64)>> = None;
     let mut t14_rows: Option<Vec<(String, u64)>> = None;
+    let mut t15_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -82,8 +84,11 @@ fn main() {
             "t14" => {
                 t14_rows = Some(tables::t14());
             }
+            "t15" => {
+                t15_rows = Some(tables::t15());
+            }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t12, t14, or all");
+                eprintln!("unknown table {other:?}; expected t1..t12, t14, t15, or all");
                 std::process::exit(2);
             }
         }
@@ -92,6 +97,7 @@ fn main() {
         let mut rows = t11_rows.unwrap_or_else(tables::t11);
         rows.extend(t12_rows.unwrap_or_else(tables::t12));
         rows.extend(t14_rows.unwrap_or_else(tables::t14));
+        rows.extend(t15_rows.unwrap_or_else(tables::t15));
         let doc = tables::bench_json(&rows);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

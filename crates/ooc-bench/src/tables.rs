@@ -1,4 +1,4 @@
-//! The T1–T12 experiment implementations.
+//! The T1–T15 experiment implementations.
 //!
 //! Each function runs one experiment sweep, prints the table, and returns
 //! the raw rows so tests can assert on the *shape* of the results (who
@@ -768,11 +768,129 @@ pub fn t14() -> Vec<(String, u64)> {
     rows
 }
 
-/// Serializes T11/T12/T14 rows as the `BENCH_ooc.json` document: a schema
-/// tag plus `{name, value}` metric records, in row order. Deterministic
-/// because the rows are.
+/// T15 — raw simnet throughput: events/sec of the timing-wheel engine on
+/// a message-flood workload (against the reference `BinaryHeap` scheduler
+/// run on the identical schedule), plus sweeps/sec over the T12 smoke
+/// grid.
+///
+/// Wall-clock events/sec and sweeps/sec are printed for the operator and
+/// deliberately kept **out** of the returned rows: only simulated,
+/// machine-independent totals feed `BENCH_ooc.json`, so the committed
+/// rows are byte-stable across hosts and runs. Both schedulers must
+/// produce identical totals — asserted in passing, the bench-level face
+/// of the engine's A/B equivalence contract.
+pub fn t15() -> Vec<(String, u64)> {
+    use ooc_campaign::{grid, run_all, Algorithm};
+    use ooc_simnet::{Context, Process, ProcessId, SchedulerKind, TimerId};
+
+    hr("T15  raw simnet throughput (events/sec + sweeps/sec)");
+
+    /// Message flood: every process broadcasts at start and rebroadcasts
+    /// on each delivery until it has handled `FLOOD_BUDGET` messages,
+    /// then decides. Pure engine hot path: no checkers, no histories.
+    #[derive(Debug, Default)]
+    struct Flood {
+        handled: u64,
+    }
+    const FLOOD_N: usize = 8;
+    const FLOOD_BUDGET: u64 = 300;
+    const FLOOD_SEEDS: u64 = 6;
+    impl Process for Flood {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.broadcast_others(0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _from: ProcessId, _msg: u64) {
+            self.handled += 1;
+            if self.handled < FLOOD_BUDGET {
+                ctx.broadcast_others(self.handled);
+            } else if self.handled == FLOOD_BUDGET {
+                ctx.decide(self.handled);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64, u64>, _t: TimerId) {}
+    }
+
+    let run_flood = |scheduler: SchedulerKind| -> (u64, u64, u64, f64) {
+        // ooc-lint::allow(determinism/wall-clock, "throughput measurement of the engine hot path")
+        let start = Instant::now();
+        let (mut events, mut messages, mut ticks) = (0u64, 0u64, 0u64);
+        for seed in 0..FLOOD_SEEDS {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(seed)
+                .scheduler(scheduler)
+                // Raw-speed configuration: the trace ring records nothing,
+                // the way a campaign happy path would run.
+                .trace_capacity(0)
+                .processes((0..FLOOD_N).map(|_| Flood::default()))
+                .build();
+            let out = sim.run(RunLimit::default());
+            assert!(out.all_decided(), "flood seed {seed} must decide");
+            events += out.stats.events_processed;
+            messages += out.stats.messages_sent;
+            ticks += out.stats.end_time.ticks();
+        }
+        (events, messages, ticks, start.elapsed().as_secs_f64().max(1e-9))
+    };
+
+    let (events, msgs, ticks, wheel_secs) = run_flood(SchedulerKind::TimingWheel);
+    let heap = run_flood(SchedulerKind::BinaryHeap);
+    // The A/B contract, asserted on real totals: the scheduler knob must
+    // be invisible in everything but wall time.
+    assert_eq!(
+        (events, msgs, ticks),
+        (heap.0, heap.1, heap.2),
+        "wheel and heap schedulers diverged on the flood workload"
+    );
+
+    println!(
+        "{:<14} {:>10} {:>14}",
+        "scheduler", "secs", "events/sec"
+    );
+    for (name, secs) in [("timing-wheel", wheel_secs), ("binary-heap", heap.3)] {
+        println!(
+            "{:<14} {:>10.3} {:>14.0}",
+            name,
+            secs,
+            events as f64 / secs
+        );
+    }
+
+    // Sweeps/sec over the T12 smoke grid: the full campaign pipeline
+    // (harness + checkers + bounded-ring traces) at the default worker
+    // count the CI throughput job uses.
+    const COMBOS: usize = 64;
+    let mut artifacts = grid(Algorithm::BenOr, COMBOS);
+    artifacts.truncate(COMBOS);
+    // ooc-lint::allow(determinism/wall-clock, "throughput measurement of the campaign sweep")
+    let start = Instant::now();
+    let outcomes = run_all(&artifacts, 4);
+    let sweep_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let sweep_events: u64 = outcomes.iter().map(|o| o.spent.events).sum();
+    println!(
+        "sweep: {:.1} sweeps/sec, {:.0} events/sec ({} combos in {:.3}s)",
+        COMBOS as f64 / sweep_secs,
+        sweep_events as f64 / sweep_secs,
+        COMBOS,
+        sweep_secs
+    );
+
+    vec![
+        ("t15/engine_seeds".into(), FLOOD_SEEDS),
+        ("t15/engine_events".into(), events),
+        ("t15/engine_messages".into(), msgs),
+        ("t15/engine_sim_ticks".into(), ticks),
+        ("t15/sweep_combos".into(), COMBOS as u64),
+        ("t15/sweep_events".into(), sweep_events),
+    ]
+}
+
+/// Serializes T11/T12/T14/T15 rows as the `BENCH_ooc.json` document: a
+/// schema tag plus `{name, value}` metric records, in row order.
+/// Deterministic because the rows are.
 pub fn bench_json(rows: &[(String, u64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"ooc-bench/v1\",\n  \"source\": \"tables t11 t12 t14\",\n  \"metrics\": [");
+    let mut out = String::from("{\n  \"schema\": \"ooc-bench/v1\",\n  \"source\": \"tables t11 t12 t14 t15\",\n  \"metrics\": [");
     for (i, (name, value)) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -834,7 +952,7 @@ mod tests {
         let b = t14();
         assert_eq!(a, b, "t14 must be bit-for-bit reproducible");
         let json = bench_json(&a);
-        assert!(json.contains("\"tables t11 t12 t14\""));
+        assert!(json.contains("\"tables t11 t12 t14 t15\""));
         assert!(json.contains("\"degradation/clean/oblivious/agreement_permille\""));
         let get = |name: &str| a.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
         // The acceptance criterion: the state-adaptive split-vote must
@@ -849,6 +967,25 @@ mod tests {
                 "{regime}: state-split-vote {state}‰ must degrade below oblivious {oblivious}‰"
             );
         }
+    }
+
+    #[test]
+    fn t15_rows_are_deterministic_and_machine_independent() {
+        // t15 internally asserts the wheel and heap schedulers agree on
+        // every simulated total; here we pin that the rows themselves are
+        // reproducible (so BENCH_ooc.json stays byte-stable) and carry no
+        // wall-clock values.
+        let a = t15();
+        let b = t15();
+        assert_eq!(a, b, "t15 must be bit-for-bit reproducible");
+        let json = bench_json(&a);
+        assert!(json.contains("\"t15/engine_events\""));
+        let get = |name: &str| a.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+        assert!(get("t15/engine_events") > 0);
+        assert!(get("t15/engine_messages") > 0);
+        assert!(get("t15/engine_sim_ticks") > 0);
+        assert_eq!(get("t15/sweep_combos"), 64);
+        assert!(get("t15/sweep_events") > 0);
     }
 
     #[test]

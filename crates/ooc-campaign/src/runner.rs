@@ -53,6 +53,12 @@ impl CampaignOutcome {
     }
 }
 
+/// Trace-ring capacity for campaign sweeps: happy paths keep only the
+/// most recent events (enough context to orient on a violation report);
+/// the full trace is recovered by replaying the seed artifact through
+/// the harness defaults, which capture unbounded.
+pub const CAMPAIGN_TRACE_CAPACITY: usize = 256;
+
 /// The budget an artifact implies: its own round/tick caps plus fixed
 /// event and wall-clock guards so no single execution can stall a sweep.
 pub fn artifact_budget(artifact: &FailureArtifact) -> RunBudget {
@@ -91,7 +97,13 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
             max_time: SimTime::from_ticks(artifact.max_ticks.max(1)),
             max_events: 5_000_000,
             ..RunLimit::default()
-        });
+        })
+        // Sweeps never read happy-path traces, so trace capture runs in a
+        // small ring; a failure replays from its seed artifact through the
+        // harness defaults (unbounded) to recover the full trace. The
+        // outcome numbers below are unaffected — the ring is
+        // observability-only.
+        .with_trace_capacity(CAMPAIGN_TRACE_CAPACITY);
     if let Some(th) = artifact.sabotage_commit_threshold {
         cfg = cfg.with_sabotaged_commit_threshold(th);
     }
@@ -222,7 +234,9 @@ fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
         ..RaftClusterConfig::new(artifact.n)
     }
     .with_network(network_of(artifact))
-    .with_faults(faults_to_plan(&artifact.faults));
+    .with_faults(faults_to_plan(&artifact.faults))
+    // Same ring-capture rationale as the Ben-Or path above.
+    .with_trace_capacity(CAMPAIGN_TRACE_CAPACITY);
     if let Some(policy) = artifact.storage_policy {
         cfg = cfg.with_storage(StorageFaultPlan::uniform(policy));
     }

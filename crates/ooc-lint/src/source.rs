@@ -30,12 +30,14 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// by the determinism contract. The parallel campaign executor promises
 /// byte-identical output for every `--jobs` value, which makes it
 /// deterministic code living in a measurement crate. The stable-storage
-/// model is listed explicitly too: it is already covered via
-/// [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but pinning the path keeps
-/// crash-recovery semantics in scope even if the crate list changes.
+/// model and the timing-wheel scheduler are listed explicitly too: both
+/// are already covered via [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but
+/// pinning the paths keeps crash-recovery semantics and the engine's
+/// `(at, seq)` pop order in scope even if the crate list changes.
 pub const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/ooc-campaign/src/degradation.rs",
     "crates/ooc-campaign/src/parallel.rs",
+    "crates/ooc-simnet/src/queue.rs",
     "crates/ooc-simnet/src/storage.rs",
 ];
 

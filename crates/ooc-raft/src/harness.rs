@@ -29,6 +29,10 @@ pub struct RaftClusterConfig {
     pub storage: StorageFaultPlan,
     /// Simulated-time budget.
     pub max_time: SimTime,
+    /// Bounds engine trace capture to a ring of the most recent events
+    /// (`None` = unbounded). Campaign sweeps set a small capacity since
+    /// they never read happy-path traces; failures replay unbounded.
+    pub trace_capacity: Option<usize>,
 }
 
 impl RaftClusterConfig {
@@ -41,6 +45,7 @@ impl RaftClusterConfig {
             faults: FaultPlan::default(),
             storage: StorageFaultPlan::default(),
             max_time: SimTime::from_ticks(1_000_000),
+            trace_capacity: None,
         }
     }
 
@@ -65,6 +70,14 @@ impl RaftClusterConfig {
     /// Replaces the storage-fault plan.
     pub fn with_storage(mut self, storage: StorageFaultPlan) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Bounds engine trace capture to a ring of the most recent
+    /// `capacity` events. Observability-only: stats, metrics and
+    /// decisions are byte-identical to an unbounded run.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -127,6 +140,9 @@ pub fn run_raft_with(
         .processes(inputs.iter().map(|&v| RaftNode::new(v, cfg.raft)));
     if let Some(adv) = adversary {
         builder = builder.adversary(adv);
+    }
+    if let Some(cap) = cfg.trace_capacity {
+        builder = builder.trace_capacity(cap);
     }
     let mut sim = builder.build();
     let limit = RunLimit {

@@ -66,6 +66,7 @@ pub mod time;
 pub mod trace;
 
 mod id;
+mod queue;
 
 pub use adversary::{Adversary, Decision, FnAdversary, NetworkAdversary, SwitchAfter};
 pub use byzantine::{ByzantineNode, SyncStrategy};
@@ -75,7 +76,9 @@ pub use metrics::{CounterId, HistogramId, MetricsRegistry, TickHistogram};
 pub use network::{DelayModel, FlappingPartition, LinkOverride, NetworkConfig, PartitionWindow};
 pub use process::{Context, Process, ProtocolObservation};
 pub use rng::SplitMix64;
-pub use sim::{RunLimit, RunOutcome, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT};
+pub use sim::{
+    RunLimit, RunOutcome, SchedulerKind, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT,
+};
 pub use state_adversary::{
     QuorumStarveAdversary, StateAdversary, StateView, VoteSplitStateAdversary,
 };
@@ -86,4 +89,4 @@ pub use time::{ClockModel, SimDuration, SimTime};
 pub use trace::analyze::{
     analyze, decision_critical_path, CriticalHop, ProcessTimeline, TraceAnalysis, WindowRow,
 };
-pub use trace::{DropReason, Trace, TraceEvent, TraceLevel};
+pub use trace::{DropReason, Trace, TraceEvent, TraceLevel, TraceRing};

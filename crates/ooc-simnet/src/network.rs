@@ -72,7 +72,7 @@ impl DelayModel {
                 let mean = mean.max(1) as f64;
                 // Inverse-CDF sampling; `u` is kept away from 0 to avoid inf.
                 let u = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
-                ((-u.ln() * mean).round() as u64).max(1)
+                ticks_from_f64((-u.ln() * mean).round()).max(1)
             }
             DelayModel::HeavyTailed {
                 floor,
@@ -86,14 +86,32 @@ impl DelayModel {
                 // x = floor · u^(-1/α), clamped into [lo, hi].
                 let u = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
                 let x = (lo as f64 * u.powf(-1.0 / alpha)).round();
-                if x.is_finite() {
-                    (x as u64).clamp(lo, hi)
-                } else {
-                    hi
-                }
+                // An infinite tail sample saturates to u64::MAX and the
+                // clamp lands it on the cap.
+                ticks_from_f64(x).clamp(lo, hi)
             }
         };
         SimDuration::from_ticks(ticks)
+    }
+}
+
+/// Converts a sampled delay from `f64` to ticks with *explicit*
+/// saturation: NaN and non-positive values go to 0, values at or beyond
+/// `u64::MAX` go to `u64::MAX`.
+///
+/// The delay hot path used to lean on the implicit saturation of a bare
+/// `as u64` cast; extreme-but-valid parameters (`mean = u64::MAX`, a
+/// near-zero `alpha_milli` tail) all funnel through this helper now, so
+/// the boundary behaviour is spelled out and pinned by tests instead of
+/// inherited from cast semantics. Every caller still applies its own
+/// ≥ 1-tick causality floor after this conversion.
+fn ticks_from_f64(x: f64) -> u64 {
+    if x.is_nan() || x <= 0.0 {
+        0
+    } else if x >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        x as u64
     }
 }
 
@@ -484,6 +502,69 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(m.sample(&mut rng), SimDuration::from_ticks(1));
         }
+    }
+
+    #[test]
+    fn ticks_from_f64_saturates_at_the_boundaries() {
+        // The explicit contract the delay hot path now carries instead of
+        // implicit float-to-int cast semantics.
+        assert_eq!(ticks_from_f64(f64::NAN), 0);
+        assert_eq!(ticks_from_f64(-1.0), 0);
+        assert_eq!(ticks_from_f64(0.0), 0);
+        assert_eq!(ticks_from_f64(1.5), 1);
+        assert_eq!(ticks_from_f64((1u64 << 53) as f64), 1u64 << 53);
+        assert_eq!(ticks_from_f64(u64::MAX as f64), u64::MAX);
+        assert_eq!(ticks_from_f64(1e300), u64::MAX);
+        assert_eq!(ticks_from_f64(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn extreme_delay_parameters_saturate_instead_of_wrapping() {
+        // Regression for the unchecked-cast sweep: extreme-but-valid
+        // parameters (maximal means, floors, caps and tail indices) must
+        // saturate at u64::MAX, never wrap past the ≥ 1-tick causality
+        // floor into a same-instant delivery.
+        let mut rng = SplitMix64::new(5);
+        let extremes = [
+            DelayModel::Fixed(u64::MAX),
+            DelayModel::Uniform {
+                min: u64::MAX,
+                max: u64::MAX,
+            },
+            DelayModel::Uniform {
+                min: 0,
+                max: u64::MAX,
+            },
+            DelayModel::Exponential { mean: u64::MAX },
+            DelayModel::HeavyTailed {
+                floor: u64::MAX,
+                alpha_milli: 100,
+                cap: u64::MAX,
+            },
+            DelayModel::HeavyTailed {
+                floor: 1,
+                alpha_milli: 100,
+                cap: u64::MAX,
+            },
+            DelayModel::HeavyTailed {
+                floor: u64::MAX,
+                alpha_milli: u64::MAX,
+                cap: 0,
+            },
+        ];
+        for m in extremes {
+            for _ in 0..500 {
+                let d = m.sample(&mut rng).ticks();
+                assert!(d >= 1, "{m:?} sampled a sub-causal delay {d}");
+            }
+        }
+        // The α → 0.1 tail at a maximal floor saturates exactly at the cap.
+        let m = DelayModel::HeavyTailed {
+            floor: u64::MAX,
+            alpha_milli: 100,
+            cap: u64::MAX,
+        };
+        assert_eq!(m.sample(&mut rng).ticks(), u64::MAX);
     }
 
     #[test]

@@ -81,11 +81,58 @@ pub struct ProtocolObservation {
     pub decided: Option<bool>,
 }
 
+/// A message payload as buffered by the engine: either owned outright
+/// (unicast and self-sends pay zero overhead) or interned behind an
+/// `Arc` so an n-recipient broadcast stores one allocation instead of
+/// n deep clones.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload<M> {
+    /// A payload with a single recipient.
+    Owned(M),
+    /// A broadcast payload shared by several in-flight copies.
+    Shared(std::sync::Arc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Whether broadcasts of `M` should intern behind an `Arc`.
+    ///
+    /// Interning trades one allocation plus refcount traffic for n−1
+    /// deep clones, which only pays off when a clone is itself
+    /// expensive: the message owns heap resources (`needs_drop` — a
+    /// `String`, a `Vec` of log entries) or is simply large. Small
+    /// plain-old-data payloads copy faster than they refcount, so they
+    /// stay owned. Both operands are compile-time constants, so the
+    /// branch folds away per message type.
+    pub(crate) fn intern_broadcasts() -> bool {
+        std::mem::needs_drop::<M>() || std::mem::size_of::<M>() > 64
+    }
+
+    /// Borrows the message, e.g. for adversary routing or trace capture.
+    pub(crate) fn as_msg(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+
+    /// Extracts the message for handler delivery, cloning only while
+    /// other in-flight copies still share the allocation — the last
+    /// recipient unwraps the `Arc` for free.
+    pub(crate) fn into_msg(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(a) => {
+                std::sync::Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())
+            }
+        }
+    }
+}
+
 /// An outgoing message collected during a handler invocation.
 #[derive(Debug, Clone)]
 pub(crate) struct Outgoing<M> {
     pub to: ProcessId,
-    pub msg: M,
+    pub msg: Payload<M>,
 }
 
 /// A buffered storage operation, applied by the engine after the handler
@@ -185,28 +232,59 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
     /// Sends `msg` to `to`. Self-sends are permitted and are always
     /// delivered (never dropped or partitioned away).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.effects.outbox.push(Outgoing { to, msg });
+        self.effects.outbox.push(Outgoing {
+            to,
+            msg: Payload::Owned(msg),
+        });
     }
 
     /// Sends `msg` to every process **including this one**, matching the
     /// paper's `broadcast⟨v⟩` which lets senders count their own message.
+    ///
+    /// Clone-expensive payloads are interned: all `n` in-flight copies
+    /// share one allocation instead of deep-cloning the message per
+    /// recipient. Small plain-old-data messages are copied outright —
+    /// see [`Payload::intern_broadcasts`].
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.n {
-            self.effects.outbox.push(Outgoing {
-                to: ProcessId(i),
-                msg: msg.clone(),
-            });
+        if Payload::<M>::intern_broadcasts() {
+            let shared = std::sync::Arc::new(msg);
+            for i in 0..self.n {
+                self.effects.outbox.push(Outgoing {
+                    to: ProcessId(i),
+                    msg: Payload::Shared(std::sync::Arc::clone(&shared)),
+                });
+            }
+        } else {
+            for i in 0..self.n {
+                self.effects.outbox.push(Outgoing {
+                    to: ProcessId(i),
+                    msg: Payload::Owned(msg.clone()),
+                });
+            }
         }
     }
 
-    /// Sends `msg` to every *other* process.
+    /// Sends `msg` to every *other* process. Interned like
+    /// [`broadcast`](Context::broadcast).
     pub fn broadcast_others(&mut self, msg: M) {
-        for i in 0..self.n {
-            if i != self.me.index() {
-                self.effects.outbox.push(Outgoing {
-                    to: ProcessId(i),
-                    msg: msg.clone(),
-                });
+        if Payload::<M>::intern_broadcasts() {
+            let shared = std::sync::Arc::new(msg);
+            for i in 0..self.n {
+                if i != self.me.index() {
+                    self.effects.outbox.push(Outgoing {
+                        to: ProcessId(i),
+                        msg: Payload::Shared(std::sync::Arc::clone(&shared)),
+                    });
+                }
+            }
+        } else {
+            for i in 0..self.n {
+                if i != self.me.index() {
+                    self.effects.outbox.push(Outgoing {
+                        to: ProcessId(i),
+                        msg: Payload::Owned(msg.clone()),
+                    });
+                }
             }
         }
     }
@@ -284,6 +362,10 @@ mod tests {
     use crate::storage::StoragePolicy;
 
     fn ctx_fixture() -> (SplitMix64, u64, BTreeSet<TimerId>, StableStore, Effects<u32, u32>) {
+        ctx_fixture2::<u32>()
+    }
+
+    fn ctx_fixture2<M>() -> (SplitMix64, u64, BTreeSet<TimerId>, StableStore, Effects<M, u32>) {
         (
             SplitMix64::new(1),
             0,
@@ -309,6 +391,49 @@ mod tests {
         ctx.broadcast_others(7);
         let tos: Vec<_> = fx.outbox.iter().map(|o| o.to.index()).collect();
         assert_eq!(tos, vec![0, 2]);
+    }
+
+    #[test]
+    fn broadcast_interns_one_allocation_for_clone_expensive_payloads() {
+        // String owns heap memory (needs_drop), so broadcasting it must
+        // intern: all three in-flight copies share one allocation.
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture2::<String>();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
+        ctx.broadcast("seven".to_string());
+        match &fx.outbox[0].msg {
+            Payload::Shared(a) => assert_eq!(std::sync::Arc::strong_count(a), 3),
+            Payload::Owned(_) => panic!("broadcast must intern a heap-owning payload"),
+        }
+        let seen: Vec<String> = fx.outbox.iter().map(|o| o.msg.as_msg().clone()).collect();
+        assert_eq!(seen, vec!["seven", "seven", "seven"]);
+        // Extraction yields the same message for every recipient (the
+        // last one unwraps the Arc instead of cloning).
+        let msgs: Vec<String> = fx.outbox.drain(..).map(|o| o.msg.into_msg()).collect();
+        assert_eq!(msgs, vec!["seven", "seven", "seven"]);
+    }
+
+    #[test]
+    fn broadcast_copies_small_plain_payloads() {
+        // A u32 copies faster than it refcounts, so the intern gate must
+        // leave it owned — no Arc allocation on the broadcast path.
+        assert!(!Payload::<u32>::intern_broadcasts());
+        assert!(Payload::<String>::intern_broadcasts());
+        assert!(Payload::<[u64; 16]>::intern_broadcasts()); // large POD
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(1), 3, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
+        ctx.broadcast(7);
+        for o in &fx.outbox {
+            assert!(matches!(o.msg, Payload::Owned(7)));
+        }
+        assert_eq!(fx.outbox.len(), 3);
+    }
+
+    #[test]
+    fn unicast_stays_owned() {
+        let (mut rng, mut nt, live, store, mut fx) = ctx_fixture();
+        let mut ctx = Context::new(ProcessId(0), 2, SimTime::ZERO, &mut rng, &mut nt, &live, &store, &mut fx);
+        ctx.send(ProcessId(1), 9);
+        assert!(matches!(fx.outbox[0].msg, Payload::Owned(9)));
     }
 
     #[test]

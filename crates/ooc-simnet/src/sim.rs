@@ -4,13 +4,14 @@ use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
 use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
 use crate::network::NetworkConfig;
-use crate::process::{Effects, Process, ProtocolObservation, StorageOp};
+use crate::process::{Effects, Payload, Process, ProtocolObservation, StorageOp};
+use crate::queue::TimingWheel;
 use crate::rng::SplitMix64;
 use crate::state_adversary::{StateAdversary, StateView};
 use crate::stats::RunStats;
 use crate::storage::{StableStore, StorageFaultPlan};
 use crate::time::{ClockModel, SimDuration, SimTime};
-use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel};
+use crate::trace::{DropReason, Trace, TraceEvent, TraceLevel, TraceRing};
 use crate::{ProcessId, TimerId};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -56,7 +57,9 @@ enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        /// Interned payload: broadcast fan-out shares one allocation
+        /// across all in-flight copies (see [`Payload`]).
+        msg: Payload<M>,
         /// Whether this is the extra copy of a duplicated message (the
         /// second copy is tallied separately so `delivered / sent`
         /// stays a true ratio).
@@ -96,6 +99,69 @@ impl<M> Ord for Scheduled<M> {
     // Reversed so the BinaryHeap pops the *earliest* event first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Which event-queue implementation drives the engine.
+///
+/// Both produce the exact same `(at, seq)` pop order, and therefore
+/// byte-identical runs; the heap is retained as the reference
+/// implementation for A/B equivalence testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Bucketed timing wheel with a sorted overflow level (default):
+    /// O(1) push/pop for the near-future ticks that dominate real runs.
+    #[default]
+    TimingWheel,
+    /// Reference `BinaryHeap` priority queue: O(log n) push/pop.
+    BinaryHeap,
+}
+
+/// The engine's pending-event queue, behind the [`SchedulerKind`] knob.
+enum EventQueue<M> {
+    Heap(BinaryHeap<Scheduled<M>>),
+    Wheel(TimingWheel<EventKind<M>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::TimingWheel => EventQueue::Wheel(TimingWheel::new()),
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
+    }
+
+    fn push(&mut self, ev: Scheduled<M>) {
+        match self {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Wheel(w) => w.push(ev.at.ticks(), ev.seq, ev.kind),
+        }
+    }
+
+    /// The timestamp of the earliest pending event, without popping it.
+    fn next_time(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|ev| ev.at),
+            EventQueue::Wheel(w) => w.next_time().map(SimTime::from_ticks),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<M>> {
+        match self {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Wheel(w) => w.pop().map(|(at, seq, kind)| Scheduled {
+                at: SimTime::from_ticks(at),
+                seq,
+                kind,
+            }),
+        }
     }
 }
 
@@ -232,7 +298,9 @@ pub struct SimBuilder<P: Process> {
     clocks: ClockModel,
     seed: u64,
     trace_level: TraceLevel,
+    trace_capacity: Option<usize>,
     queue_depth_every: u64,
+    scheduler: SchedulerKind,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -293,8 +361,34 @@ impl<P: Process> SimBuilder<P> {
         self
     }
 
+    /// Bounds trace capture to a ring of the most recent `capacity`
+    /// events (default: unbounded, keep everything).
+    ///
+    /// A bounded ring makes trace cost independent of run length: pushes
+    /// recycle ring slots and the [`RunOutcome`] materializes O(capacity)
+    /// events instead of the whole history. Campaign happy paths that
+    /// never read their traces run with a small capacity; a failure is
+    /// then replayed from its seed artifact with unbounded capture to
+    /// recover the full trace. Capacity `0` records nothing at all.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Selects the event-queue implementation (default:
+    /// [`SchedulerKind::TimingWheel`]).
+    ///
+    /// Both schedulers pop events in the identical `(at, seq)` order, so
+    /// runs are byte-identical either way; the heap exists as the
+    /// reference implementation for A/B equivalence checks.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
     /// Sets the sampling stride of the `queue_depth` histogram: the
-    /// scheduler queue depth is recorded on every `every`-th pop.
+    /// scheduler queue depth — including the event about to be popped —
+    /// is recorded on every `every`-th pop.
     ///
     /// Default is [`QUEUE_DEPTH_SAMPLE_DEFAULT`] (64) so ordinary runs
     /// don't pay a histogram insert per event; `1` restores exhaustive
@@ -350,7 +444,7 @@ impl<P: Process> SimBuilder<P> {
                 .collect(),
             rngs,
             route_rng,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(self.scheduler),
             seq: 0,
             now: SimTime::ZERO,
             started: false,
@@ -359,6 +453,9 @@ impl<P: Process> SimBuilder<P> {
             decisions: Arc::new(vec![None; n]),
             decision_times: Arc::new(vec![None; n]),
             decided_flags: vec![false; n],
+            decided_count: 0,
+            crashed_count: 0,
+            live_undecided_count: n,
             observations: vec![ProtocolObservation::default(); n],
             events_handled: vec![0; n],
             crash_thresholds,
@@ -369,7 +466,7 @@ impl<P: Process> SimBuilder<P> {
             next_timer: 0,
             fifo_horizon: BTreeMap::new(),
             stats: RunStats::default(),
-            trace: Trace::new(self.trace_level),
+            trace: TraceRing::new(self.trace_level, self.trace_capacity),
             metrics,
             metric_ids,
             pops: 0,
@@ -459,7 +556,7 @@ pub struct Sim<P: Process> {
     sync_latency: Vec<u64>,
     rngs: Vec<SplitMix64>,
     route_rng: SplitMix64,
-    queue: BinaryHeap<Scheduled<P::Msg>>,
+    queue: EventQueue<P::Msg>,
     seq: u64,
     now: SimTime,
     started: bool,
@@ -472,6 +569,16 @@ pub struct Sim<P: Process> {
     /// Plain per-process decided flags, kept in lockstep with `decisions`
     /// so state adversaries can borrow them without touching the `Arc`.
     decided_flags: Vec<bool>,
+    /// Incremental mirrors of the decision/liveness scans, so the
+    /// per-event stop check is O(1) instead of O(n). Kept in lockstep
+    /// by `apply_effects`, `crash` and `restart`; cross-checked against
+    /// the full scans in debug builds.
+    decided_count: usize,
+    crashed_count: usize,
+    /// Processes that are live (neither crashed nor halted) and still
+    /// undecided — the `stop_when_all_decide` condition is this hitting
+    /// zero while anybody is live.
+    live_undecided_count: usize,
     /// Per-process [`Process::observe`] snapshots, refreshed before each
     /// state-adversary routing batch.
     observations: Vec<ProtocolObservation>,
@@ -486,7 +593,7 @@ pub struct Sim<P: Process> {
     next_timer: u64,
     fifo_horizon: BTreeMap<(ProcessId, ProcessId), SimTime>,
     stats: RunStats,
-    trace: Trace,
+    trace: TraceRing,
     metrics: MetricsRegistry,
     metric_ids: EngineMetrics,
     /// Total pops across all `run` calls; drives queue-depth sampling.
@@ -511,7 +618,9 @@ impl<P: Process> Sim<P> {
             clocks: ClockModel::nominal(),
             seed: 0,
             trace_level: TraceLevel::Events,
+            trace_capacity: None,
             queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -589,19 +698,27 @@ impl<P: Process> Sim<P> {
             if events_this_run >= limit.max_events {
                 break StopReason::EventLimit;
             }
-            let Some(ev) = self.queue.pop() else {
+            // Peek before popping: an event beyond the time bound stays
+            // queued (and `self.now` untouched) for a potential later
+            // resume with a larger bound. The old pop-then-re-push shape
+            // would also break the timing wheel's bucket FIFO invariant,
+            // which assumes seqs within a bucket only ever grow.
+            let Some(next_at) = self.queue.next_time() else {
                 break StopReason::Quiescent;
             };
-            if ev.at > limit.max_time {
-                // Put it back for a potential later resume with a larger bound.
-                self.queue.push(ev);
+            if next_at > limit.max_time {
                 break StopReason::TimeLimit;
             }
             self.pops += 1;
             if self.queue_depth_every != 0 && self.pops.is_multiple_of(self.queue_depth_every) {
+                // Depth *including* the event about to be popped, as the
+                // builder knob documents (it used to sample after the pop,
+                // under-reporting every observation by one).
                 self.metrics
                     .observe_by_id(self.metric_ids.queue_depth, self.queue.len() as u64);
             }
+            // ooc-lint::allow(protocol/panic, "next_time() just returned Some, so the queue is non-empty and the pop cannot fail")
+            let ev = self.queue.pop().expect("peeked event must pop");
             self.now = ev.at;
             events_this_run += 1;
             match ev.kind {
@@ -619,31 +736,37 @@ impl<P: Process> Sim<P> {
             decision_times: Arc::clone(&self.decision_times),
             stats: self.stats,
             reason,
-            trace: self.trace.clone(),
+            trace: self.trace.to_trace(),
             metrics: self.metrics.clone(),
         }
     }
 
     fn stop_reason(&self, limit: &RunLimit) -> Option<StopReason> {
-        let decided = self.decisions.iter().flatten().count();
+        // The counters mirror the scans this function used to run per
+        // event; keep the scans as debug cross-checks.
+        debug_assert_eq!(self.decided_count, self.decisions.iter().flatten().count());
+        debug_assert_eq!(self.crashed_count, self.crashed.iter().filter(|&&c| c).count());
+        debug_assert_eq!(
+            self.live_undecided_count,
+            (0..self.processes.len())
+                .filter(|&i| !self.crashed[i] && !self.halted[i] && self.decisions[i].is_none())
+                .count()
+        );
         if let Some(k) = limit.stop_after_decisions {
-            if decided >= k {
+            if self.decided_count >= k {
                 return Some(StopReason::DecisionTarget);
             }
         }
         if limit.stop_when_all_decide {
-            let live_undecided = (0..self.processes.len()).any(|i| {
-                !self.crashed[i] && !self.halted[i] && self.decisions[i].is_none()
-            });
-            let any_live = (0..self.processes.len()).any(|i| !self.crashed[i]);
-            if any_live && !live_undecided && decided > 0 {
+            let any_live = self.crashed_count < self.processes.len();
+            if any_live && self.live_undecided_count == 0 && self.decided_count > 0 {
                 return Some(StopReason::AllDecided);
             }
         }
         None
     }
 
-    fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg, dup: bool) {
+    fn deliver(&mut self, from: ProcessId, to: ProcessId, msg: Payload<P::Msg>, dup: bool) {
         if self.crashed[to.index()] {
             self.stats.messages_dropped += 1;
             self.metrics
@@ -686,7 +809,7 @@ impl<P: Process> Sim<P> {
                 at: self.now,
                 from,
                 to,
-                payload: Some(format!("{:?}", msg)),
+                payload: Some(format!("{:?}", msg.as_msg())),
             });
         } else {
             self.trace.push(TraceEvent::Deliver {
@@ -696,7 +819,9 @@ impl<P: Process> Sim<P> {
                 payload: None,
             });
         }
-        self.invoke(to, Invocation::Message { from, msg });
+        // Last in-flight copy of a broadcast unwraps its Arc for free;
+        // earlier copies clone the message exactly as the heap loop did.
+        self.invoke(to, Invocation::Message { from, msg: msg.into_msg() });
     }
 
     fn fire_timer(&mut self, process: ProcessId, id: TimerId) {
@@ -720,6 +845,10 @@ impl<P: Process> Sim<P> {
             return;
         }
         self.crashed[process.index()] = true;
+        self.crashed_count += 1;
+        if !self.halted[process.index()] && !self.decided_flags[process.index()] {
+            self.live_undecided_count -= 1;
+        }
         self.live_timers[process.index()].clear();
         self.stats.crashes += 1;
         self.metrics.incr_by_id(self.metric_ids.crashes, 1);
@@ -746,6 +875,10 @@ impl<P: Process> Sim<P> {
             return;
         }
         self.crashed[process.index()] = false;
+        self.crashed_count -= 1;
+        if !self.halted[process.index()] && !self.decided_flags[process.index()] {
+            self.live_undecided_count += 1;
+        }
         self.stats.restarts += 1;
         self.metrics.incr_by_id(self.metric_ids.restarts, 1);
         self.trace.push(TraceEvent::Restart {
@@ -916,7 +1049,7 @@ impl<P: Process> Sim<P> {
             // Sends are part of the trace contract at every recording
             // level; only the payload string is Full-level extra.
             let payload = if self.trace.level() == TraceLevel::Full {
-                Some(format!("{:?}", out.msg))
+                Some(format!("{:?}", out.msg.as_msg()))
             } else {
                 None
             };
@@ -943,7 +1076,7 @@ impl<P: Process> Sim<P> {
                 );
                 continue;
             }
-            match self.route_decision(pid, out.to, &out.msg) {
+            match self.route_decision(pid, out.to, out.msg.as_msg()) {
                 Decision::Drop => {
                     self.stats.messages_dropped += 1;
                     self.metrics.incr_by_id(self.metric_ids.dropped_adversary, 1);
@@ -987,7 +1120,7 @@ impl<P: Process> Sim<P> {
                         }
                         self.fifo_horizon.insert(key, at);
                     }
-                    let dup = self.route_duplicate(pid, out.to, &out.msg);
+                    let dup = self.route_duplicate(pid, out.to, out.msg.as_msg());
                     if dup {
                         self.stats.messages_duplicated += 1;
                         self.metrics.incr_by_id(self.metric_ids.messages_duplicated, 1);
@@ -1033,6 +1166,10 @@ impl<P: Process> Sim<P> {
                 Arc::make_mut(&mut self.decisions)[i] = Some(value);
                 Arc::make_mut(&mut self.decision_times)[i] = Some(self.now);
                 self.decided_flags[i] = true;
+                self.decided_count += 1;
+                // The process is mid-invocation, so it is neither crashed
+                // nor halted: it just left the live-undecided set.
+                self.live_undecided_count -= 1;
                 self.metrics.incr_by_id(self.metric_ids.decisions, 1);
                 self.metrics
                     .observe_by_id(self.metric_ids.decision_ticks, self.now.ticks());
@@ -1040,6 +1177,11 @@ impl<P: Process> Sim<P> {
         }
         if effects.halted {
             self.halted[i] = true;
+            // Runs after the decision branch above, so a decide-then-halt
+            // batch decrements the live-undecided count exactly once.
+            if !self.decided_flags[i] {
+                self.live_undecided_count -= 1;
+            }
             self.live_timers[i].clear();
         }
     }
@@ -2013,5 +2155,173 @@ mod tests {
                 NetworkConfig::default(),
             )))
             .build();
+    }
+
+    #[test]
+    fn queue_depth_includes_the_event_about_to_pop() {
+        // Regression: the histogram used to observe `queue.len()` *after*
+        // the pop, recording one less than the depth the builder knob
+        // documents. A single process whose only traffic is its own
+        // start broadcast pops from a queue of depth exactly 1 — the
+        // pre-fix code recorded 0 here.
+        let mut sim = Sim::builder(NetworkConfig::default())
+            .seed(0)
+            .processes(vec![MaxId::default()])
+            .queue_depth_sampling(1)
+            .build();
+        let out = sim.run(RunLimit::default());
+        let h = out
+            .metrics
+            .histogram("queue_depth")
+            .expect("stride 1 records every pop");
+        assert!(h.count() >= 1);
+        assert_eq!(
+            h.min(),
+            Some(1),
+            "depth must include the event being popped (was off by one)"
+        );
+    }
+
+    /// The scenario mix for scheduler A/B equivalence: crashes, restarts,
+    /// fifo links, duplication, a heavy-tailed delay model, and same-tick
+    /// bursts all in one network.
+    fn ab_config(seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            fifo_links: seed.is_multiple_of(2),
+            duplicate_probability: if seed.is_multiple_of(3) { 0.3 } else { 0.0 },
+            drop_probability: if seed.is_multiple_of(5) { 0.1 } else { 0.0 },
+            delay: if seed.is_multiple_of(4) {
+                crate::DelayModel::HeavyTailed {
+                    floor: 1,
+                    cap: 5_000,
+                    alpha_milli: 1_500,
+                }
+            } else if seed % 4 == 1 {
+                // Constant delay: every broadcast lands as a same-tick
+                // burst, the wheel's bucket-FIFO hot case.
+                crate::DelayModel::Uniform { min: 3, max: 3 }
+            } else {
+                crate::DelayModel::Uniform { min: 1, max: 200 }
+            },
+            ..NetworkConfig::default()
+        }
+    }
+
+    fn ab_sim(seed: u64, scheduler: SchedulerKind) -> Sim<MaxId> {
+        Sim::builder(ab_config(seed))
+            .seed(seed)
+            .processes((0..5).map(|_| MaxId::default()))
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(40 + seed))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(90 + seed)),
+            )
+            .queue_depth_sampling(1)
+            .scheduler(scheduler)
+            .build()
+    }
+
+    #[test]
+    fn wheel_and_heap_schedulers_are_byte_identical() {
+        // The tentpole contract: the timing wheel pops the exact (at, seq)
+        // sequence the BinaryHeap did, over randomized schedules mixing
+        // sends, timers, crashes, restarts and same-tick bursts — observed
+        // through every channel an outcome exposes (trace, stats, metrics
+        // JSON, decisions).
+        for seed in 0..30 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let wheel = ab_sim(seed, SchedulerKind::TimingWheel).run(limit);
+            let heap = ab_sim(seed, SchedulerKind::BinaryHeap).run(limit);
+            assert_eq!(wheel.reason, heap.reason, "seed {seed}");
+            assert_eq!(wheel.decisions, heap.decisions, "seed {seed}");
+            assert_eq!(wheel.decision_times, heap.decision_times, "seed {seed}");
+            assert_eq!(wheel.stats, heap.stats, "seed {seed}");
+            assert_eq!(
+                wheel.trace.events(),
+                heap.trace.events(),
+                "seed {seed}: pop order must be identical event for event"
+            );
+            assert_eq!(
+                wheel.metrics.to_json(),
+                heap.metrics.to_json(),
+                "seed {seed}: metrics (queue-depth samples included) must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_wheel_matches_unbounded_heap() {
+        // The budget-boundary path: a wheel run resumed in max_events=3
+        // chunks must replay the exact schedule of one unbounded heap run.
+        // This is the path the old pop-then-re-push time-limit check would
+        // have broken on the wheel (re-pushing into a drained bucket).
+        for seed in [0u64, 7, 13] {
+            let mut heap = ab_sim(seed, SchedulerKind::BinaryHeap);
+            let expected = heap.run(RunLimit::default());
+
+            let mut wheel = ab_sim(seed, SchedulerKind::TimingWheel);
+            let mut last;
+            let mut chunks = 0;
+            loop {
+                last = wheel.run(RunLimit {
+                    max_events: 3,
+                    ..RunLimit::default()
+                });
+                chunks += 1;
+                if last.reason != StopReason::EventLimit {
+                    break;
+                }
+                assert!(chunks < 100_000, "resume loop failed to terminate");
+            }
+            assert!(chunks > 1, "limit too large to exercise resumption");
+            assert_eq!(last.reason, expected.reason, "seed {seed}");
+            assert_eq!(last.decisions, expected.decisions, "seed {seed}");
+            assert_eq!(last.stats, expected.stats, "seed {seed}");
+            assert_eq!(last.trace.events(), expected.trace.events(), "seed {seed}");
+            assert_eq!(last.metrics, expected.metrics, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn time_limit_keeps_the_boundary_event_queued() {
+        // The peek-based time-limit check must leave the first
+        // out-of-bound event in the queue (not pop-and-re-push it), so a
+        // resume with a larger bound replays it exactly once — on both
+        // schedulers.
+        for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let mut sim = ab_sim(3, scheduler);
+            let first = sim.run(RunLimit::until_time(SimTime::from_ticks(50)));
+            assert_eq!(first.reason, StopReason::TimeLimit);
+            let rest = sim.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+            let mut whole = ab_sim(3, scheduler);
+            let expected = whole.run(RunLimit::until_time(SimTime::from_ticks(10_000)));
+            assert_eq!(rest.stats, expected.stats);
+            assert_eq!(rest.trace.events(), expected.trace.events());
+        }
+    }
+
+    #[test]
+    fn bounded_trace_ring_truncates_but_leaves_the_run_untouched() {
+        // trace_capacity is observability-only: the schedule, stats and
+        // metrics are byte-identical to an unbounded run; the trace keeps
+        // exactly the most recent `capacity` events (the unbounded tail).
+        let unbounded = {
+            let mut sim = max_id_sim(6, 4, NetworkConfig::default());
+            sim.run(RunLimit::default())
+        };
+        let bounded = {
+            let mut sim = Sim::builder(NetworkConfig::default())
+                .seed(6)
+                .processes((0..4).map(|_| MaxId::default()))
+                .trace_capacity(5)
+                .build();
+            sim.run(RunLimit::default())
+        };
+        assert_eq!(bounded.stats, unbounded.stats);
+        assert_eq!(bounded.metrics, unbounded.metrics);
+        assert_eq!(bounded.decisions, unbounded.decisions);
+        assert_eq!(bounded.trace.len(), 5);
+        let tail = &unbounded.trace.events()[unbounded.trace.len() - 5..];
+        assert_eq!(bounded.trace.events(), tail);
     }
 }

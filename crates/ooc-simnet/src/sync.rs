@@ -6,7 +6,7 @@
 //! begins. Sends are per-recipient, which is exactly the power a Byzantine
 //! process needs to equivocate.
 
-use crate::process::Outgoing;
+use crate::process::{Outgoing, Payload};
 use crate::rng::SplitMix64;
 use crate::ProcessId;
 use std::collections::BTreeSet;
@@ -82,16 +82,34 @@ impl<'a, M: Clone, O> SyncContext<'a, M, O> {
 
     /// Sends `msg` to a single recipient (delivered next round).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.outbox.push(Outgoing { to, msg });
+        self.outbox.push(Outgoing {
+            to,
+            msg: Payload::Owned(msg),
+        });
     }
 
     /// Sends `msg` to every process including this one.
+    ///
+    /// Like the asynchronous engine, the fan-out interns clone-expensive
+    /// payloads (all `n` queued copies share one allocation until
+    /// delivery) and copies small plain-old-data messages outright —
+    /// see `Payload::intern_broadcasts`.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.n {
-            self.outbox.push(Outgoing {
-                to: ProcessId(i),
-                msg: msg.clone(),
-            });
+        if Payload::<M>::intern_broadcasts() {
+            let shared = std::sync::Arc::new(msg);
+            for i in 0..self.n {
+                self.outbox.push(Outgoing {
+                    to: ProcessId(i),
+                    msg: Payload::Shared(std::sync::Arc::clone(&shared)),
+                });
+            }
+        } else {
+            for i in 0..self.n {
+                self.outbox.push(Outgoing {
+                    to: ProcessId(i),
+                    msg: Payload::Owned(msg.clone()),
+                });
+            }
         }
     }
 
@@ -286,7 +304,7 @@ impl<P: SyncProcess> SyncSim<P> {
                 }
                 for out in outbox {
                     self.messages_sent += 1;
-                    next_inboxes[out.to.index()].push((ProcessId(i), out.msg));
+                    next_inboxes[out.to.index()].push((ProcessId(i), out.msg.into_msg()));
                 }
                 if let Some(v) = decision {
                     if self.decisions[i].is_none() {

@@ -283,6 +283,29 @@ mod tests {
     }
 
     #[test]
+    fn clock_scale_extremes_saturate_on_the_arming_path() {
+        // Regression for the unchecked-cast sweep: the timer-arming path
+        // (ClockModel::scale, then SimTime + SimDuration) must saturate
+        // at every stage under extreme-but-valid rates, never wrap.
+        let clocks = ClockModel::uniform(u32::MAX).with_rate(ProcessId(1), 1);
+        let huge = SimDuration::from_ticks(u64::MAX);
+        // Maximal rate on a maximal duration: the u128 intermediate in
+        // scale_percent exceeds u64::MAX and must clamp, not truncate.
+        assert_eq!(clocks.scale(ProcessId(0), huge).ticks(), u64::MAX);
+        assert_eq!(huge.scale_percent(200).ticks(), u64::MAX);
+        // The fastest representable clock (1 % of nominal) keeps a 1-tick
+        // timer at the ≥ 1-tick floor — scaling cannot reach zero.
+        assert_eq!(
+            clocks.scale(ProcessId(1), SimDuration::from_ticks(1)).ticks(),
+            1
+        );
+        // Arming a saturated delay near the end of time pins to the end
+        // of time instead of wrapping into the past.
+        let late = SimTime::from_ticks(u64::MAX - 5);
+        assert_eq!((late + huge).ticks(), u64::MAX);
+    }
+
+    #[test]
     fn clock_model_rates_and_overrides() {
         let clocks = ClockModel::nominal()
             .with_rate(ProcessId(1), 150)

@@ -272,6 +272,96 @@ impl Trace {
     }
 }
 
+/// The engine's internal trace accumulator: a ring buffer that keeps at
+/// most `capacity` recent events (unbounded when `capacity` is `None`).
+///
+/// The engine records into a `TraceRing` and only materializes a plain
+/// [`Trace`] when a [`RunOutcome`](crate::RunOutcome) is assembled, so a
+/// capacity-bounded run — e.g. a campaign happy path that will never
+/// read its trace — pays O(capacity) instead of O(events) for trace
+/// storage and materialization. With no capacity set the ring behaves
+/// exactly like the old always-growing `Trace` log.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    level: TraceLevel,
+    capacity: Option<usize>,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring recording at `level`, keeping every event when
+    /// `capacity` is `None` and only the most recent `capacity` events
+    /// otherwise (`Some(0)` records nothing but still counts drops).
+    pub fn new(level: TraceLevel, capacity: Option<usize>) -> Self {
+        TraceRing {
+            level,
+            capacity,
+            events: std::collections::VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Appends an event, evicting the oldest once the ring is full
+    /// (no-op at [`TraceLevel::Off`]).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.level == TraceLevel::Off {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted (or refused, at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Reserves capacity for `additional` further events. No-op when the
+    /// ring is bounded (its storage is capped) or at [`TraceLevel::Off`].
+    pub fn reserve(&mut self, additional: usize) {
+        if self.level != TraceLevel::Off && self.capacity.is_none() {
+            self.events.reserve(additional);
+        }
+    }
+
+    /// Materializes the held events, oldest first, as a plain [`Trace`].
+    ///
+    /// O(len): for a bounded ring that is O(capacity) regardless of how
+    /// long the run was; for an unbounded ring it is the same full copy
+    /// the engine previously paid for `Trace::clone`.
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            level: self.level,
+            events: self.events.iter().cloned().collect(),
+        }
+    }
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -499,6 +589,66 @@ mod tests {
         assert_eq!(lines[2], "{\"kind\":\"sync_lost\",\"at\":3,\"process\":0,\"lost\":2}");
         assert_eq!(lines[3], "{\"kind\":\"recover\",\"at\":4,\"process\":0,\"records\":0}");
         assert_eq!(t.end_time(), Some(SimTime::from_ticks(4)));
+    }
+
+    fn timer_at(t: u64) -> TraceEvent {
+        TraceEvent::TimerFired {
+            at: SimTime::from_ticks(t),
+            process: ProcessId(0),
+        }
+    }
+
+    #[test]
+    fn unbounded_ring_keeps_everything() {
+        let mut r = TraceRing::new(TraceLevel::Events, None);
+        for i in 0..100 {
+            r.push(timer_at(i));
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.dropped(), 0);
+        let t = r.to_trace();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.events()[0], timer_at(0));
+        assert_eq!(t.events()[99], timer_at(99));
+    }
+
+    #[test]
+    fn bounded_ring_keeps_the_most_recent_events_in_order() {
+        let mut r = TraceRing::new(TraceLevel::Events, Some(8));
+        for i in 0..100 {
+            r.push(timer_at(i));
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.dropped(), 92);
+        let t = r.to_trace();
+        let ticks: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::TimerFired { at, .. } => at.ticks(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ticks, (92..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_ring_records_nothing_but_counts() {
+        let mut r = TraceRing::new(TraceLevel::Events, Some(0));
+        for i in 0..5 {
+            r.push(timer_at(i));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 5);
+        assert!(r.to_trace().is_empty());
+    }
+
+    #[test]
+    fn off_level_ring_records_nothing() {
+        let mut r = TraceRing::new(TraceLevel::Off, None);
+        r.push(timer_at(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0, "Off level is silent, not 'dropping'");
     }
 
     #[test]
