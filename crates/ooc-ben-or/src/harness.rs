@@ -10,8 +10,8 @@ use ooc_core::compose::{TwoAcVac, VacAsAc};
 use ooc_core::confidence::Confidence;
 use ooc_core::template::{RoundRecord, Template, TemplateConfig};
 use ooc_simnet::{
-    Adversary, ClockModel, Decision, FaultPlan, FnAdversary, NetworkConfig, ProcessId, RunLimit,
-    RunOutcome, Sim, SimDuration, StateAdversary, StorageFaultPlan,
+    Adversary, ClockModel, Decision, FanoutKind, FaultPlan, FnAdversary, NetworkConfig, ProcessId,
+    RunLimit, RunOutcome, Sim, SimDuration, StateAdversary, StorageFaultPlan,
 };
 
 /// Parameters of a Ben-Or experiment.
@@ -39,6 +39,11 @@ pub struct BenOrConfig {
     /// read happy-path traces set a small capacity; a failure is then
     /// replayed from its seed artifact with the default unbounded capture.
     pub trace_capacity: Option<usize>,
+    /// Broadcast fan-out strategy of the engine. [`FanoutKind::Batched`]
+    /// (the default) plans whole broadcasts in one pass; the
+    /// per-recipient kind is kept as the A/B oracle. Byte-identical
+    /// outcomes either way.
+    pub fanout: FanoutKind,
 }
 
 impl BenOrConfig {
@@ -54,6 +59,7 @@ impl BenOrConfig {
             run_limit: RunLimit::default(),
             commit_threshold: None,
             trace_capacity: None,
+            fanout: FanoutKind::default(),
         }
     }
 
@@ -95,6 +101,14 @@ impl BenOrConfig {
     /// decisions are byte-identical to an unbounded run.
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Selects the engine's broadcast fan-out strategy. Observability of
+    /// the knob is nil by contract: batched and per-recipient runs are
+    /// byte-identical, only wall time differs.
+    pub fn with_fanout(mut self, fanout: FanoutKind) -> Self {
+        self.fanout = fanout;
         self
     }
 
@@ -269,6 +283,7 @@ pub fn run_decomposed_gray(
     let threshold = cfg.commit_threshold.unwrap_or(t + 1);
     let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
+        .fanout(cfg.fanout)
         .faults(cfg.faults.clone())
         .clocks(opts.clocks)
         .storage(opts.storage)
@@ -314,6 +329,7 @@ pub fn run_composed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
     type ComposedVac = TwoAcVac<VacAsAc<BenOrVac>>;
     let mut sim = Sim::builder(cfg.network.clone())
         .seed(seed)
+        .fanout(cfg.fanout)
         .faults(cfg.faults.clone())
         .processes(inputs.iter().map(|&v| -> Template<ComposedVac, CoinFlip> {
             Template::vac(
@@ -349,6 +365,7 @@ pub fn run_monolithic(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> (RunOutc
     cfg.faults.assert_crash_stop("Ben-Or");
     let mut sim = Sim::builder(cfg.network.clone())
         .seed(seed)
+        .fanout(cfg.fanout)
         .faults(cfg.faults.clone())
         .processes(
             inputs

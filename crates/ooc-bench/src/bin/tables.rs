@@ -7,9 +7,14 @@
 //! ```
 //!
 //! `--bench-json PATH` writes the T11 observability metrics, the T12
-//! campaign-throughput totals, the T14 gray-failure degradation totals
-//! and the T15 raw-engine throughput totals as one deterministic JSON
-//! document (running the tables first if they were not requested).
+//! campaign-throughput totals, the T14 gray-failure degradation totals,
+//! the T15 raw-engine throughput totals and the T16 batched fan-out
+//! totals as one deterministic JSON document (running the tables first
+//! if they were not requested).
+//!
+//! `--profile` prints the deterministic work-tick breakdown for T15/T16
+//! (plan/sample/insert/deliver); the counters are simulated work units,
+//! never wall time, and never reach the serialized rows.
 
 use ooc_bench::tables;
 
@@ -22,11 +27,13 @@ fn main() {
             eprintln!("--bench-json requires a PATH");
             std::process::exit(2);
         }));
+    let profile = args.iter().any(|a| a == "--profile");
     let tables_args: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             *a != "--bench-json"
+                && *a != "--profile"
                 && !(*i > 0 && args[i - 1] == "--bench-json")
         })
         .map(|(_, a)| a.as_str())
@@ -34,7 +41,7 @@ fn main() {
     let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
         vec![
             "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t14",
-            "t15",
+            "t15", "t16",
         ]
     } else {
         tables_args
@@ -43,6 +50,7 @@ fn main() {
     let mut t12_rows: Option<Vec<(String, u64)>> = None;
     let mut t14_rows: Option<Vec<(String, u64)>> = None;
     let mut t15_rows: Option<Vec<(String, u64)>> = None;
+    let mut t16_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -85,10 +93,13 @@ fn main() {
                 t14_rows = Some(tables::t14());
             }
             "t15" => {
-                t15_rows = Some(tables::t15());
+                t15_rows = Some(tables::t15_with(profile));
+            }
+            "t16" => {
+                t16_rows = Some(tables::t16_with(profile));
             }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t12, t14, t15, or all");
+                eprintln!("unknown table {other:?}; expected t1..t12, t14, t15, t16, or all");
                 std::process::exit(2);
             }
         }
@@ -98,6 +109,7 @@ fn main() {
         rows.extend(t12_rows.unwrap_or_else(tables::t12));
         rows.extend(t14_rows.unwrap_or_else(tables::t14));
         rows.extend(t15_rows.unwrap_or_else(tables::t15));
+        rows.extend(t16_rows.unwrap_or_else(tables::t16));
         let doc = tables::bench_json(&rows);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

@@ -30,13 +30,16 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// by the determinism contract. The parallel campaign executor promises
 /// byte-identical output for every `--jobs` value, which makes it
 /// deterministic code living in a measurement crate. The stable-storage
-/// model and the timing-wheel scheduler are listed explicitly too: both
-/// are already covered via [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but
-/// pinning the paths keeps crash-recovery semantics and the engine's
-/// `(at, seq)` pop order in scope even if the crate list changes.
+/// model, the timing-wheel scheduler and the network fan-out planner are
+/// listed explicitly too: all three are already covered via
+/// [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but pinning the paths keeps
+/// crash-recovery semantics, the engine's `(at, seq)` pop order and the
+/// planner's RNG draw-order contract in scope even if the crate list
+/// changes.
 pub const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/ooc-campaign/src/degradation.rs",
     "crates/ooc-campaign/src/parallel.rs",
+    "crates/ooc-simnet/src/network.rs",
     "crates/ooc-simnet/src/queue.rs",
     "crates/ooc-simnet/src/storage.rs",
 ];

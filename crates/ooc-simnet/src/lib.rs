@@ -77,7 +77,8 @@ pub use network::{DelayModel, FlappingPartition, LinkOverride, NetworkConfig, Pa
 pub use process::{Context, Process, ProtocolObservation};
 pub use rng::SplitMix64;
 pub use sim::{
-    RunLimit, RunOutcome, SchedulerKind, Sim, SimBuilder, StopReason, QUEUE_DEPTH_SAMPLE_DEFAULT,
+    FanoutKind, RunLimit, RunOutcome, SchedulerKind, Sim, SimBuilder, StopReason,
+    QUEUE_DEPTH_SAMPLE_DEFAULT,
 };
 pub use state_adversary::{
     QuorumStarveAdversary, StateAdversary, StateView, VoteSplitStateAdversary,

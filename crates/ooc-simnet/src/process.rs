@@ -81,6 +81,17 @@ pub struct ProtocolObservation {
     pub decided: Option<bool>,
 }
 
+/// Size threshold (in bytes) above which broadcast payloads are
+/// interned behind an `Arc` instead of deep-cloned per recipient.
+///
+/// One shared gate for every broadcast fan-out — the asynchronous
+/// engine's [`Context::broadcast`]/[`Context::broadcast_others`] and the
+/// synchronous engine's `SyncContext::broadcast` all route through
+/// [`Payload::intern_broadcasts`], which combines this threshold with a
+/// `needs_drop` check. 64 bytes is a cache line: anything that fits
+/// copies faster than it refcounts.
+pub(crate) const INTERN_BYTES: usize = 64;
+
 /// A message payload as buffered by the engine: either owned outright
 /// (unicast and self-sends pay zero overhead) or interned behind an
 /// `Arc` so an n-recipient broadcast stores one allocation instead of
@@ -99,12 +110,12 @@ impl<M: Clone> Payload<M> {
     /// Interning trades one allocation plus refcount traffic for n−1
     /// deep clones, which only pays off when a clone is itself
     /// expensive: the message owns heap resources (`needs_drop` — a
-    /// `String`, a `Vec` of log entries) or is simply large. Small
-    /// plain-old-data payloads copy faster than they refcount, so they
-    /// stay owned. Both operands are compile-time constants, so the
-    /// branch folds away per message type.
+    /// `String`, a `Vec` of log entries) or is simply larger than
+    /// [`INTERN_BYTES`]. Small plain-old-data payloads copy faster than
+    /// they refcount, so they stay owned. Both operands are compile-time
+    /// constants, so the branch folds away per message type.
     pub(crate) fn intern_broadcasts() -> bool {
-        std::mem::needs_drop::<M>() || std::mem::size_of::<M>() > 64
+        std::mem::needs_drop::<M>() || std::mem::size_of::<M>() > INTERN_BYTES
     }
 
     /// Borrows the message, e.g. for adversary routing or trace capture.
@@ -410,6 +421,20 @@ mod tests {
         // last one unwraps the Arc instead of cloning).
         let msgs: Vec<String> = fx.outbox.drain(..).map(|o| o.msg.into_msg()).collect();
         assert_eq!(msgs, vec!["seven", "seven", "seven"]);
+    }
+
+    #[test]
+    fn intern_gate_is_needs_drop_or_over_intern_bytes() {
+        // Pin the shared threshold and the exact gate shape: payloads
+        // intern iff they need drop glue OR exceed INTERN_BYTES — a
+        // payload of exactly INTERN_BYTES plain bytes stays owned, one
+        // byte more interns.
+        assert_eq!(INTERN_BYTES, 64);
+        assert!(!Payload::<[u8; INTERN_BYTES]>::intern_broadcasts());
+        assert!(Payload::<[u8; INTERN_BYTES + 1]>::intern_broadcasts());
+        // needs_drop interns regardless of size (a Box is 8 bytes).
+        assert!(Payload::<Box<u8>>::intern_broadcasts());
+        assert!(std::mem::size_of::<Box<u8>>() <= INTERN_BYTES);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use crate::adversary::{Adversary, Decision, NetworkAdversary};
 use crate::fault::{CrashSpec, FaultPlan};
 use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
-use crate::network::NetworkConfig;
+use crate::network::{FanoutPlanner, NetworkConfig};
 use crate::process::{Effects, Payload, Process, ProtocolObservation, StorageOp};
-use crate::queue::TimingWheel;
+use crate::queue::{PlannedEvent, TimingWheel};
 use crate::rng::SplitMix64;
 use crate::state_adversary::{StateAdversary, StateView};
 use crate::stats::RunStats;
@@ -117,6 +117,31 @@ pub enum SchedulerKind {
     BinaryHeap,
 }
 
+/// Which broadcast fan-out path the engine uses for the default
+/// [`NetworkConfig`]-driven routing.
+///
+/// Both paths draw drop/delay/duplication from the routing RNG in the
+/// identical per-recipient order, so runs are byte-identical either way
+/// — traces, metrics, artifacts and BENCH rows included. The
+/// per-recipient path is retained as the reference implementation for
+/// A/B equivalence testing, exactly like [`SchedulerKind::BinaryHeap`].
+///
+/// With a custom [`Adversary`]/[`StateAdversary`] installed, routing
+/// always goes through the adversary per message regardless of this
+/// knob (an adversary is an opaque callback; there is nothing to plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutKind {
+    /// One-pass delivery planning (default): the [`FanoutPlanner`]
+    /// resolves partition/flap/override state once per `(sender, tick)`,
+    /// planned deliveries accumulate in a reusable scratch buffer, and
+    /// the scheduler ingests them through one bulk insert.
+    #[default]
+    Batched,
+    /// Reference path: full routing-state lookup and an individual
+    /// scheduler push per recipient.
+    PerRecipient,
+}
+
 /// The engine's pending-event queue, behind the [`SchedulerKind`] knob.
 enum EventQueue<M> {
     Heap(BinaryHeap<Scheduled<M>>),
@@ -142,6 +167,60 @@ impl<M> EventQueue<M> {
         match self {
             EventQueue::Heap(h) => h.push(ev),
             EventQueue::Wheel(w) => w.push(ev.at.ticks(), ev.seq, ev.kind),
+        }
+    }
+
+    /// Drains a planned fan-out batch into the queue. Entries carry
+    /// their pre-assigned `(at, seq)`; the wheel ingests them through
+    /// [`TimingWheel::push_batch`] (amortized bitmap/window updates),
+    /// the heap falls back to one push per entry.
+    fn push_batch(&mut self, planned: &mut Vec<PlannedEvent<EventKind<M>>>) {
+        match self {
+            EventQueue::Heap(h) => {
+                for ev in planned.drain(..) {
+                    h.push(Scheduled {
+                        at: SimTime::from_ticks(ev.at),
+                        seq: ev.seq,
+                        kind: ev.item,
+                    });
+                }
+            }
+            EventQueue::Wheel(w) => w.push_batch(planned.drain(..)),
+        }
+    }
+
+    /// Drains a same-tick delivery run into the queue: every entry
+    /// shares `at` (the uniform fast path's precomputed delivery tick)
+    /// and carries `(seq, item)` in increasing `seq` order. The wheel
+    /// resolves the window test, slot and occupancy bit once for the
+    /// whole run ([`TimingWheel::push_run`]); the heap falls back to
+    /// one push per entry.
+    fn push_run(&mut self, at: SimTime, run: &mut Vec<(u64, EventKind<M>)>) {
+        match self {
+            EventQueue::Heap(h) => {
+                for (seq, kind) in run.drain(..) {
+                    h.push(Scheduled { at, seq, kind });
+                }
+            }
+            EventQueue::Wheel(w) => w.push_run(at.ticks(), run.drain(..)),
+        }
+    }
+
+    /// Streams a same-tick delivery run straight from an iterator (the
+    /// sender's outbox) into the queue — no scratch buffer in between.
+    /// The iterator must yield exactly `n` entries with increasing
+    /// `seq`; see [`TimingWheel::extend_run`].
+    fn extend_run<I>(&mut self, at: SimTime, n: usize, run: I)
+    where
+        I: Iterator<Item = (u64, EventKind<M>)>,
+    {
+        match self {
+            EventQueue::Heap(h) => {
+                for (seq, kind) in run {
+                    h.push(Scheduled { at, seq, kind });
+                }
+            }
+            EventQueue::Wheel(w) => w.extend_run(at.ticks(), n, run),
         }
     }
 
@@ -301,6 +380,7 @@ pub struct SimBuilder<P: Process> {
     trace_capacity: Option<usize>,
     queue_depth_every: u64,
     scheduler: SchedulerKind,
+    fanout: FanoutKind,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -386,6 +466,18 @@ impl<P: Process> SimBuilder<P> {
         self
     }
 
+    /// Selects the broadcast fan-out path (default:
+    /// [`FanoutKind::Batched`]).
+    ///
+    /// Both paths draw from the routing RNG in the identical
+    /// per-recipient order, so runs are byte-identical either way; the
+    /// per-recipient path exists as the reference implementation for
+    /// A/B equivalence checks.
+    pub fn fanout(mut self, kind: FanoutKind) -> Self {
+        self.fanout = kind;
+        self
+    }
+
     /// Sets the sampling stride of the `queue_depth` histogram: the
     /// scheduler queue depth — including the event about to be popped —
     /// is recorded on every `every`-th pop.
@@ -421,12 +513,38 @@ impl<P: Process> SimBuilder<P> {
         let master = SplitMix64::new(self.seed);
         let rngs = (0..n).map(|i| master.derive(i as u64)).collect();
         let route_rng = master.derive(u64::MAX);
+        // The planner exists iff the run uses the default
+        // NetworkConfig-driven routing: custom adversaries are opaque
+        // callbacks, so their runs stay on the per-recipient path even
+        // under `FanoutKind::Batched`.
+        let mut planner = None;
         let adversary = match (self.adversary, self.state_adversary) {
             (_, Some(state)) => RoutingAdversary::State(state),
             (Some(msg), None) => RoutingAdversary::Message(msg),
-            (None, None) => RoutingAdversary::Message(Box::new(NetworkAdversary::new(
-                self.config.clone(),
-            ))),
+            (None, None) => {
+                planner = Some(FanoutPlanner::new(self.config.clone(), n));
+                RoutingAdversary::Message(Box::new(NetworkAdversary::new(
+                    self.config.clone(),
+                )))
+            }
+        };
+        // Statically uniform routing: with no partitions, overrides,
+        // loss, duplication or per-link FIFO, and a Fixed delay, every
+        // non-self recipient of every broadcast shares one plan and the
+        // routing RNG is never drawn — the batched path then skips
+        // per-message routing entirely (`fanout_batched_uniform`).
+        let uniform_delay = match (&planner, self.config.delay) {
+            (Some(_), crate::network::DelayModel::Fixed(d))
+                if self.config.link_overrides.is_empty()
+                    && self.config.partitions.is_empty()
+                    && self.config.flapping.is_empty()
+                    && self.config.drop_probability <= 0.0
+                    && self.config.duplicate_probability <= 0.0
+                    && !self.config.fifo_links =>
+            {
+                Some(d)
+            }
+            _ => None,
         };
         let crash_thresholds = (0..n)
             .map(|i| self.faults.event_crash_threshold(ProcessId(i)))
@@ -472,6 +590,12 @@ impl<P: Process> SimBuilder<P> {
             pops: 0,
             queue_depth_every: self.queue_depth_every,
             scratch: Effects::default(),
+            fanout: self.fanout,
+            planner,
+            uniform_delay,
+            planned: Vec::new(),
+            planned_run: Vec::new(),
+            planned_self: Vec::new(),
         };
         for &(p, spec) in self.faults.crashes() {
             if let CrashSpec::AtTime(t) = spec {
@@ -603,6 +727,32 @@ pub struct Sim<P: Process> {
     /// every handler, so outbox/timer capacity is allocated once and
     /// kept for the lifetime of the run.
     scratch: Effects<P::Msg, P::Output>,
+    /// Which broadcast fan-out path `apply_effects` takes (only
+    /// meaningful while `planner` is `Some`).
+    fanout: FanoutKind,
+    /// One-pass routing-state resolver; `Some` iff the run uses the
+    /// default [`NetworkConfig`]-driven routing (no custom adversary).
+    planner: Option<FanoutPlanner>,
+    /// `Some(fixed delay ticks)` when routing is statically uniform —
+    /// default routing with no partitions/flapping/overrides, zero
+    /// drop and duplicate probability, no per-link FIFO, and a
+    /// [`DelayModel::Fixed`](crate::DelayModel) delay — so the batched
+    /// path can plan whole broadcasts without touching routing state or
+    /// the RNG (which the reference path never draws under this
+    /// configuration either).
+    uniform_delay: Option<u64>,
+    /// Reusable scratch buffer for the batched fan-out path: planned
+    /// deliveries accumulate here per invocation and drain into the
+    /// scheduler through one bulk insert, so the hot path allocates
+    /// nothing after warm-up.
+    planned: Vec<PlannedEvent<EventKind<P::Msg>>>,
+    /// Scratch for the uniform fast path's same-tick run (non-self
+    /// recipients, all landing on one precomputed tick).
+    planned_run: Vec<(u64, EventKind<P::Msg>)>,
+    /// Scratch for the uniform fast path's self-deliveries when their
+    /// tick differs from the run tick (kept separate so each bucket
+    /// still sees a seq-increasing append).
+    planned_self: Vec<(u64, EventKind<P::Msg>)>,
 }
 
 impl<P: Process> Sim<P> {
@@ -621,6 +771,7 @@ impl<P: Process> Sim<P> {
             trace_capacity: None,
             queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
             scheduler: SchedulerKind::default(),
+            fanout: FanoutKind::default(),
         }
     }
 
@@ -1043,6 +1194,66 @@ impl<P: Process> Sim<P> {
         for id in effects.cancelled.drain(..) {
             self.live_timers[i].remove(&id);
         }
+        // Outgoing messages. Both fan-out paths emit the same trace
+        // events and draw from the routing RNG in the same per-recipient
+        // order, so they are byte-equivalent; the batched path only
+        // exists for the default NetworkConfig-driven routing (a custom
+        // adversary is an opaque per-message callback — nothing to plan).
+        if self.fanout == FanoutKind::Batched && self.planner.is_some() {
+            self.fanout_batched(pid, effects, stall);
+        } else {
+            self.fanout_per_recipient(pid, effects, stall);
+        }
+        if let Some(value) = effects.decision.take() {
+            if self.decisions[i].is_none() {
+                if self.trace.level() == TraceLevel::Full {
+                    self.trace.push(TraceEvent::Decide {
+                        at: self.now,
+                        process: pid,
+                        value: Some(format!("{:?}", value)),
+                    });
+                } else {
+                    self.trace.push(TraceEvent::Decide {
+                        at: self.now,
+                        process: pid,
+                        value: None,
+                    });
+                }
+                // Copy-on-write: this only clones the vectors if a
+                // previously returned RunOutcome still shares them.
+                Arc::make_mut(&mut self.decisions)[i] = Some(value);
+                Arc::make_mut(&mut self.decision_times)[i] = Some(self.now);
+                self.decided_flags[i] = true;
+                self.decided_count += 1;
+                // The process is mid-invocation, so it is neither crashed
+                // nor halted: it just left the live-undecided set.
+                self.live_undecided_count -= 1;
+                self.metrics.incr_by_id(self.metric_ids.decisions, 1);
+                self.metrics
+                    .observe_by_id(self.metric_ids.decision_ticks, self.now.ticks());
+            }
+        }
+        if effects.halted {
+            self.halted[i] = true;
+            // Runs after the decision branch above, so a decide-then-halt
+            // batch decrements the live-undecided count exactly once.
+            if !self.decided_flags[i] {
+                self.live_undecided_count -= 1;
+            }
+            self.live_timers[i].clear();
+        }
+    }
+
+    /// Reference fan-out: full routing-state lookup and an individual
+    /// scheduler push per outgoing message
+    /// ([`FanoutKind::PerRecipient`], and every run with a custom
+    /// adversary installed).
+    fn fanout_per_recipient(
+        &mut self,
+        pid: ProcessId,
+        effects: &mut Effects<P::Msg, P::Output>,
+        stall: SimDuration,
+    ) {
         for out in effects.outbox.drain(..) {
             self.stats.messages_sent += 1;
             self.metrics.incr_by_id(self.metric_ids.messages_sent, 1);
@@ -1146,44 +1357,329 @@ impl<P: Process> Sim<P> {
                 }
             }
         }
-        if let Some(value) = effects.decision.take() {
-            if self.decisions[i].is_none() {
-                if self.trace.level() == TraceLevel::Full {
-                    self.trace.push(TraceEvent::Decide {
-                        at: self.now,
-                        process: pid,
-                        value: Some(format!("{:?}", value)),
-                    });
+    }
+
+    /// Batched fan-out ([`FanoutKind::Batched`] under default routing):
+    /// one-pass delivery planning through the [`FanoutPlanner`], counter
+    /// updates accumulated locally and flushed once per batch, planned
+    /// deliveries written into the reusable `planned` scratch buffer and
+    /// bulk-inserted into the scheduler.
+    ///
+    /// Byte-equivalence contract with [`Sim::fanout_per_recipient`]: the
+    /// trace events, histogram observations and RNG draws happen in the
+    /// identical per-recipient order — partition check (no draw), loss
+    /// (one `chance` draw iff the link's drop probability is positive),
+    /// delay (`DelayModel::sample`), duplication (one `chance` draw iff
+    /// `duplicate_probability` is positive) — and the duplicate copy is
+    /// assigned its `seq` *before* the primary, exactly as the reference
+    /// path schedules it.
+    fn fanout_batched(
+        &mut self,
+        pid: ProcessId,
+        effects: &mut Effects<P::Msg, P::Output>,
+        stall: SimDuration,
+    ) {
+        if let Some(d) = self.uniform_delay {
+            self.fanout_batched_uniform(pid, effects, stall, d);
+            return;
+        }
+        debug_assert!(self.planned.is_empty());
+        let planner = self
+            .planner
+            .as_mut()
+            // ooc-lint::allow(protocol/panic, "apply_effects dispatches here only when the planner is Some; custom adversaries take the per-recipient path")
+            .expect("batched fan-out requires the default routing planner");
+        // When the ring discards events unread (capacity 0), skip the
+        // per-message trace work entirely — no payload format!, no event
+        // construction — and flush the refused-event count once per
+        // batch. Part of the zero-alloc hot-path contract; equivalent by
+        // `TraceRing::refuse_n`'s contract.
+        let records = self.trace.records_events();
+        let full = records && self.trace.level() == TraceLevel::Full;
+        let duplicate_p = planner.duplicate_probability();
+        let mut prepared = false;
+        let mut sent = 0u64;
+        let mut dropped_partition = 0u64;
+        let mut dropped_loss = 0u64;
+        let mut duplicated = 0u64;
+        for out in effects.outbox.drain(..) {
+            sent += 1;
+            if records {
+                let payload = if full {
+                    Some(format!("{:?}", out.msg.as_msg()))
                 } else {
-                    self.trace.push(TraceEvent::Decide {
+                    None
+                };
+                self.trace.push(TraceEvent::Send {
+                    at: self.now,
+                    from: pid,
+                    to: out.to,
+                    payload,
+                });
+            }
+            if out.to == pid {
+                // Self-messages bypass routing entirely; the fsync stall
+                // still applies since the sender is the one stalled.
+                let at = self.now + stall + self.self_delay;
+                self.metrics
+                    .observe_by_id(self.metric_ids.delay_ticks, self.self_delay.ticks());
+                let seq = self.seq;
+                self.seq += 1;
+                self.planned.push(PlannedEvent {
+                    at: at.ticks(),
+                    seq,
+                    item: EventKind::Deliver {
+                        from: pid,
+                        to: pid,
+                        msg: out.msg,
+                        dup: false,
+                    },
+                });
+                continue;
+            }
+            // Resolve routing state lazily on the first routed message:
+            // a batch of only self-sends never pays for planning.
+            if !prepared {
+                planner.prepare(self.now, pid);
+                prepared = true;
+            }
+            if planner.blocked(out.to) {
+                self.stats.messages_dropped += 1;
+                dropped_partition += 1;
+                if records {
+                    self.trace.push(TraceEvent::Drop {
                         at: self.now,
-                        process: pid,
-                        value: None,
+                        from: pid,
+                        to: out.to,
+                        reason: DropReason::Partition,
                     });
                 }
-                // Copy-on-write: this only clones the vectors if a
-                // previously returned RunOutcome still shares them.
-                Arc::make_mut(&mut self.decisions)[i] = Some(value);
-                Arc::make_mut(&mut self.decision_times)[i] = Some(self.now);
-                self.decided_flags[i] = true;
-                self.decided_count += 1;
-                // The process is mid-invocation, so it is neither crashed
-                // nor halted: it just left the live-undecided set.
-                self.live_undecided_count -= 1;
-                self.metrics.incr_by_id(self.metric_ids.decisions, 1);
-                self.metrics
-                    .observe_by_id(self.metric_ids.decision_ticks, self.now.ticks());
+                continue;
+            }
+            let link = planner.link(out.to);
+            if link.drop_probability > 0.0 && self.route_rng.chance(link.drop_probability) {
+                self.stats.messages_dropped += 1;
+                dropped_loss += 1;
+                if records {
+                    self.trace.push(TraceEvent::Drop {
+                        at: self.now,
+                        from: pid,
+                        to: out.to,
+                        reason: DropReason::Loss,
+                    });
+                }
+                continue;
+            }
+            let d = link.delay.sample(&mut self.route_rng);
+            let d = SimDuration::from_ticks(d.ticks().max(1)) + stall;
+            self.metrics.observe_by_id(self.metric_ids.delay_ticks, d.ticks());
+            let mut at = self.now + d;
+            if self.fifo_links {
+                let key = (pid, out.to);
+                if let Some(&h) = self.fifo_horizon.get(&key) {
+                    if at <= h {
+                        at = h + SimDuration::from_ticks(1);
+                    }
+                }
+                self.fifo_horizon.insert(key, at);
+            }
+            let dup = duplicate_p > 0.0 && self.route_rng.chance(duplicate_p);
+            if dup {
+                self.stats.messages_duplicated += 1;
+                duplicated += 1;
+                // The duplicate copy takes the lower seq, matching the
+                // reference path's schedule order.
+                let seq = self.seq;
+                self.seq += 1;
+                self.planned.push(PlannedEvent {
+                    at: (at + SimDuration::from_ticks(1)).ticks(),
+                    seq,
+                    item: EventKind::Deliver {
+                        from: pid,
+                        to: out.to,
+                        msg: out.msg.clone(),
+                        dup: true,
+                    },
+                });
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            self.planned.push(PlannedEvent {
+                at: at.ticks(),
+                seq,
+                item: EventKind::Deliver {
+                    from: pid,
+                    to: out.to,
+                    msg: out.msg,
+                    dup: false,
+                },
+            });
+        }
+        // Counter totals are order-independent; flush each one once per
+        // batch instead of once per message.
+        if sent > 0 {
+            self.stats.messages_sent += sent;
+            self.metrics.incr_by_id(self.metric_ids.messages_sent, sent);
+        }
+        if dropped_partition > 0 {
+            self.metrics
+                .incr_by_id(self.metric_ids.dropped_partition, dropped_partition);
+        }
+        if dropped_loss > 0 {
+            self.metrics.incr_by_id(self.metric_ids.dropped_loss, dropped_loss);
+        }
+        if duplicated > 0 {
+            self.metrics
+                .incr_by_id(self.metric_ids.messages_duplicated, duplicated);
+        }
+        if !records {
+            // One Send per message plus one Drop per dropped message
+            // would have been pushed (and refused) above.
+            self.trace.refuse_n(sent + dropped_partition + dropped_loss);
+        }
+        self.queue.push_batch(&mut self.planned);
+    }
+
+    /// Zero-alloc, zero-draw broadcast hot path, taken when `build()`
+    /// proved routing statically uniform (see `Sim::uniform_delay`):
+    /// every non-self message lands at one precomputed tick, nothing is
+    /// dropped or duplicated, and the routing RNG is untouched — exactly
+    /// as the reference path behaves under this configuration. Per
+    /// message only the send-order contract remains: the Send trace
+    /// event and the `seq` assignment; counters and the delay histogram
+    /// (whose state is a function of the observation multiset, not its
+    /// order) are flushed once per batch.
+    fn fanout_batched_uniform(
+        &mut self,
+        pid: ProcessId,
+        effects: &mut Effects<P::Msg, P::Output>,
+        stall: SimDuration,
+        d: u64,
+    ) {
+        debug_assert!(self.planned_run.is_empty() && self.planned_self.is_empty());
+        // See fanout_batched: no per-message trace work for a ring that
+        // discards events unread; the refused Sends flush once below.
+        let records = self.trace.records_events();
+        let full = records && self.trace.level() == TraceLevel::Full;
+        // Mirrors the per-message computation of the reference path:
+        // causality-floor the sampled (here: fixed) delay, then stall.
+        let d_eff = SimDuration::from_ticks(d.max(1)) + stall;
+        let at = self.now + d_eff;
+        let self_at = self.now + stall + self.self_delay;
+        // Per-bucket FIFO order must equal seq order, so a run handed to
+        // `push_run` has to be a seq-increasing subsequence. Two distinct
+        // ticks map to two distinct buckets (the wheel window is
+        // injective; the overflow level sorts by `(at, seq)`), so
+        // splitting self/non-self into separate runs is safe — unless
+        // the ticks coincide, in which case everything stays in one run
+        // in send order.
+        let merge_selfs = self_at == at;
+        // Hot path: the ring discards events unread (no per-message
+        // trace work) and the whole outbox lands on one tick — either
+        // no self-sends, or a self-delivery tick that happens to
+        // coincide with the run tick. Stream the deliveries straight
+        // from the outbox into the destination bucket: one cheap
+        // pre-scan for the self count, zero intermediate copies.
+        if !records {
+            let n = effects.outbox.len();
+            let selfs = effects.outbox.iter().filter(|o| o.to == pid).count() as u64;
+            if selfs == 0 || merge_selfs {
+                let routed = n as u64 - selfs;
+                let mut seq = self.seq;
+                self.seq += n as u64;
+                let from = pid;
+                self.queue.extend_run(
+                    at,
+                    n,
+                    effects.outbox.drain(..).map(|out| {
+                        let s = seq;
+                        seq += 1;
+                        let item = EventKind::Deliver {
+                            from,
+                            to: out.to,
+                            msg: out.msg,
+                            dup: false,
+                        };
+                        (s, item)
+                    }),
+                );
+                if n > 0 {
+                    self.stats.messages_sent += n as u64;
+                    self.metrics
+                        .incr_by_id(self.metric_ids.messages_sent, n as u64);
+                }
+                // Observed delay values still differ between self and
+                // routed sends even when their delivery ticks coincide
+                // (the self observation excludes the fsync stall).
+                if selfs > 0 {
+                    self.metrics.observe_n_by_id(
+                        self.metric_ids.delay_ticks,
+                        self.self_delay.ticks(),
+                        selfs,
+                    );
+                }
+                if routed > 0 {
+                    self.metrics
+                        .observe_n_by_id(self.metric_ids.delay_ticks, d_eff.ticks(), routed);
+                }
+                self.trace.refuse_n(n as u64);
+                return;
             }
         }
-        if effects.halted {
-            self.halted[i] = true;
-            // Runs after the decision branch above, so a decide-then-halt
-            // batch decrements the live-undecided count exactly once.
-            if !self.decided_flags[i] {
-                self.live_undecided_count -= 1;
+        let mut selfs = 0u64;
+        let mut routed = 0u64;
+        for out in effects.outbox.drain(..) {
+            if records {
+                let payload = if full {
+                    Some(format!("{:?}", out.msg.as_msg()))
+                } else {
+                    None
+                };
+                self.trace.push(TraceEvent::Send {
+                    at: self.now,
+                    from: pid,
+                    to: out.to,
+                    payload,
+                });
             }
-            self.live_timers[i].clear();
+            let seq = self.seq;
+            self.seq += 1;
+            let item = EventKind::Deliver {
+                from: pid,
+                to: out.to,
+                msg: out.msg,
+                dup: false,
+            };
+            if out.to == pid {
+                selfs += 1;
+                if merge_selfs {
+                    self.planned_run.push((seq, item));
+                } else {
+                    self.planned_self.push((seq, item));
+                }
+            } else {
+                routed += 1;
+                self.planned_run.push((seq, item));
+            }
         }
+        let sent = selfs + routed;
+        if sent > 0 {
+            self.stats.messages_sent += sent;
+            self.metrics.incr_by_id(self.metric_ids.messages_sent, sent);
+        }
+        if selfs > 0 {
+            self.metrics
+                .observe_n_by_id(self.metric_ids.delay_ticks, self.self_delay.ticks(), selfs);
+        }
+        if routed > 0 {
+            self.metrics
+                .observe_n_by_id(self.metric_ids.delay_ticks, d_eff.ticks(), routed);
+        }
+        if !records {
+            self.trace.refuse_n(sent);
+        }
+        self.queue.push_run(at, &mut self.planned_run);
+        self.queue.push_run(self_at, &mut self.planned_self);
     }
 }
 
@@ -1199,6 +1695,7 @@ mod tests {
     use super::*;
     use crate::state_adversary::VoteSplitStateAdversary;
     use crate::Context;
+    use crate::FnAdversary;
 
     /// Broadcasts own id once; decides on the max id seen after hearing
     /// from everyone.
@@ -2323,5 +2820,263 @@ mod tests {
         assert_eq!(bounded.trace.len(), 5);
         let tail = &unbounded.trace.events()[unbounded.trace.len() - 5..];
         assert_eq!(bounded.trace.events(), tail);
+    }
+
+    /// Fan-out A/B workload: broadcasts at start and on a timer cadence
+    /// (so gray-failure windows at different ticks intercept different
+    /// broadcasts, and clock drift visibly reschedules traffic), decides
+    /// after hearing a fixed number of messages.
+    #[derive(Debug, Default)]
+    struct Chatter {
+        heard: u64,
+    }
+
+    impl Process for Chatter {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.broadcast(ctx.me().index() as u64);
+            ctx.set_timer(SimDuration::from_ticks(25));
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u64, u64>, _from: ProcessId, msg: u64) {
+            self.heard += 1;
+            if self.heard == 40 {
+                ctx.decide(msg);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64, u64>, _t: TimerId) {
+            ctx.broadcast(self.heard);
+            if self.heard < 40 {
+                ctx.set_timer(SimDuration::from_ticks(25));
+            }
+        }
+    }
+
+    /// The gray-failure mix for fan-out A/B equivalence: everything
+    /// [`ab_config`] covers (fifo, duplication, loss, heavy tails,
+    /// same-tick bursts) plus stacked link overrides (last-wins with
+    /// per-field fallback), flapping, scheduled partitions with an
+    /// isolated process, keyed off the seed.
+    fn fanout_ab_config(seed: u64) -> NetworkConfig {
+        let mut cfg = ab_config(seed);
+        if seed.is_multiple_of(7) {
+            cfg.link_overrides.push(crate::LinkOverride {
+                from: ProcessId(1),
+                to: ProcessId(2),
+                drop_probability: Some(0.25),
+                delay: None,
+            });
+            // Last-wins with per-field fallback: this override replaces
+            // the previous one entirely — its None drop probability
+            // falls back to the *global* knob, not to 0.25.
+            cfg.link_overrides.push(crate::LinkOverride {
+                from: ProcessId(1),
+                to: ProcessId(2),
+                drop_probability: None,
+                delay: Some(crate::DelayModel::Fixed(17)),
+            });
+            cfg.link_overrides.push(crate::LinkOverride {
+                from: ProcessId(3),
+                to: ProcessId(0),
+                drop_probability: Some(0.5),
+                delay: Some(crate::DelayModel::HeavyTailed {
+                    floor: 2,
+                    alpha_milli: 1_100,
+                    cap: 900,
+                }),
+            });
+        }
+        if seed % 6 == 1 {
+            cfg.flapping.push(crate::FlappingPartition {
+                from: SimTime::from_ticks(20),
+                until: SimTime::from_ticks(2_000),
+                period: 30 + seed % 40,
+                partitioned: 12,
+                groups: vec![
+                    vec![ProcessId(0), ProcessId(1), ProcessId(2)],
+                    vec![ProcessId(3), ProcessId(4)],
+                ],
+            });
+        }
+        if seed % 8 == 2 {
+            // P4 is absent from every group: isolated while active.
+            cfg.partitions.push(crate::PartitionWindow {
+                from: SimTime::from_ticks(30),
+                until: SimTime::from_ticks(80 + seed),
+                groups: vec![
+                    vec![ProcessId(0), ProcessId(1)],
+                    vec![ProcessId(2), ProcessId(3)],
+                ],
+            });
+        }
+        cfg
+    }
+
+    fn fanout_ab_sim(seed: u64, fanout: FanoutKind) -> Sim<Chatter> {
+        // Clock drift on some seeds: timers (and therefore whole
+        // broadcast batches) land at different ticks than nominal.
+        let clocks = if seed % 5 == 3 {
+            ClockModel::nominal()
+                .with_rate(ProcessId(2), 135)
+                .with_rate(ProcessId(4), 70)
+        } else {
+            ClockModel::nominal()
+        };
+        Sim::builder(fanout_ab_config(seed))
+            .seed(seed)
+            .processes((0..5).map(|_| Chatter::default()))
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(40 + seed))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(90 + seed)),
+            )
+            .clocks(clocks)
+            .queue_depth_sampling(1)
+            .fanout(fanout)
+            .build()
+    }
+
+    fn assert_outcomes_identical(a: &RunOutcome<u64>, b: &RunOutcome<u64>, label: &str) {
+        assert_eq!(a.reason, b.reason, "{label}");
+        assert_eq!(a.decisions, b.decisions, "{label}");
+        assert_eq!(a.decision_times, b.decision_times, "{label}");
+        assert_eq!(a.stats, b.stats, "{label}");
+        assert_eq!(
+            a.trace.events(),
+            b.trace.events(),
+            "{label}: traces must be identical event for event"
+        );
+        assert_eq!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "{label}: metrics JSON (histograms included) must agree"
+        );
+    }
+
+    #[test]
+    fn batched_and_per_recipient_fanout_are_byte_identical() {
+        // The tentpole contract: the batched planner draws from the
+        // routing RNG in exactly the per-recipient order, so every
+        // channel an outcome exposes — decisions, stats, trace, metrics
+        // JSON — is byte-identical across the two fan-out kinds, over
+        // randomized schedules that include every gray-failure regime
+        // (link overrides, flapping, partitions with isolation,
+        // heavy-tail delays, duplication, fifo links, clock drift,
+        // crash/restart).
+        for seed in 0..200 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let batched = fanout_ab_sim(seed, FanoutKind::Batched).run(limit);
+            let per = fanout_ab_sim(seed, FanoutKind::PerRecipient).run(limit);
+            assert_outcomes_identical(&batched, &per, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn fanout_and_scheduler_kinds_compose() {
+        // The two A/B knobs are orthogonal: all four (scheduler ×
+        // fan-out) combinations produce the same run.
+        for seed in [0u64, 3, 5, 8, 14] {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let mut outcomes = Vec::new();
+            for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+                for fanout in [FanoutKind::Batched, FanoutKind::PerRecipient] {
+                    let out = Sim::builder(fanout_ab_config(seed))
+                        .seed(seed)
+                        .processes((0..5).map(|_| Chatter::default()))
+                        .queue_depth_sampling(1)
+                        .scheduler(scheduler)
+                        .fanout(fanout)
+                        .build()
+                        .run(limit);
+                    outcomes.push((format!("{scheduler:?}/{fanout:?}"), out));
+                }
+            }
+            let (ref_label, reference) = &outcomes[0];
+            for (label, out) in &outcomes[1..] {
+                assert_outcomes_identical(
+                    out,
+                    reference,
+                    &format!("seed {seed}: {label} vs {ref_label}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_batched_run_matches_unbounded_per_recipient() {
+        // Resume boundaries and the batched path compose: a batched run
+        // resumed in max_events=4 chunks replays the exact schedule of
+        // one unbounded per-recipient run.
+        for seed in [0u64, 7, 13] {
+            let expected = fanout_ab_sim(seed, FanoutKind::PerRecipient).run(RunLimit::default());
+            let mut batched = fanout_ab_sim(seed, FanoutKind::Batched);
+            let mut last;
+            let mut chunks = 0;
+            loop {
+                last = batched.run(RunLimit {
+                    max_events: 4,
+                    ..RunLimit::default()
+                });
+                chunks += 1;
+                if last.reason != StopReason::EventLimit {
+                    break;
+                }
+                assert!(chunks < 100_000, "resume loop failed to terminate");
+            }
+            assert!(chunks > 1, "limit too large to exercise resumption");
+            assert_outcomes_identical(&last, &expected, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn queue_depth_histograms_match_across_fanout_kinds_at_stride_one() {
+        // The batched path inserts a whole fan-out with one bulk call;
+        // the queue's length accounting must count that as N pushes, so
+        // exhaustive (stride 1) depth sampling sees the same depth at
+        // every pop as the per-recipient path.
+        for seed in [0u64, 3, 4, 6, 12, 21] {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let batched = fanout_ab_sim(seed, FanoutKind::Batched).run(limit);
+            let per = fanout_ab_sim(seed, FanoutKind::PerRecipient).run(limit);
+            let hb = batched.metrics.histogram("queue_depth");
+            let hp = per.metrics.histogram("queue_depth");
+            assert!(hb.is_some_and(|h| h.count() > 0), "seed {seed}: no samples");
+            assert_eq!(hb, hp, "seed {seed}: sampled depths diverged");
+        }
+    }
+
+    #[test]
+    fn custom_adversaries_force_the_per_recipient_path() {
+        // A custom adversary is an opaque per-message callback, so
+        // FanoutKind::Batched must fall back to per-recipient routing —
+        // same decisions, same RNG draws, same everything.
+        for seed in 0..5u64 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let run = |fanout: FanoutKind| {
+                Sim::builder(fanout_ab_config(seed))
+                    .seed(seed)
+                    .processes((0..5).map(|_| Chatter::default()))
+                    .adversary(Box::new(FnAdversary::new(
+                        |_at, from: ProcessId, _to, _msg: &u64, rng: &mut SplitMix64| {
+                            if from == ProcessId(2) && rng.chance(0.2) {
+                                Decision::Drop
+                            } else {
+                                Decision::DeliverAfter(SimDuration::from_ticks(
+                                    rng.range_inclusive(1, 60),
+                                ))
+                            }
+                        },
+                    )))
+                    .fanout(fanout)
+                    .build()
+                    .run(limit)
+            };
+            let batched = run(FanoutKind::Batched);
+            let per = run(FanoutKind::PerRecipient);
+            assert_outcomes_identical(&batched, &per, &format!("seed {seed}"));
+        }
     }
 }

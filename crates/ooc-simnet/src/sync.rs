@@ -93,7 +93,8 @@ impl<'a, M: Clone, O> SyncContext<'a, M, O> {
     /// Like the asynchronous engine, the fan-out interns clone-expensive
     /// payloads (all `n` queued copies share one allocation until
     /// delivery) and copies small plain-old-data messages outright —
-    /// see `Payload::intern_broadcasts`.
+    /// the shared gate is `Payload::intern_broadcasts`, parameterized by
+    /// `process::INTERN_BYTES`.
     pub fn broadcast(&mut self, msg: M) {
         if Payload::<M>::intern_broadcasts() {
             let shared = std::sync::Arc::new(msg);
