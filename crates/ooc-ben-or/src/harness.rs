@@ -11,7 +11,7 @@ use ooc_core::confidence::Confidence;
 use ooc_core::template::{RoundRecord, Template, TemplateConfig};
 use ooc_simnet::{
     Adversary, ClockModel, Decision, FanoutKind, FaultPlan, FnAdversary, NetworkConfig, ProcessId,
-    RunLimit, RunOutcome, Sim, SimDuration, StateAdversary, StorageFaultPlan,
+    ReliabilityPolicy, RunLimit, RunOutcome, Sim, SimDuration, StateAdversary, StorageFaultPlan,
 };
 
 /// Parameters of a Ben-Or experiment.
@@ -44,6 +44,11 @@ pub struct BenOrConfig {
     /// per-recipient kind is kept as the A/B oracle. Byte-identical
     /// outcomes either way.
     pub fanout: FanoutKind,
+    /// Reliable-delivery policy of the engine. `Off` (the default)
+    /// reproduces the historical fire-and-forget network byte-for-byte;
+    /// [`ReliabilityPolicy::Retransmit`] arms ack/dedup with seeded
+    /// exponential-backoff retransmission.
+    pub reliability: ReliabilityPolicy,
 }
 
 impl BenOrConfig {
@@ -60,6 +65,7 @@ impl BenOrConfig {
             commit_threshold: None,
             trace_capacity: None,
             fanout: FanoutKind::default(),
+            reliability: ReliabilityPolicy::default(),
         }
     }
 
@@ -109,6 +115,17 @@ impl BenOrConfig {
     /// byte-identical, only wall time differs.
     pub fn with_fanout(mut self, fanout: FanoutKind) -> Self {
         self.fanout = fanout;
+        self
+    }
+
+    /// Arms (or disarms) the engine's reliable-delivery layer. With
+    /// [`ReliabilityPolicy::Retransmit`] every unicast is buffered,
+    /// acked, deduplicated, and retransmitted on a seeded
+    /// exponential-backoff schedule until acknowledged or retired.
+    /// `Off` is the A/B oracle: byte-identical to the historical
+    /// fire-and-forget engine.
+    pub fn with_reliability(mut self, reliability: ReliabilityPolicy) -> Self {
+        self.reliability = reliability;
         self
     }
 
@@ -284,6 +301,7 @@ pub fn run_decomposed_gray(
     let mut builder = Sim::builder(cfg.network.clone())
         .seed(seed)
         .fanout(cfg.fanout)
+        .reliability(cfg.reliability)
         .faults(cfg.faults.clone())
         .clocks(opts.clocks)
         .storage(opts.storage)
@@ -330,6 +348,7 @@ pub fn run_composed(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> BenOrRun {
     let mut sim = Sim::builder(cfg.network.clone())
         .seed(seed)
         .fanout(cfg.fanout)
+        .reliability(cfg.reliability)
         .faults(cfg.faults.clone())
         .processes(inputs.iter().map(|&v| -> Template<ComposedVac, CoinFlip> {
             Template::vac(
@@ -366,6 +385,7 @@ pub fn run_monolithic(cfg: &BenOrConfig, inputs: &[bool], seed: u64) -> (RunOutc
     let mut sim = Sim::builder(cfg.network.clone())
         .seed(seed)
         .fanout(cfg.fanout)
+        .reliability(cfg.reliability)
         .faults(cfg.faults.clone())
         .processes(
             inputs

@@ -8,9 +8,9 @@
 //!
 //! `--bench-json PATH` writes the T11 observability metrics, the T12
 //! campaign-throughput totals, the T14 gray-failure degradation totals,
-//! the T15 raw-engine throughput totals and the T16 batched fan-out
-//! totals as one deterministic JSON document (running the tables first
-//! if they were not requested).
+//! the T15 raw-engine throughput totals, the T16 batched fan-out totals
+//! and the T17 reliable-delivery totals as one deterministic JSON
+//! document (running the tables first if they were not requested).
 //!
 //! `--profile` prints the deterministic work-tick breakdown for T15/T16
 //! (plan/sample/insert/deliver); the counters are simulated work units,
@@ -41,7 +41,7 @@ fn main() {
     let wanted: Vec<&str> = if tables_args.is_empty() || tables_args.contains(&"all") {
         vec![
             "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12", "t14",
-            "t15", "t16",
+            "t15", "t16", "t17",
         ]
     } else {
         tables_args
@@ -51,6 +51,7 @@ fn main() {
     let mut t14_rows: Option<Vec<(String, u64)>> = None;
     let mut t15_rows: Option<Vec<(String, u64)>> = None;
     let mut t16_rows: Option<Vec<(String, u64)>> = None;
+    let mut t17_rows: Option<Vec<(String, u64)>> = None;
     for w in wanted {
         match w {
             "t1" => {
@@ -98,8 +99,11 @@ fn main() {
             "t16" => {
                 t16_rows = Some(tables::t16_with(profile));
             }
+            "t17" => {
+                t17_rows = Some(tables::t17());
+            }
             other => {
-                eprintln!("unknown table {other:?}; expected t1..t12, t14, t15, t16, or all");
+                eprintln!("unknown table {other:?}; expected t1..t12, t14..t17, or all");
                 std::process::exit(2);
             }
         }
@@ -110,6 +114,7 @@ fn main() {
         rows.extend(t14_rows.unwrap_or_else(tables::t14));
         rows.extend(t15_rows.unwrap_or_else(tables::t15));
         rows.extend(t16_rows.unwrap_or_else(tables::t16));
+        rows.extend(t17_rows.unwrap_or_else(tables::t17));
         let doc = tables::bench_json(&rows);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

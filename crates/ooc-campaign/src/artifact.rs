@@ -13,7 +13,8 @@ use ooc_core::checker::{Violation, ViolationKind};
 use ooc_phase_king::Attack;
 use ooc_simnet::{
     ClockModel, DelayModel, FaultPlan, FlappingPartition, LinkOverride, NetworkConfig,
-    PartitionWindow, ProcessId, SimDuration, SimTime, StoragePolicy,
+    PartitionWindow, ProcessId, ReliabilityPolicy, RetransmitConfig, SimDuration, SimTime,
+    StoragePolicy,
 };
 
 /// Which decomposition the artifact drives.
@@ -267,6 +268,16 @@ pub struct FailureArtifact {
     pub clock_rates: Vec<(usize, u32)>,
     /// Uniform `sync()` latency in ticks (0 ⇒ instantaneous fsync).
     pub sync_latency: u64,
+    /// Engine reliable-delivery policy. `Off` (the default, and the only
+    /// value legacy artifacts can carry) reproduces the historical
+    /// fire-and-forget network byte-for-byte.
+    pub reliability: ReliabilityPolicy,
+    /// Liveness-watchdog verdict of the run this artifact reproduces:
+    /// the tick at which progress ceased, when the run stalled (live
+    /// undecided processes with nothing in flight, armed, or buffered).
+    /// Filled in alongside `violation`; `None` for live runs and legacy
+    /// artifacts.
+    pub stalled_since: Option<u64>,
     /// The violation this artifact reproduces (filled in by the sweep).
     pub violation: Option<ViolationSummary>,
 }
@@ -358,6 +369,29 @@ impl FailureArtifact {
         }
         if self.sync_latency > 0 {
             fields.push(("sync_latency".into(), Json::U64(self.sync_latency)));
+        }
+        // The reliability policy and watchdog verdict are emitted only
+        // when present, so artifacts written before the reliable-delivery
+        // layer existed stay byte-identical on round-trip.
+        if let ReliabilityPolicy::Retransmit(cfg) = self.reliability {
+            fields.push((
+                "reliability".into(),
+                Json::Obj(vec![
+                    ("policy".into(), Json::Str("retransmit".into())),
+                    ("rto_initial".into(), Json::U64(cfg.rto_initial)),
+                    ("rto_max".into(), Json::U64(cfg.rto_max)),
+                    ("jitter_permille".into(), Json::U64(cfg.jitter_permille)),
+                    ("max_retries".into(), Json::U64(cfg.max_retries as u64)),
+                    (
+                        "buffer_capacity".into(),
+                        Json::U64(cfg.buffer_capacity as u64),
+                    ),
+                    ("ack_delay".into(), Json::U64(cfg.ack_delay)),
+                ]),
+            ));
+        }
+        if let Some(tick) = self.stalled_since {
+            fields.push(("stalled_since".into(), Json::U64(tick)));
         }
         if let Some(v) = &self.violation {
             fields.push((
@@ -455,6 +489,13 @@ impl FailureArtifact {
             None => Vec::new(),
         };
         let sync_latency = json.get("sync_latency").and_then(Json::as_u64).unwrap_or(0);
+        let reliability = match json.get("reliability") {
+            Some(r) => reliability_from_json(r)?,
+            // Artifacts written before the reliable-delivery layer
+            // existed carry no field: fire-and-forget (backward compat).
+            None => ReliabilityPolicy::Off,
+        };
+        let stalled_since = json.get("stalled_since").and_then(Json::as_u64);
         let violation = json.get("violation").map(|v| {
             ViolationSummary {
                 kind: v
@@ -487,6 +528,8 @@ impl FailureArtifact {
             storage_policy,
             clock_rates,
             sync_latency,
+            reliability,
+            stalled_since,
             violation,
         })
     }
@@ -867,6 +910,29 @@ fn adversary_to_json(spec: AdversarySpec) -> Json {
     }
 }
 
+fn reliability_from_json(json: &Json) -> Result<ReliabilityPolicy, String> {
+    match json.get("policy").and_then(Json::as_str) {
+        Some("off") => Ok(ReliabilityPolicy::Off),
+        Some("retransmit") => {
+            // Missing knobs fall back to the engine defaults so artifacts
+            // can pin only the values they care about.
+            let d = RetransmitConfig::default();
+            let u = |key: &str, default: u64| {
+                json.get(key).and_then(Json::as_u64).unwrap_or(default)
+            };
+            Ok(ReliabilityPolicy::Retransmit(RetransmitConfig {
+                rto_initial: u("rto_initial", d.rto_initial),
+                rto_max: u("rto_max", d.rto_max),
+                jitter_permille: u("jitter_permille", d.jitter_permille),
+                max_retries: u("max_retries", d.max_retries as u64) as u32,
+                buffer_capacity: u("buffer_capacity", d.buffer_capacity as u64) as usize,
+                ack_delay: u("ack_delay", d.ack_delay),
+            }))
+        }
+        other => Err(format!("unknown reliability policy {other:?}")),
+    }
+}
+
 fn adversary_from_json(json: Option<&Json>) -> Result<AdversarySpec, String> {
     let Some(json) = json else {
         return Ok(AdversarySpec::None);
@@ -958,6 +1024,8 @@ mod tests {
             storage_policy: Some(StoragePolicy::Amnesia),
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: Some(ViolationSummary {
                 kind: "agreement".into(),
                 round: Some(3),
@@ -995,6 +1063,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         };
         let back = FailureArtifact::from_json_str(&art.to_string_pretty()).expect("parse");
@@ -1067,6 +1137,47 @@ mod tests {
         for absent in ["clock_rates", "sync_latency", "link_overrides", "flapping"] {
             assert!(!legacy.contains(absent), "{absent} leaked into legacy form");
         }
+    }
+
+    #[test]
+    fn reliability_and_watchdog_fields_round_trip_and_stay_out_of_legacy_form() {
+        let mut art = sample();
+        art.reliability = ReliabilityPolicy::Retransmit(RetransmitConfig {
+            rto_initial: 30,
+            rto_max: 480,
+            jitter_permille: 100,
+            max_retries: 7,
+            buffer_capacity: 256,
+            ack_delay: 2,
+        });
+        art.stalled_since = Some(41_977);
+        let text = art.to_string_pretty();
+        let back = FailureArtifact::from_json_str(&text).expect("parse");
+        assert_eq!(back, art);
+        assert_eq!(back.to_string_pretty(), text);
+        // A retransmit spec that pins only some knobs falls back to the
+        // engine defaults for the rest.
+        let partial = text.replace(
+            "\"rto_initial\": 30,",
+            "",
+        );
+        let back = FailureArtifact::from_json_str(&partial).expect("parse");
+        match back.reliability {
+            ReliabilityPolicy::Retransmit(cfg) => {
+                assert_eq!(cfg.rto_initial, RetransmitConfig::default().rto_initial);
+                assert_eq!(cfg.max_retries, 7);
+            }
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+        // Artifacts written before the reliable-delivery layer existed
+        // carry neither field and must stay byte-identical on round-trip.
+        let legacy = sample().to_string_pretty();
+        for absent in ["reliability", "stalled_since"] {
+            assert!(!legacy.contains(absent), "{absent} leaked into legacy form");
+        }
+        let back = FailureArtifact::from_json_str(&legacy).expect("parse");
+        assert_eq!(back.reliability, ReliabilityPolicy::Off);
+        assert_eq!(back.stalled_since, None);
     }
 
     #[test]

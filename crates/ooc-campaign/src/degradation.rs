@@ -23,7 +23,7 @@ use crate::json::Json;
 use crate::parallel::run_all;
 use crate::report::PercentileSummary;
 use crate::sweep::{asym_lossy_net, flapping_net, heavy_tailed_net, inputs_for};
-use ooc_simnet::NetworkConfig;
+use ooc_simnet::{NetworkConfig, ReliabilityPolicy};
 
 /// Cluster size for every degradation cell.
 const N: usize = 7;
@@ -98,6 +98,14 @@ pub struct DegradationCell {
     /// Runs that broke a safety property (must stay 0 — gray failures and
     /// adaptive adversaries may stall Ben-Or but never fork it).
     pub safety_violations: u64,
+    /// Runs the liveness watchdog classified as stalled: live undecided
+    /// processes with nothing in flight, armed, or buffered.
+    pub stalled: u64,
+    /// Reliability-layer retransmissions summed over the cell's runs
+    /// (zero when the policy is `Off`).
+    pub retransmissions: u64,
+    /// Reliability-layer acknowledgements summed over the cell's runs.
+    pub acks_sent: u64,
     /// Rounds consumed, over the runs that agreed.
     pub rounds_to_decide: PercentileSummary,
 }
@@ -120,6 +128,8 @@ pub struct DegradationReport {
     pub t: usize,
     /// Seeds per cell.
     pub seeds: usize,
+    /// Engine reliable-delivery policy every cell ran under.
+    pub reliability: ReliabilityPolicy,
     /// One entry per regime, weakest first.
     pub regimes: Vec<DegradationRegime>,
 }
@@ -131,6 +141,7 @@ fn cell_artifacts(
     sync_latency: u64,
     adversary: AdversarySpec,
     seeds: usize,
+    reliability: ReliabilityPolicy,
 ) -> Vec<FailureArtifact> {
     (0..seeds as u64)
         .map(|seed| FailureArtifact {
@@ -150,15 +161,20 @@ fn cell_artifacts(
             storage_policy: None,
             clock_rates: clock_rates.to_vec(),
             sync_latency,
+            reliability,
+            stalled_since: None,
             violation: None,
         })
         .collect()
 }
 
 /// Every artifact of the degradation sweep, regime-major then ladder
-/// order then seed order. Exposed so the CLI can dump the artifacts for
-/// replay.
-pub fn degradation_artifacts(seeds: usize) -> Vec<FailureArtifact> {
+/// order then seed order, all under `reliability`. Exposed so the CLI
+/// can dump the artifacts for replay.
+pub fn degradation_artifacts_with(
+    seeds: usize,
+    reliability: ReliabilityPolicy,
+) -> Vec<FailureArtifact> {
     let mut all = Vec::new();
     for (_, network, clock_rates, sync_latency) in regimes() {
         for (_, adversary) in ladder() {
@@ -168,23 +184,34 @@ pub fn degradation_artifacts(seeds: usize) -> Vec<FailureArtifact> {
                 sync_latency,
                 adversary,
                 seeds,
+                reliability,
             ));
         }
     }
     all
 }
 
-/// Runs the degradation sweep: `seeds` runs per (regime × adversary)
-/// cell on up to `jobs` workers. The report — and its rendered JSON — is
-/// byte-identical for every `jobs` value.
-pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
-    let artifacts = degradation_artifacts(seeds);
+/// Every artifact of the classic (fire-and-forget) degradation sweep.
+pub fn degradation_artifacts(seeds: usize) -> Vec<FailureArtifact> {
+    degradation_artifacts_with(seeds, ReliabilityPolicy::Off)
+}
+
+/// Runs the degradation sweep under `reliability`: `seeds` runs per
+/// (regime × adversary) cell on up to `jobs` workers. The report — and
+/// its rendered JSON — is byte-identical for every `jobs` value.
+pub fn degradation_report_with(
+    seeds: usize,
+    jobs: usize,
+    reliability: ReliabilityPolicy,
+) -> DegradationReport {
+    let artifacts = degradation_artifacts_with(seeds, reliability);
     let outcomes = run_all(&artifacts, jobs);
     let mut it = outcomes.chunks(seeds.max(1));
     let mut report = DegradationReport {
         n: N,
         t: T,
         seeds,
+        reliability,
         regimes: Vec::new(),
     };
     for (regime, ..) in regimes() {
@@ -193,6 +220,9 @@ pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
             let outs = it.next().expect("one chunk per cell");
             let mut agreed = 0u64;
             let mut safety_violations = 0u64;
+            let mut stalled = 0u64;
+            let mut retransmissions = 0u64;
+            let mut acks_sent = 0u64;
             let mut rounds = Vec::new();
             for out in outs {
                 if out.undecided == 0 {
@@ -202,6 +232,11 @@ pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
                 if out.violations.iter().any(|v| is_safety(v.kind)) {
                     safety_violations += 1;
                 }
+                if out.stalled {
+                    stalled += 1;
+                }
+                retransmissions += out.retransmissions;
+                acks_sent += out.acks_sent;
             }
             let runs = outs.len() as u64;
             cells.push(DegradationCell {
@@ -210,6 +245,9 @@ pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
                 agreed,
                 agreement_permille: (agreed * 1000).checked_div(runs).unwrap_or(0),
                 safety_violations,
+                stalled,
+                retransmissions,
+                acks_sent,
                 rounds_to_decide: PercentileSummary::of(&rounds),
             });
         }
@@ -218,8 +256,27 @@ pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
     report
 }
 
+/// The classic degradation sweep: fire-and-forget delivery. Pinned to
+/// `Off` so the committed T14 cells stay byte-identical.
+pub fn degradation_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
+    degradation_report_with(seeds, jobs, ReliabilityPolicy::Off)
+}
+
+/// The reliability degradation sweep: the same grid with the engine's
+/// retransmission layer armed at its defaults. The headline lives in the
+/// quorum-starve column, which climbs from 0‰ to ≥900‰.
+pub fn degradation_reliability_report_jobs(seeds: usize, jobs: usize) -> DegradationReport {
+    degradation_report_with(
+        seeds,
+        jobs,
+        ReliabilityPolicy::Retransmit(ooc_simnet::RetransmitConfig::default()),
+    )
+}
+
 impl DegradationCell {
-    /// Renders as a JSON object with a fixed field order.
+    /// Renders as a JSON object with a fixed field order. This is the
+    /// *classic* cell form: the watchdog and reliability columns are
+    /// deliberately absent so the committed T14 report bytes never move.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("adversary".into(), Json::Str(self.adversary.into())),
@@ -233,6 +290,28 @@ impl DegradationCell {
                 "safety_violations".into(),
                 Json::U64(self.safety_violations),
             ),
+            ("rounds_to_decide".into(), self.rounds_to_decide.to_json()),
+        ])
+    }
+
+    /// Renders the reliability-report cell form: the classic columns
+    /// plus the watchdog verdict and the retransmission/ack overhead.
+    pub fn to_json_reliability(&self) -> Json {
+        Json::Obj(vec![
+            ("adversary".into(), Json::Str(self.adversary.into())),
+            ("runs".into(), Json::U64(self.runs)),
+            ("agreed".into(), Json::U64(self.agreed)),
+            (
+                "agreement_permille".into(),
+                Json::U64(self.agreement_permille),
+            ),
+            (
+                "safety_violations".into(),
+                Json::U64(self.safety_violations),
+            ),
+            ("stalled".into(), Json::U64(self.stalled)),
+            ("retransmissions".into(), Json::U64(self.retransmissions)),
+            ("acks_sent".into(), Json::U64(self.acks_sent)),
             ("rounds_to_decide".into(), self.rounds_to_decide.to_json()),
         ])
     }
@@ -275,6 +354,65 @@ pub fn degradation_json(report: &DegradationReport) -> Json {
     ])
 }
 
+/// Renders the reliability degradation report. Same grid and byte-
+/// identity discipline as [`degradation_json`], distinguished by its own
+/// schema string, the pinned retransmission knobs, and the extra
+/// watchdog/overhead columns per cell.
+pub fn degradation_reliability_json(report: &DegradationReport) -> Json {
+    let reliability = match report.reliability {
+        ReliabilityPolicy::Off => Json::Obj(vec![("policy".into(), Json::Str("off".into()))]),
+        ReliabilityPolicy::Retransmit(cfg) => Json::Obj(vec![
+            ("policy".into(), Json::Str("retransmit".into())),
+            ("rto_initial".into(), Json::U64(cfg.rto_initial)),
+            ("rto_max".into(), Json::U64(cfg.rto_max)),
+            ("jitter_permille".into(), Json::U64(cfg.jitter_permille)),
+            ("max_retries".into(), Json::U64(cfg.max_retries as u64)),
+            (
+                "buffer_capacity".into(),
+                Json::U64(cfg.buffer_capacity as u64),
+            ),
+            ("ack_delay".into(), Json::U64(cfg.ack_delay)),
+        ]),
+    };
+    Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("ooc-campaign-degradation-reliability/v1".into()),
+        ),
+        ("algorithm".into(), Json::Str("ben-or".into())),
+        ("n".into(), Json::U64(report.n as u64)),
+        ("t".into(), Json::U64(report.t as u64)),
+        ("seeds".into(), Json::U64(report.seeds as u64)),
+        ("max_rounds".into(), Json::U64(MAX_ROUNDS)),
+        ("max_ticks".into(), Json::U64(MAX_TICKS)),
+        ("attack_ticks".into(), Json::U64(ATTACK_TICKS)),
+        ("reliability".into(), reliability),
+        (
+            "regimes".into(),
+            Json::Arr(
+                report
+                    .regimes
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("regime".into(), Json::Str(r.regime.into())),
+                            (
+                                "cells".into(),
+                                Json::Arr(
+                                    r.cells
+                                        .iter()
+                                        .map(DegradationCell::to_json_reliability)
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +430,76 @@ mod tests {
             Some("ooc-campaign-degradation/v1")
         );
         assert_eq!(doc.get("regimes").and_then(Json::as_arr).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn quorum_starve_stalls_without_retransmission_and_agrees_with_it() {
+        // The PR-10 headline, pinned at test scale. Fire-and-forget:
+        // every quorum-starved run dies — 0 agreement, and the liveness
+        // watchdog attributes each one as Stalled (nothing in flight,
+        // armed, or buffered; the run is dead, not slow). Retransmission:
+        // agreement climbs past 900‰ in every regime with zero safety
+        // violations and zero stalls.
+        let off = degradation_report_jobs(6, 4);
+        for regime in &off.regimes {
+            let cell = regime
+                .cells
+                .iter()
+                .find(|c| c.adversary == "quorum-starve")
+                .expect("quorum-starve rung");
+            assert_eq!(cell.agreed, 0, "{}: starved runs cannot agree", regime.regime);
+            assert_eq!(
+                cell.stalled, cell.runs,
+                "{}: every starved fire-and-forget run is watchdog-stalled",
+                regime.regime
+            );
+            assert_eq!(cell.retransmissions, 0);
+            assert_eq!(cell.acks_sent, 0);
+        }
+        let on = degradation_reliability_report_jobs(6, 4);
+        for regime in &on.regimes {
+            let cell = regime
+                .cells
+                .iter()
+                .find(|c| c.adversary == "quorum-starve")
+                .expect("quorum-starve rung");
+            assert!(
+                cell.agreement_permille >= 900,
+                "{}: retransmission must rescue the starved runs, got {}‰",
+                regime.regime,
+                cell.agreement_permille
+            );
+            assert_eq!(cell.safety_violations, 0, "{}", regime.regime);
+            assert_eq!(cell.stalled, 0, "{}", regime.regime);
+            assert!(
+                cell.retransmissions > 0,
+                "{}: the rescue must come from actual retransmissions",
+                regime.regime
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_report_is_byte_identical_across_thread_counts() {
+        let serial =
+            degradation_reliability_json(&degradation_reliability_report_jobs(4, 1)).pretty();
+        for jobs in [2, 4] {
+            let parallel =
+                degradation_reliability_json(&degradation_reliability_report_jobs(4, jobs))
+                    .pretty();
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report bytes");
+        }
+        let doc = Json::parse(&serial).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ooc-campaign-degradation-reliability/v1")
+        );
+        assert_eq!(
+            doc.get("reliability")
+                .and_then(|r| r.get("policy"))
+                .and_then(Json::as_str),
+            Some("retransmit")
+        );
     }
 
     #[test]

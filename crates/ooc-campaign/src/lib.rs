@@ -75,8 +75,9 @@ pub use artifact::{
     AdversarySpec, Algorithm, FailureArtifact, FaultSpec, ViolationSummary,
 };
 pub use degradation::{
-    degradation_json, degradation_report_jobs, DegradationCell, DegradationRegime,
-    DegradationReport,
+    degradation_artifacts, degradation_artifacts_with, degradation_json,
+    degradation_reliability_json, degradation_reliability_report_jobs, degradation_report_jobs,
+    degradation_report_with, DegradationCell, DegradationRegime, DegradationReport,
 };
 pub use json::Json;
 pub use parallel::{default_jobs, run_all};

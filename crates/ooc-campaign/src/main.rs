@@ -1,7 +1,11 @@
 //! The campaign CLI: `sweep`, `report`, `degradation`, `replay`, `shrink`.
 
 use ooc_campaign::artifact::{Algorithm, FailureArtifact};
-use ooc_campaign::degradation::{degradation_artifacts, degradation_json, degradation_report_jobs};
+use ooc_campaign::degradation::{
+    degradation_artifacts, degradation_json, degradation_reliability_json,
+    degradation_reliability_report_jobs, degradation_report_jobs,
+};
+use ooc_simnet::{ReliabilityPolicy, RetransmitConfig};
 use ooc_campaign::parallel::{default_jobs, run_all};
 use ooc_campaign::report::{collect_reports_jobs, report_json};
 use ooc_campaign::shrink::{shrink, size_of};
@@ -57,6 +61,7 @@ commands:
       with the same inputs; written to FILE or stdout.
 
   degradation [--seeds N] [--jobs N] [--out FILE] [--artifacts DIR]
+              [--reliability]
       Sweep adversary strength (oblivious, message-adaptive split-vote,
       state-adaptive split-vote, quorum-starve) against the gray-failure
       scenario zoo (clean, asymmetric loss, flapping partitions,
@@ -64,6 +69,9 @@ commands:
       per cell (default 40). Emits eventual-agreement probability (in
       permille) and rounds-to-decide percentiles per regime as
       byte-identical deterministic JSON, to FILE or stdout.
+      --reliability arms the engine's ack/retransmit layer at its
+      defaults and adds watchdog-stall and retransmission/ack-overhead
+      columns (its own schema; the default report's bytes never move).
       --artifacts DIR additionally writes every cell's runs as
       re-runnable artifact JSON. Exits non-zero if any cell broke
       safety.
@@ -314,22 +322,36 @@ fn cmd_degradation(args: &[String]) -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(40);
     let jobs = parse_jobs(args);
-    let report = degradation_report_jobs(seeds, jobs);
+    // `--reliability` arms the engine's retransmission layer at its
+    // defaults and switches to the reliability report schema; without it
+    // the classic fire-and-forget report reproduces byte-for-byte.
+    let reliability = has_flag(args, "--reliability");
+    let report = if reliability {
+        degradation_reliability_report_jobs(seeds, jobs)
+    } else {
+        degradation_report_jobs(seeds, jobs)
+    };
     for regime in &report.regimes {
         for cell in &regime.cells {
             println!(
-                "{}/{}: agreement {}‰ ({}/{} runs), rounds p50/p95 {}/{}",
+                "{}/{}: agreement {}‰ ({}/{} runs), stalled {}, retx {}, rounds p50/p95 {}/{}",
                 regime.regime,
                 cell.adversary,
                 cell.agreement_permille,
                 cell.agreed,
                 cell.runs,
+                cell.stalled,
+                cell.retransmissions,
                 cell.rounds_to_decide.p50,
                 cell.rounds_to_decide.p95,
             );
         }
     }
-    let text = degradation_json(&report).pretty();
+    let text = if reliability {
+        degradation_reliability_json(&report).pretty()
+    } else {
+        degradation_json(&report).pretty()
+    };
     match parse_flag(args, "--out") {
         Some(path) => {
             let path = Path::new(path);
@@ -349,7 +371,14 @@ fn cmd_degradation(args: &[String]) -> ExitCode {
     }
     if let Some(dir) = parse_flag(args, "--artifacts") {
         let dir = Path::new(dir);
-        let artifacts = degradation_artifacts(seeds);
+        let artifacts = if reliability {
+            ooc_campaign::degradation::degradation_artifacts_with(
+                seeds,
+                ReliabilityPolicy::Retransmit(RetransmitConfig::default()),
+            )
+        } else {
+            degradation_artifacts(seeds)
+        };
         for (i, art) in artifacts.iter().enumerate() {
             let path = dir.join(format!("degradation-{i:04}.json"));
             if let Err(e) = write_artifact(&path, art) {

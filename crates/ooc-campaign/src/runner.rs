@@ -37,6 +37,18 @@ pub struct CampaignOutcome {
     pub spent: BudgetSpent,
     /// Why the run stopped, human-readable.
     pub stop: String,
+    /// Liveness-watchdog verdict: the run ended with live undecided
+    /// processes and nothing in flight, armed, or buffered that could
+    /// ever wake them (always `false` for the synchronous Phase-King,
+    /// whose lock-step engine cannot idle).
+    pub stalled: bool,
+    /// Tick at which progress ceased when [`stalled`]
+    /// (`CampaignOutcome::stalled`) is `true`; zero otherwise.
+    pub idle_since: u64,
+    /// Reliability-layer retransmissions performed during the run.
+    pub retransmissions: u64,
+    /// Reliability-layer acknowledgements sent during the run.
+    pub acks_sent: u64,
 }
 
 impl CampaignOutcome {
@@ -107,7 +119,8 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
         // Campaigns run the batched fan-out hot path, pinned explicitly
         // so the sweep's engine configuration is visible here rather
         // than inherited. Byte-identical to per-recipient by contract.
-        .with_fanout(FanoutKind::Batched);
+        .with_fanout(FanoutKind::Batched)
+        .with_reliability(artifact.reliability);
     if let Some(th) = artifact.sabotage_commit_threshold {
         cfg = cfg.with_sabotaged_commit_threshold(th);
     }
@@ -180,6 +193,10 @@ fn run_ben_or(artifact: &FailureArtifact) -> CampaignOutcome {
         messages: run.outcome.stats.messages_sent,
         spent,
         stop: format!("{:?}", run.outcome.reason),
+        stalled: run.outcome.stats.stalled,
+        idle_since: run.outcome.stats.idle_since.ticks(),
+        retransmissions: run.outcome.stats.retransmissions,
+        acks_sent: run.outcome.metrics.counter("reliable.acks_sent"),
     }
 }
 
@@ -226,6 +243,12 @@ fn run_phase_king_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
         messages: run.messages,
         spent,
         stop: format!("{} rounds", run.rounds),
+        // The lock-step engine delivers exactly-once and never idles:
+        // the watchdog and the reliability layer are vacuous here.
+        stalled: false,
+        idle_since: 0,
+        retransmissions: 0,
+        acks_sent: 0,
     }
 }
 
@@ -291,6 +314,10 @@ fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
         messages: run.outcome.stats.messages_sent,
         spent,
         stop: format!("{:?}", run.outcome.reason),
+        stalled: run.outcome.stats.stalled,
+        idle_since: run.outcome.stats.idle_since.ticks(),
+        retransmissions: run.outcome.stats.retransmissions,
+        acks_sent: run.outcome.metrics.counter("reliable.acks_sent"),
     }
 }
 
@@ -298,6 +325,7 @@ fn run_raft_artifact(artifact: &FailureArtifact) -> CampaignOutcome {
 mod tests {
     use super::*;
     use crate::artifact::{FaultSpec, ViolationSummary};
+    use ooc_simnet::ReliabilityPolicy;
 
     fn ben_or_artifact() -> FailureArtifact {
         FailureArtifact {
@@ -317,6 +345,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         }
     }
@@ -431,6 +461,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         };
         let out = run_artifact(&art);
@@ -460,6 +492,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         };
         let _ = run_artifact(&art);
@@ -487,6 +521,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         };
         let out = run_artifact(&art);

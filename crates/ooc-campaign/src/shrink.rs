@@ -11,6 +11,7 @@
 use crate::artifact::{kind_name, FailureArtifact, ViolationSummary};
 use crate::runner::run_artifact;
 use ooc_core::checker::ViolationKind;
+use ooc_simnet::ReliabilityPolicy;
 
 /// What the shrinker did.
 #[derive(Debug)]
@@ -187,6 +188,18 @@ fn candidates(art: &FailureArtifact) -> Vec<FailureArtifact> {
         out.push(c);
     }
 
+    // Downgrade the reliability policy toward `Off`: a counterexample
+    // that survives without retransmission did not need the reliable-
+    // delivery layer at all (the fire-and-forget engine is the simpler
+    // substrate to reason about). A liveness counterexample that
+    // *depends* on retransmission rejects this candidate and keeps the
+    // policy, which is itself informative.
+    if art.reliability.is_on() {
+        let mut c = art.clone();
+        c.reliability = ReliabilityPolicy::Off;
+        out.push(c);
+    }
+
     // Downgrade a state-adaptive adversary to its message-adaptive
     // analogue: a counterexample that survives the downgrade needs no
     // protocol-state oracle, which is a strictly weaker (and easier to
@@ -273,6 +286,7 @@ pub fn size_of(art: &FailureArtifact) -> usize {
         + usize::from(art.storage_policy.is_some())
         + usize::from(!art.clock_rates.is_empty())
         + usize::from(art.sync_latency > 0)
+        + usize::from(art.reliability.is_on())
 }
 
 #[cfg(test)]
@@ -305,6 +319,8 @@ mod tests {
                 storage_policy: None,
                 clock_rates: Vec::new(),
                 sync_latency: 0,
+                reliability: ReliabilityPolicy::Off,
+                stalled_since: None,
                 violation: None,
             };
             let out = run_artifact(&art);
@@ -345,6 +361,47 @@ mod tests {
     }
 
     #[test]
+    fn shrinker_downgrades_reliability_when_the_failure_survives_without_it() {
+        use ooc_simnet::RetransmitConfig;
+        // A quorum-starved run under a tick budget too tight for even
+        // retransmission to save it: the termination violation reproduces
+        // with the policy on AND off, so the downgrade-to-Off candidate
+        // must be accepted and the minimal artifact needs no reliability
+        // layer.
+        let art = FailureArtifact {
+            algorithm: Algorithm::BenOr,
+            n: 7,
+            t: 3,
+            byzantine: None,
+            attack: None,
+            seed: 0,
+            inputs: vec![0, 1, 0, 1, 0, 1, 0],
+            max_rounds: 40,
+            max_ticks: 400,
+            network: Some(NetworkConfig::reliable(1)),
+            faults: vec![],
+            adversary: AdversarySpec::QuorumFlap {
+                until_ticks: 60_000,
+                period: 60,
+            },
+            sabotage_commit_threshold: None,
+            storage_policy: None,
+            clock_rates: Vec::new(),
+            sync_latency: 0,
+            reliability: ReliabilityPolicy::Retransmit(RetransmitConfig::default()),
+            stalled_since: None,
+            violation: None,
+        };
+        let report = shrink(&art).expect("starved run violates termination");
+        assert_eq!(
+            report.artifact.reliability,
+            ReliabilityPolicy::Off,
+            "the downgrade-toward-Off candidate must be accepted"
+        );
+        assert!(size_of(&report.artifact) < size_of(&art));
+    }
+
+    #[test]
     fn shrinking_a_clean_artifact_returns_none() {
         let art = FailureArtifact {
             algorithm: Algorithm::BenOr,
@@ -363,6 +420,8 @@ mod tests {
             storage_policy: None,
             clock_rates: Vec::new(),
             sync_latency: 0,
+            reliability: ReliabilityPolicy::Off,
+            stalled_since: None,
             violation: None,
         };
         assert!(shrink(&art).is_none());

@@ -14,7 +14,7 @@ use crate::parallel::run_all;
 use ooc_phase_king::{Attack, PhaseKingConfig};
 use ooc_simnet::{
     DelayModel, FlappingPartition, LinkOverride, NetworkConfig, PartitionWindow, ProcessId,
-    SimTime, StoragePolicy,
+    ReliabilityPolicy, SimTime, StoragePolicy,
 };
 
 /// Everything a sweep over one algorithm produced.
@@ -88,6 +88,12 @@ fn collect_report(algorithm: Algorithm, grid: Vec<FailureArtifact>, jobs: usize)
                 .find(|v| is_safety(v.kind))
                 .unwrap_or(v);
             artifact.violation = Some(ViolationSummary::of(flagged));
+            // Attribute the liveness watchdog's verdict: a stalled run
+            // was dead in the water (nothing in flight, armed, or
+            // buffered), not merely out of budget.
+            if out.stalled {
+                artifact.stalled_since = Some(out.idle_since);
+            }
             if safety {
                 report.safety.push(artifact);
             } else {
@@ -198,6 +204,8 @@ fn ben_or_grid(target: usize, sabotage: bool) -> Vec<FailureArtifact> {
                             storage_policy: None,
                             clock_rates: Vec::new(),
                             sync_latency: 0,
+                            reliability: ReliabilityPolicy::Off,
+                            stalled_since: None,
                             violation: None,
                         });
                     }
@@ -267,6 +275,8 @@ fn phase_king_grid(target: usize) -> Vec<FailureArtifact> {
                         storage_policy: None,
                         clock_rates: Vec::new(),
                         sync_latency: 0,
+                        reliability: ReliabilityPolicy::Off,
+                        stalled_since: None,
                         violation: None,
                     });
                 }
@@ -331,6 +341,8 @@ fn raft_grid(target: usize) -> Vec<FailureArtifact> {
                             storage_policy: None,
                             clock_rates: Vec::new(),
                             sync_latency: 0,
+                            reliability: ReliabilityPolicy::Off,
+                            stalled_since: None,
                             violation: None,
                         });
                     }
@@ -418,6 +430,8 @@ pub fn raft_durability_grid(target: usize, policy: StoragePolicy) -> Vec<Failure
                                 storage_policy: Some(policy),
                                 clock_rates: Vec::new(),
                                 sync_latency: 0,
+                                reliability: ReliabilityPolicy::Off,
+                                stalled_since: None,
                                 violation: None,
                             });
                         }
@@ -550,6 +564,8 @@ pub fn ben_or_gray_grid(target: usize) -> Vec<FailureArtifact> {
                         storage_policy: None,
                         clock_rates: drift.clone(),
                         sync_latency,
+                        reliability: ReliabilityPolicy::Off,
+                        stalled_since: None,
                         violation: None,
                     });
                 }

@@ -30,17 +30,19 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// by the determinism contract. The parallel campaign executor promises
 /// byte-identical output for every `--jobs` value, which makes it
 /// deterministic code living in a measurement crate. The stable-storage
-/// model, the timing-wheel scheduler and the network fan-out planner are
-/// listed explicitly too: all three are already covered via
-/// [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but pinning the paths keeps
-/// crash-recovery semantics, the engine's `(at, seq)` pop order and the
-/// planner's RNG draw-order contract in scope even if the crate list
-/// changes.
+/// model, the timing-wheel scheduler, the network fan-out planner and
+/// the reliable-delivery layer are listed explicitly too: all four are
+/// already covered via [`DETERMINISTIC_CRATES`] (`ooc-simnet`), but
+/// pinning the paths keeps crash-recovery semantics, the engine's
+/// `(at, seq)` pop order, the planner's RNG draw-order contract and the
+/// retransmission backoff/jitter derivation chain in scope even if the
+/// crate list changes.
 pub const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/ooc-campaign/src/degradation.rs",
     "crates/ooc-campaign/src/parallel.rs",
     "crates/ooc-simnet/src/network.rs",
     "crates/ooc-simnet/src/queue.rs",
+    "crates/ooc-simnet/src/reliable.rs",
     "crates/ooc-simnet/src/storage.rs",
 ];
 

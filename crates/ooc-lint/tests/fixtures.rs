@@ -170,6 +170,25 @@ fn host_env_covers_listed_modules_in_tooling_crates() {
 }
 
 #[test]
+fn reliable_module_is_pinned_into_the_determinism_contract() {
+    // `reliable.rs` is covered twice: via the `ooc-simnet` crate listing
+    // and via its DETERMINISTIC_MODULES pin. The pin is what keeps the
+    // retransmission backoff/jitter derivation chain in contract even if
+    // the crate list ever changes, so assert both that the path is
+    // listed and that a determinism rule actually fires there.
+    assert!(
+        ooc_lint::source::DETERMINISTIC_MODULES.contains(&"crates/ooc-simnet/src/reliable.rs"),
+        "the reliable-delivery layer must stay pinned"
+    );
+    let r = lint_one(
+        "crates/ooc-simnet/src/reliable.rs",
+        "ooc-simnet",
+        "fn jobs() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n",
+    );
+    assert!(active_rules(&r).contains(&"determinism/host-env"));
+}
+
+#[test]
 fn host_env_negative_own_identifier() {
     // A workspace-local function of the same name is not a host probe.
     let r = lint_one(

@@ -84,6 +84,17 @@ impl PhaseKingConfig {
         self
     }
 
+    /// API parity with the Ben-Or harness's `with_reliability`:
+    /// accepted and ignored. The
+    /// lock-step [`SyncSim`] engine delivers every round's messages
+    /// exactly once by construction, so acks, retransmission, and
+    /// duplicate suppression are all vacuous — there is nothing for a
+    /// reliability layer to repair. Harness call sites can therefore be
+    /// written uniformly across the two engines.
+    pub fn with_reliability(self, _reliability: ooc_simnet::ReliabilityPolicy) -> Self {
+        self
+    }
+
     /// Ids of the honest processors (`byzantine..n`).
     pub fn honest_ids(&self) -> Vec<ProcessId> {
         (self.byzantine..self.n).map(ProcessId).collect()

@@ -56,6 +56,7 @@ pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod process;
+pub mod reliable;
 pub mod rng;
 pub mod sim;
 pub mod state_adversary;
@@ -75,6 +76,7 @@ pub use id::{ProcessId, TimerId};
 pub use metrics::{CounterId, HistogramId, MetricsRegistry, TickHistogram};
 pub use network::{DelayModel, FlappingPartition, LinkOverride, NetworkConfig, PartitionWindow};
 pub use process::{Context, Process, ProtocolObservation};
+pub use reliable::{ReliabilityPolicy, RetransmitConfig};
 pub use rng::SplitMix64;
 pub use sim::{
     FanoutKind, RunLimit, RunOutcome, SchedulerKind, Sim, SimBuilder, StopReason,

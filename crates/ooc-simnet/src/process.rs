@@ -242,6 +242,13 @@ impl<'a, M: Clone, O> Context<'a, M, O> {
 
     /// Sends `msg` to `to`. Self-sends are permitted and are always
     /// delivered (never dropped or partitioned away).
+    ///
+    /// Delivery semantics are the engine's, not the caller's: under
+    /// [`ReliabilityPolicy::Retransmit`](crate::ReliabilityPolicy) every
+    /// non-self send is additionally tracked in the sender's reliable
+    /// send buffer and retransmitted until acked, exhausted, or evicted
+    /// — transparently to this API, with duplicates suppressed on the
+    /// receive side so handlers still see each message at most once.
     pub fn send(&mut self, to: ProcessId, msg: M) {
         self.effects.outbox.push(Outgoing {
             to,

@@ -6,6 +6,7 @@ use crate::metrics::{CounterId, HistogramId, MetricsRegistry};
 use crate::network::{FanoutPlanner, NetworkConfig};
 use crate::process::{Effects, Payload, Process, ProtocolObservation, StorageOp};
 use crate::queue::{PlannedEvent, TimingWheel};
+use crate::reliable::{ReliabilityPolicy, ReliabilityState};
 use crate::rng::SplitMix64;
 use crate::state_adversary::{StateAdversary, StateView};
 use crate::stats::RunStats;
@@ -73,6 +74,28 @@ enum EventKind<M> {
         process: ProcessId,
     },
     Restart {
+        process: ProcessId,
+    },
+    /// A reliability-tracked message copy (only scheduled when
+    /// [`ReliabilityPolicy::Retransmit`] is active). Carries the sender's
+    /// sequence number so the receive side can dedup and ack.
+    RelDeliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: Payload<M>,
+        seq: u64,
+    },
+    /// A reliability ack from `from` (the acker) back to `to` (the
+    /// original sender): cumulative high-water mark plus the selective
+    /// seq that triggered it.
+    Ack {
+        from: ProcessId,
+        to: ProcessId,
+        cum: u64,
+        seq: u64,
+    },
+    /// A retransmission-deadline sweep for `process`'s send buffers.
+    RetransmitCheck {
         process: ProcessId,
     },
 }
@@ -381,6 +404,7 @@ pub struct SimBuilder<P: Process> {
     queue_depth_every: u64,
     scheduler: SchedulerKind,
     fanout: FanoutKind,
+    reliability: ReliabilityPolicy,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -478,6 +502,24 @@ impl<P: Process> SimBuilder<P> {
         self
     }
 
+    /// Selects the reliable-delivery policy (default:
+    /// [`ReliabilityPolicy::Off`]).
+    ///
+    /// `Off` is the A/B oracle: runs are byte-identical to an engine
+    /// without the reliability layer. With
+    /// [`ReliabilityPolicy::Retransmit`] every non-self message is
+    /// tracked in a per-(sender, recipient) send buffer and retransmitted
+    /// on a deterministic exponential-backoff schedule until acked,
+    /// exhausted, or evicted; the receive side suppresses duplicates so
+    /// processes still observe each message at most once. All jitter and
+    /// ack-loss draws come from a dedicated stream derived from the
+    /// master seed, so the per-process and routing streams — and
+    /// therefore `--jobs 1 ≡ --jobs N` byte-identity — are untouched.
+    pub fn reliability(mut self, policy: ReliabilityPolicy) -> Self {
+        self.reliability = policy;
+        self
+    }
+
     /// Sets the sampling stride of the `queue_depth` histogram: the
     /// scheduler queue depth — including the event about to be popped —
     /// is recorded on every `every`-th pop.
@@ -513,6 +555,18 @@ impl<P: Process> SimBuilder<P> {
         let master = SplitMix64::new(self.seed);
         let rngs = (0..n).map(|i| master.derive(i as u64)).collect();
         let route_rng = master.derive(u64::MAX);
+        // `derive` is pure, so carving out the reliability stream leaves
+        // the per-process and routing streams untouched — an Off run is
+        // byte-identical to a build that never had this layer.
+        let reliability = match self.reliability {
+            ReliabilityPolicy::Off => None,
+            ReliabilityPolicy::Retransmit(cfg) => Some(ReliabilityState::new(
+                cfg,
+                master.derive(u64::MAX - 1),
+                self.config.drop_probability.max(0.0),
+                n,
+            )),
+        };
         // The planner exists iff the run uses the default
         // NetworkConfig-driven routing: custom adversaries are opaque
         // callbacks, so their runs stay on the per-recipient path even
@@ -596,6 +650,9 @@ impl<P: Process> SimBuilder<P> {
             planned: Vec::new(),
             planned_run: Vec::new(),
             planned_self: Vec::new(),
+            reliability,
+            pending_msgs: 0,
+            pending_faults: 0,
         };
         for &(p, spec) in self.faults.crashes() {
             if let CrashSpec::AtTime(t) = spec {
@@ -624,6 +681,13 @@ struct EngineMetrics {
     dropped_adversary: CounterId,
     dropped_partition: CounterId,
     dropped_loss: CounterId,
+    dropped_duplicate: CounterId,
+    evicted: CounterId,
+    retransmissions: CounterId,
+    acks_sent: CounterId,
+    acks_delivered: CounterId,
+    acks_dropped: CounterId,
+    retry_exhausted: CounterId,
     timers_fired: CounterId,
     crashes: CounterId,
     restarts: CounterId,
@@ -650,6 +714,13 @@ impl EngineMetrics {
             dropped_adversary: metrics.counter_id("messages.dropped.adversary"),
             dropped_partition: metrics.counter_id("messages.dropped.partition"),
             dropped_loss: metrics.counter_id("messages.dropped.loss"),
+            dropped_duplicate: metrics.counter_id("messages.dropped.duplicate_suppressed"),
+            evicted: metrics.counter_id("messages.evicted"),
+            retransmissions: metrics.counter_id("reliable.retransmissions"),
+            acks_sent: metrics.counter_id("reliable.acks_sent"),
+            acks_delivered: metrics.counter_id("reliable.acks_delivered"),
+            acks_dropped: metrics.counter_id("reliable.acks_dropped"),
+            retry_exhausted: metrics.counter_id("reliable.retry_exhausted"),
             timers_fired: metrics.counter_id("timers.fired"),
             crashes: metrics.counter_id("crashes"),
             restarts: metrics.counter_id("restarts"),
@@ -753,6 +824,16 @@ pub struct Sim<P: Process> {
     /// tick differs from the run tick (kept separate so each bucket
     /// still sees a seq-increasing append).
     planned_self: Vec<(u64, EventKind<P::Msg>)>,
+    /// Reliable-delivery state; `Some` iff the builder selected
+    /// [`ReliabilityPolicy::Retransmit`].
+    reliability: Option<ReliabilityState<P::Msg>>,
+    /// Queued message-bearing events (Deliver / RelDeliver / Ack),
+    /// maintained at every schedule and pop so the liveness watchdog can
+    /// ask "is anything still in flight?" in O(1).
+    pending_msgs: u64,
+    /// Queued fault events (Crash / Restart) — a pending restart can
+    /// wake an otherwise-idle run, so the watchdog must see it.
+    pending_faults: u64,
 }
 
 impl<P: Process> Sim<P> {
@@ -772,6 +853,7 @@ impl<P: Process> Sim<P> {
             queue_depth_every: QUEUE_DEPTH_SAMPLE_DEFAULT,
             scheduler: SchedulerKind::default(),
             fanout: FanoutKind::default(),
+            reliability: ReliabilityPolicy::default(),
         }
     }
 
@@ -813,6 +895,13 @@ impl<P: Process> Sim<P> {
     }
 
     fn schedule(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+        match &kind {
+            EventKind::Deliver { .. } | EventKind::RelDeliver { .. } | EventKind::Ack { .. } => {
+                self.pending_msgs += 1;
+            }
+            EventKind::Crash { .. } | EventKind::Restart { .. } => self.pending_faults += 1,
+            EventKind::Timer { .. } | EventKind::RetransmitCheck { .. } => {}
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, kind });
@@ -872,14 +961,27 @@ impl<P: Process> Sim<P> {
             let ev = self.queue.pop().expect("peeked event must pop");
             self.now = ev.at;
             events_this_run += 1;
+            match &ev.kind {
+                EventKind::Deliver { .. } | EventKind::RelDeliver { .. } | EventKind::Ack { .. } => {
+                    self.pending_msgs -= 1;
+                }
+                EventKind::Crash { .. } | EventKind::Restart { .. } => self.pending_faults -= 1,
+                EventKind::Timer { .. } | EventKind::RetransmitCheck { .. } => {}
+            }
             match ev.kind {
                 EventKind::Deliver { from, to, msg, dup } => self.deliver(from, to, msg, dup),
                 EventKind::Timer { process, id } => self.fire_timer(process, id),
                 EventKind::Crash { process } => self.crash(process),
                 EventKind::Restart { process } => self.restart(process),
+                EventKind::RelDeliver { from, to, msg, seq } => {
+                    self.rel_deliver(from, to, msg, seq)
+                }
+                EventKind::Ack { from, to, cum, seq } => self.rel_ack(from, to, cum, seq),
+                EventKind::RetransmitCheck { process } => self.retransmit_check(process),
             }
         };
         self.stats.end_time = self.now;
+        self.watchdog(reason);
         RunOutcome {
             // O(1) shared snapshots; the engine copies-on-write only if
             // a later decision lands while this outcome is still alive.
@@ -1007,6 +1109,15 @@ impl<P: Process> Sim<P> {
             at: self.now,
             process,
         });
+        // A crash wipes the process's reliability state: its send
+        // buffers (a dead process retransmits nothing), its receive-side
+        // dedup marks (a restart is a new incarnation with a fresh
+        // sequence space), and its queued check ticks (already-scheduled
+        // RetransmitCheck events become harmless husks).
+        let n = self.processes.len();
+        if let Some(rel) = self.reliability.as_mut() {
+            rel.on_crash(process, n);
+        }
         // Storage faults bite at the moment of the crash: the store's
         // policy decides what the unsynced (or, for Amnesia, the whole)
         // suffix of the record log is worth.
@@ -1199,7 +1310,12 @@ impl<P: Process> Sim<P> {
         // order, so they are byte-equivalent; the batched path only
         // exists for the default NetworkConfig-driven routing (a custom
         // adversary is an opaque per-message callback — nothing to plan).
-        if self.fanout == FanoutKind::Batched && self.planner.is_some() {
+        // With reliability on, every run takes the dedicated reliable
+        // path regardless of FanoutKind (so the knobs stay trivially
+        // byte-equivalent under retransmission too).
+        if self.reliability.is_some() {
+            self.fanout_reliable(pid, effects, stall);
+        } else if self.fanout == FanoutKind::Batched && self.planner.is_some() {
             self.fanout_batched(pid, effects, stall);
         } else {
             self.fanout_per_recipient(pid, effects, stall);
@@ -1356,6 +1472,381 @@ impl<P: Process> Sim<P> {
                     );
                 }
             }
+        }
+    }
+
+    /// Reliable fan-out (every run with
+    /// [`ReliabilityPolicy::Retransmit`] active): each non-self message
+    /// is registered in the sender's reliability buffer *before* its
+    /// first network attempt, so a copy the network wipes is
+    /// retransmitted until acked, exhausted, or evicted. Self-messages
+    /// bypass the layer exactly as they bypass the adversary on the
+    /// reference path (they cannot be lost).
+    fn fanout_reliable(
+        &mut self,
+        pid: ProcessId,
+        effects: &mut Effects<P::Msg, P::Output>,
+        stall: SimDuration,
+    ) {
+        for out in effects.outbox.drain(..) {
+            if out.to == pid {
+                self.stats.messages_sent += 1;
+                self.metrics.incr_by_id(self.metric_ids.messages_sent, 1);
+                let payload = if self.trace.level() == TraceLevel::Full {
+                    Some(format!("{:?}", out.msg.as_msg()))
+                } else {
+                    None
+                };
+                self.trace.push(TraceEvent::Send {
+                    at: self.now,
+                    from: pid,
+                    to: pid,
+                    payload,
+                });
+                let at = self.now + stall + self.self_delay;
+                self.metrics
+                    .observe_by_id(self.metric_ids.delay_ticks, self.self_delay.ticks());
+                self.schedule(
+                    at,
+                    EventKind::Deliver {
+                        from: pid,
+                        to: pid,
+                        msg: out.msg,
+                        dup: false,
+                    },
+                );
+                continue;
+            }
+            let rel = self
+                .reliability
+                .as_mut()
+                // ooc-lint::allow(protocol/panic, "apply_effects dispatches here only when the reliability state is Some")
+                .expect("reliable fan-out requires the reliability state");
+            let registered = rel.register(self.now, pid, out.to, &out.msg);
+            if let Some((to, seq)) = registered.evicted {
+                self.stats.messages_evicted += 1;
+                self.metrics.incr_by_id(self.metric_ids.evicted, 1);
+                self.trace.push(TraceEvent::Evict {
+                    at: self.now,
+                    from: pid,
+                    to,
+                    seq,
+                });
+            }
+            self.send_reliable(pid, out.to, out.msg, registered.seq, stall);
+            self.ensure_check(pid);
+        }
+    }
+
+    /// One network attempt for a reliability-tracked message (the first
+    /// send and every retransmission). Mirrors the per-recipient
+    /// reference path exactly — Send trace, adversary routing, FIFO
+    /// horizon, duplication — except the scheduled event is a
+    /// [`EventKind::RelDeliver`] carrying the pair sequence number.
+    fn send_reliable(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: Payload<P::Msg>,
+        seq: u64,
+        stall: SimDuration,
+    ) {
+        self.stats.messages_sent += 1;
+        self.metrics.incr_by_id(self.metric_ids.messages_sent, 1);
+        let payload = if self.trace.level() == TraceLevel::Full {
+            Some(format!("{:?}", msg.as_msg()))
+        } else {
+            None
+        };
+        self.trace.push(TraceEvent::Send {
+            at: self.now,
+            from,
+            to,
+            payload,
+        });
+        match self.route_decision(from, to, msg.as_msg()) {
+            Decision::Drop => {
+                self.stats.messages_dropped += 1;
+                self.metrics.incr_by_id(self.metric_ids.dropped_adversary, 1);
+                self.trace.push(TraceEvent::Drop {
+                    at: self.now,
+                    from,
+                    to,
+                    reason: DropReason::Adversary,
+                });
+            }
+            Decision::DropPartition => {
+                self.stats.messages_dropped += 1;
+                self.metrics.incr_by_id(self.metric_ids.dropped_partition, 1);
+                self.trace.push(TraceEvent::Drop {
+                    at: self.now,
+                    from,
+                    to,
+                    reason: DropReason::Partition,
+                });
+            }
+            Decision::DropLoss => {
+                self.stats.messages_dropped += 1;
+                self.metrics.incr_by_id(self.metric_ids.dropped_loss, 1);
+                self.trace.push(TraceEvent::Drop {
+                    at: self.now,
+                    from,
+                    to,
+                    reason: DropReason::Loss,
+                });
+            }
+            Decision::DeliverAfter(d) => {
+                let d = SimDuration::from_ticks(d.ticks().max(1)) + stall;
+                self.metrics.observe_by_id(self.metric_ids.delay_ticks, d.ticks());
+                let mut at = self.now + d;
+                if self.fifo_links {
+                    let key = (from, to);
+                    if let Some(&h) = self.fifo_horizon.get(&key) {
+                        if at <= h {
+                            at = h + SimDuration::from_ticks(1);
+                        }
+                    }
+                    self.fifo_horizon.insert(key, at);
+                }
+                let dup = self.route_duplicate(from, to, msg.as_msg());
+                if dup {
+                    self.stats.messages_duplicated += 1;
+                    self.metrics.incr_by_id(self.metric_ids.messages_duplicated, 1);
+                    self.schedule(
+                        at + SimDuration::from_ticks(1),
+                        EventKind::RelDeliver {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                            seq,
+                        },
+                    );
+                }
+                self.schedule(at, EventKind::RelDeliver { from, to, msg, seq });
+            }
+        }
+    }
+
+    /// Makes sure a [`EventKind::RetransmitCheck`] is queued for `pid` no
+    /// later than its earliest retransmission deadline. Later checks
+    /// already queued are left in place (they become cheap no-ops);
+    /// earlier ones cover the new deadline by definition.
+    fn ensure_check(&mut self, pid: ProcessId) {
+        let Some(rel) = self.reliability.as_mut() else {
+            return;
+        };
+        let Some(deadline) = rel.earliest_deadline(pid) else {
+            return;
+        };
+        let tick = deadline.ticks().max(self.now.ticks());
+        if rel.note_check(pid, tick) {
+            self.schedule(
+                SimTime::from_ticks(tick),
+                EventKind::RetransmitCheck { process: pid },
+            );
+        }
+    }
+
+    /// Handles one reliability-tracked message copy reaching `to`.
+    ///
+    /// Order of concerns: a crashed recipient drops the copy with *no*
+    /// ack (the sender keeps retrying — the recipient may restart);
+    /// a duplicate is suppressed but re-acked (covering a lost ack); a
+    /// fresh copy is acked and then delivered unless the recipient
+    /// halted, in which case the ack still goes out (so the sender stops
+    /// retransmitting to a process that is done) but the drop is traced
+    /// as `halted_recipient` exactly like the base path.
+    fn rel_deliver(&mut self, from: ProcessId, to: ProcessId, msg: Payload<P::Msg>, seq: u64) {
+        if self.crashed[to.index()] {
+            self.stats.messages_dropped += 1;
+            self.metrics
+                .incr_by_id(self.metric_ids.dropped_dead_recipient, 1);
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                from,
+                to,
+                reason: DropReason::DeadRecipient,
+            });
+            return;
+        }
+        let rel = self
+            .reliability
+            .as_mut()
+            // ooc-lint::allow(protocol/panic, "RelDeliver events are only scheduled while the reliability state is Some, and it is never torn down mid-run")
+            .expect("RelDeliver requires the reliability state");
+        let received = rel.receive(from, to, seq);
+        self.send_ack(to, from, received.cum, seq);
+        if !received.fresh {
+            self.stats.messages_dropped += 1;
+            self.metrics.incr_by_id(self.metric_ids.dropped_duplicate, 1);
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                from,
+                to,
+                reason: DropReason::DuplicateSuppressed,
+            });
+            return;
+        }
+        if self.halted[to.index()] {
+            self.stats.messages_dropped += 1;
+            self.metrics
+                .incr_by_id(self.metric_ids.dropped_halted_recipient, 1);
+            self.trace.push(TraceEvent::Drop {
+                at: self.now,
+                from,
+                to,
+                reason: DropReason::HaltedRecipient,
+            });
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        self.metrics.incr_by_id(self.metric_ids.messages_delivered, 1);
+        if self.trace.level() == TraceLevel::Full {
+            self.trace.push(TraceEvent::Deliver {
+                at: self.now,
+                from,
+                to,
+                payload: Some(format!("{:?}", msg.as_msg())),
+            });
+        } else {
+            self.trace.push(TraceEvent::Deliver {
+                at: self.now,
+                from,
+                to,
+                payload: None,
+            });
+        }
+        self.invoke(to, Invocation::Message { from, msg: msg.into_msg() });
+    }
+
+    /// Schedules the ack for one received copy: `acker → sender`,
+    /// carrying the cumulative mark plus the triggering seq. Acks are
+    /// engine control plane — they skip the adversary and the
+    /// send/deliver counters, but still face the network's ambient loss
+    /// probability through the dedicated reliability stream.
+    fn send_ack(&mut self, acker: ProcessId, sender: ProcessId, cum: u64, seq: u64) {
+        self.metrics.incr_by_id(self.metric_ids.acks_sent, 1);
+        let rel = self
+            .reliability
+            .as_mut()
+            // ooc-lint::allow(protocol/panic, "only rel_deliver calls this, and it already unwrapped the state")
+            .expect("acks require the reliability state");
+        let ack_drop = rel.ack_drop;
+        let ack_delay = rel.cfg.ack_delay;
+        if ack_drop > 0.0 && rel.rng.chance(ack_drop) {
+            self.metrics.incr_by_id(self.metric_ids.acks_dropped, 1);
+            return;
+        }
+        self.schedule(
+            self.now + SimDuration::from_ticks(ack_delay),
+            EventKind::Ack {
+                from: acker,
+                to: sender,
+                cum,
+                seq,
+            },
+        );
+    }
+
+    /// Applies a delivered ack at the original sender. No liveness
+    /// check is needed: if the sender crashed, the crash already cleared
+    /// its buffers and the application is a no-op.
+    fn rel_ack(&mut self, from: ProcessId, to: ProcessId, cum: u64, seq: u64) {
+        self.metrics.incr_by_id(self.metric_ids.acks_delivered, 1);
+        if let Some(rel) = self.reliability.as_mut() {
+            rel.apply_ack(to, from, cum, seq);
+        }
+    }
+
+    /// Sweeps `process`'s send buffers for entries past their deadline:
+    /// exhausted entries are retired, the rest are retransmitted through
+    /// the normal routed send path (so a retry faces the adversary
+    /// afresh — that is exactly how it can land in a heal window). Then
+    /// re-arms the next check from the new earliest deadline.
+    fn retransmit_check(&mut self, process: ProcessId) {
+        let tick = self.now.ticks();
+        if let Some(rel) = self.reliability.as_mut() {
+            rel.pop_check(process, tick);
+        } else {
+            return;
+        }
+        if self.crashed[process.index()] {
+            return;
+        }
+        let (due, exhausted) = match self.reliability.as_mut() {
+            Some(rel) => rel.due(process, self.now),
+            None => return,
+        };
+        if exhausted > 0 {
+            self.metrics
+                .incr_by_id(self.metric_ids.retry_exhausted, exhausted);
+        }
+        for d in due {
+            self.stats.retransmissions += 1;
+            self.metrics.incr_by_id(self.metric_ids.retransmissions, 1);
+            self.trace.push(TraceEvent::Retransmit {
+                at: self.now,
+                from: process,
+                to: d.to,
+                attempt: d.retries,
+            });
+            self.send_reliable(process, d.to, d.msg, d.seq, SimDuration::ZERO);
+        }
+        self.ensure_check(process);
+    }
+
+    /// Armed timers owned by live (neither crashed nor halted)
+    /// processes — the only timers that can still cause progress
+    /// (`fire_timer` ignores the rest).
+    fn armed_live_timers(&self) -> u64 {
+        (0..self.processes.len())
+            .filter(|&i| !self.crashed[i] && !self.halted[i])
+            .map(|i| self.live_timers[i].len() as u64)
+            .sum()
+    }
+
+    /// Unacked reliability-buffer entries held by live senders — each
+    /// one a future retransmission that can still cause progress.
+    fn live_buffered(&self) -> u64 {
+        let Some(rel) = self.reliability.as_ref() else {
+            return 0;
+        };
+        (0..self.processes.len())
+            .filter(|&i| !self.crashed[i])
+            .map(|i| rel.buffered(ProcessId(i)) as u64)
+            .sum()
+    }
+
+    /// The liveness watchdog: classifies how the run ended.
+    ///
+    /// A run is *stalled* when live undecided processes remain but
+    /// nothing can ever wake them again: the queue drained completely
+    /// (`Quiescent`), or the time bound hit with zero in-flight
+    /// messages, zero pending fault injections, zero armed live timers
+    /// and zero buffered retransmissions. A merely-slow run — anything
+    /// still in flight, armed, or buffered at `max_time` — is
+    /// genuinely live, not stalled. The verdict (and `idle_since`, the
+    /// time of the last processed event) lands in [`RunStats`] and, when
+    /// stalled, as a [`TraceEvent::Stalled`] record.
+    fn watchdog(&mut self, reason: StopReason) {
+        let idle = match reason {
+            StopReason::Quiescent => true,
+            StopReason::TimeLimit => {
+                self.pending_msgs == 0
+                    && self.pending_faults == 0
+                    && self.armed_live_timers() == 0
+                    && self.live_buffered() == 0
+            }
+            _ => false,
+        };
+        let stalled = idle && self.live_undecided_count > 0;
+        self.stats.stalled = stalled;
+        self.stats.idle_since = if stalled { self.now } else { SimTime::ZERO };
+        if stalled {
+            self.trace.push(TraceEvent::Stalled {
+                at: self.now,
+                idle_since: self.now,
+            });
         }
     }
 
@@ -1537,6 +2028,9 @@ impl<P: Process> Sim<P> {
             // would have been pushed (and refused) above.
             self.trace.refuse_n(sent + dropped_partition + dropped_loss);
         }
+        // Every planned entry is a Deliver; the bulk insert bypasses
+        // `schedule`, so the watchdog's in-flight count updates here.
+        self.pending_msgs += self.planned.len() as u64;
         self.queue.push_batch(&mut self.planned);
     }
 
@@ -1587,6 +2081,9 @@ impl<P: Process> Sim<P> {
                 let routed = n as u64 - selfs;
                 let mut seq = self.seq;
                 self.seq += n as u64;
+                // Streamed deliveries bypass `schedule`; keep the
+                // watchdog's in-flight count in step.
+                self.pending_msgs += n as u64;
                 let from = pid;
                 self.queue.extend_run(
                     at,
@@ -1678,6 +2175,9 @@ impl<P: Process> Sim<P> {
         if !records {
             self.trace.refuse_n(sent);
         }
+        // Same-tick runs bypass `schedule`; keep the watchdog's
+        // in-flight count in step (every entry is a Deliver).
+        self.pending_msgs += sent;
         self.queue.push_run(at, &mut self.planned_run);
         self.queue.push_run(self_at, &mut self.planned_self);
     }
@@ -3077,6 +3577,309 @@ mod tests {
             let batched = run(FanoutKind::Batched);
             let per = run(FanoutKind::PerRecipient);
             assert_outcomes_identical(&batched, &per, &format!("seed {seed}"));
+        }
+    }
+
+    // ---- reliable delivery (ReliabilityPolicy::Retransmit) ----
+
+    fn retransmit_default() -> ReliabilityPolicy {
+        ReliabilityPolicy::Retransmit(crate::RetransmitConfig::default())
+    }
+
+    /// Loss + a partition window + network duplication: the mix that
+    /// exercises every reliable-path counter at once (loss and partition
+    /// drops on data copies, ambient ack loss, retransmissions, and
+    /// suppressed duplicates from both the network and the retry path).
+    fn reliable_mix_config() -> NetworkConfig {
+        NetworkConfig {
+            drop_probability: 0.4,
+            duplicate_probability: 0.3,
+            partitions: vec![crate::PartitionWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_ticks(50),
+                groups: vec![
+                    vec![ProcessId(0)],
+                    vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+                ],
+            }],
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn drop_reasons_still_split_and_sum_with_the_reliability_layer_on() {
+        // Companion to drop_reasons_split_and_sum_to_total: with
+        // retransmission active the suppressed-duplicate counter joins
+        // the split, and the per-reason counters must still sum to
+        // messages_dropped — retransmitted copies included.
+        let mut sim = Sim::builder(reliable_mix_config())
+            .seed(11)
+            .processes((0..4).map(|_| MaxId::default()))
+            .reliability(retransmit_default())
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(5_000)));
+        let m = &out.metrics;
+        let partition = m.counter("messages.dropped.partition");
+        let loss = m.counter("messages.dropped.loss");
+        let adversary = m.counter("messages.dropped.adversary");
+        let dead = m.counter("messages.dropped.dead_recipient");
+        let halted = m.counter("messages.dropped.halted_recipient");
+        let suppressed = m.counter("messages.dropped.duplicate_suppressed");
+        assert!(loss > 0, "ambient loss must account for drops");
+        assert!(partition > 0, "partition window must account for drops");
+        assert!(
+            suppressed > 0,
+            "duplication plus retransmission must produce suppressed copies"
+        );
+        assert_eq!(
+            partition + loss + adversary + dead + halted + suppressed,
+            out.stats.messages_dropped,
+            "split drop counters must sum to the total"
+        );
+        // The reliability layer is why the run survives the mix at all.
+        assert!(out.all_decided(), "retransmission must recover delivery");
+        assert!(out.stats.retransmissions > 0);
+        assert_eq!(
+            out.stats.retransmissions,
+            m.counter("reliable.retransmissions")
+        );
+        // Acks skip the adversary but face ambient loss; every sent ack
+        // is either dropped at send time, delivered, or still in flight
+        // when the run stops — never double counted.
+        let acks_sent = m.counter("reliable.acks_sent");
+        assert!(acks_sent > 0);
+        assert!(m.counter("reliable.acks_delivered") + m.counter("reliable.acks_dropped") <= acks_sent);
+    }
+
+    #[test]
+    fn full_buffers_evict_oldest_unacked_instead_of_panicking() {
+        // buffer_capacity is a hard bound: a chatty sender on a network
+        // that never delivers (so nothing is ever acked) overflows its
+        // send buffers, and the layer evicts the oldest unacked entry —
+        // counted in both stats and the messages.evicted metric — rather
+        // than panicking or growing without bound.
+        let cfg = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
+        let policy = ReliabilityPolicy::Retransmit(crate::RetransmitConfig {
+            buffer_capacity: 2,
+            ..crate::RetransmitConfig::default()
+        });
+        let mut sim = Sim::builder(cfg)
+            .seed(3)
+            .processes((0..3).map(|_| Chatter::default()))
+            .reliability(policy)
+            .build();
+        let out = sim.run(RunLimit::until_time(SimTime::from_ticks(2_000)));
+        assert!(out.stats.messages_evicted > 0, "tiny buffers must evict");
+        assert_eq!(
+            out.stats.messages_evicted,
+            out.metrics.counter("messages.evicted")
+        );
+        let evict_traces = out
+            .trace
+            .count(|e| matches!(e, TraceEvent::Evict { .. }));
+        assert!(evict_traces > 0, "evictions must be traced");
+    }
+
+    #[test]
+    fn retry_budget_exhausts_on_a_black_hole_network() {
+        // A network that drops every copy defeats any finite retry
+        // budget: each tracked message is retired as exhausted after
+        // max_retries attempts, the check queue drains, and the watchdog
+        // classifies the quiescent-but-undecided end state as stalled.
+        let cfg = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
+        let policy = ReliabilityPolicy::Retransmit(crate::RetransmitConfig {
+            max_retries: 3,
+            ..crate::RetransmitConfig::default()
+        });
+        let mut sim = Sim::builder(cfg)
+            .seed(5)
+            .processes((0..3).map(|_| MaxId::default()))
+            .reliability(policy)
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert_eq!(out.reason, StopReason::Quiescent);
+        // 3 processes × 2 non-self recipients, every budget exhausted.
+        assert_eq!(out.metrics.counter("reliable.retry_exhausted"), 6);
+        assert_eq!(out.stats.retransmissions, 3 * 2 * 3);
+        assert!(!out.all_decided());
+        assert!(out.stats.stalled, "undecided + quiescent must stall");
+        assert!(out.stats.idle_since > SimTime::ZERO);
+    }
+
+    #[test]
+    fn watchdog_classifies_a_dead_in_the_water_run_as_stalled() {
+        // Fire-and-forget on total loss: the start broadcasts evaporate,
+        // nothing is armed or in flight, and the run ends Quiescent with
+        // live undecided processes. The watchdog must flag it stalled,
+        // pin idle_since to the last processed event, and record the
+        // verdict in the trace.
+        let cfg = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
+        let mut sim = Sim::builder(cfg)
+            .seed(9)
+            .processes((0..3).map(|_| MaxId::default()))
+            .build();
+        let out = sim.run(RunLimit::default());
+        assert_eq!(out.reason, StopReason::Quiescent);
+        assert!(out.stats.stalled);
+        assert!(out.stats.idle_since > SimTime::ZERO);
+        assert!(
+            out.trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Stalled { idle_since, .. }
+                    if *idle_since == out.stats.idle_since)),
+            "the stall verdict must land in the trace"
+        );
+    }
+
+    #[test]
+    fn decided_and_time_limited_runs_are_not_stalled() {
+        // The watchdog's negative space: a fully decided run is live by
+        // definition, and a run cut off by the time limit with work
+        // still queued was merely out of time, not dead in the water.
+        let decided = max_id_sim(1, 5, NetworkConfig::default()).run(RunLimit::default());
+        assert_eq!(decided.reason, StopReason::AllDecided);
+        assert!(!decided.stats.stalled);
+        assert_eq!(decided.stats.idle_since, SimTime::ZERO);
+
+        let mut slow = Sim::builder(NetworkConfig {
+            delay: crate::DelayModel::Uniform { min: 50, max: 90 },
+            ..NetworkConfig::default()
+        })
+        .seed(2)
+        .processes((0..5).map(|_| MaxId::default()))
+        .build();
+        let cut = slow.run(RunLimit::until_time(SimTime::from_ticks(10)));
+        assert_eq!(cut.reason, StopReason::TimeLimit);
+        assert!(!cut.stats.stalled, "queued work means live, not stalled");
+    }
+
+    #[test]
+    fn retransmission_recovers_consensus_on_a_heavily_lossy_network() {
+        // The headline at engine scale: 50% loss defeats fire-and-forget
+        // MaxId on every seed (some of the 20 cross-process copies are
+        // bound to evaporate), while the same seeds with retransmission
+        // on reach full agreement with zero stalls. A 20-retry budget
+        // makes per-message total failure (0.5^21) vanishingly rare.
+        let cfg = NetworkConfig {
+            drop_probability: 0.5,
+            ..NetworkConfig::default()
+        };
+        let policy = ReliabilityPolicy::Retransmit(crate::RetransmitConfig {
+            max_retries: 20,
+            ..crate::RetransmitConfig::default()
+        });
+        for seed in 0..10u64 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(30_000));
+            let off = Sim::builder(cfg.clone())
+                .seed(seed)
+                .processes((0..5).map(|_| MaxId::default()))
+                .build()
+                .run(limit);
+            assert!(!off.all_decided(), "seed {seed}: 0.5 loss must starve");
+            assert!(off.stats.stalled, "seed {seed}: starved run must stall");
+
+            let on = Sim::builder(cfg.clone())
+                .seed(seed)
+                .processes((0..5).map(|_| MaxId::default()))
+                .reliability(policy)
+                .build()
+                .run(limit);
+            assert!(on.all_decided(), "seed {seed}: retransmission recovers");
+            assert!(!on.stats.stalled, "seed {seed}");
+            assert!(on.stats.retransmissions > 0, "seed {seed}");
+            assert_eq!(on.decided_value(), Some(4), "seed {seed}: max id wins");
+        }
+    }
+
+    fn reliable_ab_sim(
+        seed: u64,
+        scheduler: SchedulerKind,
+        fanout: FanoutKind,
+        policy: ReliabilityPolicy,
+    ) -> Sim<Chatter> {
+        // fanout_ab_sim with the scheduler and reliability knobs exposed:
+        // the same gray-failure mix (link overrides, flapping,
+        // partitions, heavy tails, duplication, fifo links, clock drift,
+        // crash/restart) drives the reliability A/B suites.
+        let clocks = if seed % 5 == 3 {
+            ClockModel::nominal()
+                .with_rate(ProcessId(2), 135)
+                .with_rate(ProcessId(4), 70)
+        } else {
+            ClockModel::nominal()
+        };
+        Sim::builder(fanout_ab_config(seed))
+            .seed(seed)
+            .processes((0..5).map(|_| Chatter::default()))
+            .faults(
+                FaultPlan::new()
+                    .crash_at(ProcessId(0), SimTime::from_ticks(40 + seed))
+                    .restart_at(ProcessId(0), SimTime::from_ticks(90 + seed)),
+            )
+            .clocks(clocks)
+            .queue_depth_sampling(1)
+            .scheduler(scheduler)
+            .fanout(fanout)
+            .reliability(policy)
+            .build()
+    }
+
+    #[test]
+    fn reliability_off_is_byte_identical_to_the_baseline_engine() {
+        // The A/B oracle half of the 200-seed suite: explicitly
+        // selecting Off must leave every channel an outcome exposes —
+        // decisions, stats, trace, metrics JSON — byte-identical to a
+        // builder that never mentions reliability, over randomized
+        // schedules covering the full gray-failure mix.
+        for seed in 0..200 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(10_000));
+            let baseline = fanout_ab_sim(seed, FanoutKind::Batched).run(limit);
+            let off = reliable_ab_sim(
+                seed,
+                SchedulerKind::TimingWheel,
+                FanoutKind::Batched,
+                ReliabilityPolicy::Off,
+            )
+            .run(limit);
+            assert_outcomes_identical(&off, &baseline, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn retransmission_runs_are_byte_identical_across_scheduler_and_fanout_kinds() {
+        // The determinism half of the 200-seed suite: with retransmission
+        // on, all four SchedulerKind × FanoutKind combinations replay the
+        // exact same schedule (reliable fan-out is its own path, so the
+        // fan-out knob must be a no-op; the scheduler must pop the same
+        // (at, seq) order either way), jitter draws included.
+        for seed in 0..200 {
+            let limit = RunLimit::until_time(SimTime::from_ticks(5_000));
+            let mut outcomes = Vec::new();
+            for scheduler in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+                for fanout in [FanoutKind::Batched, FanoutKind::PerRecipient] {
+                    let out =
+                        reliable_ab_sim(seed, scheduler, fanout, retransmit_default()).run(limit);
+                    outcomes.push((format!("{scheduler:?}/{fanout:?}"), out));
+                }
+            }
+            let (ref_label, reference) = &outcomes[0];
+            for (label, out) in &outcomes[1..] {
+                assert_outcomes_identical(
+                    out,
+                    reference,
+                    &format!("seed {seed}: {label} vs {ref_label}"),
+                );
+            }
         }
     }
 }

@@ -31,8 +31,22 @@ pub struct RunStats {
     pub crashes: u64,
     /// Number of restarts that took effect.
     pub restarts: u64,
+    /// Reliability-layer retransmissions (each also counts as a send).
+    pub retransmissions: u64,
+    /// Unacked messages evicted from full reliability send buffers.
+    pub messages_evicted: u64,
     /// Simulated time at which the run stopped.
     pub end_time: SimTime,
+    /// Liveness watchdog verdict: `true` when the run ended with live
+    /// undecided processes but nothing in flight, armed, or buffered
+    /// that could ever wake them — the run was dead in the water, not
+    /// merely out of time. Always `false` when every live process
+    /// decided.
+    pub stalled: bool,
+    /// Time of the last processed event when [`stalled`]
+    /// (`RunStats::stalled`) is `true`: the instant progress ceased.
+    /// Meaningless (zero) otherwise.
+    pub idle_since: SimTime,
 }
 
 impl RunStats {

@@ -5,6 +5,14 @@
 //! receives *all* messages sent to it in that round, then the next round
 //! begins. Sends are per-recipient, which is exactly the power a Byzantine
 //! process needs to equivocate.
+//!
+//! Delivery here is exactly-once by construction — there is no network
+//! between send and receive to lose, reorder, or duplicate anything —
+//! so the async engine's reliable-delivery layer
+//! ([`ReliabilityPolicy`](crate::ReliabilityPolicy), `reliable.rs`) has
+//! nothing to add in this model and does not apply; harness-level
+//! `with_reliability` knobs on synchronous protocols are documented
+//! API-parity no-ops.
 
 use crate::process::{Outgoing, Payload};
 use crate::rng::SplitMix64;

@@ -132,6 +132,37 @@ pub enum TraceEvent {
         /// How many records survived the crash.
         records: u64,
     },
+    /// The reliability layer retransmitted an unacked message.
+    Retransmit {
+        /// Time of the retransmission.
+        at: SimTime,
+        /// Original sender (owner of the send buffer).
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Which retransmission attempt this is (1 = first retry).
+        attempt: u32,
+    },
+    /// A sender at buffer capacity evicted its oldest unacked message.
+    Evict {
+        /// Time of the eviction.
+        at: SimTime,
+        /// The sender whose buffer was full.
+        from: ProcessId,
+        /// Recipient of the evicted message.
+        to: ProcessId,
+        /// Sequence number of the evicted message.
+        seq: u64,
+    },
+    /// The liveness watchdog classified the run's end as stalled: live
+    /// undecided processes remained but nothing was in flight, armed, or
+    /// buffered that could ever wake them.
+    Stalled {
+        /// Time the run stopped.
+        at: SimTime,
+        /// Time of the last processed event — when progress ceased.
+        idle_since: SimTime,
+    },
 }
 
 /// Why a message never reached its recipient.
@@ -149,6 +180,10 @@ pub enum DropReason {
     Adversary,
     /// The recipient had decided and halted before the delivery tick.
     HaltedRecipient,
+    /// The reliability layer had already delivered this sequence number;
+    /// the redundant copy was suppressed instead of re-invoking the
+    /// process.
+    DuplicateSuppressed,
 }
 
 impl DropReason {
@@ -162,6 +197,7 @@ impl DropReason {
             DropReason::DeadSender => "dead_sender",
             DropReason::Adversary => "adversary",
             DropReason::HaltedRecipient => "halted_recipient",
+            DropReason::DuplicateSuppressed => "duplicate_suppressed",
         }
     }
 }
@@ -246,7 +282,10 @@ impl Trace {
                 | TraceEvent::Persist { at, .. }
                 | TraceEvent::SyncOk { at, .. }
                 | TraceEvent::SyncLost { at, .. }
-                | TraceEvent::Recover { at, .. } => *at,
+                | TraceEvent::Recover { at, .. }
+                | TraceEvent::Retransmit { at, .. }
+                | TraceEvent::Evict { at, .. }
+                | TraceEvent::Stalled { at, .. } => *at,
             })
             .max()
     }
@@ -488,6 +527,25 @@ impl TraceEvent {
                 process.0,
                 records
             ),
+            TraceEvent::Retransmit { at, from, to, attempt } => format!(
+                "{{\"kind\":\"retransmit\",\"at\":{},\"from\":{},\"to\":{},\"attempt\":{}}}",
+                at.ticks(),
+                from.0,
+                to.0,
+                attempt
+            ),
+            TraceEvent::Evict { at, from, to, seq } => format!(
+                "{{\"kind\":\"evict\",\"at\":{},\"from\":{},\"to\":{},\"seq\":{}}}",
+                at.ticks(),
+                from.0,
+                to.0,
+                seq
+            ),
+            TraceEvent::Stalled { at, idle_since } => format!(
+                "{{\"kind\":\"stalled\",\"at\":{},\"idle_since\":{}}}",
+                at.ticks(),
+                idle_since.ticks()
+            ),
         }
     }
 }
@@ -577,9 +635,39 @@ mod tests {
             (DropReason::DeadSender, "dead_sender"),
             (DropReason::Adversary, "adversary"),
             (DropReason::HaltedRecipient, "halted_recipient"),
+            (DropReason::DuplicateSuppressed, "duplicate_suppressed"),
         ] {
             assert_eq!(r.name(), n);
         }
+    }
+
+    #[test]
+    fn reliability_events_export_and_end_time() {
+        let mut t = Trace::new(TraceLevel::Events);
+        t.push(TraceEvent::Retransmit {
+            at: SimTime::from_ticks(51),
+            from: ProcessId(0),
+            to: ProcessId(2),
+            attempt: 1,
+        });
+        t.push(TraceEvent::Evict {
+            at: SimTime::from_ticks(52),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            seq: 7,
+        });
+        t.push(TraceEvent::Stalled {
+            at: SimTime::from_ticks(60),
+            idle_since: SimTime::from_ticks(53),
+        });
+        let lines: Vec<String> = t.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"retransmit\",\"at\":51,\"from\":0,\"to\":2,\"attempt\":1}"
+        );
+        assert_eq!(lines[1], "{\"kind\":\"evict\",\"at\":52,\"from\":0,\"to\":1,\"seq\":7}");
+        assert_eq!(lines[2], "{\"kind\":\"stalled\",\"at\":60,\"idle_since\":53}");
+        assert_eq!(t.end_time(), Some(SimTime::from_ticks(60)));
     }
 
     #[test]

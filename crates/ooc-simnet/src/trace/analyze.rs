@@ -37,6 +37,8 @@ pub struct ProcessTimeline {
     pub persists: u64,
     /// Stored records this process lost to crashes.
     pub storage_lost: u64,
+    /// Reliability-layer retransmissions by this process.
+    pub retransmits: u64,
     /// When this process decided, if it did.
     pub decided_at: Option<SimTime>,
     /// Time of the first event touching this process.
@@ -92,6 +94,9 @@ pub struct TraceAnalysis {
     pub windows: Vec<WindowRow>,
     /// Latency from time zero to each decision, in decision order.
     pub decision_latencies: Vec<(ProcessId, SimTime)>,
+    /// The liveness watchdog's verdict, when the trace recorded one:
+    /// `(stop time, idle_since)`.
+    pub stalled: Option<(SimTime, SimTime)>,
 }
 
 /// Analyzes a trace recorded for `n` processes.
@@ -104,6 +109,7 @@ pub fn analyze(trace: &Trace, n: usize, window: u64) -> TraceAnalysis {
     let mut drop_breakdown: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut windows: BTreeMap<u64, WindowRow> = BTreeMap::new();
     let mut decision_latencies = Vec::new();
+    let mut stalled = None;
 
     fn touch(tl: &mut [ProcessTimeline], p: ProcessId, at: SimTime) {
         if let Some(t) = tl.get_mut(p.0) {
@@ -189,6 +195,18 @@ pub fn analyze(trace: &Trace, n: usize, window: u64) -> TraceAnalysis {
                 touch(&mut timelines, *process, *at);
                 decision_latencies.push((*process, *at));
             }
+            TraceEvent::Retransmit { at, from, .. } => {
+                if let Some(t) = timelines.get_mut(from.0) {
+                    t.retransmits += 1;
+                }
+                touch(&mut timelines, *from, *at);
+            }
+            TraceEvent::Evict { at, from, .. } => {
+                touch(&mut timelines, *from, *at);
+            }
+            TraceEvent::Stalled { at, idle_since } => {
+                stalled = Some((*at, *idle_since));
+            }
         }
     }
 
@@ -197,6 +215,7 @@ pub fn analyze(trace: &Trace, n: usize, window: u64) -> TraceAnalysis {
         drop_breakdown,
         windows: windows.into_values().collect(),
         decision_latencies,
+        stalled,
     }
 }
 
